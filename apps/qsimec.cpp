@@ -1,0 +1,409 @@
+// qsimec — command-line front end.
+//
+//   qsimec check A B [options]   equivalence-check two circuit files
+//   qsimec sim FILE [options]    simulate a circuit, print top amplitudes
+//   qsimec info FILE             circuit statistics
+//   qsimec convert IN OUT        convert between .qasm and .real
+//
+// Circuit files are read by extension: .qasm (OpenQASM 2.0) or .real
+// (RevLib). `check` implements the DAC'20 flow: r random-stimuli
+// simulations, then the complete DD-based alternating check.
+
+#include "dd/export.hpp"
+#include "ec/error_localization.hpp"
+#include "ec/flow.hpp"
+#include "ec/serialize.hpp"
+#include "ec/stimuli.hpp"
+#include "gen/algorithms.hpp"
+#include "gen/chemistry.hpp"
+#include "gen/grover.hpp"
+#include "gen/qft.hpp"
+#include "gen/random_circuits.hpp"
+#include "gen/revlib_like.hpp"
+#include "gen/supremacy.hpp"
+#include "io/qasm.hpp"
+#include "io/real.hpp"
+#include "sim/dd_simulator.hpp"
+#include "transform/decomposition.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace qsimec;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      R"(qsimec — simulation-first equivalence checking for quantum circuits
+        (Burgholzer & Wille, DAC'20)
+
+usage:
+  qsimec check A.{qasm,real} B.{qasm,real} [options]
+      --sims R              number of random stimuli (default 10; 0 = skip)
+      --stimuli KIND        basis | product | stabilizer (default basis)
+      --timeout SECONDS     budget of the complete check (default 60; 0 = none)
+      --strategy NAME       naive | proportional | lookahead (default proportional)
+      --sim-only            skip the complete check
+      --strict-phase        do not treat global phase as equivalent
+      --rewriting           try the syntactic rewriting checker first
+      --localize            on non-equivalence, binary-search the diverging gate
+      --json                emit the result as a JSON object
+      --seed N              stimuli seed (default 42)
+  qsimec sim FILE [--input I] [--top K] [--seed N]
+  qsimec info FILE
+  qsimec convert IN OUT
+  qsimec gen FAMILY OUT.{qasm,real} [--seed N]
+      families: qft N | qft-alt N | grover K | supremacy R C D |
+                chemistry R C | hwb K | urf K | adder K | inc K | random N G |
+                bv N | dj N | qpe M | ghz N | w N
+      (decompose first where the output format demands it: .real accepts
+       only reversible gates, .qasm at most two controls)
+)";
+  std::exit(code);
+}
+
+ir::QuantumComputation load(const std::string& path) {
+  if (path.size() >= 5 && path.ends_with(".real")) {
+    return io::parseRealFile(path);
+  }
+  if (path.ends_with(".qasm")) {
+    return io::parseQasmFile(path);
+  }
+  throw std::runtime_error("unrecognized circuit format (want .qasm/.real): " +
+                           path);
+}
+
+struct ArgCursor {
+  std::vector<std::string> args;
+  std::size_t pos{0};
+
+  [[nodiscard]] bool empty() const { return pos >= args.size(); }
+  std::string next(const char* what) {
+    if (empty()) {
+      std::cerr << "missing " << what << "\n";
+      usage(2);
+    }
+    return args[pos++];
+  }
+  [[nodiscard]] bool consumeFlag(const std::string& flag) {
+    const auto it = std::find(args.begin() + static_cast<std::ptrdiff_t>(pos),
+                              args.end(), flag);
+    if (it == args.end()) {
+      return false;
+    }
+    args.erase(it);
+    return true;
+  }
+  [[nodiscard]] std::string consumeOption(const std::string& flag,
+                                          std::string fallback) {
+    const auto it = std::find(args.begin() + static_cast<std::ptrdiff_t>(pos),
+                              args.end(), flag);
+    if (it == args.end() || it + 1 == args.end()) {
+      return fallback;
+    }
+    std::string value = *(it + 1);
+    args.erase(it, it + 2);
+    return value;
+  }
+};
+
+int runCheck(ArgCursor& args) {
+  const std::string simsStr = args.consumeOption("--sims", "10");
+  const std::string stimuliStr = args.consumeOption("--stimuli", "basis");
+  const std::string timeoutStr = args.consumeOption("--timeout", "60");
+  const std::string strategyStr =
+      args.consumeOption("--strategy", "proportional");
+  const std::string seedStr = args.consumeOption("--seed", "42");
+  const bool simOnly = args.consumeFlag("--sim-only");
+  const bool strictPhase = args.consumeFlag("--strict-phase");
+  const bool localize = args.consumeFlag("--localize");
+  const bool rewriting = args.consumeFlag("--rewriting");
+  const bool jsonOutput = args.consumeFlag("--json");
+
+  auto a = load(args.next("first circuit file"));
+  auto b = load(args.next("second circuit file"));
+
+  // ancilla-adding flows produce different widths; pad the narrower one
+  const std::size_t width = std::max(a.qubits(), b.qubits());
+  a = tf::padQubits(a, width);
+  b = tf::padQubits(b, width);
+
+  ec::FlowConfiguration config;
+  config.simulation.maxSimulations = std::stoul(simsStr);
+  config.simulation.seed = std::stoull(seedStr);
+  config.simulation.ignoreGlobalPhase = !strictPhase;
+  config.complete.timeoutSeconds = std::stod(timeoutStr);
+  config.skipSimulation = config.simulation.maxSimulations == 0;
+  config.skipComplete = simOnly;
+  config.tryRewriting = rewriting;
+
+  if (stimuliStr == "basis") {
+    config.simulation.stimuli = ec::StimuliKind::ComputationalBasis;
+  } else if (stimuliStr == "product") {
+    config.simulation.stimuli = ec::StimuliKind::RandomProduct;
+  } else if (stimuliStr == "stabilizer") {
+    config.simulation.stimuli = ec::StimuliKind::RandomStabilizer;
+  } else {
+    std::cerr << "unknown stimuli kind: " << stimuliStr << "\n";
+    return 2;
+  }
+  if (strategyStr == "naive") {
+    config.complete.strategy = ec::Strategy::Naive;
+  } else if (strategyStr == "proportional") {
+    config.complete.strategy = ec::Strategy::Proportional;
+  } else if (strategyStr == "lookahead") {
+    config.complete.strategy = ec::Strategy::Lookahead;
+  } else {
+    std::cerr << "unknown strategy: " << strategyStr << "\n";
+    return 2;
+  }
+
+  const ec::EquivalenceCheckingFlow flow(config);
+  const auto result = flow.run(a, b);
+
+  if (jsonOutput) {
+    std::cout << ec::toJson(result) << "\n";
+  } else {
+    std::cout << "result:      " << toString(result.equivalence) << "\n"
+              << "simulations: " << result.simulations << " ("
+              << result.simulationSeconds << "s)\n";
+    if (!config.skipComplete) {
+      std::cout << "complete:    " << result.completeSeconds << "s"
+                << (result.completeTimedOut ? " (timed out)" : "") << "\n";
+    }
+    if (result.counterexample) {
+      std::cout << "counterexample: "
+                << ec::describeStimulus(result.counterexample->stimuli,
+                                        result.counterexample->input, width)
+                << "  (output fidelity " << result.counterexample->fidelity
+                << ")\n";
+      if (localize &&
+          result.counterexample->stimuli ==
+              ec::StimuliKind::ComputationalBasis) {
+        const auto loc = ec::localizeError(a.withMaterializedLayouts(),
+                                           b.withMaterializedLayouts(),
+                                           result.counterexample->input);
+        if (loc) {
+          std::cout << "localized:   first divergence at gate #"
+                    << loc->gateIndex << " of the second circuit ("
+                    << loc->suspect << ")\n";
+        }
+      }
+    }
+  }
+  // exit code: 0 equivalent-ish, 1 not equivalent, 3 inconclusive
+  switch (result.equivalence) {
+  case ec::Equivalence::Equivalent:
+  case ec::Equivalence::EquivalentUpToGlobalPhase:
+  case ec::Equivalence::ProbablyEquivalent:
+    return 0;
+  case ec::Equivalence::NotEquivalent:
+    return 1;
+  case ec::Equivalence::NoInformation:
+    return 3;
+  }
+  return 3;
+}
+
+int runSim(ArgCursor& args) {
+  const std::uint64_t input =
+      std::stoull(args.consumeOption("--input", "0"));
+  const std::size_t top = std::stoul(args.consumeOption("--top", "16"));
+  const auto qc = load(args.next("circuit file"));
+
+  dd::Package pkg(qc.qubits());
+  const auto out = sim::simulate(qc, pkg.makeBasisState(input), pkg);
+  std::cout << "simulated " << qc.name() << ": " << qc.qubits() << " qubits, "
+            << qc.size() << " gates; final DD has "
+            << dd::Package::size(out) << " nodes\n";
+
+  if (qc.qubits() > 28) {
+    std::cout << "(state too wide to enumerate amplitudes)\n";
+    return 0;
+  }
+  std::vector<std::pair<double, std::uint64_t>> amps;
+  for (std::uint64_t i = 0; i < (1ULL << qc.qubits()); ++i) {
+    const double p = pkg.getAmplitude(out, i).mag2();
+    if (p > 1e-12) {
+      amps.emplace_back(p, i);
+    }
+  }
+  std::sort(amps.rbegin(), amps.rend());
+  for (std::size_t k = 0; k < std::min(top, amps.size()); ++k) {
+    std::cout << "|" << dd::basisLabel(amps[k].second, qc.qubits())
+              << ">  p=" << amps[k].first << "\n";
+  }
+  return 0;
+}
+
+int runInfo(ArgCursor& args) {
+  const auto qc = load(args.next("circuit file"));
+  std::cout << "name:    " << qc.name() << "\n"
+            << "qubits:  " << qc.qubits() << "\n"
+            << "gates:   " << qc.size() << "\n"
+            << "depth:   " << qc.depth() << "\n"
+            << "2q gates:" << " " << qc.twoQubitGateCount() << "\n";
+  for (int t = 0; t <= static_cast<int>(ir::OpType::GPhase); ++t) {
+    const auto type = static_cast<ir::OpType>(t);
+    const std::size_t count = qc.countType(type);
+    if (count > 0) {
+      std::cout << "  " << ir::toString(type) << ": " << count << "\n";
+    }
+  }
+  return 0;
+}
+
+void writeByExtension(const ir::QuantumComputation& qc,
+                      const std::string& path);
+
+int runConvert(ArgCursor& args) {
+  auto qc = load(args.next("input file"));
+  const std::string out = args.next("output file");
+  if (out.ends_with(".qasm")) {
+    // decompose whatever OpenQASM 2.0 cannot express
+    const bool needsDecomposition = std::any_of(
+        qc.begin(), qc.end(), [](const ir::StandardOperation& op) {
+          return op.controls().size() > 2 ||
+                 std::any_of(op.controls().begin(), op.controls().end(),
+                             [](const ir::Control& c) { return !c.positive; });
+        });
+    if (needsDecomposition) {
+      const std::size_t before = qc.size();
+      qc = tf::decompose(qc);
+      std::cout << "note: decomposed " << before << " gates into "
+                << qc.size() << " elementary gates for OpenQASM export\n";
+    }
+  }
+  writeByExtension(qc, out);
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+void writeByExtension(const ir::QuantumComputation& qc,
+                      const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  if (path.ends_with(".real")) {
+    io::writeReal(qc, os);
+  } else if (path.ends_with(".qasm")) {
+    io::writeQasm(qc, os);
+  } else {
+    throw std::runtime_error("unrecognized output format: " + path);
+  }
+}
+
+int runGen(ArgCursor& args) {
+  const std::uint64_t seed = std::stoull(args.consumeOption("--seed", "1"));
+  const std::string family = args.next("circuit family");
+  const auto num = [&args](const char* what) {
+    return std::stoul(args.next(what));
+  };
+
+  ir::QuantumComputation qc;
+  if (family == "qft") {
+    qc = gen::qft(num("qubit count"));
+  } else if (family == "qft-alt") {
+    qc = gen::qftAlternative(num("qubit count"));
+  } else if (family == "grover") {
+    const std::size_t k = num("search qubits");
+    qc = gen::grover(k, seed % (1ULL << k));
+  } else if (family == "supremacy") {
+    const std::size_t r = num("rows");
+    const std::size_t c = num("cols");
+    qc = gen::supremacy(r, c, num("cycles"), seed);
+  } else if (family == "chemistry") {
+    const std::size_t r = num("rows");
+    qc = gen::hubbardTrotter(r, num("cols"));
+  } else if (family == "hwb") {
+    qc = gen::hwbCircuit(num("bits"));
+  } else if (family == "urf") {
+    qc = gen::urfCircuit(num("bits"), seed);
+  } else if (family == "adder") {
+    qc = gen::adderCircuit(num("bits"));
+  } else if (family == "inc") {
+    qc = gen::incrementCircuit(num("bits"));
+  } else if (family == "random") {
+    const std::size_t n = num("qubit count");
+    qc = gen::randomCircuit(n, num("gate count"), seed);
+  } else if (family == "bv") {
+    const std::size_t n = num("secret bits");
+    qc = gen::bernsteinVazirani(n, seed % (1ULL << std::min<std::size_t>(n, 63)));
+  } else if (family == "dj") {
+    qc = gen::deutschJozsa(num("input bits"), true, seed);
+  } else if (family == "qpe") {
+    const std::size_t m = num("precision bits");
+    qc = gen::qpe(m, static_cast<double>(seed % (1ULL << m)) /
+                         static_cast<double>(1ULL << m));
+  } else if (family == "ghz") {
+    qc = gen::ghzState(num("qubit count"));
+  } else if (family == "w") {
+    qc = gen::wState(num("qubit count"));
+  } else {
+    std::cerr << "unknown family: " << family << "\n";
+    return 2;
+  }
+
+  const std::string out = args.next("output file");
+  // make the circuit expressible in the chosen format
+  if (out.ends_with(".qasm")) {
+    bool needsDecomposition = false;
+    for (const auto& op : qc) {
+      needsDecomposition =
+          needsDecomposition || op.controls().size() > 2 ||
+          std::any_of(op.controls().begin(), op.controls().end(),
+                      [](const ir::Control& c) { return !c.positive; });
+    }
+    if (needsDecomposition) {
+      qc = tf::decompose(qc);
+    }
+  }
+  writeByExtension(qc, out);
+  std::cout << "wrote " << qc.name() << " (" << qc.qubits() << " qubits, "
+            << qc.size() << " gates) to " << out << "\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(2);
+  }
+  ArgCursor args;
+  for (int i = 2; i < argc; ++i) {
+    args.args.emplace_back(argv[i]);
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "check") {
+      return runCheck(args);
+    }
+    if (command == "sim") {
+      return runSim(args);
+    }
+    if (command == "info") {
+      return runInfo(args);
+    }
+    if (command == "convert") {
+      return runConvert(args);
+    }
+    if (command == "gen") {
+      return runGen(args);
+    }
+    if (command == "--help" || command == "-h" || command == "help") {
+      usage(0);
+    }
+    std::cerr << "unknown command: " << command << "\n";
+    usage(2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,69 @@
+// Ablation: interleaving strategies of the alternating checker [22]
+// (the complete-check stage that the paper's flow falls back to).
+//
+// On equivalent pairs with very different gate counts (the RevLib pattern),
+// the proportional strategy keeps the intermediate product near the
+// identity; naive alternation lets it grow towards the full functionality.
+
+#include "common.hpp"
+
+#include "ec/alternating_checker.hpp"
+#include "ec/construction_checker.hpp"
+
+#include <cstdio>
+
+using namespace qsimec;
+
+int main(int argc, char** argv) {
+  bench::HarnessOptions options = bench::parseOptions(argc, argv);
+
+  std::vector<bench::BenchmarkPair> suite;
+  suite.push_back(bench::revlibPair("hwb7", gen::hwbCircuit(7)));
+  suite.push_back(bench::revlibPair("urf-like 7", gen::urfCircuit(7, 7)));
+  suite.push_back(bench::qftPair(18));
+  suite.push_back(bench::qftMappedPair(14));
+  suite.push_back(bench::supremacyPair(3, 4, 8, 11));
+  suite.push_back(bench::chemistryPair(2, 2, 1));
+
+  std::printf("Ablation: alternating-checker strategies on equivalent pairs "
+              "(timeout %.1fs)\n",
+              options.timeoutSeconds);
+  std::printf("%-14s %8s %8s | %12s %12s %12s %12s\n", "benchmark", "|G|",
+              "|G'|", "construct", "naive", "proportional", "lookahead");
+  bench::printRule(100);
+
+  for (const auto& pair : suite) {
+    std::printf("%-14s %8zu %8zu |", pair.name.c_str(), pair.g.size(),
+                pair.gPrime.size());
+
+    {
+      ec::ConstructionConfiguration config;
+      config.timeoutSeconds = options.timeoutSeconds;
+      const auto result =
+          ec::ConstructionChecker(config).run(pair.g, pair.gPrime);
+      if (result.timedOut) {
+        std::printf(" %11s*", "timeout");
+      } else {
+        std::printf(" %12.3f", result.seconds);
+      }
+    }
+    for (const ec::Strategy strategy :
+         {ec::Strategy::Naive, ec::Strategy::Proportional,
+          ec::Strategy::Lookahead}) {
+      ec::AlternatingConfiguration config;
+      config.strategy = strategy;
+      config.timeoutSeconds = options.timeoutSeconds;
+      const auto result =
+          ec::AlternatingChecker(config).run(pair.g, pair.gPrime);
+      if (result.timedOut) {
+        std::printf(" %11s*", "timeout");
+      } else {
+        std::printf(" %12.3f", result.seconds);
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\ntimes in seconds; * = exceeded the time budget\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "dd/complex.hpp"
+
+namespace qsimec::dd {
+
+ComplexTable::ComplexTable() {
+  zero_ = Complex{table_.zero(), table_.zero()};
+  one_ = Complex{table_.one(), table_.zero()};
+}
+
+Complex ComplexTable::lookup(const ComplexValue& v) {
+  return Complex{table_.lookup(v.re), table_.lookup(v.im)};
+}
+
+} // namespace qsimec::dd

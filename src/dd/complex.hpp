@@ -1,0 +1,75 @@
+// Canonicalized complex numbers: a pair of pointers into the RealTable.
+//
+// Because the table canonicalizes within tolerance, two `Complex` values are
+// numerically equal iff their pointers are equal — which makes edges hashable
+// and node sharing exact. All arithmetic is done on `ComplexValue` and only
+// results are interned via `ComplexTable::lookup`.
+
+#pragma once
+
+#include "dd/complex_value.hpp"
+#include "dd/real_table.hpp"
+
+#include <cstddef>
+#include <functional>
+
+namespace qsimec::dd {
+
+struct Complex {
+  RealEntry* r{nullptr};
+  RealEntry* i{nullptr};
+
+  [[nodiscard]] bool operator==(const Complex& o) const = default;
+
+  [[nodiscard]] ComplexValue value() const { return {r->value, i->value}; }
+  [[nodiscard]] bool exactlyZero() const noexcept;
+  [[nodiscard]] bool exactlyOne() const noexcept;
+  [[nodiscard]] double mag2() const { return value().mag2(); }
+};
+
+class ComplexTable {
+public:
+  ComplexTable();
+
+  /// Canonical representation of `v`.
+  Complex lookup(const ComplexValue& v);
+  Complex lookup(double re, double im) { return lookup(ComplexValue{re, im}); }
+
+  [[nodiscard]] Complex zero() const noexcept { return zero_; }
+  [[nodiscard]] Complex one() const noexcept { return one_; }
+
+  static void incRef(const Complex& c) noexcept {
+    RealTable::incRef(c.r);
+    RealTable::incRef(c.i);
+  }
+  static void decRef(const Complex& c) noexcept {
+    RealTable::decRef(c.r);
+    RealTable::decRef(c.i);
+  }
+
+  [[nodiscard]] RealTable& reals() noexcept { return table_; }
+  [[nodiscard]] std::size_t liveReals() const noexcept { return table_.size(); }
+  std::size_t garbageCollect() { return table_.garbageCollect(); }
+
+private:
+  RealTable table_;
+  Complex zero_;
+  Complex one_;
+};
+
+inline bool Complex::exactlyZero() const noexcept {
+  return r->value == 0.0 && i->value == 0.0;
+}
+inline bool Complex::exactlyOne() const noexcept {
+  return r->value == 1.0 && i->value == 0.0;
+}
+
+struct ComplexHash {
+  std::size_t operator()(const Complex& c) const noexcept {
+    const auto h1 = std::hash<const void*>{}(c.r);
+    const auto h2 = std::hash<const void*>{}(c.i);
+    return h1 ^ (h2 * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+} // namespace qsimec::dd

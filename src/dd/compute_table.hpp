@@ -1,0 +1,113 @@
+// Lossy, direct-mapped operation caches ("compute tables").
+//
+// Each DD operation (add, multiply, kronecker, ...) memoizes results here.
+// Entries hold raw node/real pointers, so every table must be cleared before
+// the unique tables or the real table collect garbage.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace qsimec::dd {
+
+namespace detail {
+inline std::size_t combineHash(std::size_t seed, const void* p) noexcept {
+  return seed ^ (std::hash<const void*>{}(p) + 0x9e3779b97f4a7c15ULL +
+                 (seed << 6) + (seed >> 2));
+}
+} // namespace detail
+
+/// Key made of two bare node pointers — used by operations whose top-level
+/// edge weights can be factored out (multiplication, kronecker, inner
+/// product).
+struct NodePairKey {
+  const void* a{nullptr};
+  const void* b{nullptr};
+
+  [[nodiscard]] bool operator==(const NodePairKey&) const = default;
+  [[nodiscard]] std::size_t hash() const noexcept {
+    return detail::combineHash(detail::combineHash(0, a), b);
+  }
+};
+
+/// Key made of a single node pointer (conjugate transpose).
+struct NodeKey {
+  const void* a{nullptr};
+
+  [[nodiscard]] bool operator==(const NodeKey&) const = default;
+  [[nodiscard]] std::size_t hash() const noexcept {
+    return detail::combineHash(0, a);
+  }
+};
+
+/// Key made of two full edges (addition, where weights cannot be factored).
+struct EdgePairKey {
+  const void* ap{nullptr};
+  const void* awr{nullptr};
+  const void* awi{nullptr};
+  const void* bp{nullptr};
+  const void* bwr{nullptr};
+  const void* bwi{nullptr};
+
+  [[nodiscard]] bool operator==(const EdgePairKey&) const = default;
+  [[nodiscard]] std::size_t hash() const noexcept {
+    std::size_t h = detail::combineHash(0, ap);
+    h = detail::combineHash(h, awr);
+    h = detail::combineHash(h, awi);
+    h = detail::combineHash(h, bp);
+    h = detail::combineHash(h, bwr);
+    h = detail::combineHash(h, bwi);
+    return h;
+  }
+};
+
+template <class Key, class Result, std::size_t NBITS = 16> class ComputeTable {
+public:
+  static constexpr std::size_t SIZE = 1ULL << NBITS;
+
+  ComputeTable() : entries_(SIZE) {}
+
+  void insert(const Key& key, const Result& result) {
+    Entry& e = entries_[key.hash() & (SIZE - 1)];
+    e.key = key;
+    e.result = result;
+    e.valid = true;
+  }
+
+  /// Returns nullptr on miss. The pointer is invalidated by the next insert
+  /// into the same slot — consume immediately.
+  [[nodiscard]] const Result* lookup(const Key& key) {
+    ++lookups_;
+    const Entry& e = entries_[key.hash() & (SIZE - 1)];
+    if (e.valid && e.key == key) {
+      ++hits_;
+      return &e.result;
+    }
+    return nullptr;
+  }
+
+  void clear() noexcept {
+    for (Entry& e : entries_) {
+      e.valid = false;
+    }
+  }
+
+  [[nodiscard]] std::size_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+
+private:
+  struct Entry {
+    Key key{};
+    Result result{};
+    bool valid{false};
+  };
+
+  std::vector<Entry> entries_;
+  std::size_t lookups_{0};
+  std::size_t hits_{0};
+};
+
+} // namespace qsimec::dd

@@ -1,0 +1,117 @@
+#include "dd/export.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace qsimec::dd {
+
+namespace {
+
+std::string weightLabel(const Complex& w) {
+  std::ostringstream ss;
+  ss << std::setprecision(4) << w.value();
+  return ss.str();
+}
+
+template <class EdgeT>
+void exportDotImpl(const EdgeT& root, std::ostream& os, const char* kind) {
+  os << "digraph " << kind << " {\n"
+     << "  rankdir=TB;\n"
+     << "  root [shape=point];\n";
+
+  std::unordered_map<const void*, std::size_t> ids;
+  std::vector<decltype(root.p)> order;
+  std::vector<decltype(root.p)> stack{root.p};
+  while (!stack.empty()) {
+    auto* p = stack.back();
+    stack.pop_back();
+    if (ids.contains(p)) {
+      continue;
+    }
+    ids.emplace(p, ids.size());
+    order.push_back(p);
+    if (p->isTerminal()) {
+      continue;
+    }
+    for (const auto& child : p->e) {
+      if (!child.w.exactlyZero()) {
+        stack.push_back(child.p);
+      }
+    }
+  }
+
+  for (const auto* p : order) {
+    if (p->isTerminal()) {
+      os << "  n" << ids.at(p) << " [shape=box,label=\"1\"];\n";
+    } else {
+      os << "  n" << ids.at(p) << " [shape=circle,label=\"q" << p->v
+         << "\"];\n";
+    }
+  }
+
+  os << "  root -> n" << ids.at(root.p) << " [label=\"" << weightLabel(root.w)
+     << "\"];\n";
+  for (const auto* p : order) {
+    if (p->isTerminal()) {
+      continue;
+    }
+    for (std::size_t i = 0; i < p->e.size(); ++i) {
+      const auto& child = p->e[i];
+      if (child.w.exactlyZero()) {
+        continue;
+      }
+      os << "  n" << ids.at(p) << " -> n" << ids.at(child.p) << " [label=\""
+         << i << ": " << weightLabel(child.w) << "\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+} // namespace
+
+void exportDot(const vEdge& e, std::ostream& os) {
+  exportDotImpl(e, os, "vectorDD");
+}
+
+void exportDot(const mEdge& e, std::ostream& os) {
+  exportDotImpl(e, os, "matrixDD");
+}
+
+std::string basisLabel(std::uint64_t i, std::size_t n) {
+  std::string s(n, '0');
+  for (std::size_t b = 0; b < n; ++b) {
+    if ((i >> b) & 1U) {
+      s[n - 1 - b] = '1';
+    }
+  }
+  return s;
+}
+
+void printVector(Package& pkg, const vEdge& e, std::ostream& os,
+                 double threshold) {
+  const std::size_t n = pkg.qubits();
+  const std::uint64_t dim = 1ULL << n;
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    const ComplexValue amp = pkg.getAmplitude(e, i);
+    if (amp.mag2() > threshold) {
+      os << "|" << basisLabel(i, n) << ">: " << std::setprecision(6) << amp
+         << "\n";
+    }
+  }
+}
+
+void printMatrix(Package& pkg, const mEdge& e, std::ostream& os) {
+  const std::size_t n = pkg.qubits();
+  const std::uint64_t dim = 1ULL << n;
+  for (std::uint64_t r = 0; r < dim; ++r) {
+    for (std::uint64_t c = 0; c < dim; ++c) {
+      const ComplexValue v = pkg.getEntry(e, r, c);
+      os << std::setw(14) << std::setprecision(3) << v << " ";
+    }
+    os << "\n";
+  }
+}
+
+} // namespace qsimec::dd

@@ -1,0 +1,27 @@
+// Debug/visualization helpers: Graphviz DOT export and text dumps of DDs.
+
+#pragma once
+
+#include "dd/package.hpp"
+
+#include <ostream>
+#include <string>
+
+namespace qsimec::dd {
+
+/// Write a Graphviz representation of the vector DD rooted at `e`.
+void exportDot(const vEdge& e, std::ostream& os);
+/// Write a Graphviz representation of the matrix DD rooted at `e`.
+void exportDot(const mEdge& e, std::ostream& os);
+
+/// Human-readable amplitude dump: one line per non-zero basis state.
+void printVector(Package& pkg, const vEdge& e, std::ostream& os,
+                 double threshold = 1e-12);
+
+/// Human-readable matrix dump (small qubit counts only).
+void printMatrix(Package& pkg, const mEdge& e, std::ostream& os);
+
+/// Binary string (MSB first) of length `n` for basis-state index `i`.
+std::string basisLabel(std::uint64_t i, std::size_t n);
+
+} // namespace qsimec::dd

@@ -1,0 +1,97 @@
+// 2x2 matrices of the standard single-qubit gate set.
+//
+// A `GateMatrix` is stored row-major: {m00, m01, m10, m11}. The package turns
+// these into (multi-)controlled matrix DDs via `Package::makeGateDD`.
+
+#pragma once
+
+#include "dd/complex_value.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace qsimec::dd {
+
+using GateMatrix = std::array<ComplexValue, 4>;
+
+inline constexpr GateMatrix Imat{ComplexValue{1, 0}, ComplexValue{0, 0},
+                                 ComplexValue{0, 0}, ComplexValue{1, 0}};
+inline constexpr GateMatrix Xmat{ComplexValue{0, 0}, ComplexValue{1, 0},
+                                 ComplexValue{1, 0}, ComplexValue{0, 0}};
+inline constexpr GateMatrix Ymat{ComplexValue{0, 0}, ComplexValue{0, -1},
+                                 ComplexValue{0, 1}, ComplexValue{0, 0}};
+inline constexpr GateMatrix Zmat{ComplexValue{1, 0}, ComplexValue{0, 0},
+                                 ComplexValue{0, 0}, ComplexValue{-1, 0}};
+inline constexpr GateMatrix Hmat{
+    ComplexValue{SQRT1_2, 0}, ComplexValue{SQRT1_2, 0},
+    ComplexValue{SQRT1_2, 0}, ComplexValue{-SQRT1_2, 0}};
+inline constexpr GateMatrix Smat{ComplexValue{1, 0}, ComplexValue{0, 0},
+                                 ComplexValue{0, 0}, ComplexValue{0, 1}};
+inline constexpr GateMatrix Sdgmat{ComplexValue{1, 0}, ComplexValue{0, 0},
+                                   ComplexValue{0, 0}, ComplexValue{0, -1}};
+inline const GateMatrix Tmat{ComplexValue{1, 0}, ComplexValue{0, 0},
+                             ComplexValue{0, 0},
+                             ComplexValue{SQRT1_2, SQRT1_2}};
+inline const GateMatrix Tdgmat{ComplexValue{1, 0}, ComplexValue{0, 0},
+                               ComplexValue{0, 0},
+                               ComplexValue{SQRT1_2, -SQRT1_2}};
+/// V = sqrt(X) up to global phase: (1/2)[[1+i, 1-i], [1-i, 1+i]].
+inline constexpr GateMatrix Vmat{ComplexValue{0.5, 0.5}, ComplexValue{0.5, -0.5},
+                                 ComplexValue{0.5, -0.5}, ComplexValue{0.5, 0.5}};
+inline constexpr GateMatrix Vdgmat{ComplexValue{0.5, -0.5},
+                                   ComplexValue{0.5, 0.5},
+                                   ComplexValue{0.5, 0.5},
+                                   ComplexValue{0.5, -0.5}};
+/// sqrt(Y) up to global phase.
+inline constexpr GateMatrix SYmat{ComplexValue{0.5, 0.5}, ComplexValue{-0.5, -0.5},
+                                  ComplexValue{0.5, 0.5}, ComplexValue{0.5, 0.5}};
+inline constexpr GateMatrix SYdgmat{ComplexValue{0.5, -0.5},
+                                    ComplexValue{0.5, -0.5},
+                                    ComplexValue{-0.5, 0.5},
+                                    ComplexValue{0.5, -0.5}};
+
+inline GateMatrix rxMat(double theta) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return {ComplexValue{c, 0}, ComplexValue{0, -s}, ComplexValue{0, -s},
+          ComplexValue{c, 0}};
+}
+
+inline GateMatrix ryMat(double theta) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return {ComplexValue{c, 0}, ComplexValue{-s, 0}, ComplexValue{s, 0},
+          ComplexValue{c, 0}};
+}
+
+inline GateMatrix rzMat(double theta) {
+  return {ComplexValue::fromPolar(1, -theta / 2), ComplexValue{0, 0},
+          ComplexValue{0, 0}, ComplexValue::fromPolar(1, theta / 2)};
+}
+
+/// Phase gate diag(1, e^{i lambda}).
+inline GateMatrix phaseMat(double lambda) {
+  return {ComplexValue{1, 0}, ComplexValue{0, 0}, ComplexValue{0, 0},
+          ComplexValue::fromPolar(1, lambda)};
+}
+
+/// IBM-style generic single-qubit gate
+///   U3(theta, phi, lambda) = [[cos(t/2), -e^{il} sin(t/2)],
+///                             [e^{ip} sin(t/2), e^{i(p+l)} cos(t/2)]].
+inline GateMatrix u3Mat(double theta, double phi, double lambda) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return {ComplexValue{c, 0}, ComplexValue::fromPolar(-s, lambda),
+          ComplexValue::fromPolar(s, phi),
+          ComplexValue::fromPolar(c, phi + lambda)};
+}
+
+inline GateMatrix u2Mat(double phi, double lambda) {
+  return u3Mat(PI / 2, phi, lambda);
+}
+
+inline GateMatrix adjoint(const GateMatrix& m) {
+  return {m[0].conj(), m[2].conj(), m[1].conj(), m[3].conj()};
+}
+
+} // namespace qsimec::dd

@@ -1,0 +1,87 @@
+// Decision-diagram nodes and edges.
+//
+// Vector DDs (`vNode`) have two children per node (the |0> and |1> successor
+// of the qubit the node is labelled with); matrix DDs (`mNode`) have four
+// (indexed by (row_bit << 1) | col_bit). All edges carry a canonical complex
+// weight. The representation invariant maintained by the package:
+//
+//   * every edge with non-zero weight points to a node labelled with the
+//     next-lower variable (diagrams span all levels; no level skipping),
+//   * every edge with zero weight points to the terminal node,
+//   * nodes are unique (shared via the unique table) and normalized so that
+//     the largest-magnitude child weight is exactly 1.
+
+#pragma once
+
+#include "dd/complex.hpp"
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace qsimec::dd {
+
+/// Variable (qubit) index inside the DD package. Level 0 is the
+/// least-significant qubit; the terminal carries the sentinel value.
+using Var = std::int16_t;
+inline constexpr Var TERMINAL_VAR = -1;
+inline constexpr std::uint32_t IMMORTAL_REF =
+    std::numeric_limits<std::uint32_t>::max();
+
+template <class NodeT> struct Edge {
+  NodeT* p{nullptr};
+  Complex w{};
+
+  [[nodiscard]] bool operator==(const Edge& o) const = default;
+
+  [[nodiscard]] bool isTerminal() const noexcept { return p->isTerminal(); }
+  [[nodiscard]] bool isZeroTerminal() const noexcept {
+    return p->isTerminal() && w.exactlyZero();
+  }
+};
+
+struct vNode {
+  static constexpr std::size_t NEDGE = 2;
+
+  std::array<Edge<vNode>, NEDGE> e{};
+  vNode* next{nullptr}; // unique-table chain / free list
+  std::uint32_t ref{0};
+  Var v{TERMINAL_VAR};
+
+  [[nodiscard]] bool isTerminal() const noexcept { return v == TERMINAL_VAR; }
+
+  /// The shared terminal node (no children, immortal).
+  static vNode* terminal() noexcept {
+    static vNode t = [] {
+      vNode n;
+      n.ref = IMMORTAL_REF;
+      return n;
+    }();
+    return &t;
+  }
+};
+
+struct mNode {
+  static constexpr std::size_t NEDGE = 4;
+
+  std::array<Edge<mNode>, NEDGE> e{};
+  mNode* next{nullptr};
+  std::uint32_t ref{0};
+  Var v{TERMINAL_VAR};
+
+  [[nodiscard]] bool isTerminal() const noexcept { return v == TERMINAL_VAR; }
+
+  static mNode* terminal() noexcept {
+    static mNode t = [] {
+      mNode n;
+      n.ref = IMMORTAL_REF;
+      return n;
+    }();
+    return &t;
+  }
+};
+
+using vEdge = Edge<vNode>;
+using mEdge = Edge<mNode>;
+
+} // namespace qsimec::dd

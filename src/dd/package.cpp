@@ -1,0 +1,774 @@
+#include "dd/package.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace qsimec::dd {
+
+Package::Package(std::size_t nqubits) : nqubits_(nqubits) {
+  if (nqubits == 0 || nqubits > 128) {
+    throw std::invalid_argument("Package: qubit count must be in [1, 128]");
+  }
+  idTable_.reserve(nqubits + 1);
+}
+
+// --- node construction -------------------------------------------------------
+
+vEdge Package::makeVNode(Var v, const std::array<vEdge, 2>& childrenIn) {
+  pollInterrupt();
+  std::array<vEdge, 2> children = childrenIn;
+  for (auto& c : children) {
+    if (c.w.exactlyZero()) {
+      c = vZero();
+    } else {
+      assert(c.p->isTerminal() ? v == 0 : c.p->v == v - 1);
+    }
+  }
+  if (children[0].isZeroTerminal() && children[1].isZeroTerminal()) {
+    return vZero();
+  }
+
+  // Pick the normalization child: largest magnitude, with ties (within
+  // tolerance) broken towards the lowest index so that the choice is stable
+  // under floating-point noise — crucial for canonicity of diagonal gates
+  // whose entries all have magnitude one.
+  const double m0 = children[0].w.mag2();
+  const double m1 = children[1].w.mag2();
+  const double maxMag = std::max(m0, m1);
+  const std::size_t arg = (m0 >= maxMag - Tolerance::value()) ? 0 : 1;
+  const ComplexValue norm = children[arg].w.value();
+
+  std::array<vEdge, 2> normalized;
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (i == arg) {
+      normalized[i] = {children[i].p, cn_.one()};
+    } else if (children[i].w.exactlyZero()) {
+      normalized[i] = vZero();
+    } else {
+      normalized[i] = {children[i].p, cn_.lookup(children[i].w.value() / norm)};
+      if (normalized[i].w.exactlyZero()) {
+        normalized[i] = vZero();
+      }
+    }
+  }
+
+  vNode* cand = vUnique_.getNode();
+  cand->v = v;
+  cand->e = normalized;
+  vNode* node = vUnique_.lookup(cand);
+  return {node, cn_.lookup(norm)};
+}
+
+mEdge Package::makeMNode(Var v, const std::array<mEdge, 4>& childrenIn) {
+  pollInterrupt();
+  std::array<mEdge, 4> children = childrenIn;
+  bool allZero = true;
+  for (auto& c : children) {
+    if (c.w.exactlyZero()) {
+      c = mZero();
+    } else {
+      assert(c.p->isTerminal() ? v == 0 : c.p->v == v - 1);
+      allZero = false;
+    }
+  }
+  if (allZero) {
+    return mZero();
+  }
+
+  // Tolerance-aware argmax preferring the lowest index (see makeVNode).
+  double maxMag = -1.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    maxMag = std::max(maxMag, children[i].w.mag2());
+  }
+  std::size_t arg = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (children[i].w.mag2() >= maxMag - Tolerance::value()) {
+      arg = i;
+      break;
+    }
+  }
+  const ComplexValue norm = children[arg].w.value();
+
+  std::array<mEdge, 4> normalized;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i == arg) {
+      normalized[i] = {children[i].p, cn_.one()};
+    } else if (children[i].w.exactlyZero()) {
+      normalized[i] = mZero();
+    } else {
+      normalized[i] = {children[i].p, cn_.lookup(children[i].w.value() / norm)};
+      if (normalized[i].w.exactlyZero()) {
+        normalized[i] = mZero();
+      }
+    }
+  }
+
+  mNode* cand = mUnique_.getNode();
+  cand->v = v;
+  cand->e = normalized;
+  mNode* node = mUnique_.lookup(cand);
+  return {node, cn_.lookup(norm)};
+}
+
+// --- vectors -----------------------------------------------------------------
+
+vEdge Package::makeBasisState(std::uint64_t i) {
+  if (nqubits_ < 64 && (i >> nqubits_) != 0) {
+    throw std::invalid_argument("makeBasisState: index out of range");
+  }
+  vEdge e = vTerminalOne();
+  for (std::size_t q = 0; q < nqubits_; ++q) {
+    const bool bit = ((i >> q) & 1U) != 0U;
+    if (bit) {
+      e = makeVNode(static_cast<Var>(q), {vZero(), e});
+    } else {
+      e = makeVNode(static_cast<Var>(q), {e, vZero()});
+    }
+  }
+  return e;
+}
+
+vEdge Package::makeProductState(
+    const std::vector<std::pair<ComplexValue, ComplexValue>>& amplitudes) {
+  if (amplitudes.size() != nqubits_) {
+    throw std::invalid_argument(
+        "makeProductState: one amplitude pair per qubit required");
+  }
+  vEdge e = vTerminalOne();
+  for (std::size_t q = 0; q < nqubits_; ++q) {
+    const auto& [a0, a1] = amplitudes[q];
+    if (a0.approximatelyZero() && a1.approximatelyZero()) {
+      throw std::invalid_argument("makeProductState: zero qubit state");
+    }
+    const vEdge child0 =
+        a0.approximatelyZero() ? vZero() : vEdge{e.p, cn_.lookup(a0 * e.w.value())};
+    const vEdge child1 =
+        a1.approximatelyZero() ? vZero() : vEdge{e.p, cn_.lookup(a1 * e.w.value())};
+    e = makeVNode(static_cast<Var>(q), {child0, child1});
+  }
+  return e;
+}
+
+ComplexValue Package::getAmplitude(const vEdge& x, std::uint64_t i) const {
+  if (x.w.exactlyZero()) {
+    return {};
+  }
+  ComplexValue amp = x.w.value();
+  const vNode* p = x.p;
+  while (!p->isTerminal()) {
+    const std::size_t bit = (i >> p->v) & 1U;
+    const vEdge& c = p->e[bit];
+    if (c.w.exactlyZero()) {
+      return {};
+    }
+    amp *= c.w.value();
+    p = c.p;
+  }
+  return amp;
+}
+
+std::vector<ComplexValue> Package::getVector(const vEdge& x) const {
+  if (nqubits_ > 28) {
+    throw std::invalid_argument("getVector: dense export limited to 28 qubits");
+  }
+  const std::uint64_t dim = 1ULL << nqubits_;
+  std::vector<ComplexValue> vec(dim);
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    vec[i] = getAmplitude(x, i);
+  }
+  return vec;
+}
+
+ComplexValue Package::innerProduct(const vEdge& x, const vEdge& y) {
+  if (x.w.exactlyZero() || y.w.exactlyZero()) {
+    return {};
+  }
+  struct Rec {
+    Package& pkg;
+    ComplexValue operator()(vNode* a, vNode* b) {
+      if (a->isTerminal()) {
+        return ComplexValue{1, 0};
+      }
+      const NodePairKey key{a, b};
+      if (const ComplexValue* cached = pkg.innerTable_.lookup(key)) {
+        return *cached;
+      }
+      ComplexValue sum{};
+      for (std::size_t i = 0; i < 2; ++i) {
+        const vEdge& ca = a->e[i];
+        const vEdge& cb = b->e[i];
+        if (ca.w.exactlyZero() || cb.w.exactlyZero()) {
+          continue;
+        }
+        sum += ca.w.value().conj() * cb.w.value() * (*this)(ca.p, cb.p);
+      }
+      pkg.innerTable_.insert(key, sum);
+      return sum;
+    }
+  } rec{*this};
+  assert(x.p->v == y.p->v);
+  return x.w.value().conj() * y.w.value() * rec(x.p, y.p);
+}
+
+double Package::fidelity(const vEdge& x, const vEdge& y) {
+  return innerProduct(x, y).mag2();
+}
+
+double Package::subtreeNorm2(vNode* p) {
+  if (p->isTerminal()) {
+    return 1.0;
+  }
+  const NodeKey key{p};
+  if (const double* cached = normTable_.lookup(key)) {
+    return *cached;
+  }
+  double n = 0.0;
+  for (const vEdge& child : p->e) {
+    if (!child.w.exactlyZero()) {
+      n += child.w.mag2() * subtreeNorm2(child.p);
+    }
+  }
+  normTable_.insert(key, n);
+  return n;
+}
+
+double Package::probabilityOfOne(const vEdge& x, Var q) {
+  if (q < 0 || static_cast<std::size_t>(q) >= nqubits_ ||
+      x.w.exactlyZero()) {
+    throw std::invalid_argument("probabilityOfOne: invalid qubit or state");
+  }
+  // mass1(p): squared-amplitude mass with bit q = 1 inside the subtree,
+  // assuming unit top weight (memoized per call — it depends on q)
+  std::unordered_map<const vNode*, double> memo;
+  const std::function<double(vNode*)> mass1 = [&](vNode* p) -> double {
+    if (p->isTerminal()) {
+      return 0.0; // below q never happens: recursion stops at level q
+    }
+    if (const auto it = memo.find(p); it != memo.end()) {
+      return it->second;
+    }
+    double m = 0.0;
+    if (p->v == q) {
+      const vEdge& one = p->e[1];
+      if (!one.w.exactlyZero()) {
+        m = one.w.mag2() * subtreeNorm2(one.p);
+      }
+    } else {
+      for (const vEdge& child : p->e) {
+        if (!child.w.exactlyZero()) {
+          m += child.w.mag2() * mass1(child.p);
+        }
+      }
+    }
+    memo.emplace(p, m);
+    return m;
+  };
+  const double total = subtreeNorm2(x.p);
+  return mass1(x.p) / total;
+}
+
+std::uint64_t Package::sampleOutcomeImpl(const vEdge& x,
+                                         const std::function<double()>& next01) {
+  if (x.w.exactlyZero()) {
+    throw std::invalid_argument("sampleOutcome: zero state");
+  }
+  std::uint64_t outcome = 0;
+  const vNode* p = x.p;
+  while (!p->isTerminal()) {
+    const vEdge& c0 = p->e[0];
+    const vEdge& c1 = p->e[1];
+    const double m0 = c0.w.exactlyZero()
+                          ? 0.0
+                          : c0.w.mag2() * subtreeNorm2(c0.p);
+    const double m1 = c1.w.exactlyZero()
+                          ? 0.0
+                          : c1.w.mag2() * subtreeNorm2(c1.p);
+    const bool bit = next01() * (m0 + m1) >= m0;
+    if (bit) {
+      outcome |= 1ULL << p->v;
+      p = c1.p;
+    } else {
+      p = c0.p;
+    }
+  }
+  return outcome;
+}
+
+vEdge Package::add(const vEdge& x, const vEdge& y) {
+  if (x.w.exactlyZero()) {
+    return y;
+  }
+  if (y.w.exactlyZero()) {
+    return x;
+  }
+  return addImpl(x, y);
+}
+
+vEdge Package::addImpl(const vEdge& xIn, const vEdge& yIn) {
+  vEdge x = xIn;
+  vEdge y = yIn;
+  if (x.p == y.p) {
+    const ComplexValue s = x.w.value() + y.w.value();
+    const Complex w = cn_.lookup(s);
+    if (w.exactlyZero()) {
+      return vZero();
+    }
+    return {x.p, w};
+  }
+  if (std::less<const void*>{}(y.p, x.p)) {
+    std::swap(x, y); // addition commutes: canonical operand order
+  }
+
+  // Factor the left weight out of the cache key: x.w (X + (y.w/x.w) Y).
+  // Without this, recursing into phase-rich diagrams produces a distinct
+  // weight pair on every path and the cache never hits (exponential adds).
+  const ComplexValue xw = x.w.value();
+  const Complex ratio = cn_.lookup(y.w.value() / xw);
+  if (ratio.exactlyZero()) {
+    return x; // y is negligible relative to x
+  }
+  const EdgePairKey key{x.p, nullptr, nullptr, y.p, ratio.r, ratio.i};
+  if (const vEdge* cached = addVTable_.lookup(key)) {
+    if (cached->w.exactlyZero()) {
+      return vZero();
+    }
+    const Complex w = cn_.lookup(cached->w.value() * xw);
+    return w.exactlyZero() ? vZero() : vEdge{cached->p, w};
+  }
+
+  assert(!x.p->isTerminal() && !y.p->isTerminal() && x.p->v == y.p->v);
+  const Var v = x.p->v;
+  std::array<vEdge, 2> children;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const vEdge& cx = x.p->e[i];
+    vEdge cy = y.p->e[i];
+    if (!cy.w.exactlyZero()) {
+      cy.w = cn_.lookup(cy.w.value() * ratio.value());
+    }
+    children[i] = add(cx, cy);
+  }
+  const vEdge result = makeVNode(v, children);
+  addVTable_.insert(key, result);
+  if (result.w.exactlyZero()) {
+    return vZero();
+  }
+  const Complex w = cn_.lookup(result.w.value() * xw);
+  return w.exactlyZero() ? vZero() : vEdge{result.p, w};
+}
+
+vEdge Package::multiply(const mEdge& m, const vEdge& v) {
+  if (m.w.exactlyZero() || v.w.exactlyZero()) {
+    return vZero();
+  }
+  assert((m.p->isTerminal() && v.p->isTerminal()) ||
+         (!m.p->isTerminal() && !v.p->isTerminal() && m.p->v == v.p->v));
+  const vEdge r = multiplyImpl(m.p, v.p);
+  if (r.w.exactlyZero()) {
+    return vZero();
+  }
+  const Complex w = cn_.lookup(r.w.value() * m.w.value() * v.w.value());
+  if (w.exactlyZero()) {
+    return vZero();
+  }
+  return {r.p, w};
+}
+
+vEdge Package::multiplyImpl(mNode* x, vNode* y) {
+  if (x->isTerminal()) {
+    return vTerminalOne();
+  }
+  const NodePairKey key{x, y};
+  if (const vEdge* cached = multMVTable_.lookup(key)) {
+    return *cached;
+  }
+  assert(!y->isTerminal() && x->v == y->v);
+  const Var v = x->v;
+  std::array<vEdge, 2> children;
+  for (std::size_t r = 0; r < 2; ++r) {
+    const vEdge p0 = multiply(x->e[2 * r + 0], y->e[0]);
+    const vEdge p1 = multiply(x->e[2 * r + 1], y->e[1]);
+    children[r] = add(p0, p1);
+  }
+  const vEdge result = makeVNode(v, children);
+  multMVTable_.insert(key, result);
+  return result;
+}
+
+// --- matrices ----------------------------------------------------------------
+
+mEdge Package::makeIdent(std::size_t nq) {
+  if (nq > nqubits_) {
+    throw std::invalid_argument("makeIdent: too many qubits");
+  }
+  if (nq < idTable_.size()) {
+    return idTable_[nq];
+  }
+  if (idTable_.empty()) {
+    idTable_.push_back(mTerminalOne());
+  }
+  while (idTable_.size() <= nq) {
+    const mEdge below = idTable_.back();
+    const Var v = static_cast<Var>(idTable_.size() - 1);
+    mEdge e = makeMNode(v, {below, mZero(), mZero(), below});
+    incRef(e); // identities are cached for the package lifetime
+    idTable_.push_back(e);
+  }
+  return idTable_[nq];
+}
+
+mEdge Package::makeGateDD(const GateMatrix& mat, Var target,
+                          const std::vector<Control>& controlsIn) {
+  if (target < 0 || static_cast<std::size_t>(target) >= nqubits_) {
+    throw std::invalid_argument("makeGateDD: target out of range");
+  }
+  std::vector<Control> controls = controlsIn;
+  std::sort(controls.begin(), controls.end());
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    const Control& c = controls[i];
+    if (c.qubit < 0 || static_cast<std::size_t>(c.qubit) >= nqubits_ ||
+        c.qubit == target) {
+      throw std::invalid_argument("makeGateDD: invalid control");
+    }
+    if (i > 0 && controls[i - 1].qubit == c.qubit) {
+      throw std::invalid_argument("makeGateDD: duplicate control");
+    }
+  }
+
+  std::array<mEdge, 4> em;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Complex w = cn_.lookup(mat[i]);
+    em[i] = w.exactlyZero() ? mZero() : mEdge{mNode::terminal(), w};
+  }
+
+  auto ctrl = controls.begin();
+  // levels below the target: tensor in identity or condition on controls
+  for (Var z = 0; z < target; ++z) {
+    if (ctrl != controls.end() && ctrl->qubit == z) {
+      const mEdge identBelow = makeIdent(static_cast<std::size_t>(z));
+      for (std::size_t i = 0; i < 4; ++i) {
+        // For the target-diagonal blocks the control-failure branch is the
+        // identity on everything processed so far; for off-diagonal blocks
+        // it contributes nothing.
+        const bool diag = (i == 0 || i == 3);
+        const mEdge failCase = diag ? identBelow : mZero();
+        if (ctrl->positive) {
+          em[i] = makeMNode(z, {failCase, mZero(), mZero(), em[i]});
+        } else {
+          em[i] = makeMNode(z, {em[i], mZero(), mZero(), failCase});
+        }
+      }
+      ++ctrl;
+    } else {
+      for (std::size_t i = 0; i < 4; ++i) {
+        em[i] = makeMNode(z, {em[i], mZero(), mZero(), em[i]});
+      }
+    }
+  }
+
+  mEdge e = makeMNode(target, em);
+
+  // levels above the target
+  for (Var z = target + 1; z < static_cast<Var>(nqubits_); ++z) {
+    if (ctrl != controls.end() && ctrl->qubit == z) {
+      const mEdge identBelow = makeIdent(static_cast<std::size_t>(z));
+      if (ctrl->positive) {
+        e = makeMNode(z, {identBelow, mZero(), mZero(), e});
+      } else {
+        e = makeMNode(z, {e, mZero(), mZero(), identBelow});
+      }
+      ++ctrl;
+    } else {
+      e = makeMNode(z, {e, mZero(), mZero(), e});
+    }
+  }
+  return e;
+}
+
+mEdge Package::makeSwapDD(Var q0, Var q1) {
+  if (q0 == q1) {
+    return makeIdent();
+  }
+  const mEdge cx01 = makeGateDD(Xmat, q1, {Control{q0, true}});
+  const mEdge cx10 = makeGateDD(Xmat, q0, {Control{q1, true}});
+  return multiply(cx01, multiply(cx10, cx01));
+}
+
+mEdge Package::add(const mEdge& x, const mEdge& y) {
+  if (x.w.exactlyZero()) {
+    return y;
+  }
+  if (y.w.exactlyZero()) {
+    return x;
+  }
+  return addImpl(x, y);
+}
+
+mEdge Package::addImpl(const mEdge& xIn, const mEdge& yIn) {
+  mEdge x = xIn;
+  mEdge y = yIn;
+  if (x.p == y.p) {
+    const ComplexValue s = x.w.value() + y.w.value();
+    const Complex w = cn_.lookup(s);
+    if (w.exactlyZero()) {
+      return mZero();
+    }
+    return {x.p, w};
+  }
+  if (std::less<const void*>{}(y.p, x.p)) {
+    std::swap(x, y);
+  }
+
+  // weight-factored cache key; see the vector overload for the rationale
+  const ComplexValue xw = x.w.value();
+  const Complex ratio = cn_.lookup(y.w.value() / xw);
+  if (ratio.exactlyZero()) {
+    return x;
+  }
+  const EdgePairKey key{x.p, nullptr, nullptr, y.p, ratio.r, ratio.i};
+  if (const mEdge* cached = addMTable_.lookup(key)) {
+    if (cached->w.exactlyZero()) {
+      return mZero();
+    }
+    const Complex w = cn_.lookup(cached->w.value() * xw);
+    return w.exactlyZero() ? mZero() : mEdge{cached->p, w};
+  }
+
+  assert(!x.p->isTerminal() && !y.p->isTerminal() && x.p->v == y.p->v);
+  const Var v = x.p->v;
+  std::array<mEdge, 4> children;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const mEdge& cx = x.p->e[i];
+    mEdge cy = y.p->e[i];
+    if (!cy.w.exactlyZero()) {
+      cy.w = cn_.lookup(cy.w.value() * ratio.value());
+    }
+    children[i] = add(cx, cy);
+  }
+  const mEdge result = makeMNode(v, children);
+  addMTable_.insert(key, result);
+  if (result.w.exactlyZero()) {
+    return mZero();
+  }
+  const Complex w = cn_.lookup(result.w.value() * xw);
+  return w.exactlyZero() ? mZero() : mEdge{result.p, w};
+}
+
+mEdge Package::multiply(const mEdge& x, const mEdge& y) {
+  if (x.w.exactlyZero() || y.w.exactlyZero()) {
+    return mZero();
+  }
+  assert((x.p->isTerminal() && y.p->isTerminal()) ||
+         (!x.p->isTerminal() && !y.p->isTerminal() && x.p->v == y.p->v));
+  const mEdge r = multiplyImpl(x.p, y.p);
+  if (r.w.exactlyZero()) {
+    return mZero();
+  }
+  const Complex w = cn_.lookup(r.w.value() * x.w.value() * y.w.value());
+  if (w.exactlyZero()) {
+    return mZero();
+  }
+  return {r.p, w};
+}
+
+mEdge Package::multiplyImpl(mNode* x, mNode* y) {
+  if (x->isTerminal()) {
+    return mTerminalOne();
+  }
+  const NodePairKey key{x, y};
+  if (const mEdge* cached = multMMTable_.lookup(key)) {
+    return *cached;
+  }
+  assert(!y->isTerminal() && x->v == y->v);
+  const Var v = x->v;
+  std::array<mEdge, 4> children;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      const mEdge p0 = multiply(x->e[2 * r + 0], y->e[0 + c]);
+      const mEdge p1 = multiply(x->e[2 * r + 1], y->e[2 + c]);
+      children[2 * r + c] = add(p0, p1);
+    }
+  }
+  const mEdge result = makeMNode(v, children);
+  multMMTable_.insert(key, result);
+  return result;
+}
+
+mEdge Package::kronecker(const mEdge& x, const mEdge& y) {
+  if (x.w.exactlyZero() || y.w.exactlyZero()) {
+    return mZero();
+  }
+  struct Rec {
+    Package& pkg;
+    mEdge operator()(mNode* a, mNode* b) {
+      if (a->isTerminal()) {
+        return {b, pkg.cn_.one()};
+      }
+      const NodePairKey key{a, b};
+      if (const mEdge* cached = pkg.kronTable_.lookup(key)) {
+        return *cached;
+      }
+      const std::size_t shift = b->isTerminal() ? 0 : b->v + 1U;
+      std::array<mEdge, 4> children;
+      for (std::size_t i = 0; i < 4; ++i) {
+        const mEdge& ca = a->e[i];
+        if (ca.w.exactlyZero()) {
+          children[i] = pkg.mZero();
+          continue;
+        }
+        const mEdge sub = (*this)(ca.p, b);
+        children[i] = {sub.p,
+                       pkg.cn_.lookup(sub.w.value() * ca.w.value())};
+        if (children[i].w.exactlyZero()) {
+          children[i] = pkg.mZero();
+        }
+      }
+      const mEdge result =
+          pkg.makeMNode(static_cast<Var>(a->v + shift), children);
+      pkg.kronTable_.insert(key, result);
+      return result;
+    }
+  } rec{*this};
+  const mEdge r = rec(x.p, y.p);
+  const Complex w = cn_.lookup(r.w.value() * x.w.value() * y.w.value());
+  if (w.exactlyZero()) {
+    return mZero();
+  }
+  return {r.p, w};
+}
+
+mEdge Package::conjugateTranspose(const mEdge& x) {
+  if (x.w.exactlyZero()) {
+    return mZero();
+  }
+  struct Rec {
+    Package& pkg;
+    mEdge operator()(mNode* p) {
+      if (p->isTerminal()) {
+        return {p, pkg.cn_.one()};
+      }
+      const NodeKey key{p};
+      if (const mEdge* cached = pkg.conjTable_.lookup(key)) {
+        return *cached;
+      }
+      std::array<mEdge, 4> children;
+      for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) {
+          const mEdge& src = p->e[2 * c + r]; // transpose
+          if (src.w.exactlyZero()) {
+            children[2 * r + c] = pkg.mZero();
+            continue;
+          }
+          const mEdge sub = (*this)(src.p);
+          children[2 * r + c] = {
+              sub.p,
+              pkg.cn_.lookup(sub.w.value() * src.w.value().conj())};
+        }
+      }
+      const mEdge result = pkg.makeMNode(p->v, children);
+      pkg.conjTable_.insert(key, result);
+      return result;
+    }
+  } rec{*this};
+  const mEdge r = rec(x.p);
+  const Complex w = cn_.lookup(r.w.value() * x.w.value().conj());
+  if (w.exactlyZero()) {
+    return mZero();
+  }
+  return {r.p, w};
+}
+
+ComplexValue Package::getEntry(const mEdge& x, std::uint64_t r,
+                               std::uint64_t c) const {
+  if (x.w.exactlyZero()) {
+    return {};
+  }
+  ComplexValue val = x.w.value();
+  const mNode* p = x.p;
+  while (!p->isTerminal()) {
+    const std::size_t rb = (r >> p->v) & 1U;
+    const std::size_t cb = (c >> p->v) & 1U;
+    const mEdge& child = p->e[2 * rb + cb];
+    if (child.w.exactlyZero()) {
+      return {};
+    }
+    val *= child.w.value();
+    p = child.p;
+  }
+  return val;
+}
+
+std::vector<std::vector<ComplexValue>> Package::getMatrix(const mEdge& x) const {
+  if (nqubits_ > 14) {
+    throw std::invalid_argument("getMatrix: dense export limited to 14 qubits");
+  }
+  const std::uint64_t dim = 1ULL << nqubits_;
+  std::vector<std::vector<ComplexValue>> mat(dim,
+                                             std::vector<ComplexValue>(dim));
+  for (std::uint64_t r = 0; r < dim; ++r) {
+    for (std::uint64_t c = 0; c < dim; ++c) {
+      mat[r][c] = getEntry(x, r, c);
+    }
+  }
+  return mat;
+}
+
+// --- GC & stats ---------------------------------------------------------------
+
+void Package::clearComputeTables() noexcept {
+  addVTable_.clear();
+  addMTable_.clear();
+  multMVTable_.clear();
+  multMMTable_.clear();
+  kronTable_.clear();
+  conjTable_.clear();
+  innerTable_.clear();
+  normTable_.clear();
+}
+
+void Package::garbageCollect(bool force) {
+  const bool needed = force || vUnique_.possiblyNeedsCollection() ||
+                      mUnique_.possiblyNeedsCollection() ||
+                      cn_.reals().possiblyNeedsCollection();
+  if (!needed) {
+    return;
+  }
+  clearComputeTables();
+  vUnique_.garbageCollect();
+  mUnique_.garbageCollect();
+  cn_.garbageCollect();
+  ++gcRuns_;
+}
+
+namespace {
+template <class EdgeT> std::size_t sizeImpl(const EdgeT& e) {
+  std::unordered_set<const void*> visited;
+  std::vector<decltype(e.p)> stack{e.p};
+  while (!stack.empty()) {
+    auto* p = stack.back();
+    stack.pop_back();
+    if (p->isTerminal() || !visited.insert(p).second) {
+      continue;
+    }
+    for (const auto& child : p->e) {
+      if (!child.w.exactlyZero()) {
+        stack.push_back(child.p);
+      }
+    }
+  }
+  return visited.size();
+}
+} // namespace
+
+std::size_t Package::size(const vEdge& e) { return sizeImpl(e); }
+std::size_t Package::size(const mEdge& e) { return sizeImpl(e); }
+
+PackageStats Package::stats() const noexcept {
+  return PackageStats{vUnique_.liveNodes(), vUnique_.allocated(),
+                      mUnique_.liveNodes(), mUnique_.allocated(),
+                      cn_.liveReals(),      gcRuns_};
+}
+
+} // namespace qsimec::dd

@@ -1,0 +1,114 @@
+// Canonicalization table for real numbers (the "complex table" of [26],
+// split into its real constituents).
+//
+// Every edge weight in the decision-diagram package is a pair of pointers
+// into this table. Looking up a value returns a canonical entry whose stored
+// value is within Tolerance of the query, so that numerically equal weights
+// become *pointer-equal* — the property node sharing and the compute-table
+// caches rely on.
+//
+// Layout: values are binned into buckets of width BUCKET_WIDTH (much larger
+// than the tolerance); the bucket id hashes into a fixed power-of-two slot
+// array with per-slot chains. Neighbouring buckets only need probing when
+// the query lies within tolerance of a bucket boundary — essentially never,
+// so the common case is a single slot probe. This is the hot path of the
+// whole package.
+//
+// Entries are reference counted: nodes stored in the unique tables hold
+// references on their child edge weights, and top-level edges held by user
+// code hold references via Package::incRef/decRef. Unreferenced entries are
+// reclaimed by garbageCollect() (which the package only calls after clearing
+// the compute tables, since those hold weak pointers).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace qsimec::dd {
+
+struct RealEntry {
+  double value{0.0};
+  RealEntry* next{nullptr}; // slot chain
+  std::int64_t bucket{0};   // bucket id (disambiguates chained slots)
+  std::uint32_t ref{0};
+
+  static constexpr std::uint32_t IMMORTAL =
+      std::numeric_limits<std::uint32_t>::max();
+};
+
+class RealTable {
+public:
+  RealTable();
+  RealTable(const RealTable&) = delete;
+  RealTable& operator=(const RealTable&) = delete;
+
+  /// Canonical entry for `val` (within tolerance). Inserts if absent.
+  RealEntry* lookup(double val);
+
+  /// Pre-interned constants. Immortal (never collected).
+  [[nodiscard]] RealEntry* zero() noexcept { return zero_; }
+  [[nodiscard]] RealEntry* one() noexcept { return one_; }
+  [[nodiscard]] RealEntry* sqrt12() noexcept { return sqrt12_; }
+
+  static void incRef(RealEntry* e) noexcept {
+    if (e->ref != RealEntry::IMMORTAL) {
+      ++e->ref;
+    }
+  }
+  static void decRef(RealEntry* e) noexcept {
+    if (e->ref != RealEntry::IMMORTAL) {
+      --e->ref;
+    }
+  }
+
+  /// Remove all entries with ref == 0. Caller must guarantee no weak
+  /// pointers (compute-table entries) survive the call.
+  std::size_t garbageCollect();
+
+  [[nodiscard]] std::size_t size() const noexcept { return liveEntries_; }
+  [[nodiscard]] std::size_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+
+  /// True once enough entries accumulated that a collection is worthwhile.
+  [[nodiscard]] bool possiblyNeedsCollection() const noexcept {
+    return liveEntries_ > gcThreshold_;
+  }
+
+private:
+  static constexpr std::size_t NSLOTS = 1ULL << 20;
+
+  RealEntry* allocate(double val, std::int64_t bucket);
+  [[nodiscard]] RealEntry* searchBucket(std::int64_t bucket, double val,
+                                        double tol) const;
+  void insert(RealEntry* e);
+
+  [[nodiscard]] static std::size_t slotOf(std::int64_t bucket) noexcept {
+    return static_cast<std::size_t>(
+               static_cast<std::uint64_t>(bucket) * 0x9e3779b97f4a7c15ULL >>
+               44) &
+           (NSLOTS - 1);
+  }
+
+  std::vector<RealEntry*> slots_;
+
+  // chunked entry storage + free list (entries are never returned to the OS)
+  std::vector<std::unique_ptr<RealEntry[]>> chunks_;
+  std::size_t chunkFill_{0};
+  std::size_t chunkSize_{4096};
+  RealEntry* freeList_{nullptr};
+
+  RealEntry* zero_{nullptr};
+  RealEntry* one_{nullptr};
+  RealEntry* sqrt12_{nullptr};
+
+  std::size_t liveEntries_{0};
+  std::size_t lookups_{0};
+  std::size_t hits_{0};
+  std::size_t gcThreshold_{262144};
+};
+
+} // namespace qsimec::dd

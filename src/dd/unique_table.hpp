@@ -1,0 +1,145 @@
+// Unique table: hash-consing store ensuring structural sharing of DD nodes.
+//
+// Nodes are allocated from a chunked pool owned by the table and recycled via
+// a free list. `lookup` takes a candidate node freshly filled by the caller;
+// if a structurally identical node already exists the candidate is returned
+// to the pool and the existing node handed back — this is what makes DD
+// equality checks pointer comparisons.
+
+#pragma once
+
+#include "dd/node.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace qsimec::dd {
+
+/// Thrown when the configured node budget is exhausted (used by equivalence
+/// checkers to convert runaway constructions into a clean "no result").
+class ResourceLimitExceeded : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+template <class NodeT> class UniqueTable {
+public:
+  static constexpr std::size_t NBUCKETS = 1ULL << 19;
+
+  UniqueTable() : buckets_(NBUCKETS, nullptr) {}
+  UniqueTable(const UniqueTable&) = delete;
+  UniqueTable& operator=(const UniqueTable&) = delete;
+
+  /// Fetch a blank node from the pool. Caller fills `v` and `e` and must
+  /// pass it to `lookup` (or `returnNode`) afterwards.
+  NodeT* getNode() {
+    if (freeList_ != nullptr) {
+      NodeT* n = freeList_;
+      freeList_ = n->next;
+      n->next = nullptr;
+      n->ref = 0;
+      return n;
+    }
+    if (nodeLimit_ != 0 && allocated_ >= nodeLimit_) {
+      throw ResourceLimitExceeded("DD node budget exhausted");
+    }
+    if (chunks_.empty() || chunkFill_ == CHUNK_SIZE) {
+      chunks_.push_back(std::make_unique<NodeT[]>(CHUNK_SIZE));
+      chunkFill_ = 0;
+    }
+    ++allocated_;
+    return &chunks_.back()[chunkFill_++];
+  }
+
+  void returnNode(NodeT* n) noexcept {
+    n->next = freeList_;
+    freeList_ = n;
+  }
+
+  /// Hash-cons `candidate`: return the canonical node for its contents.
+  NodeT* lookup(NodeT* candidate) {
+    ++lookups_;
+    const std::size_t key = hash(candidate);
+    for (NodeT* n = buckets_[key]; n != nullptr; n = n->next) {
+      if (n->v == candidate->v && n->e == candidate->e) {
+        ++hits_;
+        returnNode(candidate);
+        return n;
+      }
+    }
+    candidate->next = buckets_[key];
+    buckets_[key] = candidate;
+    ++liveNodes_;
+    return candidate;
+  }
+
+  /// Remove all nodes with ref == 0. Compute tables must be cleared
+  /// beforehand (they hold raw pointers into this table). No weight
+  /// bookkeeping is required here: a node only holds references on its
+  /// children's weights while its own ref count is positive (see
+  /// Package::incRefNode), so a collectible node has already released them.
+  std::size_t garbageCollect() {
+    std::size_t collected = 0;
+    for (auto& bucket : buckets_) {
+      NodeT** link = &bucket;
+      while (*link != nullptr) {
+        NodeT* n = *link;
+        if (n->ref == 0) {
+          *link = n->next;
+          returnNode(n);
+          ++collected;
+        } else {
+          link = &n->next;
+        }
+      }
+    }
+    liveNodes_ -= collected;
+    if (liveNodes_ > gcThreshold_ / 2) {
+      gcThreshold_ *= 2;
+    }
+    return collected;
+  }
+
+  [[nodiscard]] std::size_t liveNodes() const noexcept { return liveNodes_; }
+  [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
+  [[nodiscard]] std::size_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+
+  [[nodiscard]] bool possiblyNeedsCollection() const noexcept {
+    return liveNodes_ > gcThreshold_;
+  }
+
+  /// 0 disables the limit.
+  void setNodeLimit(std::size_t limit) noexcept { nodeLimit_ = limit; }
+
+private:
+  static constexpr std::size_t CHUNK_SIZE = 4096;
+
+  static std::size_t hash(const NodeT* n) noexcept {
+    std::size_t h = static_cast<std::size_t>(n->v) * 0xff51afd7ed558ccdULL;
+    for (const auto& edge : n->e) {
+      h ^= std::hash<const void*>{}(edge.p) * 0x9e3779b97f4a7c15ULL;
+      h ^= std::hash<const void*>{}(edge.w.r) * 0xc2b2ae3d27d4eb4fULL;
+      h ^= std::hash<const void*>{}(edge.w.i) * 0x165667b19e3779f9ULL;
+      h = (h << 7) | (h >> (sizeof(h) * 8 - 7));
+    }
+    return h & (NBUCKETS - 1);
+  }
+
+  std::vector<NodeT*> buckets_;
+  std::vector<std::unique_ptr<NodeT[]>> chunks_;
+  std::size_t chunkFill_{0};
+  NodeT* freeList_{nullptr};
+
+  std::size_t liveNodes_{0};
+  std::size_t allocated_{0};
+  std::size_t lookups_{0};
+  std::size_t hits_{0};
+  std::size_t gcThreshold_{262144};
+  std::size_t nodeLimit_{0};
+};
+
+} // namespace qsimec::dd

@@ -1,0 +1,116 @@
+#include "ec/alternating_checker.hpp"
+
+#include "sim/dd_simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qsimec::ec {
+
+namespace {
+
+dd::mEdge gateDD(const sim::ElementaryGate& g, dd::Package& pkg) {
+  return pkg.makeGateDD(g.matrix, g.target, g.controls);
+}
+
+dd::mEdge gateInverseDD(const sim::ElementaryGate& g, dd::Package& pkg) {
+  return pkg.makeGateDD(dd::adjoint(g.matrix), g.target, g.controls);
+}
+
+} // namespace
+
+CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
+                                    const ir::QuantumComputation& qc2) const {
+  if (qc1.qubits() != qc2.qubits()) {
+    throw std::invalid_argument(
+        "equivalence checking requires equal qubit counts");
+  }
+  const util::Deadline deadline =
+      config_.timeoutSeconds > 0
+          ? util::Deadline::after(
+                std::chrono::duration<double>(config_.timeoutSeconds))
+          : util::Deadline::never();
+
+  const std::vector<sim::ElementaryGate> left = sim::flattenToElementary(qc1);
+  const std::vector<sim::ElementaryGate> right = sim::flattenToElementary(qc2);
+
+  CheckResult result;
+  const util::Stopwatch watch;
+  dd::Package pkg(qc1.qubits());
+  pkg.setMatrixNodeLimit(config_.maxNodes);
+  pkg.setInterruptHook([&deadline] { deadline.check(); });
+
+  try {
+    dd::mEdge m = pkg.makeIdent();
+    pkg.incRef(m);
+    const auto replace = [&pkg, &m](const dd::mEdge& next) {
+      pkg.incRef(next);
+      pkg.decRef(m);
+      m = next;
+      pkg.garbageCollect();
+    };
+
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < left.size() || j < right.size()) {
+      deadline.check();
+      bool takeLeft;
+      if (i >= left.size()) {
+        takeLeft = false;
+      } else if (j >= right.size()) {
+        takeLeft = true;
+      } else {
+        switch (config_.strategy) {
+        case Strategy::Naive:
+          takeLeft = (i <= j);
+          break;
+        case Strategy::Proportional:
+          // advance the side that lags in consumed fraction
+          takeLeft = (i * right.size() <= j * left.size());
+          break;
+        case Strategy::Lookahead: {
+          const dd::mEdge viaLeft = pkg.multiply(gateDD(left[i], pkg), m);
+          const dd::mEdge viaRight =
+              pkg.multiply(m, gateInverseDD(right[j], pkg));
+          if (dd::Package::size(viaLeft) <= dd::Package::size(viaRight)) {
+            ++i;
+            replace(viaLeft);
+          } else {
+            ++j;
+            replace(viaRight);
+          }
+          continue;
+        }
+        }
+      }
+      if (takeLeft) {
+        replace(pkg.multiply(gateDD(left[i], pkg), m));
+        ++i;
+      } else {
+        replace(pkg.multiply(m, gateInverseDD(right[j], pkg)));
+        ++j;
+      }
+    }
+
+    const dd::mEdge ident = pkg.makeIdent();
+    if (m == ident) {
+      result.equivalence = Equivalence::Equivalent;
+    } else if (m.p == ident.p &&
+               std::abs(m.w.value().mag2() - 1.0) < 1e-9) {
+      result.equivalence = Equivalence::EquivalentUpToGlobalPhase;
+    } else {
+      result.equivalence = Equivalence::NotEquivalent;
+    }
+    pkg.decRef(m);
+  } catch (const util::TimeoutError&) {
+    result.equivalence = Equivalence::NoInformation;
+    result.timedOut = true;
+  } catch (const dd::ResourceLimitExceeded&) {
+    result.equivalence = Equivalence::NoInformation;
+    result.timedOut = true;
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+} // namespace qsimec::ec

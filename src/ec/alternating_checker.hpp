@@ -1,0 +1,65 @@
+// Alternating DD-based equivalence checker ("G -> I <- G'" scheme of [22]).
+//
+// Instead of constructing U and U' separately, the checker keeps one matrix
+// DD M (starting from the identity) and interleaves
+//
+//     M <- DD(g_i) · M          (consume the next gate of G), and
+//     M <- M · DD(g'_j)†        (consume the next gate of G'),
+//
+// so that after both circuits are exhausted M = U · U'†. If the circuits are
+// equivalent, M collapses back to the identity along the way and never grows
+// to the full functionality — *if* the interleaving strategy keeps the two
+// cursors aligned. Three strategies from [22] are provided.
+
+#pragma once
+
+#include "ec/result.hpp"
+#include "ir/quantum_computation.hpp"
+
+#include <cstddef>
+#include <string_view>
+
+namespace qsimec::ec {
+
+enum class Strategy {
+  /// strictly alternate one gate from each side
+  Naive,
+  /// keep the consumed fractions of both circuits equal (the default of [22])
+  Proportional,
+  /// try both sides, keep whichever intermediate DD is smaller
+  Lookahead,
+};
+
+[[nodiscard]] constexpr std::string_view toString(Strategy s) noexcept {
+  switch (s) {
+  case Strategy::Naive:
+    return "naive";
+  case Strategy::Proportional:
+    return "proportional";
+  case Strategy::Lookahead:
+    return "lookahead";
+  }
+  return "?";
+}
+
+struct AlternatingConfiguration {
+  Strategy strategy{Strategy::Proportional};
+  /// Wall-clock budget in seconds (<= 0: unlimited).
+  double timeoutSeconds{0.0};
+  /// Matrix-node budget (0: unlimited). Exhaustion counts as a timeout.
+  std::size_t maxNodes{0};
+};
+
+class AlternatingChecker {
+public:
+  explicit AlternatingChecker(AlternatingConfiguration config = {})
+      : config_(config) {}
+
+  [[nodiscard]] CheckResult run(const ir::QuantumComputation& qc1,
+                                const ir::QuantumComputation& qc2) const;
+
+private:
+  AlternatingConfiguration config_;
+};
+
+} // namespace qsimec::ec

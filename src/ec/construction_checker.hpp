@@ -1,0 +1,34 @@
+// Reference equivalence checker: construct the complete functionality of
+// both circuits as matrix DDs and compare them (the "conventional" approach
+// of Sec. III-A the paper improves upon).
+
+#pragma once
+
+#include "ec/result.hpp"
+#include "ir/quantum_computation.hpp"
+#include "util/deadline.hpp"
+
+#include <cstddef>
+
+namespace qsimec::ec {
+
+struct ConstructionConfiguration {
+  /// Wall-clock budget in seconds (<= 0: unlimited).
+  double timeoutSeconds{0.0};
+  /// Matrix-node budget (0: unlimited). Exhaustion counts as a timeout.
+  std::size_t maxNodes{0};
+};
+
+class ConstructionChecker {
+public:
+  explicit ConstructionChecker(ConstructionConfiguration config = {})
+      : config_(config) {}
+
+  [[nodiscard]] CheckResult run(const ir::QuantumComputation& qc1,
+                                const ir::QuantumComputation& qc2) const;
+
+private:
+  ConstructionConfiguration config_;
+};
+
+} // namespace qsimec::ec

@@ -1,0 +1,47 @@
+#include "ec/diff_analysis.hpp"
+
+#include "sim/dd_simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qsimec::ec {
+
+DifferenceAnalysis analyzeDifference(const ir::QuantumComputation& qc1,
+                                     const ir::QuantumComputation& qc2,
+                                     double fidelityTolerance,
+                                     std::size_t maxWitnesses) {
+  if (qc1.qubits() != qc2.qubits()) {
+    throw std::invalid_argument("analyzeDifference: qubit count mismatch");
+  }
+  if (qc1.qubits() > 20) {
+    throw std::invalid_argument(
+        "analyzeDifference: exhaustive comparison limited to 20 qubits");
+  }
+
+  DifferenceAnalysis analysis;
+  analysis.totalColumns = 1ULL << qc1.qubits();
+
+  dd::Package pkg(qc1.qubits());
+  for (std::uint64_t i = 0; i < analysis.totalColumns; ++i) {
+    const dd::vEdge a = sim::simulate(qc1, pkg.makeBasisState(i), pkg);
+    pkg.incRef(a);
+    const dd::vEdge b = sim::simulate(qc2, pkg.makeBasisState(i), pkg);
+    pkg.incRef(b);
+    const double overlap = pkg.innerProduct(a, b).mag2();
+    const double n1 = pkg.innerProduct(a, a).re;
+    const double n2 = pkg.innerProduct(b, b).re;
+    pkg.decRef(a);
+    pkg.decRef(b);
+    pkg.garbageCollect();
+    if (std::abs(1.0 - overlap / (n1 * n2)) > fidelityTolerance) {
+      ++analysis.differingColumns;
+      if (analysis.witnesses.size() < maxWitnesses) {
+        analysis.witnesses.push_back(i);
+      }
+    }
+  }
+  return analysis;
+}
+
+} // namespace qsimec::ec

@@ -1,0 +1,39 @@
+// Exhaustive difference analysis (small circuits only).
+//
+// Quantifies the paper's Sec. IV-A observation directly: for two circuits it
+// simulates *every* computational basis state and counts the columns of the
+// unitaries that differ — the detection probability of a single random
+// basis-state simulation is exactly that fraction. Exponential in n by
+// construction; intended for analysis, benchmarking, and tests.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace qsimec::ec {
+
+struct DifferenceAnalysis {
+  std::size_t totalColumns{};
+  std::size_t differingColumns{};
+  /// Indices of up to `maxWitnesses` differing columns (counterexamples).
+  std::vector<std::uint64_t> witnesses;
+
+  [[nodiscard]] double fraction() const noexcept {
+    return totalColumns == 0
+               ? 0.0
+               : static_cast<double>(differingColumns) /
+                     static_cast<double>(totalColumns);
+  }
+};
+
+/// Compare all 2^n columns (requires n <= 20; throws otherwise).
+[[nodiscard]] DifferenceAnalysis
+analyzeDifference(const ir::QuantumComputation& qc1,
+                  const ir::QuantumComputation& qc2,
+                  double fidelityTolerance = 1e-9,
+                  std::size_t maxWitnesses = 8);
+
+} // namespace qsimec::ec

@@ -1,0 +1,104 @@
+#include "ec/error_localization.hpp"
+
+#include "sim/dd_simulator.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace qsimec::ec {
+
+namespace {
+
+ir::QuantumComputation prefixOf(const ir::QuantumComputation& qc,
+                                std::size_t gates) {
+  ir::QuantumComputation prefix(qc.qubits());
+  for (std::size_t i = 0; i < gates; ++i) {
+    prefix.emplace(qc.at(i));
+  }
+  return prefix;
+}
+
+} // namespace
+
+std::optional<Localization>
+localizeError(const ir::QuantumComputation& qc1,
+              const ir::QuantumComputation& qc2, std::uint64_t input,
+              double fidelityTolerance) {
+  if (qc1.qubits() != qc2.qubits()) {
+    throw std::invalid_argument("localizeError: qubit count mismatch");
+  }
+  if (!qc1.initialLayout().isIdentity() ||
+      !qc2.initialLayout().isIdentity()) {
+    throw std::invalid_argument(
+        "localizeError: materialize layouts first "
+        "(QuantumComputation::withMaterializedLayouts)");
+  }
+
+  dd::Package pkg(qc1.qubits());
+  const auto prefixFidelity = [&](std::size_t k1, std::size_t k2) {
+    const auto p1 = prefixOf(qc1, k1);
+    const auto p2 = prefixOf(qc2, k2);
+    const auto s1 = sim::simulate(p1, pkg.makeBasisState(input), pkg);
+    pkg.incRef(s1);
+    const auto s2 = sim::simulate(p2, pkg.makeBasisState(input), pkg);
+    pkg.incRef(s2);
+    const double overlap = pkg.innerProduct(s1, s2).mag2();
+    const double n1 = pkg.innerProduct(s1, s1).re;
+    const double n2 = pkg.innerProduct(s2, s2).re;
+    pkg.decRef(s1);
+    pkg.decRef(s2);
+    pkg.garbageCollect();
+    return overlap / (n1 * n2);
+  };
+
+  if (std::abs(1.0 - prefixFidelity(qc1.size(), qc2.size())) <=
+      fidelityTolerance) {
+    return std::nullopt; // no divergence under this stimulus
+  }
+
+  const auto makeResult = [&](std::size_t index2, std::size_t index1) {
+    Localization result;
+    result.gateIndex = index2;
+    result.referenceIndex = index1;
+    result.fidelity =
+        prefixFidelity(std::min(index1 + 1, qc1.size()),
+                       std::min(index2 + 1, qc2.size()));
+    std::ostringstream ss;
+    if (index2 < qc2.size()) {
+      ss << qc2.at(index2);
+    } else {
+      ss << "(missing gate: reference continues with " << qc1.at(index1)
+         << ")";
+    }
+    result.suspect = ss.str();
+    return result;
+  };
+
+  if (qc1.size() != qc2.size()) {
+    // insertion/deletion defect: the first structural mismatch is the
+    // natural anchor (gate streams are identical up to the defect)
+    const std::size_t limit = std::min(qc1.size(), qc2.size());
+    std::size_t k = 0;
+    while (k < limit && qc1.at(k) == qc2.at(k)) {
+      ++k;
+    }
+    return makeResult(k, k);
+  }
+
+  // equal lengths: gate-aligned prefixes; binary-search the first k whose
+  // prefix states already diverge on the stimulus
+  std::size_t lo = 0;
+  std::size_t hi = qc2.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (std::abs(1.0 - prefixFidelity(mid, mid)) <= fidelityTolerance) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return makeResult(hi - 1, hi - 1);
+}
+
+} // namespace qsimec::ec

@@ -1,0 +1,43 @@
+// Error localization: once the simulation checker has produced a
+// counterexample, narrow the bug down to a gate position.
+//
+// For two circuits that are supposed to implement the same computation and
+// differ by a localized defect (the design-flow reality the paper targets),
+// the states along aligned prefixes agree up to the defect and differ after
+// it. A binary search over the prefix length — simulating both prefixes on
+// the counterexample stimulus — pins the first diverging position with
+// O(log m) simulations.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace qsimec::ec {
+
+struct Localization {
+  /// First gate index (into the *second* circuit) whose aligned prefix
+  /// diverges from the first circuit's on the stimulus.
+  std::size_t gateIndex{};
+  /// The corresponding aligned index into the first circuit.
+  std::size_t referenceIndex{};
+  /// Fidelity just after the diverging prefix.
+  double fidelity{};
+  /// The suspicious operation, printed.
+  std::string suspect;
+};
+
+/// Localize the divergence between qc1 and qc2 under basis stimulus
+/// `input`. Returns nullopt when the outputs agree on this stimulus (no
+/// divergence to find) — run the simulation checker first to obtain a
+/// counterexample input. Alignment is proportional in gate counts, exact
+/// when both circuits have equal length.
+[[nodiscard]] std::optional<Localization>
+localizeError(const ir::QuantumComputation& qc1,
+              const ir::QuantumComputation& qc2, std::uint64_t input,
+              double fidelityTolerance = 1e-8);
+
+} // namespace qsimec::ec

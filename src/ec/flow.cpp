@@ -1,0 +1,59 @@
+#include "ec/flow.hpp"
+
+namespace qsimec::ec {
+
+FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
+                                        const ir::QuantumComputation& qc2) const {
+  FlowResult result;
+
+  if (!config_.skipSimulation) {
+    const SimulationChecker simChecker(config_.simulation);
+    const CheckResult sim = simChecker.run(qc1, qc2);
+    result.simulations = sim.simulations;
+    result.simulationSeconds = sim.seconds;
+    result.simulationTimedOut = sim.timedOut;
+    result.counterexample = sim.counterexample;
+
+    if (sim.equivalence == Equivalence::NotEquivalent) {
+      result.equivalence = Equivalence::NotEquivalent;
+      return result;
+    }
+  }
+
+  if (config_.tryRewriting) {
+    const RewritingChecker rewriting(config_.rewriting);
+    const CheckResult rewritten = rewriting.run(qc1, qc2);
+    result.rewritingSeconds = rewritten.seconds;
+    if (provedEquivalent(rewritten.equivalence)) {
+      result.equivalence = rewritten.equivalence;
+      result.provedByRewriting = true;
+      return result;
+    }
+  }
+
+  if (config_.skipComplete) {
+    // Simulation found nothing: strong indication of equivalence.
+    result.equivalence = result.simulations > 0
+                             ? Equivalence::ProbablyEquivalent
+                             : Equivalence::NoInformation;
+    return result;
+  }
+
+  const AlternatingChecker completeChecker(config_.complete);
+  const CheckResult complete = completeChecker.run(qc1, qc2);
+  result.completeSeconds = complete.seconds;
+  result.completeTimedOut = complete.timedOut;
+
+  if (complete.timedOut) {
+    // The paper's third outcome: a timeout after unsuspicious simulations is
+    // a strong indication of equivalence rather than "no information".
+    result.equivalence = result.simulations > 0
+                             ? Equivalence::ProbablyEquivalent
+                             : Equivalence::NoInformation;
+  } else {
+    result.equivalence = complete.equivalence;
+  }
+  return result;
+}
+
+} // namespace qsimec::ec

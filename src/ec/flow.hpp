@@ -1,0 +1,70 @@
+// The combined equivalence checking flow of Fig. 3.
+//
+// First run r << 2^n random basis-state simulations; any mismatch proves
+// non-equivalence immediately (with a counterexample). Otherwise fall back
+// to a complete DD-based equivalence checking routine. Three outcomes:
+//
+//   * NotEquivalent         — a simulation (or the complete check) found a
+//                             difference,
+//   * Equivalent / EquivalentUpToGlobalPhase
+//                           — the complete check finished and proved it,
+//   * ProbablyEquivalent    — the complete check timed out, but the
+//                             simulations give a strong indication of
+//                             equivalence (stronger than the state of the
+//                             art's "no information").
+
+#pragma once
+
+#include "ec/alternating_checker.hpp"
+#include "ec/result.hpp"
+#include "ec/rewriting_checker.hpp"
+#include "ec/simulation_checker.hpp"
+#include "ir/quantum_computation.hpp"
+
+namespace qsimec::ec {
+
+struct FlowConfiguration {
+  SimulationConfiguration simulation{};
+  AlternatingConfiguration complete{};
+  RewritingConfiguration rewriting{};
+  /// Skip the simulation stage entirely (for baseline measurements).
+  bool skipSimulation{false};
+  /// Try the (cheap, incomplete) rewriting checker between the simulation
+  /// stage and the complete check; a syntactic proof short-circuits the
+  /// expensive DD construction. Off by default — the paper's Fig. 3 flow
+  /// has no such stage.
+  bool tryRewriting{false};
+  /// Skip the complete check (simulation only; outcome is then either
+  /// NotEquivalent or ProbablyEquivalent).
+  bool skipComplete{false};
+};
+
+struct FlowResult {
+  Equivalence equivalence{Equivalence::NoInformation};
+  std::size_t simulations{0};
+  double simulationSeconds{0.0};
+  double rewritingSeconds{0.0};
+  double completeSeconds{0.0};
+  bool provedByRewriting{false};
+  bool completeTimedOut{false};
+  bool simulationTimedOut{false};
+  std::optional<Counterexample> counterexample;
+
+  [[nodiscard]] double totalSeconds() const noexcept {
+    return simulationSeconds + rewritingSeconds + completeSeconds;
+  }
+};
+
+class EquivalenceCheckingFlow {
+public:
+  explicit EquivalenceCheckingFlow(FlowConfiguration config = {})
+      : config_(config) {}
+
+  [[nodiscard]] FlowResult run(const ir::QuantumComputation& qc1,
+                               const ir::QuantumComputation& qc2) const;
+
+private:
+  FlowConfiguration config_;
+};
+
+} // namespace qsimec::ec

@@ -1,0 +1,83 @@
+// Shared result types of the equivalence checking module.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace qsimec::ec {
+
+/// Verdicts, matching the three outcomes of the paper's Fig. 3 flow (plus a
+/// strict/global-phase distinction for the complete checkers).
+enum class Equivalence {
+  Equivalent,
+  EquivalentUpToGlobalPhase,
+  NotEquivalent,
+  /// Simulations produced no counterexample but the complete check did not
+  /// finish: a strong indication of equivalence, not a proof (Sec. IV-B).
+  ProbablyEquivalent,
+  /// Nothing conclusive (e.g. complete check alone timed out).
+  NoInformation,
+};
+
+[[nodiscard]] constexpr std::string_view toString(Equivalence e) noexcept {
+  switch (e) {
+  case Equivalence::Equivalent:
+    return "equivalent";
+  case Equivalence::EquivalentUpToGlobalPhase:
+    return "equivalent up to global phase";
+  case Equivalence::NotEquivalent:
+    return "not equivalent";
+  case Equivalence::ProbablyEquivalent:
+    return "probably equivalent";
+  case Equivalence::NoInformation:
+    return "no information";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool provedEquivalent(Equivalence e) noexcept {
+  return e == Equivalence::Equivalent ||
+         e == Equivalence::EquivalentUpToGlobalPhase;
+}
+
+/// The stimuli family driving the simulation checker (see ec/stimuli.hpp).
+enum class StimuliKind {
+  ComputationalBasis,
+  RandomProduct,
+  RandomStabilizer,
+};
+
+[[nodiscard]] constexpr std::string_view toString(StimuliKind k) noexcept {
+  switch (k) {
+  case StimuliKind::ComputationalBasis:
+    return "computational-basis";
+  case StimuliKind::RandomProduct:
+    return "random-product";
+  case StimuliKind::RandomStabilizer:
+    return "random-stabilizer";
+  }
+  return "?";
+}
+
+/// A stimulus proving non-equivalence, together with the fidelity
+/// |<u_i|u'_i>|^2 of the two output states it produced. For the
+/// computational-basis kind, `input` is the basis-state index; for the
+/// other kinds it is the seed that regenerates the stimulus via
+/// ec::makeStimulus.
+struct Counterexample {
+  std::uint64_t input{};
+  double fidelity{};
+  StimuliKind stimuli{StimuliKind::ComputationalBasis};
+};
+
+struct CheckResult {
+  Equivalence equivalence{Equivalence::NoInformation};
+  double seconds{0.0};
+  std::size_t simulations{0};
+  std::optional<Counterexample> counterexample;
+  bool timedOut{false};
+};
+
+} // namespace qsimec::ec

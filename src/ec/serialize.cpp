@@ -1,0 +1,53 @@
+#include "ec/serialize.hpp"
+
+#include "util/json.hpp"
+
+namespace qsimec::ec {
+
+namespace {
+
+std::string counterexampleJson(const std::optional<Counterexample>& cex) {
+  if (!cex) {
+    return "null";
+  }
+  util::JsonWriter json;
+  json.beginObject()
+      .field("input", cex->input)
+      .field("fidelity", cex->fidelity)
+      .field("stimuli", toString(cex->stimuli))
+      .endObject();
+  return json.str();
+}
+
+} // namespace
+
+std::string toJson(const CheckResult& result) {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("equivalence", toString(result.equivalence))
+      .field("seconds", result.seconds)
+      .field("simulations", result.simulations)
+      .field("timed_out", result.timedOut)
+      .rawField("counterexample", counterexampleJson(result.counterexample))
+      .endObject();
+  return json.str();
+}
+
+std::string toJson(const FlowResult& result) {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("equivalence", toString(result.equivalence))
+      .field("simulations", result.simulations)
+      .field("simulation_seconds", result.simulationSeconds)
+      .field("rewriting_seconds", result.rewritingSeconds)
+      .field("complete_seconds", result.completeSeconds)
+      .field("total_seconds", result.totalSeconds())
+      .field("proved_by_rewriting", result.provedByRewriting)
+      .field("complete_timed_out", result.completeTimedOut)
+      .field("simulation_timed_out", result.simulationTimedOut)
+      .rawField("counterexample", counterexampleJson(result.counterexample))
+      .endObject();
+  return json.str();
+}
+
+} // namespace qsimec::ec

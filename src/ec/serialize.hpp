@@ -1,0 +1,16 @@
+// JSON serialization of equivalence-checking results (for the CLI's --json
+// mode and machine pipelines).
+
+#pragma once
+
+#include "ec/flow.hpp"
+#include "ec/result.hpp"
+
+#include <string>
+
+namespace qsimec::ec {
+
+[[nodiscard]] std::string toJson(const CheckResult& result);
+[[nodiscard]] std::string toJson(const FlowResult& result);
+
+} // namespace qsimec::ec

@@ -1,0 +1,144 @@
+#include "ec/stimuli.hpp"
+
+#include "dd/export.hpp" // basisLabel
+
+#include <array>
+#include <random>
+#include <sstream>
+
+namespace qsimec::ec {
+
+namespace {
+
+constexpr std::array<const char*, 6> STABILIZER_NAMES{"|0>",  "|1>", "|+>",
+                                                      "|->",  "|+i>",
+                                                      "|-i>"};
+
+std::pair<dd::ComplexValue, dd::ComplexValue>
+singleQubitStabilizer(std::size_t which) {
+  constexpr double S = dd::SQRT1_2;
+  switch (which) {
+  case 0: // |0>
+    return {{1, 0}, {0, 0}};
+  case 1: // |1>
+    return {{0, 0}, {1, 0}};
+  case 2: // |+>
+    return {{S, 0}, {S, 0}};
+  case 3: // |->
+    return {{S, 0}, {-S, 0}};
+  case 4: // |+i>
+    return {{S, 0}, {0, S}};
+  default: // |-i>
+    return {{S, 0}, {0, -S}};
+  }
+}
+
+std::uint64_t basisIndex(std::uint64_t seed, std::size_t n) {
+  return n >= 64 ? seed : (seed & ((1ULL << n) - 1ULL));
+}
+
+/// Apply a deterministic pseudo-random Clifford prefix to |0...0>.
+dd::vEdge randomStabilizerState(dd::Package& pkg, std::uint64_t seed) {
+  const std::size_t n = pkg.qubits();
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> gate(0, 3);
+  std::uniform_int_distribution<std::size_t> qubit(0, n - 1);
+
+  dd::vEdge state = pkg.makeZeroState();
+  pkg.incRef(state);
+  const auto apply = [&pkg, &state](const dd::mEdge& g) {
+    const dd::vEdge next = pkg.multiply(g, state);
+    pkg.incRef(next);
+    pkg.decRef(state);
+    state = next;
+    pkg.garbageCollect();
+  };
+
+  // an initial H layer plus ~2n random Clifford gates gives well-spread,
+  // typically entangled stabilizer states
+  for (std::size_t q = 0; q < n; ++q) {
+    apply(pkg.makeGateDD(dd::Hmat, static_cast<dd::Var>(q)));
+  }
+  const std::size_t depth = 2 * n;
+  for (std::size_t step = 0; step < depth; ++step) {
+    const auto q = static_cast<dd::Var>(qubit(rng));
+    switch (gate(rng)) {
+    case 0:
+      apply(pkg.makeGateDD(dd::Hmat, q));
+      break;
+    case 1:
+      apply(pkg.makeGateDD(dd::Smat, q));
+      break;
+    case 2: {
+      auto c = static_cast<dd::Var>(qubit(rng));
+      if (c == q) {
+        c = static_cast<dd::Var>((c + 1) % n);
+      }
+      apply(pkg.makeGateDD(dd::Xmat, q, {dd::Control{c, true}}));
+      break;
+    }
+    default: {
+      auto c = static_cast<dd::Var>(qubit(rng));
+      if (c == q) {
+        c = static_cast<dd::Var>((c + 1) % n);
+      }
+      apply(pkg.makeGateDD(dd::Zmat, q, {dd::Control{c, true}}));
+      break;
+    }
+    }
+  }
+  pkg.decRef(state);
+  return state;
+}
+
+} // namespace
+
+dd::vEdge makeStimulus(dd::Package& pkg, StimuliKind kind,
+                       std::uint64_t seed) {
+  switch (kind) {
+  case StimuliKind::ComputationalBasis:
+    return pkg.makeBasisState(basisIndex(seed, pkg.qubits()));
+  case StimuliKind::RandomProduct: {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<std::size_t> pick(0, 5);
+    std::vector<std::pair<dd::ComplexValue, dd::ComplexValue>> amps;
+    amps.reserve(pkg.qubits());
+    for (std::size_t q = 0; q < pkg.qubits(); ++q) {
+      amps.push_back(singleQubitStabilizer(pick(rng)));
+    }
+    return pkg.makeProductState(amps);
+  }
+  case StimuliKind::RandomStabilizer:
+    return randomStabilizerState(pkg, seed);
+  }
+  throw std::logic_error("unknown stimuli kind");
+}
+
+std::string describeStimulus(StimuliKind kind, std::uint64_t seed,
+                             std::size_t nqubits) {
+  std::ostringstream ss;
+  switch (kind) {
+  case StimuliKind::ComputationalBasis:
+    ss << "|" << dd::basisLabel(basisIndex(seed, nqubits), nqubits) << ">";
+    break;
+  case StimuliKind::RandomProduct: {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<std::size_t> pick(0, 5);
+    // qubit n-1 printed first (MSB-first, consistent with basisLabel)
+    std::vector<std::size_t> choices(nqubits);
+    for (std::size_t q = 0; q < nqubits; ++q) {
+      choices[q] = pick(rng);
+    }
+    for (std::size_t q = nqubits; q-- > 0;) {
+      ss << STABILIZER_NAMES[choices[q]];
+    }
+    break;
+  }
+  case StimuliKind::RandomStabilizer:
+    ss << "stabilizer state (seed " << seed << ")";
+    break;
+  }
+  return ss.str();
+}
+
+} // namespace qsimec::ec

@@ -1,0 +1,42 @@
+// Stimuli generation for simulation-based equivalence checking.
+//
+// The DAC'20 paper uses random computational basis states. Its analysis
+// (Sec. IV-A) also shows their weakness: an error behind c controls is hit
+// with probability only 2^-c. The two richer stimuli families below — the
+// direction pointed to by the paper's follow-up work on random stimuli
+// generation — lift that limit while keeping simulation cheap:
+//
+//   * ComputationalBasis — |i> for uniform random i (the paper's choice),
+//   * RandomProduct      — each qubit drawn uniformly from the six
+//                          single-qubit stabilizer states
+//                          {|0>,|1>,|+>,|->,|+i>,|-i>}; product states keep
+//                          the simulation start cheap but every control now
+//                          "half-fires",
+//   * RandomStabilizer   — a random Clifford prefix applied to |0...0>,
+//                          giving globally entangled stimuli.
+//
+// Stimuli are deterministic functions of (kind, seed), so a counterexample
+// can always be regenerated from the numbers in the check result.
+
+#pragma once
+
+#include "dd/package.hpp"
+#include "ec/result.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace qsimec::ec {
+
+/// Build the stimulus state determined by (kind, seed) over all of `pkg`'s
+/// qubits. For ComputationalBasis the seed doubles as the basis-state index
+/// (reduced modulo the state-space size).
+[[nodiscard]] dd::vEdge makeStimulus(dd::Package& pkg, StimuliKind kind,
+                                     std::uint64_t seed);
+
+/// Human-readable rendering of a stimulus (for counterexample reports).
+[[nodiscard]] std::string describeStimulus(StimuliKind kind,
+                                           std::uint64_t seed,
+                                           std::size_t nqubits);
+
+} // namespace qsimec::ec

@@ -1,0 +1,129 @@
+#include "gen/algorithms.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace qsimec::gen {
+
+ir::QuantumComputation bernsteinVazirani(std::size_t n, std::uint64_t secret) {
+  if (n == 0 || (n < 64 && (secret >> n) != 0)) {
+    throw std::invalid_argument("bernsteinVazirani: invalid secret");
+  }
+  ir::QuantumComputation qc(n + 1, "bv" + std::to_string(n));
+  const auto ancilla = static_cast<ir::Qubit>(n);
+  // ancilla in |->
+  qc.x(ancilla);
+  qc.h(ancilla);
+  for (std::size_t q = 0; q < n; ++q) {
+    qc.h(static_cast<ir::Qubit>(q));
+  }
+  // oracle: f(x) = secret . x
+  for (std::size_t q = 0; q < n; ++q) {
+    if ((secret >> q) & 1U) {
+      qc.cx(static_cast<ir::Qubit>(q), ancilla);
+    }
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    qc.h(static_cast<ir::Qubit>(q));
+  }
+  return qc;
+}
+
+ir::QuantumComputation deutschJozsa(std::size_t n, bool balanced,
+                                    std::uint64_t seed) {
+  if (n == 0) {
+    throw std::invalid_argument("deutschJozsa: need at least one input");
+  }
+  ir::QuantumComputation qc(n + 1, std::string("dj") + std::to_string(n) +
+                                       (balanced ? "_balanced" : "_constant"));
+  const auto ancilla = static_cast<ir::Qubit>(n);
+  qc.x(ancilla);
+  qc.h(ancilla);
+  for (std::size_t q = 0; q < n; ++q) {
+    qc.h(static_cast<ir::Qubit>(q));
+  }
+  if (balanced) {
+    std::mt19937_64 rng(seed);
+    const std::uint64_t range = n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+    std::uint64_t mask = 0;
+    while (mask == 0) {
+      mask = rng() & range;
+    }
+    for (std::size_t q = 0; q < n; ++q) {
+      if ((mask >> q) & 1U) {
+        qc.cx(static_cast<ir::Qubit>(q), ancilla);
+      }
+    }
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    qc.h(static_cast<ir::Qubit>(q));
+  }
+  return qc;
+}
+
+ir::QuantumComputation qpe(std::size_t precision, double phase) {
+  if (precision == 0) {
+    throw std::invalid_argument("qpe: need at least one counting qubit");
+  }
+  ir::QuantumComputation qc(precision + 1, "qpe" + std::to_string(precision));
+  const auto eigen = static_cast<ir::Qubit>(precision);
+  qc.x(eigen); // the |1> eigenstate of diag(1, e^{2 pi i phase})
+
+  for (std::size_t k = 0; k < precision; ++k) {
+    qc.h(static_cast<ir::Qubit>(k));
+    // controlled-U^{2^k}
+    const double angle =
+        2 * std::numbers::pi * phase * static_cast<double>(1ULL << k);
+    qc.phase(angle, eigen, {ir::Control{static_cast<ir::Qubit>(k), true}});
+  }
+
+  // inverse QFT on the counting register (qubits 0..precision-1), with the
+  // bit order arranged so the result reads out directly
+  for (std::size_t q = 0; q < precision / 2; ++q) {
+    qc.swap(static_cast<ir::Qubit>(q),
+            static_cast<ir::Qubit>(precision - 1 - q));
+  }
+  for (std::size_t i = 0; i < precision; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double angle =
+          -2 * std::numbers::pi / static_cast<double>(1ULL << (i - j + 1));
+      qc.phase(angle, static_cast<ir::Qubit>(i),
+               {ir::Control{static_cast<ir::Qubit>(j), true}});
+    }
+    qc.h(static_cast<ir::Qubit>(i));
+  }
+  return qc;
+}
+
+ir::QuantumComputation ghzState(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("ghzState: need at least one qubit");
+  }
+  ir::QuantumComputation qc(n, "ghz" + std::to_string(n));
+  qc.h(0);
+  for (std::size_t q = 0; q + 1 < n; ++q) {
+    qc.cx(static_cast<ir::Qubit>(q), static_cast<ir::Qubit>(q + 1));
+  }
+  return qc;
+}
+
+ir::QuantumComputation wState(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("wState: need at least one qubit");
+  }
+  ir::QuantumComputation qc(n, "w" + std::to_string(n));
+  qc.x(0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    // move amplitude sqrt((n-i-1)/(n-i)) of the excitation onwards
+    const double theta =
+        2 * std::acos(std::sqrt(1.0 / static_cast<double>(n - i)));
+    qc.ry(theta, static_cast<ir::Qubit>(i + 1),
+          {ir::Control{static_cast<ir::Qubit>(i), true}});
+    qc.cx(static_cast<ir::Qubit>(i + 1), static_cast<ir::Qubit>(i));
+  }
+  return qc;
+}
+
+} // namespace qsimec::gen

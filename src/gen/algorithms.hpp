@@ -1,0 +1,40 @@
+// Further textbook algorithm generators: Bernstein-Vazirani, Deutsch-Jozsa,
+// quantum phase estimation, and GHZ / W state preparation. They complement
+// the paper's benchmark families and exercise distinct structural regimes
+// (Clifford-dominated oracles, inverse-QFT cores, sparse entangled states).
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+
+namespace qsimec::gen {
+
+/// Bernstein-Vazirani for an n-bit secret: qubits 0..n-1 are the inputs,
+/// qubit n the oracle ancilla. Measuring the inputs after the circuit
+/// yields `secret` with certainty.
+[[nodiscard]] ir::QuantumComputation bernsteinVazirani(std::size_t n,
+                                                       std::uint64_t secret);
+
+/// Deutsch-Jozsa on n inputs (+1 ancilla). For `balanced == false` the
+/// oracle is constant; otherwise it is the balanced function
+/// f(x) = parity(x & mask) with a seed-derived non-zero mask.
+[[nodiscard]] ir::QuantumComputation
+deutschJozsa(std::size_t n, bool balanced, std::uint64_t seed = 1);
+
+/// Quantum phase estimation of U = diag(1, e^{2 pi i phase}) on its |1>
+/// eigenstate, with `precision` counting qubits (qubits 0..precision-1;
+/// the eigenstate sits on qubit `precision`). If `phase` has an exact
+/// `precision`-bit binary expansion, the counting register ends in the
+/// basis state round(phase * 2^precision) with certainty.
+[[nodiscard]] ir::QuantumComputation qpe(std::size_t precision, double phase);
+
+/// GHZ state preparation (|0...0> + |1...1>)/sqrt(2).
+[[nodiscard]] ir::QuantumComputation ghzState(std::size_t n);
+
+/// W state preparation (equal superposition of all single-excitation basis
+/// states).
+[[nodiscard]] ir::QuantumComputation wState(std::size_t n);
+
+} // namespace qsimec::gen

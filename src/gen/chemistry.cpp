@@ -1,0 +1,109 @@
+#include "gen/chemistry.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace qsimec::gen {
+
+namespace {
+
+using ir::Qubit;
+
+/// exp(-i theta/2 * P) for a Pauli string P = P_{q0} ... P_{qk} given as
+/// (qubit, axis) pairs, axis in {'X','Y','Z'}: basis change, CNOT ladder,
+/// RZ, and undo.
+void evolvePauliString(ir::QuantumComputation& qc,
+                       const std::vector<std::pair<Qubit, char>>& string,
+                       double theta) {
+  // basis changes into Z
+  for (const auto& [q, axis] : string) {
+    if (axis == 'X') {
+      qc.h(q);
+    } else if (axis == 'Y') {
+      // Y -> Z basis: apply S† then H (HS† maps Y to Z)
+      qc.sdg(q);
+      qc.h(q);
+    }
+  }
+  // parity ladder onto the last qubit
+  for (std::size_t i = 0; i + 1 < string.size(); ++i) {
+    qc.cx(string[i].first, string[i + 1].first);
+  }
+  qc.rz(theta, string.back().first);
+  for (std::size_t i = string.size() - 1; i-- > 0;) {
+    qc.cx(string[i].first, string[i + 1].first);
+  }
+  for (const auto& [q, axis] : string) {
+    if (axis == 'X') {
+      qc.h(q);
+    } else if (axis == 'Y') {
+      qc.h(q);
+      qc.s(q);
+    }
+  }
+}
+
+/// Jordan-Wigner hopping term between fermionic modes a < b:
+/// exp(-i t dt (X_a Z...Z X_b + Y_a Z...Z Y_b)/2).
+void evolveHopping(ir::QuantumComputation& qc, Qubit a, Qubit b, double theta) {
+  std::vector<std::pair<Qubit, char>> xs;
+  std::vector<std::pair<Qubit, char>> ys;
+  xs.emplace_back(a, 'X');
+  ys.emplace_back(a, 'Y');
+  for (Qubit q = a + 1; q < b; ++q) {
+    xs.emplace_back(q, 'Z');
+    ys.emplace_back(q, 'Z');
+  }
+  xs.emplace_back(b, 'X');
+  ys.emplace_back(b, 'Y');
+  evolvePauliString(qc, xs, theta);
+  evolvePauliString(qc, ys, theta);
+}
+
+} // namespace
+
+ir::QuantumComputation hubbardTrotter(std::size_t rows, std::size_t cols,
+                                      const HubbardOptions& options) {
+  if (rows * cols == 0) {
+    throw std::invalid_argument("hubbardTrotter: empty lattice");
+  }
+  const std::size_t sites = rows * cols;
+  const std::size_t n = 2 * sites; // spin-up and spin-down mode per site
+  ir::QuantumComputation qc(n, "hubbard_" + std::to_string(rows) + "x" +
+                                   std::to_string(cols));
+
+  const auto mode = [cols](std::size_t r, std::size_t c, std::size_t spin) {
+    return static_cast<Qubit>(2 * (r * cols + c) + spin);
+  };
+
+  const double hopAngle = options.hopping * options.timestep;
+  const double intAngle = options.interaction * options.timestep;
+
+  for (std::size_t step = 0; step < options.trotterSteps; ++step) {
+    // hopping terms along the grid edges, both spins
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        for (const std::size_t spin : {0UL, 1UL}) {
+          if (c + 1 < cols) {
+            evolveHopping(qc, mode(r, c, spin), mode(r, c + 1, spin),
+                          hopAngle);
+          }
+          if (r + 1 < rows) {
+            evolveHopping(qc, mode(r, c, spin), mode(r + 1, c, spin),
+                          hopAngle);
+          }
+        }
+      }
+    }
+    // onsite interaction: exp(-i U dt n_up n_down) = CPhase(-U dt)
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        qc.phase(-intAngle, mode(r, c, 1),
+                 {ir::Control{mode(r, c, 0), true}});
+      }
+    }
+  }
+  return qc;
+}
+
+} // namespace qsimec::gen

@@ -1,0 +1,24 @@
+// Quantum-chemistry-style circuits: Trotterized time evolution of the
+// Fermi-Hubbard model on a 2-D lattice under the Jordan-Wigner encoding.
+// "Quantum Chemistry r x c" in the paper's Table I corresponds to
+// hubbardTrotter(r, c, ...): two qubits (spin up/down) per lattice site,
+// so a 3x3 lattice uses 18 qubits, matching the paper.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+namespace qsimec::gen {
+
+struct HubbardOptions {
+  std::size_t trotterSteps{1};
+  double hopping{1.0};   // t
+  double interaction{2.0}; // U
+  double timestep{0.1};  // dt
+};
+
+[[nodiscard]] ir::QuantumComputation
+hubbardTrotter(std::size_t rows, std::size_t cols,
+               const HubbardOptions& options = {});
+
+} // namespace qsimec::gen

@@ -1,0 +1,75 @@
+#include "gen/grover.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qsimec::gen {
+
+namespace {
+
+/// Phase-flip exactly the basis state `state`: a multi-controlled Z whose
+/// controls match the state's bit pattern (negative controls for 0 bits).
+void markState(ir::QuantumComputation& qc, std::size_t k, std::uint64_t state) {
+  std::vector<ir::Control> controls;
+  for (std::size_t b = 1; b < k; ++b) {
+    controls.push_back(
+        ir::Control{static_cast<ir::Qubit>(b), ((state >> b) & 1U) != 0U});
+  }
+  const bool bit0 = (state & 1U) != 0U;
+  if (!bit0) {
+    qc.x(0);
+  }
+  qc.z(0, controls);
+  if (!bit0) {
+    qc.x(0);
+  }
+}
+
+} // namespace
+
+ir::QuantumComputation grover(std::size_t k, std::uint64_t marked,
+                              std::size_t iterations) {
+  if (k < 2) {
+    throw std::invalid_argument("grover: need at least 2 search qubits");
+  }
+  if (k < 64 && (marked >> k) != 0U) {
+    throw std::invalid_argument("grover: marked state out of range");
+  }
+  if (iterations == 0) {
+    iterations = static_cast<std::size_t>(std::floor(
+        std::numbers::pi / 4 * std::sqrt(static_cast<double>(1ULL << k))));
+    iterations = std::max<std::size_t>(iterations, 1);
+  }
+
+  ir::QuantumComputation qc(k, "grover" + std::to_string(k));
+  for (std::size_t q = 0; q < k; ++q) {
+    qc.h(static_cast<ir::Qubit>(q));
+  }
+  std::vector<ir::Control> diffusionControls;
+  for (std::size_t b = 1; b < k; ++b) {
+    diffusionControls.push_back(
+        ir::Control{static_cast<ir::Qubit>(b), true});
+  }
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // oracle
+    markState(qc, k, marked);
+    // diffusion: H^k X^k (MCZ) X^k H^k
+    for (std::size_t q = 0; q < k; ++q) {
+      qc.h(static_cast<ir::Qubit>(q));
+    }
+    for (std::size_t q = 0; q < k; ++q) {
+      qc.x(static_cast<ir::Qubit>(q));
+    }
+    qc.z(0, diffusionControls);
+    for (std::size_t q = 0; q < k; ++q) {
+      qc.x(static_cast<ir::Qubit>(q));
+    }
+    for (std::size_t q = 0; q < k; ++q) {
+      qc.h(static_cast<ir::Qubit>(q));
+    }
+  }
+  return qc;
+}
+
+} // namespace qsimec::gen

@@ -1,0 +1,22 @@
+// Grover search circuits with a phase oracle marking one basis state.
+//
+// The circuit stays at the algorithmic level (multi-controlled Z gates);
+// running it through tf::decompose produces the elementary-gate versions
+// (with ancillas for the Toffoli ladders) that appear as "Grover k" in the
+// paper's Table I — e.g. Grover 9 decomposes onto 15 qubits.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+
+namespace qsimec::gen {
+
+/// Grover search over k qubits for `marked` (< 2^k). `iterations == 0`
+/// chooses the optimal floor(pi/4 * sqrt(2^k)).
+[[nodiscard]] ir::QuantumComputation grover(std::size_t searchQubits,
+                                            std::uint64_t marked,
+                                            std::size_t iterations = 0);
+
+} // namespace qsimec::gen

@@ -1,0 +1,63 @@
+#include "gen/qft.hpp"
+
+#include <numbers>
+
+namespace qsimec::gen {
+
+ir::QuantumComputation qft(std::size_t nqubits, bool finalSwaps) {
+  ir::QuantumComputation qc(nqubits, "qft" + std::to_string(nqubits));
+  for (std::size_t i = nqubits; i-- > 0;) {
+    const auto target = static_cast<ir::Qubit>(i);
+    qc.h(target);
+    for (std::size_t j = i; j-- > 0;) {
+      // controlled R_k with k = i - j + 1: phase 2*pi / 2^k
+      const double angle =
+          2 * std::numbers::pi / static_cast<double>(1ULL << (i - j + 1));
+      qc.phase(angle, target, {ir::Control{static_cast<ir::Qubit>(j), true}});
+    }
+  }
+  if (finalSwaps) {
+    for (std::size_t q = 0; q < nqubits / 2; ++q) {
+      qc.swap(static_cast<ir::Qubit>(q),
+              static_cast<ir::Qubit>(nqubits - 1 - q));
+    }
+  }
+  return qc;
+}
+
+ir::QuantumComputation inverseQft(std::size_t nqubits, bool finalSwaps) {
+  ir::QuantumComputation inv = qft(nqubits, finalSwaps).inverse();
+  inv.setName("iqft" + std::to_string(nqubits));
+  return inv;
+}
+
+ir::QuantumComputation qftAlternative(std::size_t nqubits, bool finalSwaps) {
+  ir::QuantumComputation qc(nqubits,
+                            "qft" + std::to_string(nqubits) + "_alt");
+  for (std::size_t i = nqubits; i-- > 0;) {
+    const auto target = static_cast<ir::Qubit>(i);
+    qc.h(target);
+    // same rotations as qft(), but ascending control order (they commute)
+    // and the largest rotation split in two
+    for (std::size_t j = 0; j < i; ++j) {
+      const double angle =
+          2 * std::numbers::pi / static_cast<double>(1ULL << (i - j + 1));
+      const ir::Control control{static_cast<ir::Qubit>(j), true};
+      if (i - j + 1 == 2) { // the pi/2 rotation: split into two pi/4
+        qc.phase(angle / 2, target, {control});
+        qc.phase(angle / 2, target, {control});
+      } else {
+        qc.phase(angle, target, {control});
+      }
+    }
+  }
+  if (finalSwaps) {
+    for (std::size_t q = 0; q < nqubits / 2; ++q) {
+      qc.swap(static_cast<ir::Qubit>(q),
+              static_cast<ir::Qubit>(nqubits - 1 - q));
+    }
+  }
+  return qc;
+}
+
+} // namespace qsimec::gen

@@ -1,0 +1,29 @@
+// Quantum Fourier Transform circuits.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+namespace qsimec::gen {
+
+/// The exact n-qubit QFT: with finalSwaps the circuit's unitary is the DFT
+/// matrix F[j][k] = omega^{jk} / sqrt(2^n), omega = e^{2 pi i / 2^n}.
+/// Without finalSwaps the output bits come out in reversed order (the usual
+/// hardware-friendly variant).
+[[nodiscard]] ir::QuantumComputation qft(std::size_t nqubits,
+                                         bool finalSwaps = true);
+
+/// Inverse QFT.
+[[nodiscard]] ir::QuantumComputation inverseQft(std::size_t nqubits,
+                                                bool finalSwaps = true);
+
+/// An equivalent alternative realization of the QFT: within each target's
+/// block the (mutually commuting, diagonal) controlled rotations are applied
+/// in the opposite order, and rotations larger than pi/4 are split into two
+/// half-angle rotations. Functionally identical to qft(), structurally
+/// different — the classic "alternative realization G'" of the paper's
+/// QFT benchmarks.
+[[nodiscard]] ir::QuantumComputation qftAlternative(std::size_t nqubits,
+                                                    bool finalSwaps = true);
+
+} // namespace qsimec::gen

@@ -1,0 +1,149 @@
+#include "gen/random_circuits.hpp"
+
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+namespace qsimec::gen {
+
+namespace {
+
+using ir::Qubit;
+
+/// A qubit different from all of `taken`.
+Qubit pickDistinct(std::mt19937_64& rng, std::size_t nqubits,
+                   std::initializer_list<Qubit> taken) {
+  std::uniform_int_distribution<std::size_t> dist(0, nqubits - 1);
+  while (true) {
+    const auto q = static_cast<Qubit>(dist(rng));
+    bool clash = false;
+    for (const Qubit t : taken) {
+      clash = clash || (t == q);
+    }
+    if (!clash) {
+      return q;
+    }
+  }
+}
+
+} // namespace
+
+ir::QuantumComputation randomCircuit(std::size_t nqubits, std::size_t ngates,
+                                     std::uint64_t seed,
+                                     const RandomCircuitOptions& options) {
+  if (nqubits < 2) {
+    throw std::invalid_argument("randomCircuit: need at least 2 qubits");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> qubitDist(0, nqubits - 1);
+  std::uniform_real_distribution<double> angle(-std::numbers::pi,
+                                               std::numbers::pi);
+
+  std::vector<int> kinds{0, 1, 2, 3}; // h, x, t, s
+  if (options.rotations) {
+    for (const int k : {4, 5, 6, 7}) { // rx, ry, rz, u3
+      kinds.push_back(k);
+    }
+  }
+  if (options.twoQubit) {
+    for (const int k : {8, 9, 10, 11}) { // cx, cz, negctrl-p, swap
+      kinds.push_back(k);
+    }
+  }
+  if (options.toffoli && nqubits >= 3) {
+    kinds.push_back(12);
+  }
+  std::uniform_int_distribution<std::size_t> kindDist(0, kinds.size() - 1);
+
+  ir::QuantumComputation qc(nqubits, "random");
+  for (std::size_t g = 0; g < ngates; ++g) {
+    const auto q = static_cast<Qubit>(qubitDist(rng));
+    switch (kinds[kindDist(rng)]) {
+    case 0:
+      qc.h(q);
+      break;
+    case 1:
+      qc.x(q);
+      break;
+    case 2:
+      qc.t(q);
+      break;
+    case 3:
+      qc.s(q);
+      break;
+    case 4:
+      qc.rx(angle(rng), q);
+      break;
+    case 5:
+      qc.ry(angle(rng), q);
+      break;
+    case 6:
+      qc.rz(angle(rng), q);
+      break;
+    case 7:
+      qc.u3(angle(rng), angle(rng), angle(rng), q);
+      break;
+    case 8:
+      qc.cx(pickDistinct(rng, nqubits, {q}), q);
+      break;
+    case 9:
+      qc.cz(pickDistinct(rng, nqubits, {q}), q);
+      break;
+    case 10:
+      qc.phase(angle(rng), q,
+               {ir::Control{pickDistinct(rng, nqubits, {q}), false}});
+      break;
+    case 11:
+      qc.swap(q, pickDistinct(rng, nqubits, {q}));
+      break;
+    default: {
+      const Qubit c0 = pickDistinct(rng, nqubits, {q});
+      const Qubit c1 = pickDistinct(rng, nqubits, {q, c0});
+      qc.ccx(c0, c1, q);
+      break;
+    }
+    }
+  }
+  return qc;
+}
+
+ir::QuantumComputation randomCliffordT(std::size_t nqubits, std::size_t ngates,
+                                       std::uint64_t seed) {
+  if (nqubits < 2) {
+    throw std::invalid_argument("randomCliffordT: need at least 2 qubits");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> qubitDist(0, nqubits - 1);
+  std::uniform_int_distribution<int> kindDist(0, 6);
+
+  ir::QuantumComputation qc(nqubits, "clifford_t");
+  for (std::size_t g = 0; g < ngates; ++g) {
+    const auto q = static_cast<Qubit>(qubitDist(rng));
+    switch (kindDist(rng)) {
+    case 0:
+      qc.h(q);
+      break;
+    case 1:
+      qc.s(q);
+      break;
+    case 2:
+      qc.sdg(q);
+      break;
+    case 3:
+      qc.t(q);
+      break;
+    case 4:
+      qc.tdg(q);
+      break;
+    case 5:
+      qc.x(q);
+      break;
+    default:
+      qc.cx(pickDistinct(rng, nqubits, {q}), q);
+      break;
+    }
+  }
+  return qc;
+}
+
+} // namespace qsimec::gen

@@ -1,0 +1,29 @@
+// Random circuit generators used across tests and benchmarks.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+
+namespace qsimec::gen {
+
+struct RandomCircuitOptions {
+  /// Include parameterized rotations / U3 gates.
+  bool rotations{true};
+  /// Include two-qubit gates (CX, CZ, controlled phase, SWAP).
+  bool twoQubit{true};
+  /// Include Toffoli gates (needs >= 3 qubits).
+  bool toffoli{true};
+};
+
+/// A random circuit over the general IR gate set.
+[[nodiscard]] ir::QuantumComputation
+randomCircuit(std::size_t nqubits, std::size_t ngates, std::uint64_t seed,
+              const RandomCircuitOptions& options = {});
+
+/// A random circuit over the Clifford+T set {H, S, Sdg, T, Tdg, X, CX}.
+[[nodiscard]] ir::QuantumComputation
+randomCliffordT(std::size_t nqubits, std::size_t ngates, std::uint64_t seed);
+
+} // namespace qsimec::gen

@@ -1,0 +1,27 @@
+#include "gen/revlib_like.hpp"
+
+#include "synth/transformation_based.hpp"
+
+namespace qsimec::gen {
+
+ir::QuantumComputation hwbCircuit(std::size_t bits) {
+  return synth::synthesize(synth::TruthTable::hiddenWeightedBit(bits),
+                           "hwb" + std::to_string(bits));
+}
+
+ir::QuantumComputation urfCircuit(std::size_t bits, std::uint64_t seed) {
+  return synth::synthesize(synth::TruthTable::randomPermutation(bits, seed),
+                           "urf" + std::to_string(bits));
+}
+
+ir::QuantumComputation adderCircuit(std::size_t bits) {
+  return synth::synthesize(synth::TruthTable::modularAdder(bits),
+                           "adder" + std::to_string(bits));
+}
+
+ir::QuantumComputation incrementCircuit(std::size_t bits) {
+  return synth::synthesize(synth::TruthTable::increment(bits),
+                           "inc" + std::to_string(bits));
+}
+
+} // namespace qsimec::gen

@@ -1,0 +1,27 @@
+// RevLib-style reversible benchmark circuits [27], regenerated from their
+// defining functions through transformation-based synthesis (see DESIGN.md
+// for why this substitution preserves the paper's benchmark structure:
+// compact MCT circuit G, huge decomposed elementary-gate circuit G').
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+
+namespace qsimec::gen {
+
+/// hwb_k: the hidden-weighted-bit function (the paper's hwb9-like family).
+[[nodiscard]] ir::QuantumComputation hwbCircuit(std::size_t bits);
+
+/// urf-like: a uniformly random reversible function.
+[[nodiscard]] ir::QuantumComputation urfCircuit(std::size_t bits,
+                                                std::uint64_t seed);
+
+/// Modular adder on two bits/2-bit halves (arithmetic family: 5xp1/rd84...).
+[[nodiscard]] ir::QuantumComputation adderCircuit(std::size_t bits);
+
+/// Incrementer x -> x+1 (inc_237-like).
+[[nodiscard]] ir::QuantumComputation incrementCircuit(std::size_t bits);
+
+} // namespace qsimec::gen

@@ -1,0 +1,92 @@
+#include "gen/supremacy.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace qsimec::gen {
+
+ir::QuantumComputation supremacy(std::size_t rows, std::size_t cols,
+                                 std::size_t cycles, std::uint64_t seed) {
+  if (rows * cols < 2) {
+    throw std::invalid_argument("supremacy: grid too small");
+  }
+  const std::size_t n = rows * cols;
+  ir::QuantumComputation qc(n, "supremacy_" + std::to_string(rows) + "x" +
+                                   std::to_string(cols) + "_" +
+                                   std::to_string(cycles));
+  std::mt19937_64 rng(seed);
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<ir::Qubit>(r * cols + c);
+  };
+
+  for (std::size_t q = 0; q < n; ++q) {
+    qc.h(static_cast<ir::Qubit>(q));
+  }
+
+  // last single-qubit gate kind per qubit (to avoid repeats, Google-style);
+  // -1 = none yet
+  std::vector<int> lastGate(n, -1);
+  std::uniform_int_distribution<int> gateDist(0, 2);
+
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    // CZ pattern: alternate horizontal/vertical, sub-pattern from the cycle
+    const std::size_t p = cycle % 8;
+    const bool horizontal = (p % 2) == 0;
+    const std::size_t parityA = (p / 2) % 2; // edge parity along the run
+    const std::size_t parityB = (p / 4) % 2; // row/column parity
+
+    std::vector<bool> inCz(n, false);
+    if (horizontal) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (r % 2 != parityB) {
+          continue;
+        }
+        for (std::size_t c = parityA; c + 1 < cols; c += 2) {
+          qc.cz(at(r, c), at(r, c + 1));
+          inCz[at(r, c)] = true;
+          inCz[at(r, c + 1)] = true;
+        }
+      }
+    } else {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (c % 2 != parityB) {
+          continue;
+        }
+        for (std::size_t r = parityA; r + 1 < rows; r += 2) {
+          qc.cz(at(r, c), at(r + 1, c));
+          inCz[at(r, c)] = true;
+          inCz[at(r + 1, c)] = true;
+        }
+      }
+    }
+
+    // random single-qubit gates on idle qubits, never repeating the
+    // previous gate on the same qubit
+    for (std::size_t q = 0; q < n; ++q) {
+      if (inCz[q]) {
+        continue;
+      }
+      int g = gateDist(rng);
+      if (g == lastGate[q]) {
+        g = (g + 1) % 3;
+      }
+      lastGate[q] = g;
+      const auto target = static_cast<ir::Qubit>(q);
+      switch (g) {
+      case 0:
+        qc.t(target);
+        break;
+      case 1:
+        qc.v(target); // sqrt(X)
+        break;
+      default:
+        qc.sy(target); // sqrt(Y)
+        break;
+      }
+    }
+  }
+  return qc;
+}
+
+} // namespace qsimec::gen

@@ -1,0 +1,20 @@
+// Quantum-supremacy-style random circuits on a 2-D grid (Google pattern):
+// an initial Hadamard layer, then per cycle one of eight CZ edge patterns
+// plus random single-qubit gates from {T, sqrt(X), sqrt(Y)} on the idle
+// qubits. "Supremacy r x c d" in the paper's Table I corresponds to
+// supremacy(r, c, d, seed).
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+
+namespace qsimec::gen {
+
+[[nodiscard]] ir::QuantumComputation supremacy(std::size_t rows,
+                                               std::size_t cols,
+                                               std::size_t cycles,
+                                               std::uint64_t seed);
+
+} // namespace qsimec::gen

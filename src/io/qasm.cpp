@@ -1,0 +1,708 @@
+#include "io/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <numbers>
+#include <sstream>
+#include <vector>
+
+namespace qsimec::io {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer: a thin cursor over the input with line tracking.
+// ---------------------------------------------------------------------------
+class Cursor {
+public:
+  explicit Cursor(std::istream& is) {
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    text_ = buffer.str();
+  }
+  explicit Cursor(std::string text) : text_(std::move(text)) {}
+
+  void skipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool atEnd() {
+    skipWhitespaceAndComments();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] char peek() {
+    skipWhitespaceAndComments();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char get() {
+    skipWhitespaceAndComments();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    const char got = get();
+    if (got != c) {
+      fail(std::string("expected '") + c + "', got '" + got + "'");
+    }
+  }
+
+  bool consumeIf(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Identifier or keyword: [A-Za-z_][A-Za-z0-9_]*
+  std::string identifier() {
+    skipWhitespaceAndComments();
+    std::string id;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_')) {
+      id += text_[pos_++];
+    }
+    if (id.empty()) {
+      fail("expected identifier");
+    }
+    return id;
+  }
+
+  double number() {
+    skipWhitespaceAndComments();
+    std::size_t end = 0;
+    double value = 0;
+    try {
+      value = std::stod(text_.substr(pos_), &end);
+    } catch (const std::exception&) {
+      fail("expected number");
+    }
+    pos_ += end;
+    return value;
+  }
+
+  std::string quotedString() {
+    expect('"');
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      s += text_[pos_++];
+    }
+    expect('"');
+    return s;
+  }
+
+  /// Capture the raw text of a { ... } block (after the opening brace has
+  /// been consumed); the closing brace is consumed but not included.
+  std::string captureBlock() {
+    std::string body;
+    while (pos_ < text_.size() && text_[pos_] != '}') {
+      if (text_[pos_] == '\n') {
+        ++line_;
+      }
+      body += text_[pos_++];
+    }
+    expect('}');
+    return body;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw QasmParseError(message, line_);
+  }
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+  std::string text_;
+  std::size_t pos_{0};
+  std::size_t line_{1};
+};
+
+// ---------------------------------------------------------------------------
+// Expression parser: + - * / ( ) pi and numbers, standard precedence.
+// ---------------------------------------------------------------------------
+using SymbolTable = std::map<std::string, double>;
+
+double parseExpression(Cursor& in, const SymbolTable* symbols);
+
+double parsePrimary(Cursor& in, const SymbolTable* symbols) {
+  const char c = in.peek();
+  if (c == '(') {
+    in.expect('(');
+    const double v = parseExpression(in, symbols);
+    in.expect(')');
+    return v;
+  }
+  if (c == '-') {
+    in.expect('-');
+    return -parsePrimary(in, symbols);
+  }
+  if (c == '+') {
+    in.expect('+');
+    return parsePrimary(in, symbols);
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) != 0) {
+    const std::string id = in.identifier();
+    if (id == "pi") {
+      return std::numbers::pi;
+    }
+    if (symbols != nullptr) {
+      if (const auto it = symbols->find(id); it != symbols->end()) {
+        return it->second;
+      }
+    }
+    in.fail("unknown symbol in expression: " + id);
+  }
+  return in.number();
+}
+
+double parseTerm(Cursor& in, const SymbolTable* symbols) {
+  double v = parsePrimary(in, symbols);
+  while (true) {
+    const char c = in.peek();
+    if (c == '*') {
+      in.expect('*');
+      v *= parsePrimary(in, symbols);
+    } else if (c == '/') {
+      in.expect('/');
+      v /= parsePrimary(in, symbols);
+    } else {
+      return v;
+    }
+  }
+}
+
+double parseExpression(Cursor& in, const SymbolTable* symbols = nullptr) {
+  double v = parseTerm(in, symbols);
+  while (true) {
+    const char c = in.peek();
+    if (c == '+') {
+      in.expect('+');
+      v += parseTerm(in, symbols);
+    } else if (c == '-') {
+      in.expect('-');
+      v -= parseTerm(in, symbols);
+    } else {
+      return v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser proper
+// ---------------------------------------------------------------------------
+struct Register {
+  std::size_t offset{};
+  std::size_t size{};
+};
+
+struct GateSpec {
+  ir::OpType type{};
+  std::size_t nparams{};
+  std::size_t ncontrols{}; // leading operands become positive controls
+  bool twoTargets{false};  // swap-style
+};
+
+const std::map<std::string, GateSpec>& gateTable() {
+  using ir::OpType;
+  static const std::map<std::string, GateSpec> table = {
+      {"id", {OpType::I, 0, 0}},       {"x", {OpType::X, 0, 0}},
+      {"y", {OpType::Y, 0, 0}},        {"z", {OpType::Z, 0, 0}},
+      {"h", {OpType::H, 0, 0}},        {"s", {OpType::S, 0, 0}},
+      {"sdg", {OpType::Sdg, 0, 0}},    {"t", {OpType::T, 0, 0}},
+      {"tdg", {OpType::Tdg, 0, 0}},    {"rx", {OpType::RX, 1, 0}},
+      {"ry", {OpType::RY, 1, 0}},      {"rz", {OpType::RZ, 1, 0}},
+      {"p", {OpType::Phase, 1, 0}},    {"u1", {OpType::Phase, 1, 0}},
+      {"u2", {OpType::U2, 2, 0}},      {"u3", {OpType::U3, 3, 0}},
+      {"u", {OpType::U3, 3, 0}},       {"cx", {OpType::X, 0, 1}},
+      {"CX", {OpType::X, 0, 1}},       {"cy", {OpType::Y, 0, 1}},
+      {"cz", {OpType::Z, 0, 1}},       {"ch", {OpType::H, 0, 1}},
+      {"crz", {OpType::RZ, 1, 1}},     {"cp", {OpType::Phase, 1, 1}},
+      {"cu1", {OpType::Phase, 1, 1}},  {"cu3", {OpType::U3, 3, 1}},
+      {"ccx", {OpType::X, 0, 2}},      {"swap", {OpType::SWAP, 0, 0, true}},
+      {"cswap", {OpType::SWAP, 0, 1, true}},
+  };
+  return table;
+}
+
+class Parser {
+public:
+  explicit Parser(std::istream& is, std::string name)
+      : in_(is), name_(std::move(name)) {}
+
+  ir::QuantumComputation parse() {
+    parseHeader();
+    while (!in_.atEnd()) {
+      parseStatement();
+    }
+    ir::QuantumComputation qc(totalQubits_, name_);
+    for (auto& op : ops_) {
+      qc.emplace(std::move(op));
+    }
+    return qc;
+  }
+
+private:
+  void parseHeader() {
+    const std::string kw = in_.identifier();
+    if (kw != "OPENQASM") {
+      in_.fail("file must start with OPENQASM");
+    }
+    (void)in_.number(); // version
+    in_.expect(';');
+  }
+
+  void parseStatement() {
+    const std::string kw = in_.identifier();
+    if (kw == "include") {
+      (void)in_.quotedString();
+      in_.expect(';');
+    } else if (kw == "qreg") {
+      const std::string name = in_.identifier();
+      in_.expect('[');
+      const auto size = static_cast<std::size_t>(in_.number());
+      in_.expect(']');
+      in_.expect(';');
+      if (size == 0) {
+        in_.fail("empty quantum register");
+      }
+      if (qregs_.contains(name)) {
+        in_.fail("duplicate register " + name);
+      }
+      qregs_[name] = Register{totalQubits_, size};
+      totalQubits_ += size;
+    } else if (kw == "creg") {
+      (void)in_.identifier();
+      in_.expect('[');
+      (void)in_.number();
+      in_.expect(']');
+      in_.expect(';');
+    } else if (kw == "barrier") {
+      skipOperands();
+    } else if (kw == "measure") {
+      skipOperands();
+    } else if (kw == "reset") {
+      in_.fail("reset is not supported (unitary circuits only)");
+    } else if (kw == "gate") {
+      parseGateDefinition();
+    } else if (kw == "opaque") {
+      in_.fail("opaque gates have no functionality to check");
+    } else {
+      parseGate(kw);
+    }
+  }
+
+  struct GateDefinition {
+    std::vector<std::string> params;
+    std::vector<std::string> qubits;
+    std::string body;
+  };
+
+  void parseGateDefinition() {
+    const std::string name = in_.identifier();
+    if (gateTable().contains(name) || userGates_.contains(name)) {
+      in_.fail("gate redefinition: " + name);
+    }
+    GateDefinition def;
+    if (in_.consumeIf('(')) {
+      if (!in_.consumeIf(')')) {
+        def.params.push_back(in_.identifier());
+        while (in_.consumeIf(',')) {
+          def.params.push_back(in_.identifier());
+        }
+        in_.expect(')');
+      }
+    }
+    def.qubits.push_back(in_.identifier());
+    while (in_.consumeIf(',')) {
+      def.qubits.push_back(in_.identifier());
+    }
+    in_.expect('{');
+    def.body = in_.captureBlock();
+    userGates_.emplace(name, std::move(def));
+  }
+
+  /// Emit one (possibly user-defined) gate application on concrete qubits.
+  void applyGateByName(const std::string& name,
+                       const std::vector<double>& params,
+                       const std::vector<ir::Qubit>& qubits,
+                       std::size_t depth) {
+    if (depth > 64) {
+      in_.fail("gate definitions nested too deeply (recursion?)");
+    }
+    if (const auto user = userGates_.find(name); user != userGates_.end()) {
+      const GateDefinition& def = user->second;
+      if (params.size() != def.params.size() ||
+          qubits.size() != def.qubits.size()) {
+        in_.fail("wrong argument count for gate " + name);
+      }
+      SymbolTable symbols;
+      for (std::size_t i = 0; i < def.params.size(); ++i) {
+        symbols[def.params[i]] = params[i];
+      }
+      std::map<std::string, ir::Qubit> qubitOf;
+      for (std::size_t i = 0; i < def.qubits.size(); ++i) {
+        qubitOf[def.qubits[i]] = qubits[i];
+      }
+
+      Cursor body(def.body);
+      while (!body.atEnd()) {
+        const std::string inner = body.identifier();
+        if (inner == "barrier") {
+          while (body.peek() != ';') {
+            (void)body.get();
+          }
+          body.expect(';');
+          continue;
+        }
+        std::vector<double> innerParams;
+        if (body.peek() == '(') {
+          body.expect('(');
+          if (body.peek() != ')') {
+            innerParams.push_back(parseExpression(body, &symbols));
+            while (body.consumeIf(',')) {
+              innerParams.push_back(parseExpression(body, &symbols));
+            }
+          }
+          body.expect(')');
+        }
+        std::vector<ir::Qubit> innerQubits;
+        while (true) {
+          const std::string qname = body.identifier();
+          const auto it = qubitOf.find(qname);
+          if (it == qubitOf.end()) {
+            in_.fail("unknown qubit " + qname + " in gate " + name);
+          }
+          innerQubits.push_back(it->second);
+          if (!body.consumeIf(',')) {
+            break;
+          }
+        }
+        body.expect(';');
+        applyGateByName(inner, innerParams, innerQubits, depth + 1);
+      }
+      return;
+    }
+
+    const auto it = gateTable().find(name);
+    if (it == gateTable().end()) {
+      in_.fail("unsupported gate: " + name);
+    }
+    const GateSpec& spec = it->second;
+    if (params.size() != spec.nparams) {
+      in_.fail("wrong parameter count for gate " + name);
+    }
+    const std::size_t nTargets = spec.twoTargets ? 2 : 1;
+    if (qubits.size() != spec.ncontrols + nTargets) {
+      in_.fail("wrong operand count for gate " + name);
+    }
+    std::array<double, 3> paramArray{};
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      paramArray[i] = params[i];
+    }
+    std::vector<ir::Control> controls;
+    for (std::size_t c = 0; c < spec.ncontrols; ++c) {
+      controls.push_back(ir::Control{qubits[c], true});
+    }
+    std::vector<ir::Qubit> targets(qubits.begin() +
+                                       static_cast<std::ptrdiff_t>(spec.ncontrols),
+                                   qubits.end());
+    ops_.emplace_back(spec.type, std::move(targets), std::move(controls),
+                      paramArray);
+  }
+
+  void skipOperands() {
+    while (in_.peek() != ';') {
+      (void)in_.get();
+    }
+    in_.expect(';');
+  }
+
+  /// An operand: either reg[idx] (one qubit) or reg (the whole register).
+  struct Operand {
+    std::size_t offset{};
+    std::size_t count{}; // 1 for indexed, register size for broadcast
+  };
+
+  Operand parseOperand() {
+    const std::string reg = in_.identifier();
+    const auto it = qregs_.find(reg);
+    if (it == qregs_.end()) {
+      in_.fail("unknown register " + reg);
+    }
+    if (in_.consumeIf('[')) {
+      const auto idx = static_cast<std::size_t>(in_.number());
+      in_.expect(']');
+      if (idx >= it->second.size) {
+        in_.fail("index out of range for register " + reg);
+      }
+      return Operand{it->second.offset + idx, 1};
+    }
+    return Operand{it->second.offset, it->second.size};
+  }
+
+  void parseGate(const std::string& name) {
+    std::vector<double> params;
+    if (in_.peek() == '(') {
+      in_.expect('(');
+      if (in_.peek() != ')') {
+        params.push_back(parseExpression(in_));
+        while (in_.consumeIf(',')) {
+          params.push_back(parseExpression(in_));
+        }
+      }
+      in_.expect(')');
+    }
+
+    std::vector<Operand> operands;
+    operands.push_back(parseOperand());
+    while (in_.consumeIf(',')) {
+      operands.push_back(parseOperand());
+    }
+    in_.expect(';');
+
+    // broadcasting: all multi-qubit operands must have the same size
+    std::size_t broadcast = 1;
+    for (const Operand& o : operands) {
+      if (o.count > 1) {
+        if (broadcast > 1 && o.count != broadcast) {
+          in_.fail("mismatched register sizes in broadcast");
+        }
+        broadcast = o.count;
+      }
+    }
+
+    for (std::size_t b = 0; b < broadcast; ++b) {
+      std::vector<ir::Qubit> qubits;
+      qubits.reserve(operands.size());
+      for (const Operand& o : operands) {
+        qubits.push_back(
+            static_cast<ir::Qubit>(o.count == 1 ? o.offset : o.offset + b));
+      }
+      applyGateByName(name, params, qubits, 0);
+    }
+  }
+
+  Cursor in_;
+  std::string name_;
+  std::map<std::string, Register> qregs_;
+  std::map<std::string, GateDefinition> userGates_;
+  std::size_t totalQubits_{0};
+  std::vector<ir::StandardOperation> ops_;
+};
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+void writeOperation(const ir::StandardOperation& op, std::ostream& os) {
+  using ir::OpType;
+  const auto& controls = op.controls();
+  for (const ir::Control& c : controls) {
+    if (!c.positive) {
+      throw std::domain_error(
+          "OpenQASM 2.0 cannot express negative controls; decompose first");
+    }
+  }
+
+  const auto q = [](ir::Qubit qubit) {
+    return "q[" + std::to_string(qubit) + "]";
+  };
+  const auto operands = [&] {
+    std::string s;
+    for (const ir::Control& c : controls) {
+      s += q(c.qubit) + ",";
+    }
+    for (const ir::Qubit t : op.targets()) {
+      s += q(t) + ",";
+    }
+    s.pop_back();
+    return s;
+  };
+  const auto paramList = [&op](std::size_t n) {
+    std::ostringstream ss;
+    ss.precision(17);
+    ss << "(";
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i > 0) {
+        ss << ",";
+      }
+      ss << op.param(i);
+    }
+    ss << ")";
+    return ss.str();
+  };
+
+  std::string name;
+  std::string params;
+  switch (op.type()) {
+  case OpType::I:
+    name = "id";
+    break;
+  case OpType::H:
+    name = controls.size() <= 1 ? (controls.empty() ? "h" : "ch") : "";
+    break;
+  case OpType::X:
+    name = controls.empty() ? "x"
+           : controls.size() == 1 ? "cx"
+           : controls.size() == 2 ? "ccx"
+                                  : "";
+    break;
+  case OpType::Y:
+    name = controls.empty() ? "y" : controls.size() == 1 ? "cy" : "";
+    break;
+  case OpType::Z:
+    name = controls.empty() ? "z" : controls.size() == 1 ? "cz" : "";
+    break;
+  case OpType::S:
+    name = controls.empty() ? "s" : "";
+    break;
+  case OpType::Sdg:
+    name = controls.empty() ? "sdg" : "";
+    break;
+  case OpType::T:
+    name = controls.empty() ? "t" : "";
+    break;
+  case OpType::Tdg:
+    name = controls.empty() ? "tdg" : "";
+    break;
+  case OpType::RX:
+    name = controls.empty() ? "rx" : "";
+    params = paramList(1);
+    break;
+  case OpType::RY:
+    name = controls.empty() ? "ry" : "";
+    params = paramList(1);
+    break;
+  case OpType::RZ:
+    name = controls.empty() ? "rz" : controls.size() == 1 ? "crz" : "";
+    params = paramList(1);
+    break;
+  case OpType::Phase:
+    name = controls.empty() ? "u1" : controls.size() == 1 ? "cu1" : "";
+    params = paramList(1);
+    break;
+  case OpType::U2:
+    name = controls.empty() ? "u2" : "";
+    params = paramList(2);
+    break;
+  case OpType::U3:
+    name = controls.empty() ? "u3" : controls.size() == 1 ? "cu3" : "";
+    params = paramList(3);
+    break;
+  case OpType::SWAP:
+    name = controls.empty() ? "swap" : controls.size() == 1 ? "cswap" : "";
+    break;
+  case OpType::V:
+    // V = e^{i pi/4} · sdg h sdg (phase-equivalent)
+    if (!controls.empty()) {
+      break;
+    }
+    os << "sdg " << q(op.target()) << ";\n"
+       << "h " << q(op.target()) << ";\n"
+       << "sdg " << q(op.target()) << ";\n";
+    return;
+  case OpType::Vdg:
+    if (!controls.empty()) {
+      break;
+    }
+    os << "s " << q(op.target()) << ";\n"
+       << "h " << q(op.target()) << ";\n"
+       << "s " << q(op.target()) << ";\n";
+    return;
+  case OpType::SY:
+    // SY = e^{i pi/4} · ry(pi/2)
+    if (!controls.empty()) {
+      break;
+    }
+    os << "ry(pi/2) " << q(op.target()) << ";\n";
+    return;
+  case OpType::SYdg:
+    if (!controls.empty()) {
+      break;
+    }
+    os << "ry(-pi/2) " << q(op.target()) << ";\n";
+    return;
+  case OpType::GPhase:
+    throw std::domain_error(
+        "OpenQASM 2.0 cannot express a global phase; drop or decompose it");
+  }
+  if (name.empty()) {
+    throw std::domain_error(
+        "operation not expressible in OpenQASM 2.0; decompose first");
+  }
+  os << name << params << " " << operands() << ";\n";
+}
+
+} // namespace
+
+ir::QuantumComputation parseQasm(std::istream& is, std::string name) {
+  Parser parser(is, std::move(name));
+  return parser.parse();
+}
+
+ir::QuantumComputation parseQasmString(const std::string& text,
+                                       std::string name) {
+  std::istringstream is(text);
+  return parseQasm(is, std::move(name));
+}
+
+ir::QuantumComputation parseQasmFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return parseQasm(is, path);
+}
+
+void writeQasm(const ir::QuantumComputation& qc, std::ostream& os) {
+  if (!qc.initialLayout().isIdentity() ||
+      !qc.outputPermutation().isIdentity()) {
+    throw std::domain_error(
+        "OpenQASM 2.0 export requires trivial layouts; materialize the "
+        "permutations as SWAP gates first");
+  }
+  os << "OPENQASM 2.0;\n"
+     << "include \"qelib1.inc\";\n"
+     << "qreg q[" << qc.qubits() << "];\n";
+  for (const ir::StandardOperation& op : qc) {
+    writeOperation(op, os);
+  }
+}
+
+std::string toQasmString(const ir::QuantumComputation& qc) {
+  std::ostringstream ss;
+  writeQasm(qc, ss);
+  return ss.str();
+}
+
+void writeQasmFile(const ir::QuantumComputation& qc, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  writeQasm(qc, os);
+}
+
+} // namespace qsimec::io

@@ -1,0 +1,232 @@
+#include "io/real.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace qsimec::io {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (ss >> tok) {
+    if (tok.front() == '#') {
+      break; // trailing comment
+    }
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+} // namespace
+
+ir::QuantumComputation parseReal(std::istream& is, std::string name) {
+  std::size_t lineNo = 0;
+  std::size_t numvars = 0;
+  std::map<std::string, ir::Qubit> variableIndex;
+  bool inBody = false;
+  bool done = false;
+  std::vector<ir::StandardOperation> ops;
+
+  const auto fail = [&lineNo](const std::string& message) -> void {
+    throw RealParseError(message, lineNo);
+  };
+
+  std::string line;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& head = tokens.front();
+
+    if (!inBody) {
+      if (head == ".version" || head == ".inputs" || head == ".outputs" ||
+          head == ".constants" || head == ".garbage" ||
+          head == ".inputbus" || head == ".outputbus") {
+        continue; // metadata we do not need for functionality
+      }
+      if (head == ".numvars") {
+        if (tokens.size() != 2) {
+          fail(".numvars expects one argument");
+        }
+        numvars = std::stoul(tokens[1]);
+        continue;
+      }
+      if (head == ".variables") {
+        if (numvars == 0) {
+          fail(".numvars must precede .variables");
+        }
+        if (tokens.size() != numvars + 1) {
+          fail(".variables count does not match .numvars");
+        }
+        // first listed variable = most-significant qubit
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          const auto qubit = static_cast<ir::Qubit>(numvars - i);
+          if (!variableIndex.emplace(tokens[i], qubit).second) {
+            fail("duplicate variable " + tokens[i]);
+          }
+        }
+        continue;
+      }
+      if (head == ".begin") {
+        if (variableIndex.empty()) {
+          fail(".begin before .variables");
+        }
+        inBody = true;
+        continue;
+      }
+      fail("unexpected directive " + head);
+    }
+
+    if (head == ".end") {
+      done = true;
+      break;
+    }
+
+    // gate line: <kind><arity> operands...
+    const char kind = head.front();
+    if (kind != 't' && kind != 'f' && kind != 'v') {
+      fail("unsupported gate " + head);
+    }
+    const bool isVdg = head.rfind("v+", 0) == 0;
+    const std::string arityStr =
+        isVdg ? head.substr(2) : head.substr(1);
+    std::size_t arity = 0;
+    if (!arityStr.empty()) {
+      arity = std::stoul(arityStr);
+    } else {
+      arity = tokens.size() - 1; // unspecified arity: infer from operands
+    }
+    if (tokens.size() != arity + 1) {
+      fail("gate " + head + " expects " + std::to_string(arity) +
+           " operands");
+    }
+
+    // resolve operands; '-' prefix marks a negative control
+    std::vector<std::pair<ir::Qubit, bool>> operands; // (qubit, positive)
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      std::string var = tokens[i];
+      bool positive = true;
+      if (var.front() == '-') {
+        positive = false;
+        var = var.substr(1);
+      }
+      const auto it = variableIndex.find(var);
+      if (it == variableIndex.end()) {
+        fail("unknown variable " + tokens[i]);
+      }
+      operands.emplace_back(it->second, positive);
+    }
+
+    const std::size_t nTargets = (kind == 'f') ? 2 : 1;
+    if (operands.size() < nTargets) {
+      fail("gate " + head + " needs at least " + std::to_string(nTargets) +
+           " targets");
+    }
+    std::vector<ir::Control> controls;
+    for (std::size_t i = 0; i + nTargets < operands.size(); ++i) {
+      controls.push_back(ir::Control{operands[i].first, operands[i].second});
+    }
+    std::vector<ir::Qubit> targets;
+    for (std::size_t i = operands.size() - nTargets; i < operands.size();
+         ++i) {
+      if (!operands[i].second) {
+        fail("targets cannot be negated");
+      }
+      targets.push_back(operands[i].first);
+    }
+
+    ir::OpType type = ir::OpType::X;
+    if (kind == 'f') {
+      type = ir::OpType::SWAP;
+    } else if (kind == 'v') {
+      type = isVdg ? ir::OpType::Vdg : ir::OpType::V;
+    }
+    ops.emplace_back(type, std::move(targets), std::move(controls));
+  }
+
+  if (inBody && !done) {
+    fail("missing .end");
+  }
+  if (numvars == 0) {
+    fail("missing .numvars");
+  }
+
+  ir::QuantumComputation qc(numvars, std::move(name));
+  for (auto& op : ops) {
+    qc.emplace(std::move(op));
+  }
+  return qc;
+}
+
+ir::QuantumComputation parseRealString(const std::string& text,
+                                       std::string name) {
+  std::istringstream is(text);
+  return parseReal(is, std::move(name));
+}
+
+ir::QuantumComputation parseRealFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return parseReal(is, path);
+}
+
+void writeReal(const ir::QuantumComputation& qc, std::ostream& os) {
+  if (!qc.initialLayout().isIdentity() ||
+      !qc.outputPermutation().isIdentity()) {
+    throw std::domain_error(".real export requires trivial layouts");
+  }
+  const std::size_t n = qc.qubits();
+  os << ".version 2.0\n.numvars " << n << "\n.variables";
+  for (std::size_t i = 0; i < n; ++i) {
+    os << " x" << (n - 1 - i); // first variable = MSB = qubit n-1
+  }
+  os << "\n.begin\n";
+  for (const ir::StandardOperation& op : qc) {
+    std::string kind;
+    switch (op.type()) {
+    case ir::OpType::X:
+      kind = "t";
+      break;
+    case ir::OpType::SWAP:
+      kind = "f";
+      break;
+    case ir::OpType::V:
+      kind = "v";
+      break;
+    case ir::OpType::Vdg:
+      kind = "v+";
+      break;
+    default:
+      throw std::domain_error(
+          ".real export supports only X/SWAP/V/Vdg operations");
+    }
+    const std::size_t arity = op.controls().size() + op.targets().size();
+    os << kind << arity;
+    for (const ir::Control& c : op.controls()) {
+      os << " " << (c.positive ? "" : "-") << "x" << c.qubit;
+    }
+    for (const ir::Qubit t : op.targets()) {
+      os << " x" << t;
+    }
+    os << "\n";
+  }
+  os << ".end\n";
+}
+
+std::string toRealString(const ir::QuantumComputation& qc) {
+  std::ostringstream ss;
+  writeReal(qc, ss);
+  return ss.str();
+}
+
+} // namespace qsimec::io

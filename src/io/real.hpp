@@ -1,0 +1,41 @@
+// RevLib `.real` format reader and writer (reversible circuits, [27]).
+//
+// Supported gates: tN (multi-controlled Toffoli; t1 = NOT, t2 = CNOT),
+// fN (multi-controlled Fredkin; f2 = SWAP), vN / v+N (multi-controlled
+// V / V†). Negative controls are denoted by a '-' prefix on the variable
+// name, as in RevLib 2.0.
+//
+// Qubit convention: the FIRST variable listed in `.variables` is the
+// most-significant qubit (index numvars-1); the last variable is qubit 0.
+// This matches the usual RevLib drawing with the first variable on the top
+// wire and keeps truth-table bit order consistent with synth::TruthTable.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace qsimec::io {
+
+class RealParseError : public std::runtime_error {
+public:
+  RealParseError(const std::string& message, std::size_t line)
+      : std::runtime_error("REAL parse error (line " + std::to_string(line) +
+                           "): " + message) {}
+};
+
+[[nodiscard]] ir::QuantumComputation parseReal(std::istream& is,
+                                               std::string name = "");
+[[nodiscard]] ir::QuantumComputation parseRealString(const std::string& text,
+                                                     std::string name = "");
+[[nodiscard]] ir::QuantumComputation parseRealFile(const std::string& path);
+
+/// The circuit may only contain X, SWAP, V, and Vdg operations (with any
+/// controls); throws std::domain_error otherwise.
+void writeReal(const ir::QuantumComputation& qc, std::ostream& os);
+[[nodiscard]] std::string toRealString(const ir::QuantumComputation& qc);
+
+} // namespace qsimec::io

@@ -1,0 +1,128 @@
+// Operation kinds of the circuit IR.
+//
+// The gate set mirrors what the DAC'20 design flows operate on: the IBM-style
+// elementary gates plus multi-controlled variants (any operation may carry an
+// arbitrary number of positive/negative controls) and SWAP.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace qsimec::ir {
+
+enum class OpType : std::uint8_t {
+  I,
+  H,
+  X,
+  Y,
+  Z,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  V,   // sqrt(X) (up to global phase)
+  Vdg, // V†
+  SY,  // sqrt(Y) (up to global phase)
+  SYdg,
+  RX,    // params[0] = theta
+  RY,    // params[0] = theta
+  RZ,    // params[0] = theta
+  Phase, // params[0] = lambda, diag(1, e^{i lambda})
+  U2,    // params[0] = phi, params[1] = lambda
+  U3,    // params[0] = theta, params[1] = phi, params[2] = lambda
+  SWAP,  // two targets
+  GPhase, // params[0] = theta: e^{i theta} * Identity (global-phase marker;
+          // carries a dummy target so it fits the operation shape)
+};
+
+/// Number of angle parameters carried by the operation type.
+[[nodiscard]] constexpr std::size_t numParams(OpType t) noexcept {
+  switch (t) {
+  case OpType::RX:
+  case OpType::RY:
+  case OpType::RZ:
+  case OpType::Phase:
+  case OpType::GPhase:
+    return 1;
+  case OpType::U2:
+    return 2;
+  case OpType::U3:
+    return 3;
+  default:
+    return 0;
+  }
+}
+
+/// Number of target qubits (1 for everything except SWAP).
+[[nodiscard]] constexpr std::size_t numTargets(OpType t) noexcept {
+  return t == OpType::SWAP ? 2 : 1;
+}
+
+[[nodiscard]] constexpr std::string_view toString(OpType t) noexcept {
+  switch (t) {
+  case OpType::I:
+    return "id";
+  case OpType::H:
+    return "h";
+  case OpType::X:
+    return "x";
+  case OpType::Y:
+    return "y";
+  case OpType::Z:
+    return "z";
+  case OpType::S:
+    return "s";
+  case OpType::Sdg:
+    return "sdg";
+  case OpType::T:
+    return "t";
+  case OpType::Tdg:
+    return "tdg";
+  case OpType::V:
+    return "v";
+  case OpType::Vdg:
+    return "vdg";
+  case OpType::SY:
+    return "sy";
+  case OpType::SYdg:
+    return "sydg";
+  case OpType::RX:
+    return "rx";
+  case OpType::RY:
+    return "ry";
+  case OpType::RZ:
+    return "rz";
+  case OpType::Phase:
+    return "p";
+  case OpType::U2:
+    return "u2";
+  case OpType::U3:
+    return "u3";
+  case OpType::SWAP:
+    return "swap";
+  case OpType::GPhase:
+    return "gphase";
+  }
+  return "?";
+}
+
+/// True for diagonal gates (useful for optimization passes).
+[[nodiscard]] constexpr bool isDiagonal(OpType t) noexcept {
+  switch (t) {
+  case OpType::I:
+  case OpType::Z:
+  case OpType::S:
+  case OpType::Sdg:
+  case OpType::T:
+  case OpType::Tdg:
+  case OpType::RZ:
+  case OpType::Phase:
+  case OpType::GPhase:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace qsimec::ir

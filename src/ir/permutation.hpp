@@ -1,0 +1,94 @@
+// Qubit permutations: mappings from logical qubits to physical wires.
+//
+// A circuit's `initialLayout` places logical qubit i on wire layout[i] at the
+// input; its `outputPermutation` says on which wire logical qubit i sits at
+// the output (mappers that route with SWAPs produce non-trivial output
+// permutations). Both default to the identity.
+
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace qsimec::ir {
+
+class Permutation {
+public:
+  Permutation() = default;
+  explicit Permutation(std::size_t n) : map_(n) {
+    std::iota(map_.begin(), map_.end(), 0);
+  }
+  explicit Permutation(std::vector<std::uint16_t> map) : map_(std::move(map)) {
+    validate();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::uint16_t operator[](std::size_t i) const {
+    return map_.at(i);
+  }
+  void set(std::size_t logical, std::uint16_t wire) { map_.at(logical) = wire; }
+
+  [[nodiscard]] bool isIdentity() const noexcept {
+    for (std::size_t i = 0; i < map_.size(); ++i) {
+      if (map_[i] != i) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] Permutation inverse() const {
+    std::vector<std::uint16_t> inv(map_.size());
+    for (std::size_t i = 0; i < map_.size(); ++i) {
+      inv[map_[i]] = static_cast<std::uint16_t>(i);
+    }
+    return Permutation(std::move(inv));
+  }
+
+  /// Decompose into a sequence of transpositions (on wires) whose product —
+  /// applied left to right — realizes this permutation: starting from the
+  /// identity placement, applying the swaps moves logical qubit i to wire
+  /// map[i].
+  [[nodiscard]] std::vector<std::pair<std::uint16_t, std::uint16_t>>
+  toSwaps() const {
+    std::vector<std::uint16_t> current(map_.size());
+    std::iota(current.begin(), current.end(), 0);
+    // position[w] = logical qubit currently on wire w
+    std::vector<std::uint16_t> position = current;
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> swaps;
+    for (std::uint16_t logical = 0; logical < map_.size(); ++logical) {
+      const std::uint16_t want = map_[logical];
+      const std::uint16_t have = current[logical];
+      if (want == have) {
+        continue;
+      }
+      // swap wires `have` and `want`
+      const std::uint16_t other = position[want];
+      std::swap(position[have], position[want]);
+      current[logical] = want;
+      current[other] = have;
+      swaps.emplace_back(have, want);
+    }
+    return swaps;
+  }
+
+  [[nodiscard]] bool operator==(const Permutation&) const = default;
+
+private:
+  void validate() const {
+    std::vector<bool> seen(map_.size(), false);
+    for (const std::uint16_t w : map_) {
+      if (w >= map_.size() || seen[w]) {
+        throw std::invalid_argument("Permutation: not a bijection");
+      }
+      seen[w] = true;
+    }
+  }
+
+  std::vector<std::uint16_t> map_;
+};
+
+} // namespace qsimec::ir

@@ -1,0 +1,122 @@
+#include "sim/dense_simulator.hpp"
+
+#include "dd/gate_matrices.hpp"
+#include "sim/dd_simulator.hpp" // toElementaryGates
+
+#include <stdexcept>
+
+namespace qsimec::sim {
+
+namespace {
+
+bool controlsSatisfied(const std::vector<dd::Control>& controls,
+                       std::uint64_t idx) {
+  for (const dd::Control& c : controls) {
+    const bool bit = ((idx >> c.qubit) & 1U) != 0U;
+    if (bit != c.positive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void applyElementary(const ElementaryGate& g, std::vector<Amplitude>& state) {
+  const std::uint64_t mask = 1ULL << g.target;
+  const Amplitude m00{g.matrix[0].re, g.matrix[0].im};
+  const Amplitude m01{g.matrix[1].re, g.matrix[1].im};
+  const Amplitude m10{g.matrix[2].re, g.matrix[2].im};
+  const Amplitude m11{g.matrix[3].re, g.matrix[3].im};
+  for (std::uint64_t idx = 0; idx < state.size(); ++idx) {
+    if ((idx & mask) != 0U || !controlsSatisfied(g.controls, idx)) {
+      continue;
+    }
+    const Amplitude a0 = state[idx];
+    const Amplitude a1 = state[idx | mask];
+    state[idx] = m00 * a0 + m01 * a1;
+    state[idx | mask] = m10 * a0 + m11 * a1;
+  }
+}
+
+/// Map a logical basis index to the wire index under layout `perm`
+/// (bit perm[k] of the result = bit k of `logical`).
+std::uint64_t logicalToWires(std::uint64_t logical, const ir::Permutation& perm) {
+  std::uint64_t wires = 0;
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    if ((logical >> k) & 1U) {
+      wires |= 1ULL << perm[k];
+    }
+  }
+  return wires;
+}
+
+} // namespace
+
+void DenseSimulator::applyOperation(const ir::StandardOperation& op,
+                                    std::vector<Amplitude>& state) {
+  for (const ElementaryGate& g : toElementaryGates(op)) {
+    applyElementary(g, state);
+  }
+}
+
+std::vector<Amplitude>
+DenseSimulator::simulate(const ir::QuantumComputation& qc,
+                         std::uint64_t basisState) {
+  if (qc.qubits() > 24) {
+    throw std::invalid_argument("DenseSimulator: limited to 24 qubits");
+  }
+  const std::uint64_t dim = 1ULL << qc.qubits();
+  if (basisState >= dim) {
+    throw std::invalid_argument("DenseSimulator: basis state out of range");
+  }
+  std::vector<Amplitude> state(dim, Amplitude{0, 0});
+  state[basisState] = Amplitude{1, 0};
+  return simulate(qc, std::move(state));
+}
+
+std::vector<Amplitude>
+DenseSimulator::simulate(const ir::QuantumComputation& qc,
+                         std::vector<Amplitude> logical) {
+  const std::uint64_t dim = 1ULL << qc.qubits();
+  if (logical.size() != dim) {
+    throw std::invalid_argument("DenseSimulator: state dimension mismatch");
+  }
+
+  // place logical qubits on wires
+  std::vector<Amplitude> state(dim, Amplitude{0, 0});
+  if (qc.initialLayout().isIdentity()) {
+    state = std::move(logical);
+  } else {
+    for (std::uint64_t i = 0; i < dim; ++i) {
+      state[logicalToWires(i, qc.initialLayout())] = logical[i];
+    }
+  }
+
+  for (const ir::StandardOperation& op : qc) {
+    applyOperation(op, state);
+  }
+
+  // read logical qubits off their output wires
+  if (qc.outputPermutation().isIdentity()) {
+    return state;
+  }
+  std::vector<Amplitude> out(dim, Amplitude{0, 0});
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    out[i] = state[logicalToWires(i, qc.outputPermutation())];
+  }
+  return out;
+}
+
+std::vector<std::vector<Amplitude>>
+DenseSimulator::buildMatrix(const ir::QuantumComputation& qc) {
+  const std::uint64_t dim = 1ULL << qc.qubits();
+  std::vector<std::vector<Amplitude>> matrix(dim, std::vector<Amplitude>(dim));
+  for (std::uint64_t c = 0; c < dim; ++c) {
+    const std::vector<Amplitude> column = simulate(qc, c);
+    for (std::uint64_t r = 0; r < dim; ++r) {
+      matrix[r][c] = column[r];
+    }
+  }
+  return matrix;
+}
+
+} // namespace qsimec::sim

@@ -1,0 +1,57 @@
+#include "sim/observables.hpp"
+
+#include <stdexcept>
+
+namespace qsimec::sim {
+
+double expectationValue(dd::Package& pkg, const dd::vEdge& state,
+                        const std::vector<PauliTerm>& pauli) {
+  dd::vEdge transformed = state;
+  pkg.incRef(transformed);
+  for (const auto& [qubit, axis] : pauli) {
+    const dd::GateMatrix* mat = nullptr;
+    switch (axis) {
+    case 'I':
+      continue;
+    case 'X':
+      mat = &dd::Xmat;
+      break;
+    case 'Y':
+      mat = &dd::Ymat;
+      break;
+    case 'Z':
+      mat = &dd::Zmat;
+      break;
+    default:
+      pkg.decRef(transformed);
+      throw std::invalid_argument("expectationValue: unknown Pauli axis");
+    }
+    const dd::vEdge next =
+        pkg.multiply(pkg.makeGateDD(*mat, qubit), transformed);
+    pkg.incRef(next);
+    pkg.decRef(transformed);
+    transformed = next;
+  }
+  const double numerator = pkg.innerProduct(state, transformed).re;
+  const double norm = pkg.innerProduct(state, state).re;
+  pkg.decRef(transformed);
+  return numerator / norm;
+}
+
+std::vector<PauliTerm> parsePauliString(const std::string& s) {
+  std::vector<PauliTerm> terms;
+  const std::size_t n = s.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char axis = s[i];
+    if (axis != 'I' && axis != 'X' && axis != 'Y' && axis != 'Z') {
+      throw std::invalid_argument("parsePauliString: unknown axis");
+    }
+    if (axis != 'I') {
+      // first character = most-significant qubit
+      terms.emplace_back(static_cast<dd::Var>(n - 1 - i), axis);
+    }
+  }
+  return terms;
+}
+
+} // namespace qsimec::sim

@@ -1,0 +1,29 @@
+// Observables on DD states: Pauli-string expectation values.
+//
+// <psi| P |psi> for P = ⊗ P_q with P_q in {I, X, Y, Z} is real (P is
+// Hermitian) and computable with one matrix-vector application plus an
+// inner product — handy for physics-flavoured checks (e.g. energy of a
+// Hubbard-Trotter state) and for observable-based circuit comparison.
+
+#pragma once
+
+#include "dd/package.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qsimec::sim {
+
+/// One Pauli factor: which qubit, which axis ('I', 'X', 'Y', 'Z').
+using PauliTerm = std::pair<dd::Var, char>;
+
+/// <state|P|state> / <state|state>. Throws on invalid axes/qubits.
+[[nodiscard]] double expectationValue(dd::Package& pkg,
+                                      const dd::vEdge& state,
+                                      const std::vector<PauliTerm>& pauli);
+
+/// Parse "XIZY" (qubit n-1 first, matching basisLabel order) into terms.
+[[nodiscard]] std::vector<PauliTerm> parsePauliString(const std::string& s);
+
+} // namespace qsimec::sim

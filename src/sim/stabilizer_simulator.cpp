@@ -1,0 +1,324 @@
+#include "sim/stabilizer_simulator.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qsimec::sim {
+
+namespace {
+
+/// Phase exponent contribution g(x1,z1,x2,z2) of multiplying Pauli
+/// (x1,z1) into (x2,z2) — Aaronson & Gottesman, Eq. for rowsum.
+int phaseG(int x1, int z1, int x2, int z2) {
+  if (x1 == 0 && z1 == 0) {
+    return 0;
+  }
+  if (x1 == 1 && z1 == 1) {
+    return z2 - x2;
+  }
+  if (x1 == 1 && z1 == 0) {
+    return z2 * (2 * x2 - 1);
+  }
+  return x2 * (1 - 2 * z2);
+}
+
+/// Angle reduced to a multiple of pi/2 in [0,4); throws if not Clifford.
+int quarterTurns(double angle) {
+  const double turns = angle / (std::numbers::pi / 2);
+  const double rounded = std::round(turns);
+  if (std::abs(turns - rounded) > 1e-9) {
+    throw std::domain_error(
+        "StabilizerSimulator: phase angle is not a multiple of pi/2");
+  }
+  int q = static_cast<int>(std::llround(rounded)) % 4;
+  if (q < 0) {
+    q += 4;
+  }
+  return q;
+}
+
+} // namespace
+
+StabilizerSimulator::StabilizerSimulator(std::size_t nqubits) : n_(nqubits) {
+  if (nqubits == 0) {
+    throw std::invalid_argument("StabilizerSimulator: need at least 1 qubit");
+  }
+  x_.assign(rows(), std::vector<std::uint8_t>(n_, 0));
+  z_.assign(rows(), std::vector<std::uint8_t>(n_, 0));
+  r_.assign(rows(), 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    x_[i][i] = 1;      // destabilizer X_i
+    z_[n_ + i][i] = 1; // stabilizer Z_i
+  }
+}
+
+void StabilizerSimulator::rowsum(std::size_t h, std::size_t i) {
+  int phase = 2 * r_[h] + 2 * r_[i];
+  for (std::size_t j = 0; j < n_; ++j) {
+    phase += phaseG(x_[i][j], z_[i][j], x_[h][j], z_[h][j]);
+    x_[h][j] ^= x_[i][j];
+    z_[h][j] ^= z_[i][j];
+  }
+  phase = ((phase % 4) + 4) % 4;
+  r_[h] = static_cast<std::uint8_t>(phase / 2);
+}
+
+void StabilizerSimulator::rowcopy(std::size_t dst, std::size_t src) {
+  x_[dst] = x_[src];
+  z_[dst] = z_[src];
+  r_[dst] = r_[src];
+}
+
+void StabilizerSimulator::rowclear(std::size_t row) {
+  std::fill(x_[row].begin(), x_[row].end(), 0);
+  std::fill(z_[row].begin(), z_[row].end(), 0);
+  r_[row] = 0;
+}
+
+void StabilizerSimulator::h(std::size_t q) {
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    r_[i] ^= static_cast<std::uint8_t>(x_[i][q] & z_[i][q]);
+    std::swap(x_[i][q], z_[i][q]);
+  }
+}
+
+void StabilizerSimulator::s(std::size_t q) {
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    r_[i] ^= static_cast<std::uint8_t>(x_[i][q] & z_[i][q]);
+    z_[i][q] ^= x_[i][q];
+  }
+}
+
+void StabilizerSimulator::x(std::size_t q) {
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    r_[i] ^= z_[i][q];
+  }
+}
+
+void StabilizerSimulator::z(std::size_t q) {
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    r_[i] ^= x_[i][q];
+  }
+}
+
+void StabilizerSimulator::y(std::size_t q) {
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    r_[i] ^= static_cast<std::uint8_t>(x_[i][q] ^ z_[i][q]);
+  }
+}
+
+void StabilizerSimulator::cx(std::size_t control, std::size_t target) {
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    r_[i] ^= static_cast<std::uint8_t>(x_[i][control] & z_[i][target] &
+                                       (x_[i][target] ^ z_[i][control] ^ 1U));
+    x_[i][target] ^= x_[i][control];
+    z_[i][control] ^= z_[i][target];
+  }
+}
+
+void StabilizerSimulator::cz(std::size_t control, std::size_t target) {
+  h(target);
+  cx(control, target);
+  h(target);
+}
+
+void StabilizerSimulator::cy(std::size_t control, std::size_t target) {
+  sdg(target);
+  cx(control, target);
+  s(target);
+}
+
+void StabilizerSimulator::swap(std::size_t a, std::size_t b) {
+  cx(a, b);
+  cx(b, a);
+  cx(a, b);
+}
+
+void StabilizerSimulator::apply(const ir::StandardOperation& op) {
+  using ir::OpType;
+  const auto& controls = op.controls();
+  if (controls.size() > 1) {
+    throw std::domain_error(
+        "StabilizerSimulator: multi-controlled gates are not Clifford");
+  }
+  if (!controls.empty() && !controls.front().positive) {
+    // wrap negative control with X
+    x(controls.front().qubit);
+    ir::StandardOperation positive(
+        op.type(), op.targets(),
+        {ir::Control{controls.front().qubit, true}}, op.params());
+    apply(positive);
+    x(controls.front().qubit);
+    return;
+  }
+
+  if (controls.size() == 1) {
+    const std::size_t c = controls.front().qubit;
+    const std::size_t t = op.target();
+    switch (op.type()) {
+    case OpType::X:
+      cx(c, t);
+      return;
+    case OpType::Y:
+      cy(c, t);
+      return;
+    case OpType::Z:
+      cz(c, t);
+      return;
+    default:
+      throw std::domain_error(
+          "StabilizerSimulator: unsupported controlled gate");
+    }
+  }
+
+  const std::size_t t = op.target();
+  switch (op.type()) {
+  case OpType::I:
+  case OpType::GPhase: // global phase is invisible to stabilizer states
+    return;
+  case OpType::H:
+    h(t);
+    return;
+  case OpType::X:
+    x(t);
+    return;
+  case OpType::Y:
+    y(t);
+    return;
+  case OpType::Z:
+    z(t);
+    return;
+  case OpType::S:
+    s(t);
+    return;
+  case OpType::Sdg:
+    sdg(t);
+    return;
+  case OpType::V: // sqrt(X) = H S H exactly
+    h(t);
+    s(t);
+    h(t);
+    return;
+  case OpType::Vdg:
+    h(t);
+    sdg(t);
+    h(t);
+    return;
+  case OpType::SY: // sqrt(Y) ∝ H·Z (Z first)
+    z(t);
+    h(t);
+    return;
+  case OpType::SYdg:
+    h(t);
+    z(t);
+    return;
+  case OpType::SWAP:
+    swap(op.targets()[0], op.targets()[1]);
+    return;
+  case OpType::Phase:
+  case OpType::RZ: {
+    // multiples of pi/2 reduce to {I, S, Z, Sdg} up to global phase
+    switch (quarterTurns(op.param(0))) {
+    case 0:
+      return;
+    case 1:
+      s(t);
+      return;
+    case 2:
+      z(t);
+      return;
+    default:
+      sdg(t);
+      return;
+    }
+  }
+  default:
+    throw std::domain_error("StabilizerSimulator: non-Clifford operation " +
+                            std::string(ir::toString(op.type())));
+  }
+}
+
+void StabilizerSimulator::run(const ir::QuantumComputation& qc) {
+  if (qc.qubits() != n_) {
+    throw std::invalid_argument("StabilizerSimulator: qubit count mismatch");
+  }
+  if (!qc.initialLayout().isIdentity() ||
+      !qc.outputPermutation().isIdentity()) {
+    throw std::invalid_argument(
+        "StabilizerSimulator: layouts must be materialized");
+  }
+  for (const ir::StandardOperation& op : qc) {
+    apply(op);
+  }
+}
+
+bool StabilizerSimulator::isClifford(const ir::QuantumComputation& qc) {
+  StabilizerSimulator probe(qc.qubits());
+  try {
+    probe.run(qc);
+  } catch (const std::domain_error&) {
+    return false;
+  }
+  return true;
+}
+
+int StabilizerSimulator::deterministicOutcome(std::size_t q) const {
+  // accumulate the product of stabilizers whose destabilizer partner
+  // anticommutes with Z_q, into a local scratch row
+  std::vector<std::uint8_t> sx(n_, 0);
+  std::vector<std::uint8_t> sz(n_, 0);
+  int phase = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (x_[i][q] == 0) {
+      continue;
+    }
+    const std::size_t stab = n_ + i;
+    phase += 2 * r_[stab];
+    for (std::size_t j = 0; j < n_; ++j) {
+      phase += phaseG(x_[stab][j], z_[stab][j], sx[j], sz[j]);
+      sx[j] ^= x_[stab][j];
+      sz[j] ^= z_[stab][j];
+    }
+  }
+  phase = ((phase % 4) + 4) % 4;
+  return phase / 2;
+}
+
+double StabilizerSimulator::probabilityOfOne(std::size_t q) const {
+  for (std::size_t p = n_; p < 2 * n_; ++p) {
+    if (x_[p][q] != 0) {
+      return 0.5; // some stabilizer anticommutes with Z_q: random outcome
+    }
+  }
+  return deterministicOutcome(q) == 1 ? 1.0 : 0.0;
+}
+
+bool StabilizerSimulator::measureWithCoin(
+    std::size_t q, const std::function<double()>& random01) {
+  std::size_t p = 2 * n_;
+  for (std::size_t row = n_; row < 2 * n_; ++row) {
+    if (x_[row][q] != 0) {
+      p = row;
+      break;
+    }
+  }
+  if (p == 2 * n_) {
+    return deterministicOutcome(q) == 1;
+  }
+
+  // random outcome: update every other row that anticommutes with Z_q
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    if (i != p && x_[i][q] != 0) {
+      rowsum(i, p);
+    }
+  }
+  rowcopy(p - n_, p);
+  rowclear(p);
+  const bool outcome = random01() >= 0.5;
+  z_[p][q] = 1;
+  r_[p] = outcome ? 1 : 0;
+  return outcome;
+}
+
+} // namespace qsimec::sim

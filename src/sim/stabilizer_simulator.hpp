@@ -1,0 +1,81 @@
+// Stabilizer (CHP tableau) simulator, Aaronson-Gottesman style.
+//
+// Simulates Clifford circuits in O(n^2) per gate / measurement — an
+// *independent* substrate used to cross-validate the DD simulator at sizes
+// the dense oracle cannot reach (tests compare single-qubit measurement
+// probabilities on random 16+-qubit Clifford circuits), and to reason about
+// the stabilizer stimuli of ec/stimuli.hpp.
+//
+// Supported operations: H, X, Y, Z, S, Sdg, V, Vdg, SY, SYdg, CX, CY, CZ,
+// SWAP, GPhase, I, and Phase/RZ whose angle is a multiple of pi/2. Anything
+// else throws std::domain_error.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+namespace qsimec::sim {
+
+class StabilizerSimulator {
+public:
+  explicit StabilizerSimulator(std::size_t nqubits);
+
+  [[nodiscard]] std::size_t qubits() const noexcept { return n_; }
+
+  // --- elementary Clifford gates -------------------------------------------
+  void h(std::size_t q);
+  void s(std::size_t q);
+  void sdg(std::size_t q) {
+    s(q);
+    s(q);
+    s(q);
+  }
+  void x(std::size_t q);
+  void y(std::size_t q);
+  void z(std::size_t q);
+  void cx(std::size_t control, std::size_t target);
+  void cz(std::size_t control, std::size_t target);
+  void cy(std::size_t control, std::size_t target);
+  void swap(std::size_t a, std::size_t b);
+
+  /// Apply an IR operation (throws std::domain_error if not Clifford).
+  void apply(const ir::StandardOperation& op);
+  /// Run a whole circuit (layouts must be trivial).
+  void run(const ir::QuantumComputation& qc);
+
+  /// True if every operation of the circuit is in the supported set.
+  [[nodiscard]] static bool isClifford(const ir::QuantumComputation& qc);
+
+  // --- measurement ---------------------------------------------------------
+  /// P(measuring qubit q gives 1): always 0, 0.5, or 1 for stabilizer
+  /// states. Does not collapse the state.
+  [[nodiscard]] double probabilityOfOne(std::size_t q) const;
+
+  /// Measure qubit q (collapses). `random01` supplies the coin for the
+  /// random-outcome branch.
+  bool measureWithCoin(std::size_t q, const std::function<double()>& random01);
+  template <class Rng> bool measure(std::size_t q, Rng&& rng) {
+    std::uniform_real_distribution<double> u01(0.0, 1.0);
+    return measureWithCoin(q, [&]() { return u01(rng); });
+  }
+
+private:
+  // tableau rows: 0..n-1 destabilizers, n..2n-1 stabilizers, row 2n scratch
+  [[nodiscard]] std::size_t rows() const noexcept { return 2 * n_ + 1; }
+  void rowsum(std::size_t h, std::size_t i);
+  void rowcopy(std::size_t dst, std::size_t src);
+  void rowclear(std::size_t row);
+  [[nodiscard]] int deterministicOutcome(std::size_t q) const;
+
+  std::size_t n_;
+  std::vector<std::vector<std::uint8_t>> x_;
+  std::vector<std::vector<std::uint8_t>> z_;
+  std::vector<std::uint8_t> r_;
+};
+
+} // namespace qsimec::sim

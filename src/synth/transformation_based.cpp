@@ -1,0 +1,89 @@
+#include "synth/transformation_based.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace qsimec::synth {
+
+namespace {
+
+struct MCTGate {
+  std::uint64_t controlMask{};
+  std::size_t target{};
+};
+
+std::vector<ir::Control> controlsFromMask(std::uint64_t mask) {
+  std::vector<ir::Control> controls;
+  for (std::size_t b = 0; mask != 0; ++b, mask >>= 1) {
+    if ((mask & 1U) != 0U) {
+      controls.push_back(ir::Control{static_cast<ir::Qubit>(b), true});
+    }
+  }
+  return controls;
+}
+
+} // namespace
+
+ir::QuantumComputation synthesize(const TruthTable& tt, std::string name,
+                                  SynthesisStats* stats) {
+  TruthTable f = tt; // working copy, transformed towards the identity
+  std::vector<MCTGate> gates;
+
+  // row 0: clear all bits of f(0) with uncontrolled NOTs
+  {
+    std::uint64_t y = f.apply(0);
+    for (std::size_t b = 0; y != 0; ++b, y >>= 1) {
+      if ((y & 1U) != 0U) {
+        gates.push_back(MCTGate{0, b});
+        f.applyToffoliToOutputs(0, b);
+      }
+    }
+  }
+
+  for (std::uint64_t i = 1; i < f.size(); ++i) {
+    std::uint64_t y = f.apply(i);
+    if (y == i) {
+      continue;
+    }
+    // Invariant: f(j) = j for all j < i, and y = f(i) >= i (f is a bijection
+    // fixing everything below i). Gates controlled on ones(y) or ones(i)
+    // therefore cannot disturb any fixed row.
+    // step 1: turn on the bits i has but y lacks, controlling on ones(y)
+    std::uint64_t missing = i & ~y;
+    for (std::size_t b = 0; missing != 0; ++b, missing >>= 1) {
+      if ((missing & 1U) != 0U) {
+        gates.push_back(MCTGate{y, b});
+        f.applyToffoliToOutputs(y, b);
+        y |= 1ULL << b;
+      }
+    }
+    // step 2: turn off the extra bits, controlling on ones(i)
+    std::uint64_t extra = y & ~i;
+    for (std::size_t b = 0; extra != 0; ++b, extra >>= 1) {
+      if ((extra & 1U) != 0U) {
+        gates.push_back(MCTGate{i, b});
+        f.applyToffoliToOutputs(i, b);
+      }
+    }
+  }
+
+  // The recorded gates G_1..G_m satisfy G_m ∘ ... ∘ G_1 ∘ f = id, i.e.
+  // f = G_1 ∘ ... ∘ G_m (self-inverse gates). As a circuit the *last*
+  // recorded gate acts on the input first.
+  ir::QuantumComputation qc(tt.bits(), std::move(name));
+  std::size_t maxControls = 0;
+  for (auto it = gates.rbegin(); it != gates.rend(); ++it) {
+    maxControls = std::max(
+        maxControls, static_cast<std::size_t>(std::popcount(it->controlMask)));
+    qc.emplace(ir::StandardOperation(
+        ir::OpType::X, {static_cast<ir::Qubit>(it->target)},
+        controlsFromMask(it->controlMask)));
+  }
+  if (stats != nullptr) {
+    stats->gates = gates.size();
+    stats->maxControls = maxControls;
+  }
+  return qc;
+}
+
+} // namespace qsimec::synth

@@ -1,0 +1,31 @@
+// Transformation-based synthesis (Miller-Maslov-Dueck) of reversible
+// functions into multi-controlled-Toffoli circuits.
+//
+// The classic output-side algorithm: walk the truth table in ascending input
+// order and, for each input i with f(i) != i, apply MCT gates to the output
+// side that map f(i) to i without disturbing the already-fixed rows j < i.
+// The collected gates, reversed, realize f. The result is the "compact MCT
+// circuit G" of the RevLib benchmark pattern; decomposing it with
+// tf::decompose yields the huge elementary-gate G' of Table I.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+#include "synth/truth_table.hpp"
+
+#include <string>
+
+namespace qsimec::synth {
+
+struct SynthesisStats {
+  std::size_t gates{};
+  std::size_t maxControls{};
+};
+
+/// Synthesize an MCT circuit realizing `tt` (qubit b of the circuit carries
+/// bit b of the function's input/output).
+[[nodiscard]] ir::QuantumComputation
+synthesize(const TruthTable& tt, std::string name = "synthesized",
+           SynthesisStats* stats = nullptr);
+
+} // namespace qsimec::synth

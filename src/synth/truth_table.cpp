@@ -1,0 +1,194 @@
+#include "synth/truth_table.hpp"
+
+#include <bit>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace qsimec::synth {
+
+TruthTable::TruthTable(std::size_t bits) : bits_(bits) {
+  if (bits == 0 || bits > 20) {
+    throw std::invalid_argument("TruthTable: bits must be in [1, 20]");
+  }
+  table_.resize(1ULL << bits);
+  std::iota(table_.begin(), table_.end(), 0ULL);
+}
+
+TruthTable::TruthTable(std::vector<std::uint64_t> table)
+    : bits_(0), table_(std::move(table)) {
+  if (table_.empty() || (table_.size() & (table_.size() - 1)) != 0) {
+    throw std::invalid_argument("TruthTable: size must be a power of two");
+  }
+  bits_ = static_cast<std::size_t>(std::countr_zero(table_.size()));
+  std::vector<bool> seen(table_.size(), false);
+  for (const std::uint64_t y : table_) {
+    if (y >= table_.size() || seen[y]) {
+      throw std::invalid_argument("TruthTable: not a bijection");
+    }
+    seen[y] = true;
+  }
+}
+
+bool TruthTable::isIdentity() const {
+  for (std::size_t x = 0; x < table_.size(); ++x) {
+    if (table_[x] != x) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TruthTable TruthTable::inverse() const {
+  std::vector<std::uint64_t> inv(table_.size());
+  for (std::size_t x = 0; x < table_.size(); ++x) {
+    inv[table_[x]] = x;
+  }
+  return TruthTable(std::move(inv));
+}
+
+TruthTable TruthTable::compose(const TruthTable& g) const {
+  if (g.bits_ != bits_) {
+    throw std::invalid_argument("TruthTable: bit-width mismatch");
+  }
+  std::vector<std::uint64_t> result(table_.size());
+  for (std::size_t x = 0; x < table_.size(); ++x) {
+    result[x] = g.table_[table_[x]];
+  }
+  return TruthTable(std::move(result));
+}
+
+void TruthTable::applyToffoliToOutputs(std::uint64_t controlMask,
+                                       std::size_t target) {
+  const std::uint64_t targetMask = 1ULL << target;
+  if ((controlMask & targetMask) != 0) {
+    throw std::invalid_argument("Toffoli: target among controls");
+  }
+  for (std::uint64_t& y : table_) {
+    if ((y & controlMask) == controlMask) {
+      y ^= targetMask;
+    }
+  }
+}
+
+void TruthTable::applyToffoliToInputs(std::uint64_t controlMask,
+                                      std::size_t target) {
+  const std::uint64_t targetMask = 1ULL << target;
+  if ((controlMask & targetMask) != 0) {
+    throw std::invalid_argument("Toffoli: target among controls");
+  }
+  for (std::uint64_t x = 0; x < table_.size(); ++x) {
+    if ((x & controlMask) == controlMask && (x & targetMask) == 0) {
+      std::swap(table_[x], table_[x | targetMask]);
+    }
+  }
+}
+
+TruthTable TruthTable::hiddenWeightedBit(std::size_t bits) {
+  TruthTable tt(bits);
+  const auto n = static_cast<std::uint64_t>(bits);
+  for (std::uint64_t x = 0; x < tt.table_.size(); ++x) {
+    const auto w = static_cast<std::uint64_t>(std::popcount(x)) % n;
+    // rotate left by w within `bits` bits
+    const std::uint64_t mask = tt.table_.size() - 1;
+    tt.table_[x] = ((x << w) | (x >> (n - w))) & mask;
+    if (w == 0) {
+      tt.table_[x] = x;
+    }
+  }
+  // hwb is a permutation (rotation amount depends only on the weight, which
+  // rotation preserves) — the constructor invariant re-checks below.
+  return TruthTable(std::move(tt.table_));
+}
+
+TruthTable TruthTable::randomPermutation(std::size_t bits,
+                                         std::uint64_t seed) {
+  TruthTable tt(bits);
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = tt.table_.size() - 1; i > 0; --i) {
+    std::uniform_int_distribution<std::size_t> dist(0, i);
+    std::swap(tt.table_[i], tt.table_[dist(rng)]);
+  }
+  return tt;
+}
+
+TruthTable TruthTable::modularAdder(std::size_t bits) {
+  if (bits % 2 != 0) {
+    throw std::invalid_argument("modularAdder: even bit count required");
+  }
+  const std::size_t half = bits / 2;
+  const std::uint64_t halfMask = (1ULL << half) - 1;
+  TruthTable tt(bits);
+  for (std::uint64_t x = 0; x < tt.table_.size(); ++x) {
+    const std::uint64_t a = x >> half;
+    const std::uint64_t b = x & halfMask;
+    tt.table_[x] = (a << half) | ((a + b) & halfMask);
+  }
+  return tt;
+}
+
+TruthTable TruthTable::increment(std::size_t bits) {
+  TruthTable tt(bits);
+  const std::uint64_t mask = tt.table_.size() - 1;
+  for (std::uint64_t x = 0; x < tt.table_.size(); ++x) {
+    tt.table_[x] = (x + 1) & mask;
+  }
+  return tt;
+}
+
+TruthTable TruthTable::bitReversal(std::size_t bits) {
+  TruthTable tt(bits);
+  for (std::uint64_t x = 0; x < tt.table_.size(); ++x) {
+    std::uint64_t y = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      if ((x >> b) & 1U) {
+        y |= 1ULL << (bits - 1 - b);
+      }
+    }
+    tt.table_[x] = y;
+  }
+  return tt;
+}
+
+TruthTable TruthTable::fromCircuit(const ir::QuantumComputation& qc) {
+  if (qc.qubits() > 20) {
+    throw std::invalid_argument("fromCircuit: too many qubits");
+  }
+  TruthTable tt(qc.qubits());
+  for (const ir::StandardOperation& op : qc) {
+    std::uint64_t posMask = 0;
+    std::uint64_t negMask = 0;
+    for (const ir::Control& c : op.controls()) {
+      (c.positive ? posMask : negMask) |= 1ULL << c.qubit;
+    }
+    const auto fires = [posMask, negMask](std::uint64_t y) {
+      return (y & posMask) == posMask && (y & negMask) == 0;
+    };
+    if (op.type() == ir::OpType::X) {
+      const std::uint64_t targetMask = 1ULL << op.target();
+      for (std::uint64_t& y : tt.table_) {
+        if (fires(y)) {
+          y ^= targetMask;
+        }
+      }
+    } else if (op.type() == ir::OpType::SWAP) {
+      const std::uint64_t m0 = 1ULL << op.targets()[0];
+      const std::uint64_t m1 = 1ULL << op.targets()[1];
+      for (std::uint64_t& y : tt.table_) {
+        if (fires(y)) {
+          const bool b0 = (y & m0) != 0;
+          const bool b1 = (y & m1) != 0;
+          if (b0 != b1) {
+            y ^= m0 | m1;
+          }
+        }
+      }
+    } else {
+      throw std::domain_error(
+          "fromCircuit: only X and SWAP gates are classical-reversible");
+    }
+  }
+  return tt;
+}
+
+} // namespace qsimec::synth

@@ -1,0 +1,72 @@
+// Reversible functions as permutation truth tables.
+//
+// A TruthTable over k bits stores f(x) for every x in [0, 2^k): a bijection.
+// This is the substrate behind the RevLib-style benchmarks [27]: well-known
+// reversible functions (hidden weighted bit, adders, random uniformly drawn
+// permutations) are synthesized into Toffoli circuits by
+// synth::synthesize (transformation_based.hpp).
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qsimec::synth {
+
+class TruthTable {
+public:
+  /// Identity function on `bits` bits (1 <= bits <= 20).
+  explicit TruthTable(std::size_t bits);
+
+  /// Takes ownership of an explicit table; throws unless it is a bijection
+  /// whose size is a power of two.
+  explicit TruthTable(std::vector<std::uint64_t> table);
+
+  [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] std::uint64_t apply(std::uint64_t x) const {
+    return table_.at(x);
+  }
+
+  [[nodiscard]] bool isIdentity() const;
+  [[nodiscard]] TruthTable inverse() const;
+  /// (g ∘ f)(x) = g(f(x)).
+  [[nodiscard]] TruthTable compose(const TruthTable& g) const;
+
+  [[nodiscard]] bool operator==(const TruthTable&) const = default;
+
+  // --- in-place updates used by synthesis --------------------------------
+  /// Apply an MCT gate on the *output side*: for every x whose image has all
+  /// `controlMask` bits set, toggle bit `target` of the image.
+  void applyToffoliToOutputs(std::uint64_t controlMask, std::size_t target);
+
+  /// Apply an MCT gate on the *input side* (relabels arguments).
+  void applyToffoliToInputs(std::uint64_t controlMask, std::size_t target);
+
+  // --- well-known functions ------------------------------------------------
+  /// hwb_k: rotate x left by popcount(x) (a permutation; the classic hard
+  /// benchmark family).
+  [[nodiscard]] static TruthTable hiddenWeightedBit(std::size_t bits);
+  /// Uniformly random permutation (Fisher-Yates with the given seed) — the
+  /// urf-like "unstructured reversible function" family.
+  [[nodiscard]] static TruthTable randomPermutation(std::size_t bits,
+                                                    std::uint64_t seed);
+  /// (a, b) -> (a, a + b mod 2^(bits/2)) on the low/high halves.
+  [[nodiscard]] static TruthTable modularAdder(std::size_t bits);
+  /// x -> x + 1 mod 2^bits.
+  [[nodiscard]] static TruthTable increment(std::size_t bits);
+  /// x -> bit-reversed x.
+  [[nodiscard]] static TruthTable bitReversal(std::size_t bits);
+
+  /// Truth table realized by a purely classical-reversible circuit (X and
+  /// SWAP gates with arbitrary controls only; throws otherwise).
+  [[nodiscard]] static TruthTable fromCircuit(const ir::QuantumComputation& qc);
+
+private:
+  std::size_t bits_;
+  std::vector<std::uint64_t> table_;
+};
+
+} // namespace qsimec::synth

@@ -1,0 +1,381 @@
+#include "transform/decomposition.hpp"
+
+#include "sim/dd_simulator.hpp" // operationMatrix
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+namespace qsimec::tf {
+
+namespace {
+
+using ir::Control;
+using ir::OpType;
+using ir::Qubit;
+using ir::QuantumComputation;
+
+constexpr double ANGLE_EPS = 1e-12;
+
+std::complex<double> toStd(const dd::ComplexValue& v) { return {v.re, v.im}; }
+dd::ComplexValue fromStd(const std::complex<double>& v) {
+  return {v.real(), v.imag()};
+}
+
+} // namespace
+
+ZYZAngles zyzDecompose(const dd::GateMatrix& u) {
+  const std::complex<double> u00 = toStd(u[0]);
+  const std::complex<double> u01 = toStd(u[1]);
+  const std::complex<double> u10 = toStd(u[2]);
+  const std::complex<double> u11 = toStd(u[3]);
+
+  const std::complex<double> det = u00 * u11 - u01 * u10;
+  ZYZAngles a;
+  a.alpha = std::arg(det) / 2;
+  const std::complex<double> s = std::exp(std::complex<double>{0, -a.alpha});
+  const std::complex<double> v00 = s * u00; // SU(2) entries
+  const std::complex<double> v10 = s * u10;
+
+  a.gamma = 2 * std::atan2(std::abs(v10), std::abs(v00));
+
+  double sum = 0;  // beta + delta
+  double diff = 0; // beta - delta
+  if (std::abs(v00) > ANGLE_EPS) {
+    sum = -2 * std::arg(v00);
+  }
+  if (std::abs(v10) > ANGLE_EPS) {
+    diff = 2 * std::arg(v10);
+  }
+  if (std::abs(v00) <= ANGLE_EPS) {
+    // gamma = pi: only beta - delta matters; put everything in beta
+    a.beta = diff;
+    a.delta = 0;
+  } else if (std::abs(v10) <= ANGLE_EPS) {
+    // gamma = 0: only beta + delta matters
+    a.beta = sum;
+    a.delta = 0;
+  } else {
+    a.beta = (sum + diff) / 2;
+    a.delta = (sum - diff) / 2;
+  }
+  return a;
+}
+
+dd::GateMatrix matrixSqrt(const dd::GateMatrix& u) {
+  const std::complex<double> m00 = toStd(u[0]);
+  const std::complex<double> m01 = toStd(u[1]);
+  const std::complex<double> m10 = toStd(u[2]);
+  const std::complex<double> m11 = toStd(u[3]);
+
+  const std::complex<double> tr = m00 + m11;
+  const std::complex<double> det = m00 * m11 - m01 * m10;
+  std::complex<double> sqrtDet = std::sqrt(det);
+
+  // sqrt(M) = (M + sqrt(det) I) / sqrt(tr + 2 sqrt(det)); if that branch is
+  // singular (sqrt(l1) = -sqrt(l2)), the opposite sign of sqrt(det) works.
+  std::complex<double> denomSq = tr + 2.0 * sqrtDet;
+  if (std::abs(denomSq) < 1e-12) {
+    sqrtDet = -sqrtDet;
+    denomSq = tr + 2.0 * sqrtDet;
+  }
+  const std::complex<double> denom = std::sqrt(denomSq);
+  return {fromStd((m00 + sqrtDet) / denom), fromStd(m01 / denom),
+          fromStd(m10 / denom), fromStd((m11 + sqrtDet) / denom)};
+}
+
+namespace {
+
+/// Stateful emitter collecting the decomposed operation stream.
+class Decomposer {
+public:
+  Decomposer(QuantumComputation& out, const DecompositionOptions& options,
+             Qubit ancillaBase, std::size_t ancillaCount)
+      : out_(out), options_(options), ancillaBase_(ancillaBase),
+        ancillaCount_(ancillaCount) {}
+
+  void process(const ir::StandardOperation& op) {
+    if (op.type() == OpType::GPhase) {
+      out_.emplace(op);
+      return;
+    }
+    if (op.type() == OpType::SWAP) {
+      const Qubit a = op.targets()[0];
+      const Qubit b = op.targets()[1];
+      if (op.controls().empty() && !options_.expandSwap) {
+        out_.emplace(op);
+        return;
+      }
+      out_.cx(b, a);
+      std::vector<Control> middle = op.controls();
+      middle.push_back(Control{a, true});
+      handleControlled(OpType::X, middle, b, {});
+      out_.cx(b, a);
+      return;
+    }
+    if (op.controls().empty()) {
+      out_.emplace(op);
+      return;
+    }
+    handleControlled(op.type(), op.controls(), op.target(), op.params());
+  }
+
+private:
+  void handleControlled(OpType type, std::vector<Control> controls,
+                        Qubit target, const std::array<double, 3>& params) {
+    // make all controls positive by conjugating with X
+    std::vector<Qubit> flipped;
+    for (Control& c : controls) {
+      if (!c.positive) {
+        flipped.push_back(c.qubit);
+        c.positive = true;
+      }
+    }
+    for (const Qubit q : flipped) {
+      out_.x(q);
+    }
+
+    std::vector<Qubit> ctrlQubits;
+    ctrlQubits.reserve(controls.size());
+    for (const Control& c : controls) {
+      ctrlQubits.push_back(c.qubit);
+    }
+
+    switch (type) {
+    case OpType::X:
+      emitMCX(ctrlQubits, target);
+      break;
+    case OpType::Z: // Z = H X H
+      out_.h(target);
+      emitMCX(ctrlQubits, target);
+      out_.h(target);
+      break;
+    case OpType::Y: // Y = S X Sdg
+      out_.sdg(target);
+      emitMCX(ctrlQubits, target);
+      out_.s(target);
+      break;
+    default: {
+      const dd::GateMatrix u = sim::operationMatrix(
+          ir::StandardOperation(type, {target}, {}, params));
+      emitMCU(ctrlQubits, target, u);
+      break;
+    }
+    }
+
+    for (const Qubit q : flipped) {
+      out_.x(q);
+    }
+  }
+
+  void emitMCX(const std::vector<Qubit>& controls, Qubit target) {
+    if (controls.empty()) {
+      out_.x(target);
+      return;
+    }
+    if (controls.size() == 1) {
+      out_.cx(controls[0], target);
+      return;
+    }
+    if (controls.size() == 2) {
+      emitToffoli(controls[0], controls[1], target);
+      return;
+    }
+    if (options_.scheme == DecompositionScheme::VChainAncilla) {
+      emitLadder(controls, target);
+    } else {
+      emitMCU(controls, target, dd::Xmat);
+    }
+  }
+
+  /// Toffoli ladder with borrowed ancillas: exact on the full register for
+  /// arbitrary ancilla contents (see header). 4(k-2) Toffolis.
+  void emitLadder(const std::vector<Qubit>& c, Qubit target) {
+    const std::size_t k = c.size();
+    if (ancillaCount_ < k - 2) {
+      throw std::logic_error("decompose: ancilla pool too small");
+    }
+    const auto anc = [this](std::size_t i) { // a_1 .. a_{k-2}, 1-based
+      return static_cast<Qubit>(ancillaBase_ + i - 1);
+    };
+    const auto top = [&] { // U
+      emitToffoli(c[k - 1], anc(k - 2), target);
+    };
+    const auto bottom = [&] { // B
+      emitToffoli(c[0], c[1], anc(1));
+    };
+    const auto descend = [&] { // M_{k-1} .. M_3
+      for (std::size_t j = k - 1; j >= 3; --j) {
+        emitToffoli(c[j - 1], anc(j - 2), anc(j - 1));
+      }
+    };
+    const auto ascend = [&] { // M_3 .. M_{k-1}
+      for (std::size_t j = 3; j <= k - 1; ++j) {
+        emitToffoli(c[j - 1], anc(j - 2), anc(j - 1));
+      }
+    };
+    // P1
+    top();
+    descend();
+    bottom();
+    ascend();
+    top();
+    // P2
+    descend();
+    bottom();
+    ascend();
+  }
+
+  void emitToffoli(Qubit a, Qubit b, Qubit t) {
+    if (!options_.expandToffoli) {
+      out_.ccx(a, b, t);
+      return;
+    }
+    // the standard 15-gate Clifford+T network (exact, qelib1's ccx)
+    out_.h(t);
+    out_.cx(b, t);
+    out_.tdg(t);
+    out_.cx(a, t);
+    out_.t(t);
+    out_.cx(b, t);
+    out_.tdg(t);
+    out_.cx(a, t);
+    out_.t(b);
+    out_.t(t);
+    out_.h(t);
+    out_.cx(a, b);
+    out_.t(a);
+    out_.tdg(b);
+    out_.cx(a, b);
+  }
+
+  /// Arbitrary multi-controlled U via the controlled-sqrt recursion.
+  void emitMCU(const std::vector<Qubit>& controls, Qubit target,
+               const dd::GateMatrix& u) {
+    if (controls.empty()) {
+      emitSingleQubit(u, target);
+      return;
+    }
+    if (controls.size() == 1) {
+      emitCU(controls[0], target, u);
+      return;
+    }
+    // C^k U = CV(c_k, t) · C^{k-1}X(..., c_k) · CV†(c_k, t)
+    //         · C^{k-1}X(..., c_k) · C^{k-1}V(..., t),  V = sqrt(U)
+    const dd::GateMatrix v = matrixSqrt(u);
+    const dd::GateMatrix vdg = dd::adjoint(v);
+    const Qubit last = controls.back();
+    const std::vector<Qubit> rest(controls.begin(), controls.end() - 1);
+
+    emitCU(last, target, v);
+    emitMCU(rest, last, dd::Xmat);
+    emitCU(last, target, vdg);
+    emitMCU(rest, last, dd::Xmat);
+    emitMCU(rest, target, v);
+  }
+
+  /// Exact controlled-U via the ABC decomposition (N&C Sec. 4.3):
+  /// U = e^{ia} A X B X C with A B C = I.
+  void emitCU(Qubit control, Qubit target, const dd::GateMatrix& u) {
+    const ZYZAngles z = zyzDecompose(u);
+    // C = Rz((d-b)/2)
+    emitRz((z.delta - z.beta) / 2, target);
+    out_.cx(control, target);
+    // B = Ry(-g/2) Rz(-(d+b)/2): Rz applied first
+    emitRz(-(z.delta + z.beta) / 2, target);
+    emitRy(-z.gamma / 2, target);
+    out_.cx(control, target);
+    // A = Rz(b) Ry(g/2): Ry applied first
+    emitRy(z.gamma / 2, target);
+    emitRz(z.beta, target);
+    // conditional phase on the control
+    if (std::abs(z.alpha) > ANGLE_EPS) {
+      out_.phase(z.alpha, control);
+    }
+  }
+
+  void emitSingleQubit(const dd::GateMatrix& u, Qubit target) {
+    const ZYZAngles z = zyzDecompose(u);
+    emitRz(z.delta, target);
+    emitRy(z.gamma, target);
+    emitRz(z.beta, target);
+    if (std::abs(z.alpha) > ANGLE_EPS) {
+      out_.gate(OpType::GPhase, target, {}, {z.alpha, 0, 0});
+    }
+  }
+
+  void emitRz(double theta, Qubit q) {
+    if (std::abs(theta) > ANGLE_EPS) {
+      out_.rz(theta, q);
+    }
+  }
+  void emitRy(double theta, Qubit q) {
+    if (std::abs(theta) > ANGLE_EPS) {
+      out_.ry(theta, q);
+    }
+  }
+
+  QuantumComputation& out_;
+  const DecompositionOptions& options_;
+  Qubit ancillaBase_;
+  std::size_t ancillaCount_;
+};
+
+} // namespace
+
+ir::QuantumComputation decompose(const ir::QuantumComputation& qc,
+                                 DecompositionOptions options) {
+  if (!qc.initialLayout().isIdentity() ||
+      !qc.outputPermutation().isIdentity()) {
+    throw std::invalid_argument(
+        "decompose: map after decomposition, not before");
+  }
+
+  // size the borrowed-ancilla pool
+  std::size_t ancillas = 0;
+  if (options.scheme == DecompositionScheme::VChainAncilla) {
+    for (const ir::StandardOperation& op : qc) {
+      std::size_t k = op.controls().size();
+      if (op.type() == OpType::SWAP) {
+        ++k; // the middle MCX gains the first target as a control
+      }
+      if ((op.type() == OpType::X || op.type() == OpType::Y ||
+           op.type() == OpType::Z || op.type() == OpType::SWAP) &&
+          k >= 3) {
+        ancillas = std::max(ancillas, k - 2);
+      }
+    }
+  }
+
+  ir::QuantumComputation out(qc.qubits() + ancillas,
+                             qc.name().empty() ? "" : qc.name() + "_dec");
+  Decomposer dec(out, options, static_cast<Qubit>(qc.qubits()), ancillas);
+  for (const ir::StandardOperation& op : qc) {
+    dec.process(op);
+  }
+  return out;
+}
+
+ir::QuantumComputation padQubits(const ir::QuantumComputation& qc,
+                                 std::size_t nqubits) {
+  if (nqubits < qc.qubits()) {
+    throw std::invalid_argument("padQubits: cannot shrink a circuit");
+  }
+  ir::QuantumComputation out(nqubits, qc.name());
+  for (const ir::StandardOperation& op : qc) {
+    out.emplace(op);
+  }
+  // extend layouts with identity on the new qubits
+  const auto extend = [&](const ir::Permutation& p) {
+    std::vector<std::uint16_t> map(nqubits);
+    for (std::size_t i = 0; i < nqubits; ++i) {
+      map[i] = i < p.size() ? p[i] : static_cast<std::uint16_t>(i);
+    }
+    return ir::Permutation(std::move(map));
+  };
+  out.setInitialLayout(extend(qc.initialLayout()));
+  out.setOutputPermutation(extend(qc.outputPermutation()));
+  return out;
+}
+
+} // namespace qsimec::tf

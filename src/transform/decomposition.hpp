@@ -1,0 +1,64 @@
+// Decomposition of multi-controlled operations into elementary gates
+// ({single-qubit gates, CNOT}), following Barenco et al. [2].
+//
+// Two schemes for multi-controlled X (k >= 3 controls):
+//
+//   * VChainAncilla — the Toffoli ladder with k-2 *borrowed* ancilla qubits
+//     (4(k-2) Toffolis). Ancillas are appended to the circuit and restored
+//     exactly for every ancilla value, so the decomposed circuit realizes
+//     U (x) I on the enlarged register — full-unitary equivalence holds with
+//     the original circuit padded to the same width (see padQubits).
+//   * Recursion — the ancilla-free controlled-sqrt recursion (Lemma 7.5 of
+//     [2]); gate counts grow quickly with k, which is exactly the G'-much-
+//     larger-than-G situation of the paper's RevLib benchmarks.
+//
+// Multi-controlled Z/Y are conjugated into multi-controlled X; all other
+// multi-controlled gates go through the controlled-sqrt recursion with an
+// exact ABC decomposition (including the conditional phase) at the base.
+// Global phases are preserved exactly via OpType::GPhase.
+
+#pragma once
+
+#include "dd/gate_matrices.hpp"
+#include "ir/quantum_computation.hpp"
+
+namespace qsimec::tf {
+
+enum class DecompositionScheme {
+  VChainAncilla,
+  Recursion,
+};
+
+struct DecompositionOptions {
+  DecompositionScheme scheme{DecompositionScheme::VChainAncilla};
+  /// Expand Toffolis into the 15-gate Clifford+T network.
+  bool expandToffoli{true};
+  /// Expand uncontrolled SWAPs into three CNOTs.
+  bool expandSwap{true};
+};
+
+/// Euler angles of U = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta).
+struct ZYZAngles {
+  double alpha{};
+  double beta{};
+  double gamma{};
+  double delta{};
+};
+
+/// ZYZ decomposition of an arbitrary 2x2 unitary.
+[[nodiscard]] ZYZAngles zyzDecompose(const dd::GateMatrix& u);
+
+/// Principal square root of a 2x2 unitary (V with V·V = U).
+[[nodiscard]] dd::GateMatrix matrixSqrt(const dd::GateMatrix& u);
+
+/// Decompose every multi-controlled / multi-qubit operation. The result may
+/// have more qubits than the input (VChainAncilla appends ancillas).
+[[nodiscard]] ir::QuantumComputation
+decompose(const ir::QuantumComputation& qc, DecompositionOptions options = {});
+
+/// The same circuit on a wider register (extra qubits idle) — the
+/// counterpart of ancilla-adding decompositions for equivalence checking.
+[[nodiscard]] ir::QuantumComputation
+padQubits(const ir::QuantumComputation& qc, std::size_t nqubits);
+
+} // namespace qsimec::tf

@@ -1,0 +1,201 @@
+#include "transform/error_injector.hpp"
+
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace qsimec::tf {
+
+namespace {
+
+using ir::OpType;
+using ir::Qubit;
+using ir::StandardOperation;
+
+bool isRotationLike(OpType t) {
+  return t == OpType::RX || t == OpType::RY || t == OpType::RZ ||
+         t == OpType::Phase || t == OpType::U2 || t == OpType::U3;
+}
+
+bool isRemovable(const StandardOperation& op) {
+  // removing these is invisible to (phase-insensitive) checking
+  return op.type() != OpType::I && op.type() != OpType::GPhase;
+}
+
+bool isPlainCX(const StandardOperation& op) {
+  return op.type() == OpType::X && op.controls().size() == 1 &&
+         op.controls().front().positive;
+}
+
+bool isUncontrolledSingleQubit(const StandardOperation& op) {
+  return op.controls().empty() && op.targets().size() == 1 &&
+         op.type() != OpType::GPhase && op.type() != OpType::I;
+}
+
+template <class Pred>
+std::vector<std::size_t> positionsWhere(const ir::QuantumComputation& qc,
+                                        Pred&& pred) {
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < qc.size(); ++i) {
+    if (pred(qc.at(i))) {
+      positions.push_back(i);
+    }
+  }
+  return positions;
+}
+
+} // namespace
+
+InjectionResult ErrorInjector::inject(const ir::QuantumComputation& qc,
+                                      ErrorKind kind) {
+  if (qc.empty() && kind != ErrorKind::InsertGate) {
+    throw std::invalid_argument("cannot inject into an empty circuit");
+  }
+
+  const auto pickFrom = [this](const std::vector<std::size_t>& positions) {
+    std::uniform_int_distribution<std::size_t> dist(0, positions.size() - 1);
+    return positions[dist(rng_)];
+  };
+  const auto randomQubit = [this, &qc](Qubit exclude) {
+    std::uniform_int_distribution<std::size_t> dist(0, qc.qubits() - 1);
+    Qubit q = exclude;
+    while (q == exclude) {
+      q = static_cast<Qubit>(dist(rng_));
+    }
+    return q;
+  };
+
+  InjectionResult result{qc, {kind, 0, ""}};
+  auto& ops = result.circuit.ops();
+  std::ostringstream description;
+
+  switch (kind) {
+  case ErrorKind::RemoveGate: {
+    const auto candidates = positionsWhere(qc, isRemovable);
+    if (candidates.empty()) {
+      return fallbackInsert(qc, "no removable gate");
+    }
+    const std::size_t pos = pickFrom(candidates);
+    description << "removed gate #" << pos << " (" << qc.at(pos) << ")";
+    ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(pos));
+    result.error.position = pos;
+    break;
+  }
+  case ErrorKind::InsertGate: {
+    std::uniform_int_distribution<std::size_t> posDist(0, qc.size());
+    std::uniform_int_distribution<std::size_t> qubitDist(0, qc.qubits() - 1);
+    std::uniform_int_distribution<int> gateDist(0, 3);
+    std::uniform_real_distribution<double> angleDist(0.1, std::numbers::pi);
+    const std::size_t pos = posDist(rng_);
+    const auto q = static_cast<Qubit>(qubitDist(rng_));
+    StandardOperation inserted = [&]() -> StandardOperation {
+      switch (gateDist(rng_)) {
+      case 0:
+        return {OpType::H, {q}};
+      case 1:
+        return {OpType::X, {q}};
+      case 2:
+        return {OpType::T, {q}};
+      default:
+        return {OpType::RZ, {q}, {}, {angleDist(rng_), 0, 0}};
+      }
+    }();
+    description << "inserted " << inserted << " at position " << pos;
+    ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(pos),
+               std::move(inserted));
+    result.error.position = pos;
+    break;
+  }
+  case ErrorKind::WrongTargetCX: {
+    const auto candidates = positionsWhere(qc, isPlainCX);
+    if (candidates.empty()) {
+      return fallbackInsert(qc, "no CNOT to misplace");
+    }
+    const std::size_t pos = pickFrom(candidates);
+    const StandardOperation& original = qc.at(pos);
+    const Qubit control = original.controls().front().qubit;
+    Qubit newTarget = randomQubit(original.target());
+    if (newTarget == control) {
+      newTarget = randomQubit(control); // must differ from both
+      if (newTarget == original.target()) {
+        return fallbackInsert(qc, "no alternative CNOT target");
+      }
+    }
+    description << "moved target of " << original << " to q" << newTarget;
+    ops[pos] = StandardOperation(OpType::X, {newTarget},
+                                 {ir::Control{control, true}});
+    result.error.position = pos;
+    break;
+  }
+  case ErrorKind::FlipControlTargetCX: {
+    const auto candidates = positionsWhere(qc, isPlainCX);
+    if (candidates.empty()) {
+      return fallbackInsert(qc, "no CNOT to flip");
+    }
+    const std::size_t pos = pickFrom(candidates);
+    const StandardOperation& original = qc.at(pos);
+    const Qubit control = original.controls().front().qubit;
+    const Qubit target = original.target();
+    description << "flipped control/target of " << original;
+    ops[pos] =
+        StandardOperation(OpType::X, {control}, {ir::Control{target, true}});
+    result.error.position = pos;
+    break;
+  }
+  case ErrorKind::AngleOffset: {
+    const auto candidates = positionsWhere(qc, [](const StandardOperation& op) {
+      return isRotationLike(op.type());
+    });
+    if (candidates.empty()) {
+      return fallbackInsert(qc, "no rotation gate to offset");
+    }
+    const std::size_t pos = pickFrom(candidates);
+    const StandardOperation& original = qc.at(pos);
+    std::uniform_real_distribution<double> offsetDist(std::numbers::pi / 32,
+                                                      std::numbers::pi / 4);
+    const double offset = offsetDist(rng_);
+    auto params = original.params();
+    params[0] += offset;
+    description << "offset angle of " << original << " by " << offset;
+    ops[pos] = StandardOperation(original.type(), original.targets(),
+                                 original.controls(), params);
+    result.error.position = pos;
+    break;
+  }
+  case ErrorKind::ReplaceGate: {
+    const auto candidates = positionsWhere(qc, isUncontrolledSingleQubit);
+    if (candidates.empty()) {
+      return fallbackInsert(qc, "no single-qubit gate to replace");
+    }
+    const std::size_t pos = pickFrom(candidates);
+    const StandardOperation& original = qc.at(pos);
+    // pick a replacement guaranteed to differ functionally
+    const OpType replacement =
+        original.type() == OpType::H ? OpType::X : OpType::H;
+    description << "replaced " << original << " with "
+                << ir::toString(replacement);
+    ops[pos] = StandardOperation(replacement, original.targets());
+    result.error.position = pos;
+    break;
+  }
+  }
+
+  result.error.description = description.str();
+  return result;
+}
+
+InjectionResult ErrorInjector::fallbackInsert(const ir::QuantumComputation& qc,
+                                              std::string_view reason) {
+  InjectionResult result = inject(qc, ErrorKind::InsertGate);
+  result.error.description =
+      std::string(reason) + "; fell back to: " + result.error.description;
+  return result;
+}
+
+InjectionResult ErrorInjector::injectRandom(const ir::QuantumComputation& qc) {
+  std::uniform_int_distribution<int> dist(0, 5);
+  return inject(qc, static_cast<ErrorKind>(dist(rng_)));
+}
+
+} // namespace qsimec::tf

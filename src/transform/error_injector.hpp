@@ -1,0 +1,81 @@
+// Injection of the error classes discussed in Sec. IV-A / V of the paper:
+// altered single-qubit gates and misplaced/removed C-NOTs — the bugs design
+// flows actually produce. Used to generate the non-equivalent benchmark
+// instances of Table Ia.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+namespace qsimec::tf {
+
+enum class ErrorKind {
+  /// remove a randomly chosen (non-identity) gate
+  RemoveGate,
+  /// insert a random single-qubit gate at a random position
+  InsertGate,
+  /// move the target of a random CNOT to a different qubit
+  WrongTargetCX,
+  /// exchange control and target of a random CNOT
+  FlipControlTargetCX,
+  /// add an offset to the angle of a random rotation/phase gate
+  AngleOffset,
+  /// replace a random single-qubit gate with a different one
+  ReplaceGate,
+};
+
+[[nodiscard]] constexpr std::string_view toString(ErrorKind k) noexcept {
+  switch (k) {
+  case ErrorKind::RemoveGate:
+    return "remove-gate";
+  case ErrorKind::InsertGate:
+    return "insert-gate";
+  case ErrorKind::WrongTargetCX:
+    return "wrong-target-cx";
+  case ErrorKind::FlipControlTargetCX:
+    return "flip-control-target-cx";
+  case ErrorKind::AngleOffset:
+    return "angle-offset";
+  case ErrorKind::ReplaceGate:
+    return "replace-gate";
+  }
+  return "?";
+}
+
+struct InjectedError {
+  ErrorKind kind{};
+  std::size_t position{};
+  std::string description;
+};
+
+struct InjectionResult {
+  ir::QuantumComputation circuit;
+  InjectedError error;
+};
+
+class ErrorInjector {
+public:
+  explicit ErrorInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Inject one error of the given kind. If the circuit has no suitable
+  /// location for the kind (e.g. AngleOffset without any rotation gate),
+  /// falls back to InsertGate and says so in the description.
+  [[nodiscard]] InjectionResult inject(const ir::QuantumComputation& qc,
+                                       ErrorKind kind);
+
+  /// Inject one error of a uniformly random kind.
+  [[nodiscard]] InjectionResult injectRandom(const ir::QuantumComputation& qc);
+
+private:
+  [[nodiscard]] InjectionResult fallbackInsert(const ir::QuantumComputation& qc,
+                                               std::string_view reason);
+
+  std::mt19937_64 rng_;
+};
+
+} // namespace qsimec::tf

@@ -1,0 +1,510 @@
+#include "transform/mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace qsimec::tf {
+
+CouplingMap::CouplingMap(
+    std::size_t nwires,
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> edges)
+    : CouplingMap(nwires, std::move(edges), false) {}
+
+CouplingMap::CouplingMap(
+    std::size_t nwires,
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> edges, bool directed)
+    : nwires_(nwires), directed_(directed), adjacency_(nwires) {
+  for (const auto& [a, b] : edges) {
+    if (a >= nwires || b >= nwires || a == b) {
+      throw std::invalid_argument("CouplingMap: invalid edge");
+    }
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    allowed_.emplace(a, b);
+    if (!directed) {
+      allowed_.emplace(b, a);
+    }
+  }
+  for (auto& adj : adjacency_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+}
+
+CouplingMap CouplingMap::linear(std::size_t nwires) {
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> edges;
+  for (std::uint16_t i = 0; i + 1 < nwires; ++i) {
+    edges.emplace_back(i, i + 1);
+  }
+  return CouplingMap(nwires, std::move(edges));
+}
+
+CouplingMap CouplingMap::ring(std::size_t nwires) {
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> edges;
+  for (std::uint16_t i = 0; i + 1 < nwires; ++i) {
+    edges.emplace_back(i, i + 1);
+  }
+  if (nwires > 2) {
+    edges.emplace_back(static_cast<std::uint16_t>(nwires - 1), 0);
+  }
+  return CouplingMap(nwires, std::move(edges));
+}
+
+CouplingMap CouplingMap::grid(std::size_t rows, std::size_t cols) {
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> edges;
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<std::uint16_t>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.emplace_back(at(r, c), at(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(at(r, c), at(r + 1, c));
+      }
+    }
+  }
+  return CouplingMap(rows * cols, std::move(edges));
+}
+
+CouplingMap CouplingMap::star(std::size_t nwires) {
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> edges;
+  for (std::uint16_t i = 1; i < nwires; ++i) {
+    edges.emplace_back(0, i);
+  }
+  return CouplingMap(nwires, std::move(edges));
+}
+
+CouplingMap CouplingMap::complete(std::size_t nwires) {
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> edges;
+  for (std::uint16_t i = 0; i < nwires; ++i) {
+    for (std::uint16_t j = i + 1; j < nwires; ++j) {
+      edges.emplace_back(i, j);
+    }
+  }
+  return CouplingMap(nwires, std::move(edges));
+}
+
+bool CouplingMap::connected(std::uint16_t a, std::uint16_t b) const {
+  const auto& adj = adjacency_.at(a);
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+bool CouplingMap::allowsDirection(std::uint16_t control,
+                                  std::uint16_t target) const {
+  return allowed_.contains({control, target});
+}
+
+CouplingMap CouplingMap::ibmQX4() {
+  return CouplingMap(5,
+                     {{1, 0}, {2, 0}, {2, 1}, {3, 2}, {3, 4}, {2, 4}},
+                     true);
+}
+
+CouplingMap CouplingMap::ibmQX5() {
+  return CouplingMap(16,
+                     {{1, 0},   {1, 2},   {2, 3},   {3, 4},  {3, 14},
+                      {5, 4},   {6, 5},   {6, 7},   {6, 11}, {7, 10},
+                      {8, 7},   {9, 8},   {9, 10},  {11, 10}, {12, 5},
+                      {12, 11}, {12, 13}, {13, 4},  {13, 14}, {15, 0},
+                      {15, 2},  {15, 14}},
+                     true);
+}
+
+std::vector<std::uint16_t> CouplingMap::shortestPath(std::uint16_t from,
+                                                     std::uint16_t to) const {
+  if (from == to) {
+    return {from};
+  }
+  std::vector<std::int32_t> parent(nwires_, -1);
+  std::queue<std::uint16_t> queue;
+  queue.push(from);
+  parent[from] = from;
+  while (!queue.empty()) {
+    const std::uint16_t cur = queue.front();
+    queue.pop();
+    for (const std::uint16_t next : adjacency_[cur]) {
+      if (parent[next] >= 0) {
+        continue;
+      }
+      parent[next] = cur;
+      if (next == to) {
+        std::vector<std::uint16_t> path{to};
+        std::uint16_t back = to;
+        while (back != from) {
+          back = static_cast<std::uint16_t>(parent[back]);
+          path.push_back(back);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push(next);
+    }
+  }
+  throw std::invalid_argument("CouplingMap: wires are not connected");
+}
+
+std::size_t CouplingMap::distance(std::uint16_t a, std::uint16_t b) const {
+  if (distances_.empty()) {
+    // all-pairs BFS
+    distances_.assign(nwires_, std::vector<std::uint16_t>(
+                                   nwires_, std::numeric_limits<std::uint16_t>::max()));
+    for (std::uint16_t src = 0; src < nwires_; ++src) {
+      distances_[src][src] = 0;
+      std::queue<std::uint16_t> queue;
+      queue.push(src);
+      while (!queue.empty()) {
+        const std::uint16_t cur = queue.front();
+        queue.pop();
+        for (const std::uint16_t next : adjacency_[cur]) {
+          if (distances_[src][next] ==
+              std::numeric_limits<std::uint16_t>::max()) {
+            distances_[src][next] =
+                static_cast<std::uint16_t>(distances_[src][cur] + 1);
+            queue.push(next);
+          }
+        }
+      }
+    }
+  }
+  return distances_.at(a).at(b);
+}
+
+ir::Permutation greedyPlacement(const ir::QuantumComputation& qc,
+                                const CouplingMap& coupling) {
+  const std::size_t nwires = coupling.wires();
+  if (nwires < qc.qubits()) {
+    throw std::invalid_argument("greedyPlacement: architecture too small");
+  }
+
+  // interaction weights between logical qubits
+  std::vector<std::vector<std::size_t>> weight(
+      qc.qubits(), std::vector<std::size_t>(qc.qubits(), 0));
+  for (const ir::StandardOperation& op : qc) {
+    const auto used = op.usedQubits();
+    if (used.size() == 2) {
+      ++weight[used[0]][used[1]];
+      ++weight[used[1]][used[0]];
+    }
+  }
+
+  constexpr std::uint16_t UNPLACED = std::numeric_limits<std::uint16_t>::max();
+  std::vector<std::uint16_t> wireOf(nwires, UNPLACED);
+  std::vector<bool> wireTaken(nwires, false);
+
+  // seed: busiest logical qubit onto the best-connected wire
+  std::size_t seed = 0;
+  std::size_t seedWeight = 0;
+  for (std::size_t l = 0; l < qc.qubits(); ++l) {
+    std::size_t total = 0;
+    for (std::size_t o = 0; o < qc.qubits(); ++o) {
+      total += weight[l][o];
+    }
+    if (total > seedWeight) {
+      seedWeight = total;
+      seed = l;
+    }
+  }
+  std::uint16_t bestWire = 0;
+  for (std::uint16_t w = 1; w < nwires; ++w) {
+    if (coupling.neighbours(w).size() >
+        coupling.neighbours(bestWire).size()) {
+      bestWire = w;
+    }
+  }
+  wireOf[seed] = bestWire;
+  wireTaken[bestWire] = true;
+
+  // grow: repeatedly place the unplaced logical with the heaviest ties to
+  // the placed set, on the free wire minimizing weighted distance
+  for (std::size_t placed = 1; placed < qc.qubits(); ++placed) {
+    std::size_t next = UNPLACED;
+    std::size_t nextTies = 0;
+    for (std::size_t l = 0; l < qc.qubits(); ++l) {
+      if (wireOf[l] != UNPLACED) {
+        continue;
+      }
+      std::size_t ties = 0;
+      for (std::size_t o = 0; o < qc.qubits(); ++o) {
+        if (wireOf[o] != UNPLACED) {
+          ties += weight[l][o];
+        }
+      }
+      if (next == UNPLACED || ties > nextTies) {
+        next = l;
+        nextTies = ties;
+      }
+    }
+
+    std::uint16_t chosen = UNPLACED;
+    std::size_t chosenCost = std::numeric_limits<std::size_t>::max();
+    for (std::uint16_t w = 0; w < nwires; ++w) {
+      if (wireTaken[w]) {
+        continue;
+      }
+      std::size_t cost = 0;
+      for (std::size_t o = 0; o < qc.qubits(); ++o) {
+        if (wireOf[o] != UNPLACED && weight[next][o] > 0) {
+          cost += weight[next][o] * coupling.distance(w, wireOf[o]);
+        }
+      }
+      if (cost < chosenCost) {
+        chosenCost = cost;
+        chosen = w;
+      }
+    }
+    wireOf[next] = chosen;
+    wireTaken[chosen] = true;
+  }
+
+  // park any remaining (architecture-only) logical indices on leftover wires
+  std::vector<std::uint16_t> layout(nwires);
+  for (std::size_t l = 0; l < qc.qubits(); ++l) {
+    layout[l] = wireOf[l];
+  }
+  std::uint16_t spare = 0;
+  for (std::size_t l = qc.qubits(); l < nwires; ++l) {
+    while (wireTaken[spare]) {
+      ++spare;
+    }
+    layout[l] = spare;
+    wireTaken[spare] = true;
+  }
+  return ir::Permutation(std::move(layout));
+}
+
+MappingResult mapCircuit(const ir::QuantumComputation& qc,
+                         const CouplingMap& coupling,
+                         const MapperOptions& options) {
+  if (coupling.wires() < qc.qubits()) {
+    throw std::invalid_argument("mapCircuit: architecture too small");
+  }
+  if (!qc.initialLayout().isIdentity() ||
+      !qc.outputPermutation().isIdentity()) {
+    throw std::invalid_argument("mapCircuit: input is already mapped");
+  }
+
+  const std::size_t nwires = coupling.wires();
+  ir::Permutation layout = options.initialLayout.size() == 0
+                               ? (options.placement == PlacementStrategy::Greedy
+                                      ? greedyPlacement(qc, coupling)
+                                      : ir::Permutation(nwires))
+                               : options.initialLayout;
+  if (layout.size() != nwires) {
+    throw std::invalid_argument(
+        "mapCircuit: initial layout must cover all wires");
+  }
+
+  // upcoming two-qubit interactions, for the lookahead heuristic
+  std::vector<std::pair<ir::Qubit, ir::Qubit>> futurePairs;
+  std::vector<std::size_t> futureIndexOfOp(qc.size(), 0);
+  for (std::size_t i = 0; i < qc.size(); ++i) {
+    futureIndexOfOp[i] = futurePairs.size();
+    const auto used = qc.at(i).usedQubits();
+    if (used.size() == 2) {
+      futurePairs.emplace_back(used[0], used[1]);
+    }
+  }
+
+  // wireOf[logical] = current wire; logicalOn[wire] = current logical
+  std::vector<std::uint16_t> wireOf(nwires);
+  std::vector<std::uint16_t> logicalOn(nwires);
+  for (std::size_t l = 0; l < nwires; ++l) {
+    wireOf[l] = layout[l];
+    logicalOn[layout[l]] = static_cast<std::uint16_t>(l);
+  }
+
+  MappingResult result{ir::QuantumComputation(
+                           nwires, qc.name().empty() ? "" : qc.name() + "_mapped"),
+                       0};
+  ir::QuantumComputation& out = result.circuit;
+
+  // CX emission with direction fixing on directed architectures
+  const auto emitCx = [&](ir::Qubit control, ir::Qubit target) {
+    if (!coupling.directed() || coupling.allowsDirection(control, target)) {
+      out.cx(control, target);
+    } else {
+      // CX(c,t) = (H ⊗ H) CX(t,c) (H ⊗ H)
+      out.h(control);
+      out.h(target);
+      out.cx(target, control);
+      out.h(control);
+      out.h(target);
+      ++result.directionFixes;
+    }
+  };
+
+  const auto emitSwap = [&](std::uint16_t a, std::uint16_t b) {
+    if (coupling.directed()) {
+      emitCx(a, b);
+      emitCx(b, a);
+      emitCx(a, b);
+    } else {
+      out.swap(a, b);
+    }
+    ++result.addedSwaps;
+    const std::uint16_t la = logicalOn[a];
+    const std::uint16_t lb = logicalOn[b];
+    std::swap(logicalOn[a], logicalOn[b]);
+    wireOf[la] = b;
+    wireOf[lb] = a;
+  };
+
+  // lookahead score of a hypothetical swap of wires (x, y): distance of the
+  // current pair plus a discounted sum over the next few interactions
+  const auto lookaheadScore = [&](std::uint16_t x, std::uint16_t y,
+                                  ir::Qubit la, ir::Qubit lb,
+                                  std::size_t futureFrom) {
+    const auto wireAfter = [&](ir::Qubit l) {
+      const std::uint16_t w = wireOf[l];
+      if (w == x) {
+        return y;
+      }
+      if (w == y) {
+        return x;
+      }
+      return w;
+    };
+    double score =
+        static_cast<double>(coupling.distance(wireAfter(la), wireAfter(lb)));
+    const std::size_t end =
+        std::min(futurePairs.size(), futureFrom + options.lookaheadWindow);
+    if (end > futureFrom) {
+      double future = 0;
+      for (std::size_t k = futureFrom; k < end; ++k) {
+        future += static_cast<double>(coupling.distance(
+            wireAfter(futurePairs[k].first), wireAfter(futurePairs[k].second)));
+      }
+      score += options.lookaheadWeight * future /
+               static_cast<double>(end - futureFrom);
+    }
+    return score;
+  };
+
+  for (std::size_t opIndex = 0; opIndex < qc.size(); ++opIndex) {
+    const ir::StandardOperation& op = qc.at(opIndex);
+    const std::vector<ir::Qubit> used = op.usedQubits();
+    if (used.size() == 1) {
+      ir::StandardOperation mapped(op.type(), {wireOf[op.target()]}, {},
+                                   op.params());
+      out.emplace(std::move(mapped));
+      continue;
+    }
+    if (used.size() != 2) {
+      throw std::invalid_argument(
+          "mapCircuit: decompose to <= 2-qubit gates before mapping");
+    }
+
+    if (options.routing == RoutingHeuristic::Lookahead) {
+      // SABRE-flavoured: pick the best-scoring swap among the edges
+      // incident to the two operands until they are adjacent
+      std::size_t stuck = 0;
+      while (true) {
+        const std::uint16_t wa = wireOf[used[0]];
+        const std::uint16_t wb = wireOf[used[1]];
+        if (wa == wb || coupling.connected(wa, wb)) {
+          break;
+        }
+        const std::size_t current = coupling.distance(wa, wb);
+        std::pair<std::uint16_t, std::uint16_t> best{0, 0};
+        double bestScore = std::numeric_limits<double>::max();
+        for (const std::uint16_t w : {wa, wb}) {
+          for (const std::uint16_t nb : coupling.neighbours(w)) {
+            const double score = lookaheadScore(
+                w, nb, used[0], used[1], futureIndexOfOp[opIndex] + 1);
+            if (score < bestScore) {
+              bestScore = score;
+              best = {w, nb};
+            }
+          }
+        }
+        emitSwap(best.first, best.second);
+        // guard against heuristic livelock: if we fail to make progress on
+        // the current gate for too long, fall back to a BFS chain step
+        const std::size_t after =
+            coupling.distance(wireOf[used[0]], wireOf[used[1]]);
+        stuck = after < current ? 0 : stuck + 1;
+        if (stuck > 2 * nwires) {
+          const auto path =
+              coupling.shortestPath(wireOf[used[0]], wireOf[used[1]]);
+          emitSwap(path[0], path[1]);
+          stuck = 0;
+        }
+      }
+    } else {
+      // baseline: move the first operand along a BFS shortest path
+      const std::uint16_t wa = wireOf[used[0]];
+      const std::uint16_t wb = wireOf[used[1]];
+      if (!coupling.connected(wa, wb) && wa != wb) {
+        const std::vector<std::uint16_t> path = coupling.shortestPath(wa, wb);
+        for (std::size_t step = 0; step + 2 < path.size(); ++step) {
+          emitSwap(path[step], path[step + 1]);
+        }
+      }
+    }
+
+    // rebuild the operation on current wires
+    std::vector<ir::Control> controls;
+    for (const ir::Control& c : op.controls()) {
+      controls.push_back(ir::Control{wireOf[c.qubit], c.positive});
+    }
+    std::vector<ir::Qubit> targets;
+    for (const ir::Qubit t : op.targets()) {
+      targets.push_back(wireOf[t]);
+    }
+
+    if (!coupling.directed()) {
+      out.emplace(ir::StandardOperation(op.type(), std::move(targets),
+                                        std::move(controls), op.params()));
+      continue;
+    }
+
+    // directed architecture: fix gate directions (IBM QX style)
+    if (op.type() == ir::OpType::SWAP && controls.empty()) {
+      emitCx(targets[0], targets[1]);
+      emitCx(targets[1], targets[0]);
+      emitCx(targets[0], targets[1]);
+      continue;
+    }
+    if (controls.size() == 1 && controls.front().positive) {
+      const ir::Qubit control = controls.front().qubit;
+      const ir::Qubit target = targets.front();
+      if (op.type() == ir::OpType::X) {
+        emitCx(control, target);
+        continue;
+      }
+      if (coupling.allowsDirection(control, target)) {
+        // any controlled gate in its native direction passes through
+        out.gate(op.type(), target, {ir::Control{control, true}},
+                 op.params());
+        continue;
+      }
+      // symmetric controlled-diagonal gates may simply exchange roles
+      const bool symmetric =
+          op.type() == ir::OpType::Z || op.type() == ir::OpType::Phase;
+      if (symmetric) {
+        out.gate(op.type(), control, {ir::Control{target, true}},
+                 op.params());
+        ++result.directionFixes;
+        continue;
+      }
+    }
+    throw std::domain_error(
+        "mapCircuit: decompose to CX / CZ / controlled-phase before mapping "
+        "onto a directed architecture");
+  }
+
+  // record where each logical qubit ended up
+  std::vector<std::uint16_t> outPerm(nwires);
+  for (std::size_t l = 0; l < nwires; ++l) {
+    outPerm[l] = wireOf[l];
+  }
+  out.setInitialLayout(layout);
+  out.setOutputPermutation(ir::Permutation(std::move(outPerm)));
+  return result;
+}
+
+} // namespace qsimec::tf

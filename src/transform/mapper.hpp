@@ -1,0 +1,121 @@
+// Mapping circuits to coupling-constrained architectures [6]-[10].
+//
+// A CouplingMap is an undirected connectivity graph over physical qubits
+// (wires). The mapper places logical qubits on wires (trivial or caller-
+// provided initial layout) and routes every two-qubit gate by inserting SWAP
+// chains along shortest paths. The resulting circuit records the final
+// logical-to-wire assignment in its outputPermutation, so the mapped circuit
+// is *logically* equivalent to the input — exactly the G -> G' step the
+// paper's benchmarks exercise.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace qsimec::tf {
+
+class CouplingMap {
+public:
+  /// Undirected map: each edge permits two-qubit gates in both directions.
+  CouplingMap(std::size_t nwires,
+              std::vector<std::pair<std::uint16_t, std::uint16_t>> edges);
+  /// Directed map: an edge (c, t) permits CNOTs with control c and target t
+  /// only; the router still treats connectivity as undirected and the
+  /// mapper fixes directions with H conjugation (IBM QX style).
+  CouplingMap(std::size_t nwires,
+              std::vector<std::pair<std::uint16_t, std::uint16_t>> edges,
+              bool directed);
+
+  [[nodiscard]] static CouplingMap linear(std::size_t nwires);
+  [[nodiscard]] static CouplingMap ring(std::size_t nwires);
+  [[nodiscard]] static CouplingMap grid(std::size_t rows, std::size_t cols);
+  [[nodiscard]] static CouplingMap star(std::size_t nwires);
+  /// Fully connected (mapping becomes a no-op; useful for testing).
+  [[nodiscard]] static CouplingMap complete(std::size_t nwires);
+  /// The historic directed 5-qubit IBM QX4 "bowtie" device [6], [9].
+  [[nodiscard]] static CouplingMap ibmQX4();
+  /// The historic directed 16-qubit IBM QX5 ladder device [6], [9].
+  [[nodiscard]] static CouplingMap ibmQX5();
+
+  [[nodiscard]] std::size_t wires() const noexcept { return nwires_; }
+  [[nodiscard]] bool directed() const noexcept { return directed_; }
+  [[nodiscard]] bool connected(std::uint16_t a, std::uint16_t b) const;
+  /// For directed maps: may a CNOT with this control/target be applied
+  /// as-is? (Undirected maps: same as connected.)
+  [[nodiscard]] bool allowsDirection(std::uint16_t control,
+                                     std::uint16_t target) const;
+  [[nodiscard]] const std::vector<std::uint16_t>&
+  neighbours(std::uint16_t wire) const {
+    return adjacency_.at(wire);
+  }
+
+  /// BFS shortest path between two wires (inclusive endpoints).
+  [[nodiscard]] std::vector<std::uint16_t> shortestPath(std::uint16_t from,
+                                                        std::uint16_t to) const;
+
+  /// Hop distance between two wires (0 for a == b). Computed lazily as an
+  /// all-pairs BFS table on first use.
+  [[nodiscard]] std::size_t distance(std::uint16_t a, std::uint16_t b) const;
+
+private:
+  std::size_t nwires_;
+  bool directed_{false};
+  std::vector<std::vector<std::uint16_t>> adjacency_;
+  std::set<std::pair<std::uint16_t, std::uint16_t>> allowed_;
+  mutable std::vector<std::vector<std::uint16_t>> distances_; // lazy
+};
+
+/// Greedy interaction-graph placement (see PlacementStrategy::Greedy):
+/// returns a layout mapping logical qubit i to its chosen wire.
+[[nodiscard]] ir::Permutation greedyPlacement(const ir::QuantumComputation& qc,
+                                              const CouplingMap& coupling);
+
+enum class RoutingHeuristic {
+  /// Move one operand along a BFS shortest path until adjacent (simple,
+  /// deterministic — the baseline of [6], [9]).
+  BfsChain,
+  /// Choose each SWAP by scoring candidate swaps against the current gate
+  /// plus a lookahead window of upcoming two-qubit gates (SABRE-flavoured).
+  Lookahead,
+};
+
+enum class PlacementStrategy {
+  /// logical i starts on wire i (or on options.initialLayout).
+  Trivial,
+  /// Greedy interaction-graph placement: frequently-interacting logical
+  /// qubits are seeded onto well-connected, close-by wires.
+  Greedy,
+};
+
+struct MapperOptions {
+  /// Initial placement of logical qubits on wires; empty = identity (or
+  /// computed, when placement == Greedy).
+  ir::Permutation initialLayout{};
+  RoutingHeuristic routing{RoutingHeuristic::BfsChain};
+  PlacementStrategy placement{PlacementStrategy::Trivial};
+  /// Upcoming two-qubit gates considered by the Lookahead heuristic.
+  std::size_t lookaheadWindow{20};
+  /// Weight of the lookahead term relative to the current gate.
+  double lookaheadWeight{0.5};
+};
+
+struct MappingResult {
+  ir::QuantumComputation circuit;
+  std::size_t addedSwaps{};
+  /// Directed architectures only: gates whose direction had to be fixed
+  /// (H conjugation for CX, operand exchange for symmetric gates).
+  std::size_t directionFixes{};
+};
+
+/// Map `qc` onto `coupling`. The input must be decomposed to gates touching
+/// at most two qubits (throws std::invalid_argument otherwise).
+[[nodiscard]] MappingResult mapCircuit(const ir::QuantumComputation& qc,
+                                       const CouplingMap& coupling,
+                                       const MapperOptions& options = {});
+
+} // namespace qsimec::tf

@@ -1,0 +1,43 @@
+// Circuit optimization passes [11], [12]:
+//
+//   * removeIdentities      — drop I gates, zero-angle rotations, and
+//                             zero global phases
+//   * cancelInversePairs    — remove adjacent gate/inverse pairs (adjacency
+//                             modulo gates on disjoint qubits), iterated to
+//                             a fixpoint
+//   * mergeRotations        — fuse adjacent same-axis rotations (and phase
+//                             gates) on identical qubits/controls
+//   * fuseSingleQubitGates  — collapse maximal runs of uncontrolled
+//                             single-qubit gates into one U3 (+ exact global
+//                             phase via GPhase)
+//
+// All passes are exactly functionality-preserving (global phase included).
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+namespace qsimec::tf {
+
+struct OptimizerOptions {
+  bool removeIdentities{true};
+  bool cancelInversePairs{true};
+  bool mergeRotations{true};
+  bool fuseSingleQubitGates{false};
+  /// Let cancellation/merging slide across commuting gates (sound per-qubit
+  /// axis-class rule: controls and diagonal gates commute on a shared wire,
+  /// X-axis gates commute on a shared target wire).
+  bool commutationAware{true};
+};
+
+struct OptimizationStats {
+  std::size_t removedGates{};
+  std::size_t mergedRotations{};
+  std::size_t fusedGates{};
+};
+
+[[nodiscard]] ir::QuantumComputation optimize(const ir::QuantumComputation& qc,
+                                              const OptimizerOptions& options = {},
+                                              OptimizationStats* stats = nullptr);
+
+} // namespace qsimec::tf

@@ -1,0 +1,64 @@
+// Cooperative timeout support.
+//
+// Long-running operations (functionality construction, equivalence checking,
+// simulation of large circuits) accept an optional Deadline and poll it at
+// gate granularity; expiry raises TimeoutError, which the equivalence
+// checking flow converts into the paper's "timeout" outcome.
+
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+namespace qsimec::util {
+
+class TimeoutError : public std::runtime_error {
+public:
+  TimeoutError() : std::runtime_error("operation timed out") {}
+};
+
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A deadline `d` from now. A non-positive duration means "already expired".
+  static Deadline after(std::chrono::duration<double> d) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(d));
+  }
+
+  /// A deadline that never expires.
+  static Deadline never() { return Deadline(Clock::time_point::max()); }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return Clock::now() >= end_;
+  }
+
+  /// Throw TimeoutError if expired. Cheap enough to call per gate.
+  void check() const {
+    if (expired()) {
+      throw TimeoutError();
+    }
+  }
+
+private:
+  explicit Deadline(Clock::time_point end) : end_(end) {}
+  Clock::time_point end_;
+};
+
+/// Wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace qsimec::util

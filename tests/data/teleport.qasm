@@ -1,0 +1,12 @@
+// One-shot teleportation core (unitary part): entangle, Bell-measure basis
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg msg[1];
+qreg link[2];
+u3(0.3,0.2,0.1) msg[0];
+h link[0];
+cx link[0],link[1];
+cx msg[0],link[0];
+h msg[0];
+cx link[0],link[1];
+cz msg[0],link[1];

@@ -1,0 +1,7 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }
+x q[0];
+majority q[0],q[1],q[2];
+majority q[1],q[2],q[3];

@@ -1,0 +1,139 @@
+// End-to-end tests of the qsimec CLI binary (spawned as a subprocess):
+// generate -> info -> convert -> check pipelines, exit codes, and --json.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CommandResult {
+  int exitCode{};
+  std::string output;
+};
+
+CommandResult runCli(const std::string& args) {
+  const std::string command =
+      std::string(QSIMEC_CLI_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buffer{};
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    result.exitCode = -1;
+    return result;
+  }
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exitCode = WEXITSTATUS(status);
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("qsimec_cli_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+} // namespace
+
+TEST_F(CliTest, HelpExitsCleanly) {
+  const auto result = runCli("help");
+  EXPECT_EQ(result.exitCode, 0);
+  EXPECT_NE(result.output.find("simulation-first equivalence checking"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  EXPECT_EQ(runCli("frobnicate").exitCode, 2);
+}
+
+TEST_F(CliTest, GenerateInfoConvertCheckPipeline) {
+  const std::string real = path("hwb.real");
+  const std::string qasm = path("hwb.qasm");
+
+  auto gen = runCli("gen hwb 4 " + real);
+  ASSERT_EQ(gen.exitCode, 0) << gen.output;
+  ASSERT_TRUE(fs::exists(real));
+
+  auto info = runCli("info " + real);
+  EXPECT_EQ(info.exitCode, 0);
+  EXPECT_NE(info.output.find("qubits:  4"), std::string::npos);
+
+  auto convert = runCli("convert " + real + " " + qasm);
+  ASSERT_EQ(convert.exitCode, 0) << convert.output;
+  ASSERT_TRUE(fs::exists(qasm));
+
+  auto check = runCli("check " + real + " " + qasm + " --timeout 30");
+  EXPECT_EQ(check.exitCode, 0) << check.output; // equivalent
+  EXPECT_NE(check.output.find("equivalent"), std::string::npos);
+}
+
+TEST_F(CliTest, NonEquivalentPairExitsWithOne) {
+  const std::string a = path("a.qasm");
+  const std::string b = path("b.qasm");
+  ASSERT_EQ(runCli("gen qft 4 " + a).exitCode, 0);
+  {
+    std::ofstream os(b);
+    os << "OPENQASM 2.0;\nqreg q[4];\nh q[0];\n";
+  }
+  const auto check = runCli("check " + a + " " + b + " --sim-only");
+  EXPECT_EQ(check.exitCode, 1);
+  EXPECT_NE(check.output.find("not equivalent"), std::string::npos);
+  EXPECT_NE(check.output.find("counterexample"), std::string::npos);
+}
+
+TEST_F(CliTest, JsonOutputIsParseableShape) {
+  const std::string a = path("g.qasm");
+  ASSERT_EQ(runCli("gen ghz 3 " + a).exitCode, 0);
+  const auto check = runCli("check " + a + " " + a + " --json --timeout 30");
+  EXPECT_EQ(check.exitCode, 0);
+  EXPECT_EQ(check.output.front(), '{');
+  EXPECT_NE(check.output.find("\"equivalence\":\"equivalent\""),
+            std::string::npos);
+}
+
+TEST_F(CliTest, SimCommandPrintsAmplitudes) {
+  const std::string a = path("bell.qasm");
+  {
+    std::ofstream os(a);
+    os << "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+  }
+  const auto sim = runCli("sim " + a);
+  EXPECT_EQ(sim.exitCode, 0);
+  EXPECT_NE(sim.output.find("|00>"), std::string::npos);
+  EXPECT_NE(sim.output.find("|11>"), std::string::npos);
+}
+
+TEST_F(CliTest, WidthMismatchIsPaddedAutomatically) {
+  const std::string narrow = path("n.qasm");
+  const std::string wide = path("w.qasm");
+  {
+    std::ofstream os(narrow);
+    os << "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n";
+  }
+  {
+    std::ofstream os(wide);
+    os << "OPENQASM 2.0;\nqreg q[3];\nh q[0];\n";
+  }
+  const auto check = runCli("check " + narrow + " " + wide + " --timeout 30");
+  EXPECT_EQ(check.exitCode, 0) << check.output;
+}

@@ -1,0 +1,331 @@
+// Basic decision-diagram package checks: canonical numbers, basis states,
+// gate DDs vs. their dense definitions, and the algebraic operations.
+
+#include "dd/export.hpp"
+#include "dd/package.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace dd = qsimec::dd;
+using dd::ComplexValue;
+
+namespace {
+void expectNear(const ComplexValue& a, const ComplexValue& b,
+                double eps = 1e-9) {
+  EXPECT_NEAR(a.re, b.re, eps);
+  EXPECT_NEAR(a.im, b.im, eps);
+}
+} // namespace
+
+TEST(RealTable, CanonicalizesWithinTolerance) {
+  dd::RealTable table;
+  auto* a = table.lookup(0.5);
+  auto* b = table.lookup(0.5 + 1e-14);
+  EXPECT_EQ(a, b);
+  auto* c = table.lookup(0.5 + 1e-6);
+  EXPECT_NE(a, c);
+}
+
+TEST(RealTable, ZeroAndOneAreSpecial) {
+  dd::RealTable table;
+  EXPECT_EQ(table.lookup(0.0), table.zero());
+  EXPECT_EQ(table.lookup(1e-15), table.zero());
+  EXPECT_EQ(table.lookup(1.0), table.one());
+  EXPECT_EQ(table.lookup(-0.0), table.zero());
+}
+
+TEST(RealTable, NegativeValuesDistinct) {
+  dd::RealTable table;
+  EXPECT_NE(table.lookup(0.25), table.lookup(-0.25));
+}
+
+TEST(RealTable, GarbageCollectKeepsReferenced) {
+  dd::RealTable table;
+  auto* a = table.lookup(0.123456);
+  dd::RealTable::incRef(a);
+  table.lookup(0.777);
+  const std::size_t before = table.size();
+  const std::size_t collected = table.garbageCollect();
+  EXPECT_GE(collected, 1U);
+  EXPECT_EQ(table.size(), before - collected);
+  EXPECT_EQ(table.lookup(0.123456), a);
+}
+
+TEST(PackageVectors, ZeroStateAmplitudes) {
+  dd::Package pkg(3);
+  const auto zero = pkg.makeZeroState();
+  expectNear(pkg.getAmplitude(zero, 0), {1, 0});
+  for (std::uint64_t i = 1; i < 8; ++i) {
+    expectNear(pkg.getAmplitude(zero, i), {0, 0});
+  }
+}
+
+TEST(PackageVectors, BasisStatesAreOrthonormal) {
+  dd::Package pkg(4);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto si = pkg.makeBasisState(i);
+    for (std::uint64_t j = 0; j < 16; ++j) {
+      const auto sj = pkg.makeBasisState(j);
+      const double expected = (i == j) ? 1.0 : 0.0;
+      EXPECT_NEAR(pkg.fidelity(si, sj), expected, 1e-12)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(PackageVectors, BasisStatesShareStructure) {
+  dd::Package pkg(6);
+  const auto a = pkg.makeBasisState(5);
+  const auto b = pkg.makeBasisState(5);
+  EXPECT_EQ(a, b); // canonical: same pointer, same weight
+}
+
+TEST(PackageVectors, OutOfRangeBasisStateThrows) {
+  dd::Package pkg(3);
+  EXPECT_THROW((void)pkg.makeBasisState(8), std::invalid_argument);
+}
+
+TEST(PackageGates, HadamardOnZero) {
+  dd::Package pkg(1);
+  const auto h = pkg.makeGateDD(dd::Hmat, 0);
+  const auto state = pkg.multiply(h, pkg.makeZeroState());
+  expectNear(pkg.getAmplitude(state, 0), {dd::SQRT1_2, 0});
+  expectNear(pkg.getAmplitude(state, 1), {dd::SQRT1_2, 0});
+}
+
+TEST(PackageGates, GateMatrixRoundTrip) {
+  // every single-qubit gate DD must reproduce its defining dense matrix
+  const std::vector<std::pair<const char*, dd::GateMatrix>> gates = {
+      {"X", dd::Xmat},          {"Y", dd::Ymat},
+      {"Z", dd::Zmat},          {"H", dd::Hmat},
+      {"S", dd::Smat},          {"T", dd::Tmat},
+      {"V", dd::Vmat},          {"Vdg", dd::Vdgmat},
+      {"RX(0.3)", dd::rxMat(0.3)}, {"RY(1.2)", dd::ryMat(1.2)},
+      {"RZ(2.1)", dd::rzMat(2.1)}, {"P(0.7)", dd::phaseMat(0.7)},
+      {"U3", dd::u3Mat(0.4, 1.1, -0.6)}};
+  dd::Package pkg(1);
+  for (const auto& [name, mat] : gates) {
+    const auto e = pkg.makeGateDD(mat, 0);
+    for (std::uint64_t r = 0; r < 2; ++r) {
+      for (std::uint64_t c = 0; c < 2; ++c) {
+        expectNear(pkg.getEntry(e, r, c), mat[2 * r + c]);
+      }
+    }
+  }
+}
+
+TEST(PackageGates, CnotMatchesDefinition) {
+  dd::Package pkg(2);
+  // control = qubit 1 (MSB), target = qubit 0: |10> -> |11>, |11> -> |10>
+  const auto cx = pkg.makeGateDD(dd::Xmat, 0, {dd::Control{1, true}});
+  const auto m = pkg.getMatrix(cx);
+  const double expected[4][4] = {{1, 0, 0, 0},
+                                 {0, 1, 0, 0},
+                                 {0, 0, 0, 1},
+                                 {0, 0, 1, 0}};
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR(m[r][c].re, expected[r][c], 1e-12) << r << "," << c;
+      EXPECT_NEAR(m[r][c].im, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(PackageGates, NegativeControl) {
+  dd::Package pkg(2);
+  // X on qubit 0 applied when qubit 1 is |0>
+  const auto cx = pkg.makeGateDD(dd::Xmat, 0, {dd::Control{1, false}});
+  const auto s = pkg.multiply(cx, pkg.makeBasisState(0b00));
+  EXPECT_NEAR(pkg.fidelity(s, pkg.makeBasisState(0b01)), 1.0, 1e-12);
+  const auto s2 = pkg.multiply(cx, pkg.makeBasisState(0b10));
+  EXPECT_NEAR(pkg.fidelity(s2, pkg.makeBasisState(0b10)), 1.0, 1e-12);
+}
+
+TEST(PackageGates, ToffoliTruthTable) {
+  dd::Package pkg(3);
+  const auto ccx = pkg.makeGateDD(
+      dd::Xmat, 0, {dd::Control{1, true}, dd::Control{2, true}});
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::uint64_t expected = ((i >> 1) & 1U) && ((i >> 2) & 1U) ? i ^ 1U : i;
+    const auto out = pkg.multiply(ccx, pkg.makeBasisState(i));
+    EXPECT_NEAR(pkg.fidelity(out, pkg.makeBasisState(expected)), 1.0, 1e-12)
+        << "input " << i;
+  }
+}
+
+TEST(PackageGates, InvalidArgumentsThrow) {
+  dd::Package pkg(2);
+  EXPECT_THROW((void)pkg.makeGateDD(dd::Xmat, 5), std::invalid_argument);
+  EXPECT_THROW((void)pkg.makeGateDD(dd::Xmat, 0, {dd::Control{0, true}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pkg.makeGateDD(dd::Xmat, 0,
+                                    {dd::Control{1, true}, dd::Control{1, false}}),
+               std::invalid_argument);
+}
+
+TEST(PackageMatrices, IdentityIsCanonical) {
+  dd::Package pkg(4);
+  const auto id1 = pkg.makeIdent();
+  const auto id2 = pkg.makeIdent();
+  EXPECT_EQ(id1, id2);
+  for (std::uint64_t r = 0; r < 16; ++r) {
+    for (std::uint64_t c = 0; c < 16; ++c) {
+      expectNear(pkg.getEntry(id1, r, c),
+                 (r == c) ? ComplexValue{1, 0} : ComplexValue{0, 0});
+    }
+  }
+}
+
+TEST(PackageMatrices, HadamardSelfInverse) {
+  dd::Package pkg(3);
+  const auto h = pkg.makeGateDD(dd::Hmat, 1);
+  const auto hh = pkg.multiply(h, h);
+  EXPECT_EQ(hh, pkg.makeIdent());
+}
+
+TEST(PackageMatrices, MultiplicationOrderMatters) {
+  dd::Package pkg(1);
+  const auto h = pkg.makeGateDD(dd::Hmat, 0);
+  const auto t = pkg.makeGateDD(dd::Tmat, 0);
+  EXPECT_NE(pkg.multiply(h, t), pkg.multiply(t, h));
+}
+
+TEST(PackageMatrices, ConjugateTransposeInvertsUnitary) {
+  dd::Package pkg(2);
+  const auto u = pkg.multiply(
+      pkg.makeGateDD(dd::Hmat, 1),
+      pkg.multiply(pkg.makeGateDD(dd::Xmat, 0, {dd::Control{1, true}}),
+                   pkg.makeGateDD(dd::rzMat(0.37), 0)));
+  const auto udg = pkg.conjugateTranspose(u);
+  EXPECT_EQ(pkg.multiply(udg, u), pkg.makeIdent());
+  EXPECT_EQ(pkg.multiply(u, udg), pkg.makeIdent());
+}
+
+TEST(PackageMatrices, KroneckerBuildsTensorProduct) {
+  dd::Package pkg(2);
+  // kron(X-on-one-qubit, H-on-one-qubit) must equal (X on q1)·(H on q0).
+  // Single-level operands are built directly from terminal edges.
+  const auto mkSingle = [&pkg](const dd::GateMatrix& m) {
+    std::array<dd::mEdge, 4> children;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto w = pkg.complexTable().lookup(m[i]);
+      children[i] =
+          w.exactlyZero() ? pkg.mZero() : dd::mEdge{dd::mNode::terminal(), w};
+    }
+    return pkg.makeMNode(0, children);
+  };
+  const auto kron = pkg.kronecker(mkSingle(dd::Xmat), mkSingle(dd::Hmat));
+  const auto direct = pkg.multiply(pkg.makeGateDD(dd::Xmat, 1),
+                                   pkg.makeGateDD(dd::Hmat, 0));
+  EXPECT_EQ(kron, direct);
+}
+
+TEST(PackageMatrices, SwapExchangesQubits) {
+  dd::Package pkg(3);
+  const auto swap = pkg.makeSwapDD(0, 2);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::uint64_t b0 = i & 1U;
+    const std::uint64_t b2 = (i >> 2) & 1U;
+    const std::uint64_t expected = (i & 0b010U) | (b0 << 2) | b2;
+    const auto out = pkg.multiply(swap, pkg.makeBasisState(i));
+    EXPECT_NEAR(pkg.fidelity(out, pkg.makeBasisState(expected)), 1.0, 1e-12);
+  }
+}
+
+TEST(PackageMatrices, AddZeroIsNeutral) {
+  dd::Package pkg(2);
+  const auto h = pkg.makeGateDD(dd::Hmat, 0);
+  EXPECT_EQ(pkg.add(h, pkg.mZero()), h);
+  EXPECT_EQ(pkg.add(pkg.mZero(), h), h);
+}
+
+TEST(PackageMatrices, AdditionCancelsToZero) {
+  dd::Package pkg(2);
+  const auto h = pkg.makeGateDD(dd::Hmat, 0);
+  const dd::mEdge negH{
+      h.p, pkg.complexTable().lookup(-h.w.value().re, -h.w.value().im)};
+  const auto sum = pkg.add(h, negH);
+  EXPECT_TRUE(sum.isZeroTerminal());
+}
+
+TEST(PackageVectors, BellStateViaGates) {
+  dd::Package pkg(2);
+  auto state = pkg.makeZeroState();
+  state = pkg.multiply(pkg.makeGateDD(dd::Hmat, 1), state);
+  state = pkg.multiply(pkg.makeGateDD(dd::Xmat, 0, {dd::Control{1, true}}),
+                       state);
+  expectNear(pkg.getAmplitude(state, 0b00), {dd::SQRT1_2, 0});
+  expectNear(pkg.getAmplitude(state, 0b11), {dd::SQRT1_2, 0});
+  expectNear(pkg.getAmplitude(state, 0b01), {0, 0});
+  expectNear(pkg.getAmplitude(state, 0b10), {0, 0});
+  // root (q1) plus two distinct q0 children |0> and |1>
+  EXPECT_EQ(dd::Package::size(state), 3U);
+}
+
+TEST(PackageVectors, InnerProductConjugatesLeft) {
+  dd::Package pkg(1);
+  // |+i> = S H |0>, <+i|+i> = 1, <+i|-i> = 0
+  auto plusI = pkg.multiply(pkg.makeGateDD(dd::Smat, 0),
+                            pkg.multiply(pkg.makeGateDD(dd::Hmat, 0),
+                                         pkg.makeZeroState()));
+  auto minusI = pkg.multiply(pkg.makeGateDD(dd::Sdgmat, 0),
+                             pkg.multiply(pkg.makeGateDD(dd::Hmat, 0),
+                                          pkg.makeZeroState()));
+  expectNear(pkg.innerProduct(plusI, plusI), {1, 0});
+  expectNear(pkg.innerProduct(plusI, minusI), {0, 0});
+}
+
+TEST(PackageGC, ReferencedDDsSurviveCollection) {
+  dd::Package pkg(4);
+  auto state = pkg.makeZeroState();
+  const auto h = pkg.makeGateDD(dd::Hmat, 0);
+  state = pkg.multiply(h, state);
+  pkg.incRef(state);
+  pkg.garbageCollect(true);
+  // state must still be intact
+  expectNear(pkg.getAmplitude(state, 0), {dd::SQRT1_2, 0});
+  expectNear(pkg.getAmplitude(state, 1), {dd::SQRT1_2, 0});
+  pkg.decRef(state);
+}
+
+TEST(PackageGC, UnreferencedNodesAreCollected) {
+  dd::Package pkg(4);
+  for (int k = 0; k < 10; ++k) {
+    auto s = pkg.makeBasisState(static_cast<std::uint64_t>(k));
+    (void)pkg.multiply(pkg.makeGateDD(dd::rxMat(0.1 * k), 2), s);
+  }
+  const auto before = pkg.stats().vNodesLive;
+  pkg.garbageCollect(true);
+  const auto after = pkg.stats().vNodesLive;
+  EXPECT_LT(after, before);
+}
+
+TEST(PackageLimits, NodeBudgetThrows) {
+  dd::Package pkg(10);
+  pkg.setMatrixNodeLimit(16);
+  EXPECT_THROW(
+      {
+        for (int q = 0; q < 10; ++q) {
+          (void)pkg.makeGateDD(dd::rzMat(0.1 + q), static_cast<dd::Var>(q));
+        }
+      },
+      dd::ResourceLimitExceeded);
+}
+
+TEST(Export, DotContainsNodes) {
+  dd::Package pkg(2);
+  auto state = pkg.multiply(pkg.makeGateDD(dd::Hmat, 1), pkg.makeZeroState());
+  std::ostringstream ss;
+  dd::exportDot(state, ss);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("q1"), std::string::npos);
+}
+
+TEST(Export, BasisLabelIsMsbFirst) {
+  EXPECT_EQ(dd::basisLabel(0b110, 3), "110");
+  EXPECT_EQ(dd::basisLabel(1, 4), "0001");
+}

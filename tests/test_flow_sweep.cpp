@@ -1,0 +1,129 @@
+// Property sweep of the complete Fig. 3 flow: for a grid of random circuits
+// and design-flow transformations, the flow must prove every faithful
+// transformation equivalent and expose every injected error — the
+// end-to-end contract of the whole library.
+
+#include "ec/flow.hpp"
+#include "gen/random_circuits.hpp"
+#include "transform/decomposition.hpp"
+#include "transform/error_injector.hpp"
+#include "transform/mapper.hpp"
+#include "transform/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace qsimec;
+
+namespace {
+
+enum class Transformation { Optimize, MapLinear, MapRing, Decompose, Fuse };
+
+struct SweepCase {
+  std::uint64_t seed;
+  Transformation transformation;
+};
+
+std::string caseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  const char* t = "";
+  switch (info.param.transformation) {
+  case Transformation::Optimize:
+    t = "optimize";
+    break;
+  case Transformation::MapLinear:
+    t = "maplinear";
+    break;
+  case Transformation::MapRing:
+    t = "mapring";
+    break;
+  case Transformation::Decompose:
+    t = "decompose";
+    break;
+  case Transformation::Fuse:
+    t = "fuse";
+    break;
+  }
+  return std::string(t) + "_seed" + std::to_string(info.param.seed);
+}
+
+} // namespace
+
+class FlowSweep : public ::testing::TestWithParam<SweepCase> {
+protected:
+  [[nodiscard]] static ir::QuantumComputation
+  transform(const ir::QuantumComputation& g, Transformation t) {
+    switch (t) {
+    case Transformation::Optimize:
+      return tf::optimize(g);
+    case Transformation::MapLinear:
+      return tf::mapCircuit(g, tf::CouplingMap::linear(g.qubits())).circuit;
+    case Transformation::MapRing: {
+      tf::MapperOptions options;
+      options.routing = tf::RoutingHeuristic::Lookahead;
+      return tf::mapCircuit(g, tf::CouplingMap::ring(g.qubits()), options)
+          .circuit;
+    }
+    case Transformation::Decompose:
+      return tf::decompose(g);
+    case Transformation::Fuse: {
+      tf::OptimizerOptions options;
+      options.fuseSingleQubitGates = true;
+      return tf::optimize(g, options);
+    }
+    }
+    throw std::logic_error("unknown transformation");
+  }
+};
+
+TEST_P(FlowSweep, FaithfulTransformationIsEquivalent) {
+  const auto [seed, transformation] = GetParam();
+  gen::RandomCircuitOptions options;
+  options.toffoli = transformation == Transformation::Decompose;
+  const auto g = gen::randomCircuit(5, 40, seed, options);
+  const auto gPrime = transform(g, transformation);
+
+  ec::FlowConfiguration config;
+  config.simulation.seed = seed;
+  config.complete.timeoutSeconds = 60;
+  const ec::EquivalenceCheckingFlow flow(config);
+  const auto result =
+      flow.run(tf::padQubits(g, gPrime.qubits()), gPrime);
+  EXPECT_TRUE(ec::provedEquivalent(result.equivalence))
+      << toString(result.equivalence);
+}
+
+TEST_P(FlowSweep, InjectedErrorIsExposed) {
+  const auto [seed, transformation] = GetParam();
+  gen::RandomCircuitOptions options;
+  options.toffoli = transformation == Transformation::Decompose;
+  const auto g = gen::randomCircuit(5, 40, seed, options);
+  auto gPrime = transform(g, transformation);
+
+  tf::ErrorInjector injector(seed * 31 + 7);
+  const auto injected = injector.injectRandom(gPrime);
+
+  ec::FlowConfiguration config;
+  config.simulation.seed = seed;
+  // richer stimuli close the phase-only blind spot of basis states
+  config.simulation.stimuli = ec::StimuliKind::RandomProduct;
+  config.simulation.maxSimulations = 16;
+  config.complete.timeoutSeconds = 60;
+  const ec::EquivalenceCheckingFlow flow(config);
+  const auto result =
+      flow.run(tf::padQubits(g, injected.circuit.qubits()), injected.circuit);
+  EXPECT_EQ(result.equivalence, ec::Equivalence::NotEquivalent)
+      << injected.error.description;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FlowSweep,
+    ::testing::Values(SweepCase{1, Transformation::Optimize},
+                      SweepCase{2, Transformation::Optimize},
+                      SweepCase{3, Transformation::MapLinear},
+                      SweepCase{4, Transformation::MapLinear},
+                      SweepCase{5, Transformation::MapRing},
+                      SweepCase{6, Transformation::MapRing},
+                      SweepCase{7, Transformation::Decompose},
+                      SweepCase{8, Transformation::Decompose},
+                      SweepCase{9, Transformation::Fuse},
+                      SweepCase{10, Transformation::Fuse}),
+    caseName);

@@ -1,0 +1,286 @@
+// Benchmark generator tests: QFT (against the DFT matrix), Grover (success
+// probability), supremacy-style circuits (structure), Hubbard-Trotter
+// circuits (unitarity / locality), and the RevLib-like family.
+
+#include "gen/chemistry.hpp"
+#include "gen/grover.hpp"
+#include "gen/qft.hpp"
+#include "gen/random_circuits.hpp"
+#include "gen/algorithms.hpp"
+#include "gen/revlib_like.hpp"
+#include "gen/supremacy.hpp"
+#include "sim/dd_simulator.hpp"
+#include "synth/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+using namespace qsimec;
+
+TEST(Qft, MatchesDftMatrix) {
+  const std::size_t n = 3;
+  const auto qc = gen::qft(n, true);
+  dd::Package pkg(n);
+  const auto u = sim::buildFunctionality(qc, pkg);
+  const double dim = 8.0;
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    for (std::uint64_t c = 0; c < 8; ++c) {
+      const double angle = 2 * std::numbers::pi *
+                           static_cast<double>(r * c % 8) / dim;
+      const auto entry = pkg.getEntry(u, r, c);
+      EXPECT_NEAR(entry.re, std::cos(angle) / std::sqrt(dim), 1e-9)
+          << r << "," << c;
+      EXPECT_NEAR(entry.im, std::sin(angle) / std::sqrt(dim), 1e-9)
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(Qft, InverseUndoesQft) {
+  const std::size_t n = 4;
+  ir::QuantumComputation both(n);
+  both.append(gen::qft(n));
+  const auto inv = gen::inverseQft(n);
+  for (const auto& op : inv) {
+    both.emplace(op);
+  }
+  dd::Package pkg(n);
+  const auto u = sim::buildFunctionality(both, pkg);
+  EXPECT_EQ(u, pkg.makeIdent());
+}
+
+TEST(Qft, ZeroInputGivesUniformSuperposition) {
+  const std::size_t n = 6;
+  dd::Package pkg(n);
+  const auto out = sim::simulate(gen::qft(n), pkg.makeZeroState(), pkg);
+  const double expected = 1.0 / std::sqrt(64.0);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto amp = pkg.getAmplitude(out, i);
+    EXPECT_NEAR(amp.re, expected, 1e-9);
+    EXPECT_NEAR(amp.im, 0.0, 1e-9);
+  }
+}
+
+TEST(Qft, BasisStateStaysProductState) {
+  // the paper's Table Ib shows QFT 48/64 simulating in fractions of a
+  // second: on a basis state the QFT output is a product state, so the DD
+  // stays small (near-linear in n; tolerance snapping at the deepest
+  // rotation levels leaves a small constant factor).
+  const std::size_t n = 32;
+  dd::Package pkg(n);
+  const auto out = sim::simulate(gen::qft(n), pkg.makeBasisState(12345), pkg);
+  EXPECT_LE(dd::Package::size(out), 64 * n);
+}
+
+TEST(Qft, AlternativeRealizationIsEquivalent) {
+  for (const std::size_t n : {3UL, 5UL, 7UL}) {
+    const auto a = gen::qft(n);
+    const auto b = gen::qftAlternative(n);
+    EXPECT_NE(a.size(), b.size()); // structurally different
+    dd::Package pkg(n);
+    const auto ua = sim::buildFunctionality(a, pkg);
+    pkg.incRef(ua);
+    const auto ub = sim::buildFunctionality(b, pkg);
+    EXPECT_EQ(ua, ub) << "n=" << n;
+    pkg.decRef(ua);
+  }
+}
+
+TEST(Grover, AmplifiesMarkedState) {
+  const std::size_t k = 5;
+  const std::uint64_t marked = 19;
+  const auto qc = gen::grover(k, marked);
+  dd::Package pkg(k);
+  const auto out = sim::simulate(qc, pkg.makeZeroState(), pkg);
+  const double p = pkg.getAmplitude(out, marked).mag2();
+  EXPECT_GT(p, 0.9);
+}
+
+TEST(Grover, AllMarkedStatesWork) {
+  const std::size_t k = 3;
+  for (std::uint64_t marked = 0; marked < 8; ++marked) {
+    const auto qc = gen::grover(k, marked);
+    dd::Package pkg(k);
+    const auto out = sim::simulate(qc, pkg.makeZeroState(), pkg);
+    EXPECT_GT(pkg.getAmplitude(out, marked).mag2(), 0.5) << marked;
+  }
+}
+
+TEST(Grover, Validation) {
+  EXPECT_THROW((void)gen::grover(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)gen::grover(3, 8), std::invalid_argument);
+}
+
+TEST(Supremacy, StructureAndDeterminism) {
+  const auto a = gen::supremacy(4, 4, 10, 42);
+  const auto b = gen::supremacy(4, 4, 10, 42);
+  EXPECT_EQ(a.ops(), b.ops()); // same seed => identical circuit
+  EXPECT_EQ(a.qubits(), 16U);
+  EXPECT_EQ(a.countType(ir::OpType::H), 16U); // initial layer
+  EXPECT_GT(a.countType(ir::OpType::Z), 0U);  // CZ layers
+  const auto c = gen::supremacy(4, 4, 10, 43);
+  EXPECT_NE(a.ops(), c.ops()) << "different seeds, same circuit?";
+}
+
+TEST(Supremacy, CzRespectsGrid) {
+  const auto qc = gen::supremacy(3, 3, 16, 7);
+  for (const auto& op : qc) {
+    if (op.type() == ir::OpType::Z && !op.controls().empty()) {
+      const auto a = op.controls()[0].qubit;
+      const auto b = op.target();
+      const auto ra = a / 3;
+      const auto ca = a % 3;
+      const auto rb = b / 3;
+      const auto cb = b % 3;
+      EXPECT_EQ(std::abs(static_cast<int>(ra) - static_cast<int>(rb)) +
+                    std::abs(static_cast<int>(ca) - static_cast<int>(cb)),
+                1)
+          << op;
+    }
+  }
+}
+
+TEST(Supremacy, EntanglesQuickly) {
+  const auto qc = gen::supremacy(2, 3, 12, 3);
+  dd::Package pkg(6);
+  const auto out = sim::simulate(qc, pkg.makeZeroState(), pkg);
+  // a supremacy-style state is far from a product state
+  EXPECT_GT(dd::Package::size(out), 6U);
+}
+
+TEST(Chemistry, QubitCountMatchesPaper) {
+  const auto qc22 = gen::hubbardTrotter(2, 2);
+  EXPECT_EQ(qc22.qubits(), 8U); // paper: Quantum Chemistry 2x2 has n = 8
+  const auto qc33 = gen::hubbardTrotter(3, 3);
+  EXPECT_EQ(qc33.qubits(), 18U); // paper: 3x3 has n = 18
+}
+
+TEST(Chemistry, EvolutionIsUnitaryAndNontrivial) {
+  const auto qc = gen::hubbardTrotter(1, 2);
+  dd::Package pkg(qc.qubits());
+  const auto u = sim::buildFunctionality(qc, pkg);
+  const auto udg = pkg.conjugateTranspose(u);
+  EXPECT_EQ(pkg.multiply(udg, u), pkg.makeIdent());
+  EXPECT_NE(u, pkg.makeIdent());
+}
+
+TEST(Chemistry, HoppingConservesParticleNumber) {
+  // evolve a single-particle state; total occupation must stay 1
+  const auto qc = gen::hubbardTrotter(1, 2, {.trotterSteps = 2});
+  dd::Package pkg(qc.qubits());
+  const auto out = sim::simulate(qc, pkg.makeBasisState(0b0001), pkg);
+  double weightOnSingleParticle = 0;
+  for (std::uint64_t i = 0; i < (1ULL << qc.qubits()); ++i) {
+    if (std::popcount(i) == 1) {
+      weightOnSingleParticle += pkg.getAmplitude(out, i).mag2();
+    }
+  }
+  EXPECT_NEAR(weightOnSingleParticle, 1.0, 1e-9);
+}
+
+TEST(RevlibLike, CircuitsRealizeTheirFunctions) {
+  EXPECT_EQ(synth::TruthTable::fromCircuit(gen::hwbCircuit(5)),
+            synth::TruthTable::hiddenWeightedBit(5));
+  EXPECT_EQ(synth::TruthTable::fromCircuit(gen::urfCircuit(4, 9)),
+            synth::TruthTable::randomPermutation(4, 9));
+  EXPECT_EQ(synth::TruthTable::fromCircuit(gen::adderCircuit(6)),
+            synth::TruthTable::modularAdder(6));
+  EXPECT_EQ(synth::TruthTable::fromCircuit(gen::incrementCircuit(5)),
+            synth::TruthTable::increment(5));
+}
+
+TEST(Algorithms, BernsteinVaziraniRecoversSecret) {
+  for (const std::uint64_t secret : {0b10110ULL, 0ULL, 0b11111ULL}) {
+    const auto qc = gen::bernsteinVazirani(5, secret);
+    dd::Package pkg(qc.qubits());
+    const auto out = sim::simulate(qc, pkg.makeZeroState(), pkg);
+    double pSecret = 0;
+    for (std::uint64_t anc = 0; anc < 2; ++anc) {
+      pSecret += pkg.getAmplitude(out, secret | (anc << 5)).mag2();
+    }
+    EXPECT_NEAR(pSecret, 1.0, 1e-9) << secret;
+  }
+}
+
+TEST(Algorithms, DeutschJozsaSeparatesConstantFromBalanced) {
+  const std::size_t n = 4;
+  // constant: inputs return to |0...0>
+  {
+    const auto qc = gen::deutschJozsa(n, false);
+    dd::Package pkg(qc.qubits());
+    const auto out = sim::simulate(qc, pkg.makeZeroState(), pkg);
+    double pZero = 0;
+    for (std::uint64_t anc = 0; anc < 2; ++anc) {
+      pZero += pkg.getAmplitude(out, anc << n).mag2();
+    }
+    EXPECT_NEAR(pZero, 1.0, 1e-9);
+  }
+  // balanced: zero amplitude on |0...0>
+  {
+    const auto qc = gen::deutschJozsa(n, true, 7);
+    dd::Package pkg(qc.qubits());
+    const auto out = sim::simulate(qc, pkg.makeZeroState(), pkg);
+    double pZero = 0;
+    for (std::uint64_t anc = 0; anc < 2; ++anc) {
+      pZero += pkg.getAmplitude(out, anc << n).mag2();
+    }
+    EXPECT_NEAR(pZero, 0.0, 1e-9);
+  }
+}
+
+TEST(Algorithms, QpeRecoversExactPhases) {
+  const std::size_t m = 4;
+  for (const std::uint64_t k : {1ULL, 5ULL, 11ULL, 15ULL}) {
+    const double phase = static_cast<double>(k) / 16.0;
+    const auto qc = gen::qpe(m, phase);
+    dd::Package pkg(qc.qubits());
+    const auto out = sim::simulate(qc, pkg.makeZeroState(), pkg);
+    // counting register must hold k exactly (eigenstate qubit stays |1>)
+    const double p = pkg.getAmplitude(out, k | (1ULL << m)).mag2();
+    EXPECT_NEAR(p, 1.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Algorithms, QpeApproximatesInexactPhases) {
+  const std::size_t m = 5;
+  const double phase = 0.2; // no exact 5-bit expansion
+  const auto qc = gen::qpe(m, phase);
+  dd::Package pkg(qc.qubits());
+  const auto out = sim::simulate(qc, pkg.makeZeroState(), pkg);
+  const auto best = static_cast<std::uint64_t>(std::llround(phase * 32)) % 32;
+  const double p = pkg.getAmplitude(out, best | (1ULL << m)).mag2();
+  EXPECT_GT(p, 0.4); // the nearest estimate dominates
+}
+
+TEST(Algorithms, GhzAndWStates) {
+  const std::size_t n = 5;
+  dd::Package pkg(n);
+  const auto ghz = sim::simulate(gen::ghzState(n), pkg.makeZeroState(), pkg);
+  EXPECT_NEAR(pkg.getAmplitude(ghz, 0).mag2(), 0.5, 1e-9);
+  EXPECT_NEAR(pkg.getAmplitude(ghz, (1ULL << n) - 1).mag2(), 0.5, 1e-9);
+
+  const auto w = sim::simulate(gen::wState(n), pkg.makeZeroState(), pkg);
+  for (std::size_t q = 0; q < n; ++q) {
+    EXPECT_NEAR(pkg.getAmplitude(w, 1ULL << q).mag2(), 1.0 / n, 1e-9)
+        << "excitation " << q;
+  }
+  EXPECT_NEAR(pkg.getAmplitude(w, 0).mag2(), 0.0, 1e-12);
+}
+
+TEST(RandomCircuits, RespectOptions) {
+  gen::RandomCircuitOptions options;
+  options.rotations = false;
+  options.twoQubit = false;
+  options.toffoli = false;
+  const auto qc = gen::randomCircuit(3, 50, 5, options);
+  for (const auto& op : qc) {
+    EXPECT_EQ(op.usedQubits().size(), 1U);
+    EXPECT_EQ(ir::numParams(op.type()), 0U);
+  }
+  const auto ct = gen::randomCliffordT(4, 80, 6);
+  for (const auto& op : ct) {
+    EXPECT_LE(op.controls().size(), 1U);
+  }
+}

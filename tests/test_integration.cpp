@@ -1,0 +1,164 @@
+// Integration tests: complete design-flow pipelines exercised end to end,
+// exactly as the paper frames them — generate G, derive G' via synthesis /
+// decomposition / mapping / optimization, optionally inject an error, and
+// verify with the combined equivalence checking flow.
+
+#include "ec/flow.hpp"
+#include "gen/grover.hpp"
+#include "gen/qft.hpp"
+#include "gen/revlib_like.hpp"
+#include "gen/supremacy.hpp"
+#include "io/qasm.hpp"
+#include "io/real.hpp"
+#include "gen/random_circuits.hpp"
+#include "synth/transformation_based.hpp"
+#include "sim/dense_simulator.hpp"
+#include "transform/decomposition.hpp"
+#include "transform/error_injector.hpp"
+#include "transform/mapper.hpp"
+#include "transform/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace qsimec;
+using ec::Equivalence;
+
+namespace {
+
+ec::EquivalenceCheckingFlow makeFlow(std::uint64_t seed = 1) {
+  ec::FlowConfiguration config;
+  config.simulation.seed = seed;
+  config.complete.timeoutSeconds = 60;
+  return ec::EquivalenceCheckingFlow(config);
+}
+
+} // namespace
+
+TEST(Pipeline, SynthesizeDecomposeMapVerify) {
+  // reversible function -> MCT circuit -> elementary gates -> routed device
+  // circuit; every stage must remain equivalent to the first
+  const auto tt = synth::TruthTable::hiddenWeightedBit(4);
+  const auto g = synth::synthesize(tt, "hwb4");
+
+  const auto decomposed = tf::decompose(g);
+  const auto padded = tf::padQubits(g, decomposed.qubits());
+
+  const auto flow = makeFlow();
+  EXPECT_TRUE(ec::provedEquivalent(flow.run(padded, decomposed).equivalence));
+
+  const auto mapped =
+      tf::mapCircuit(decomposed, tf::CouplingMap::linear(decomposed.qubits()));
+  EXPECT_TRUE(
+      ec::provedEquivalent(flow.run(decomposed, mapped.circuit).equivalence));
+  // transitivity: the mapped circuit still realizes the original function
+  EXPECT_TRUE(
+      ec::provedEquivalent(flow.run(padded, mapped.circuit).equivalence));
+}
+
+TEST(Pipeline, ErrorInMappedCircuitIsCaughtBySimulation) {
+  const auto g = tf::decompose(gen::grover(4, 0b1011));
+  const auto mapped = tf::mapCircuit(g, tf::CouplingMap::ring(g.qubits()));
+
+  tf::ErrorInjector injector(3);
+  const auto broken =
+      injector.inject(mapped.circuit, tf::ErrorKind::WrongTargetCX);
+
+  ec::FlowConfiguration config;
+  config.simulation.seed = 9;
+  config.skipComplete = true; // simulation alone must find it
+  const ec::EquivalenceCheckingFlow flow(config);
+  const auto result = flow.run(g, broken.circuit);
+  EXPECT_EQ(result.equivalence, Equivalence::NotEquivalent)
+      << broken.error.description;
+  ASSERT_TRUE(result.counterexample.has_value());
+
+  // independently confirm the counterexample with the dense simulator
+  const auto dense1 =
+      sim::DenseSimulator::simulate(g, result.counterexample->input);
+  const auto dense2 = sim::DenseSimulator::simulate(
+      broken.circuit, result.counterexample->input);
+  std::complex<double> overlap{0, 0};
+  for (std::size_t i = 0; i < dense1.size(); ++i) {
+    overlap += std::conj(dense1[i]) * dense2[i];
+  }
+  EXPECT_LT(std::norm(overlap), 1.0 - 1e-8);
+}
+
+TEST(Pipeline, OptimizedGroverStaysEquivalent) {
+  const auto g = tf::decompose(gen::grover(4, 5));
+  tf::OptimizerOptions options;
+  options.fuseSingleQubitGates = true;
+  const auto optimized = tf::optimize(g, options);
+  EXPECT_LT(optimized.size(), g.size());
+  const auto flow = makeFlow(4);
+  EXPECT_TRUE(ec::provedEquivalent(flow.run(g, optimized).equivalence));
+}
+
+TEST(Pipeline, QasmRoundTripOfFullPipeline) {
+  const auto g = gen::qft(5);
+  const auto mapped = tf::mapCircuit(g, tf::CouplingMap::linear(5));
+  // the writer requires materialized layouts; decompose the output
+  // permutation into SWAP gates first
+  ir::QuantumComputation materialized(mapped.circuit.qubits());
+  for (const auto& op : mapped.circuit) {
+    materialized.emplace(op);
+  }
+  // undo the output permutation explicitly: logical i sits on wire perm[i];
+  // appending the permutation's swaps in reverse restores identity wiring
+  const auto swaps = mapped.circuit.outputPermutation().toSwaps();
+  for (auto it = swaps.rbegin(); it != swaps.rend(); ++it) {
+    materialized.swap(it->first, it->second);
+  }
+
+  const auto text = io::toQasmString(materialized);
+  const auto parsed = io::parseQasmString(text);
+  const auto flow = makeFlow(6);
+  EXPECT_TRUE(ec::provedEquivalent(flow.run(g, parsed).equivalence));
+}
+
+TEST(Pipeline, RealFormatRoundTripOfSynthesizedCircuit) {
+  const auto g = gen::urfCircuit(5, 31);
+  const auto parsed = io::parseRealString(io::toRealString(g), "reparsed");
+  EXPECT_EQ(synth::TruthTable::fromCircuit(parsed),
+            synth::TruthTable::fromCircuit(g));
+}
+
+TEST(Pipeline, SupremacyMappedAndVerified) {
+  const auto g = gen::supremacy(2, 3, 6, 11);
+  const auto mapped = tf::mapCircuit(g, tf::CouplingMap::linear(6));
+  const auto flow = makeFlow(12);
+  const auto result = flow.run(g, mapped.circuit);
+  EXPECT_TRUE(ec::provedEquivalent(result.equivalence));
+
+  tf::ErrorInjector injector(17);
+  const auto broken = injector.injectRandom(mapped.circuit);
+  const auto bad = flow.run(g, broken.circuit);
+  EXPECT_EQ(bad.equivalence, Equivalence::NotEquivalent);
+}
+
+TEST(Pipeline, SingleSimulationUsuallySuffices) {
+  // Table Ia's striking column: #sims = 1 almost everywhere. Check that on
+  // a batch of random instances with random errors, the large majority are
+  // detected by the very first simulation.
+  std::size_t first = 0;
+  std::size_t total = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto g = gen::randomCircuit(6, 50, 100 + seed);
+    tf::ErrorInjector injector(200 + seed);
+    const auto injected = injector.injectRandom(g);
+
+    ec::SimulationConfiguration config;
+    config.seed = 300 + seed;
+    config.maxSimulations = 64;
+    const ec::SimulationChecker checker(config);
+    const auto result = checker.run(g, injected.circuit);
+    if (result.equivalence == Equivalence::NotEquivalent) {
+      ++total;
+      if (result.simulations == 1) {
+        ++first;
+      }
+    }
+  }
+  EXPECT_GT(total, 8U);
+  EXPECT_GE(first * 10, total * 6); // >= 60% caught by the first run
+}

@@ -1,0 +1,109 @@
+// File-level I/O tests: golden circuit files from tests/data plus
+// robustness (fuzz-ish) checks — malformed input must raise parse errors,
+// never crash or silently succeed.
+
+#include "ec/construction_checker.hpp"
+#include "io/qasm.hpp"
+#include "io/real.hpp"
+#include "sim/dd_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace qsimec;
+
+namespace {
+std::string dataPath(const std::string& name) {
+  return std::string(QSIMEC_TESTDATA_DIR) + "/" + name;
+}
+} // namespace
+
+TEST(GoldenFiles, BellQasm) {
+  const auto qc = io::parseQasmFile(dataPath("bell.qasm"));
+  EXPECT_EQ(qc.qubits(), 2U);
+  EXPECT_EQ(qc.size(), 3U); // h, cx, u3 (barrier/measure ignored)
+  dd::Package pkg(2);
+  const auto out = sim::simulate(qc, pkg.makeZeroState(), pkg);
+  EXPECT_NEAR(pkg.norm2(out), 1.0, 1e-9);
+}
+
+TEST(GoldenFiles, TeleportQasmUsesTwoRegisters) {
+  const auto qc = io::parseQasmFile(dataPath("teleport.qasm"));
+  EXPECT_EQ(qc.qubits(), 3U);
+  EXPECT_EQ(qc.countType(ir::OpType::X), 3U); // the three CNOTs
+  EXPECT_EQ(qc.countType(ir::OpType::Z), 1U); // the CZ
+}
+
+TEST(GoldenFiles, ToffoliChainWithGateDefinition) {
+  const auto qc = io::parseQasmFile(dataPath("toffoli_chain.qasm"));
+  EXPECT_EQ(qc.qubits(), 4U);
+  // x + 2 * (cx, cx, ccx)
+  EXPECT_EQ(qc.size(), 7U);
+  EXPECT_EQ(qc.countType(ir::OpType::X), 7U);
+}
+
+TEST(GoldenFiles, PeresReal) {
+  const auto qc = io::parseRealFile(dataPath("peres.real"));
+  EXPECT_EQ(qc.qubits(), 3U);
+  EXPECT_EQ(qc.size(), 6U);
+  // the v / v+ pair cancels; check the circuit equals its X/SWAP prefix
+  ir::QuantumComputation prefix(3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    prefix.emplace(qc.at(i));
+  }
+  const ec::ConstructionChecker checker;
+  EXPECT_EQ(checker.run(qc, prefix).equivalence,
+            ec::Equivalence::Equivalent);
+}
+
+TEST(GoldenFiles, MissingFileThrows) {
+  EXPECT_THROW((void)io::parseQasmFile(dataPath("nope.qasm")),
+               std::runtime_error);
+  EXPECT_THROW((void)io::parseRealFile(dataPath("nope.real")),
+               std::runtime_error);
+}
+
+// --- robustness ----------------------------------------------------------
+
+class QasmFuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(QasmFuzzTest, MalformedInputRaisesParseError) {
+  EXPECT_THROW((void)io::parseQasmString(GetParam()), io::QasmParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, QasmFuzzTest,
+    ::testing::Values(
+        "", "garbage", "OPENQASM", "OPENQASM 2.0", "OPENQASM 2.0;\nqreg",
+        "OPENQASM 2.0;\nqreg q[2]\nh q[0];",   // missing semicolon
+        "OPENQASM 2.0;\nqreg q[2];\nh q[0]",   // missing final semicolon
+        "OPENQASM 2.0;\nqreg q[2];\nh q[2];",  // out of range
+        "OPENQASM 2.0;\nqreg q[2];\ncx q[0];", // arity
+        "OPENQASM 2.0;\nqreg q[2];\nrx() q[0];",
+        "OPENQASM 2.0;\nqreg q[2];\nrx(bogus) q[0];",
+        "OPENQASM 2.0;\nqreg q[2];\nrx(1+) q[0];",
+        "OPENQASM 2.0;\nqreg q[2];\nqreg q[3];",     // duplicate register
+        "OPENQASM 2.0;\nqreg q[2];\nh r[0];",        // unknown register
+        "OPENQASM 2.0;\nqreg q[2];\ngate g a { x b; } g q[0];",
+        "OPENQASM 2.0;\nqreg q[2];\ngate g a { g a; } g q[0];", // recursion
+        "OPENQASM 2.0;\nqreg q[2];\nreset q[0];",
+        "OPENQASM 2.0;\nqreg q[0];"));
+
+class RealFuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RealFuzzTest, MalformedInputRaisesParseError) {
+  EXPECT_THROW((void)io::parseRealString(GetParam()), io::RealParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RealFuzzTest,
+    ::testing::Values(
+        "", ".begin\n.end\n", ".numvars 2\n.begin\nt1 a\n.end\n",
+        ".numvars 2\n.variables a\n",
+        ".numvars 2\n.variables a b\n.begin\nt1 z\n.end\n",
+        ".numvars 2\n.variables a b\n.begin\nq1 a\n.end\n",
+        ".numvars 2\n.variables a b\n.begin\nt3 a b\n.end\n",
+        ".numvars 2\n.variables a b\n.begin\nt2 a -b\n.end\n", // neg target
+        ".numvars 2\n.variables a b\n.begin\nt1 a\n",          // no .end
+        ".numvars 2\n.variables a a\n.begin\n.end\n"));

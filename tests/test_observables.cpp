@@ -1,0 +1,97 @@
+// Pauli expectation-value tests: textbook states, cross-checks against
+// single-qubit marginals, and physical invariants of generated circuits.
+
+#include "gen/chemistry.hpp"
+#include "sim/dd_simulator.hpp"
+#include "sim/observables.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace qsimec;
+
+TEST(Observables, ComputationalBasisStates) {
+  dd::Package pkg(3);
+  const auto zero = pkg.makeZeroState();
+  EXPECT_NEAR(sim::expectationValue(pkg, zero, {{0, 'Z'}}), 1.0, 1e-12);
+  EXPECT_NEAR(sim::expectationValue(pkg, zero, {{0, 'X'}}), 0.0, 1e-12);
+  EXPECT_NEAR(sim::expectationValue(pkg, zero, {{0, 'Y'}}), 0.0, 1e-12);
+
+  const auto one = pkg.makeBasisState(0b010);
+  EXPECT_NEAR(sim::expectationValue(pkg, one, {{1, 'Z'}}), -1.0, 1e-12);
+  EXPECT_NEAR(sim::expectationValue(pkg, one, {{0, 'Z'}, {1, 'Z'}}), -1.0,
+              1e-12);
+}
+
+TEST(Observables, PlusAndYEigenstates) {
+  dd::Package pkg(1);
+  ir::QuantumComputation plus(1);
+  plus.h(0);
+  const auto p = sim::simulate(plus, pkg.makeZeroState(), pkg);
+  EXPECT_NEAR(sim::expectationValue(pkg, p, {{0, 'X'}}), 1.0, 1e-12);
+  EXPECT_NEAR(sim::expectationValue(pkg, p, {{0, 'Z'}}), 0.0, 1e-12);
+
+  ir::QuantumComputation plusI(1);
+  plusI.h(0);
+  plusI.s(0);
+  const auto pi = sim::simulate(plusI, pkg.makeZeroState(), pkg);
+  EXPECT_NEAR(sim::expectationValue(pkg, pi, {{0, 'Y'}}), 1.0, 1e-12);
+}
+
+TEST(Observables, BellStateCorrelations) {
+  dd::Package pkg(2);
+  ir::QuantumComputation bell(2);
+  bell.h(1);
+  bell.cx(1, 0);
+  const auto b = sim::simulate(bell, pkg.makeZeroState(), pkg);
+  // <ZZ> = <XX> = 1, <YY> = -1, single-qubit expectations vanish
+  EXPECT_NEAR(sim::expectationValue(pkg, b, {{0, 'Z'}, {1, 'Z'}}), 1.0, 1e-12);
+  EXPECT_NEAR(sim::expectationValue(pkg, b, {{0, 'X'}, {1, 'X'}}), 1.0, 1e-12);
+  EXPECT_NEAR(sim::expectationValue(pkg, b, {{0, 'Y'}, {1, 'Y'}}), -1.0,
+              1e-12);
+  EXPECT_NEAR(sim::expectationValue(pkg, b, {{0, 'Z'}}), 0.0, 1e-12);
+}
+
+TEST(Observables, ZExpectationMatchesMarginals) {
+  // <Z_q> = 1 - 2 P(q = 1)
+  const auto qc = gen::hubbardTrotter(1, 2, {.trotterSteps = 1});
+  dd::Package pkg(qc.qubits());
+  const auto state = sim::simulate(qc, pkg.makeBasisState(0b0110), pkg);
+  for (std::size_t q = 0; q < qc.qubits(); ++q) {
+    const double z =
+        sim::expectationValue(pkg, state, {{static_cast<dd::Var>(q), 'Z'}});
+    const double p1 = pkg.probabilityOfOne(state, static_cast<dd::Var>(q));
+    EXPECT_NEAR(z, 1.0 - 2.0 * p1, 1e-9) << "qubit " << q;
+  }
+}
+
+TEST(Observables, ParticleNumberIsConservedByHubbard) {
+  // N = sum_q (1 - Z_q)/2 commutes with the Hubbard Hamiltonian: its
+  // expectation is invariant under Trotter evolution
+  const auto qc = gen::hubbardTrotter(1, 2, {.trotterSteps = 3});
+  dd::Package pkg(qc.qubits());
+  const std::uint64_t input = 0b0101; // two particles
+  const auto state = sim::simulate(qc, pkg.makeBasisState(input), pkg);
+  double number = 0;
+  for (std::size_t q = 0; q < qc.qubits(); ++q) {
+    number += (1.0 - sim::expectationValue(
+                         pkg, state, {{static_cast<dd::Var>(q), 'Z'}})) /
+              2.0;
+  }
+  EXPECT_NEAR(number, 2.0, 1e-9);
+}
+
+TEST(Observables, PauliStringParser) {
+  const auto terms = sim::parsePauliString("XIZY");
+  ASSERT_EQ(terms.size(), 3U);
+  EXPECT_EQ(terms[0], sim::PauliTerm(3, 'X'));
+  EXPECT_EQ(terms[1], sim::PauliTerm(1, 'Z'));
+  EXPECT_EQ(terms[2], sim::PauliTerm(0, 'Y'));
+  EXPECT_THROW((void)sim::parsePauliString("XQ"), std::invalid_argument);
+}
+
+TEST(Observables, InvalidAxisThrows) {
+  dd::Package pkg(1);
+  const auto zero = pkg.makeZeroState();
+  EXPECT_THROW((void)sim::expectationValue(pkg, zero, {{0, 'Q'}}),
+               std::invalid_argument);
+}

@@ -1,0 +1,110 @@
+// DD measurement/sampling tests: subtree norms, single-qubit marginals, and
+// full-outcome sampling statistics, cross-checked against dense amplitudes.
+
+#include "gen/random_circuits.hpp"
+#include "sim/dd_simulator.hpp"
+#include "sim/dense_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+using namespace qsimec;
+
+TEST(Sampling, BasisStateIsDeterministic) {
+  dd::Package pkg(5);
+  const auto state = pkg.makeBasisState(0b10110);
+  std::mt19937_64 rng(1);
+  for (int shot = 0; shot < 10; ++shot) {
+    EXPECT_EQ(pkg.sampleOutcome(state, rng), 0b10110U);
+  }
+  EXPECT_EQ(pkg.probabilityOfOne(state, 1), 1.0);
+  EXPECT_EQ(pkg.probabilityOfOne(state, 0), 0.0);
+  EXPECT_EQ(pkg.probabilityOfOne(state, 4), 1.0);
+}
+
+TEST(Sampling, BellStateMarginals) {
+  dd::Package pkg(2);
+  ir::QuantumComputation qc(2);
+  qc.h(1);
+  qc.cx(1, 0);
+  const auto state = sim::simulate(qc, pkg.makeZeroState(), pkg);
+  EXPECT_NEAR(pkg.probabilityOfOne(state, 0), 0.5, 1e-12);
+  EXPECT_NEAR(pkg.probabilityOfOne(state, 1), 0.5, 1e-12);
+
+  // samples must be perfectly correlated: 00 or 11 only
+  std::mt19937_64 rng(3);
+  for (int shot = 0; shot < 50; ++shot) {
+    const auto outcome = pkg.sampleOutcome(state, rng);
+    EXPECT_TRUE(outcome == 0b00 || outcome == 0b11) << outcome;
+  }
+}
+
+TEST(Sampling, MarginalsMatchDenseOnRandomCircuits) {
+  for (std::uint64_t seed = 50; seed < 54; ++seed) {
+    const auto qc = gen::randomCircuit(5, 40, seed);
+    dd::Package pkg(5);
+    const auto state = sim::simulate(qc, pkg.makeZeroState(), pkg);
+    const auto dense = sim::DenseSimulator::simulate(qc, 0);
+    for (std::size_t q = 0; q < 5; ++q) {
+      double expected = 0;
+      for (std::size_t i = 0; i < dense.size(); ++i) {
+        if ((i >> q) & 1U) {
+          expected += std::norm(dense[i]);
+        }
+      }
+      EXPECT_NEAR(pkg.probabilityOfOne(state, static_cast<dd::Var>(q)),
+                  expected, 1e-9)
+          << "seed " << seed << " qubit " << q;
+    }
+  }
+}
+
+TEST(Sampling, HistogramMatchesDistribution) {
+  // GHZ-like state: outcomes concentrated on |000> and |111>
+  dd::Package pkg(3);
+  ir::QuantumComputation qc(3);
+  qc.h(2);
+  qc.cx(2, 1);
+  qc.cx(1, 0);
+  const auto state = sim::simulate(qc, pkg.makeZeroState(), pkg);
+
+  std::mt19937_64 rng(17);
+  std::map<std::uint64_t, int> histogram;
+  const int shots = 600;
+  for (int shot = 0; shot < shots; ++shot) {
+    ++histogram[pkg.sampleOutcome(state, rng)];
+  }
+  ASSERT_EQ(histogram.size(), 2U);
+  EXPECT_NEAR(static_cast<double>(histogram[0b000]) / shots, 0.5, 0.08);
+  EXPECT_NEAR(static_cast<double>(histogram[0b111]) / shots, 0.5, 0.08);
+}
+
+TEST(Sampling, BiasedSuperposition) {
+  // RY(theta)|0> has P(1) = sin^2(theta/2)
+  const double theta = 1.0;
+  dd::Package pkg(1);
+  ir::QuantumComputation qc(1);
+  qc.ry(theta, 0);
+  const auto state = sim::simulate(qc, pkg.makeZeroState(), pkg);
+  const double expected = std::sin(theta / 2) * std::sin(theta / 2);
+  EXPECT_NEAR(pkg.probabilityOfOne(state, 0), expected, 1e-12);
+
+  std::mt19937_64 rng(23);
+  int ones = 0;
+  const int shots = 2000;
+  for (int shot = 0; shot < shots; ++shot) {
+    ones += static_cast<int>(pkg.sampleOutcome(state, rng));
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / shots, expected, 0.05);
+}
+
+TEST(Sampling, InvalidArguments) {
+  dd::Package pkg(2);
+  const auto state = pkg.makeZeroState();
+  EXPECT_THROW((void)pkg.probabilityOfOne(state, 5), std::invalid_argument);
+  std::mt19937_64 rng(1);
+  EXPECT_THROW((void)pkg.sampleOutcome(pkg.vZero(), rng),
+               std::invalid_argument);
+}

@@ -1,0 +1,59 @@
+// JSON serialization tests: structure, escaping, and value fidelity.
+
+#include "ec/serialize.hpp"
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace qsimec;
+
+TEST(JsonWriter, ObjectsAndFields) {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("name", "qsimec")
+      .field("count", 42)
+      .field("ratio", 0.5)
+      .field("flag", true)
+      .rawField("nested", "null")
+      .endObject();
+  EXPECT_EQ(json.str(), "{\"name\":\"qsimec\",\"count\":42,\"ratio\":0.5,"
+                        "\"flag\":true,\"nested\":null}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  util::JsonWriter json;
+  json.beginObject().field("s", "a\"b\\c\nd\te").endObject();
+  EXPECT_EQ(json.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("inf", std::numeric_limits<double>::infinity())
+      .field("nan", std::numeric_limits<double>::quiet_NaN())
+      .endObject();
+  EXPECT_EQ(json.str(), "{\"inf\":null,\"nan\":null}");
+}
+
+TEST(Serialize, CheckResultRoundTripsFields) {
+  ec::CheckResult result;
+  result.equivalence = ec::Equivalence::NotEquivalent;
+  result.seconds = 1.5;
+  result.simulations = 3;
+  result.counterexample = ec::Counterexample{7, 0.25};
+  const std::string json = toJson(result);
+  EXPECT_NE(json.find("\"equivalence\":\"not equivalent\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulations\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"input\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"fidelity\":0.25"), std::string::npos);
+}
+
+TEST(Serialize, FlowResultWithoutCounterexample) {
+  ec::FlowResult result;
+  result.equivalence = ec::Equivalence::ProbablyEquivalent;
+  result.simulations = 10;
+  const std::string json = toJson(result);
+  EXPECT_NE(json.find("\"equivalence\":\"probably equivalent\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"counterexample\":null"), std::string::npos);
+}

@@ -1,0 +1,182 @@
+// Stabilizer (CHP) simulator tests, including cross-validation against the
+// DD simulator on random Clifford circuits beyond dense-oracle sizes.
+
+#include "gen/random_circuits.hpp"
+#include "sim/dd_simulator.hpp"
+#include "sim/stabilizer_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <random>
+
+using namespace qsimec;
+using sim::StabilizerSimulator;
+
+TEST(Stabilizer, InitialStateIsAllZeros) {
+  StabilizerSimulator chp(4);
+  for (std::size_t q = 0; q < 4; ++q) {
+    EXPECT_EQ(chp.probabilityOfOne(q), 0.0);
+  }
+}
+
+TEST(Stabilizer, PauliXFlipsDeterministically) {
+  StabilizerSimulator chp(3);
+  chp.x(1);
+  EXPECT_EQ(chp.probabilityOfOne(0), 0.0);
+  EXPECT_EQ(chp.probabilityOfOne(1), 1.0);
+  chp.x(1);
+  EXPECT_EQ(chp.probabilityOfOne(1), 0.0);
+}
+
+TEST(Stabilizer, HadamardGivesCoinFlip) {
+  StabilizerSimulator chp(2);
+  chp.h(0);
+  EXPECT_EQ(chp.probabilityOfOne(0), 0.5);
+  chp.h(0);
+  EXPECT_EQ(chp.probabilityOfOne(0), 0.0);
+}
+
+TEST(Stabilizer, BellPairCorrelations) {
+  StabilizerSimulator chp(2);
+  chp.h(0);
+  chp.cx(0, 1);
+  EXPECT_EQ(chp.probabilityOfOne(0), 0.5);
+  EXPECT_EQ(chp.probabilityOfOne(1), 0.5);
+  std::mt19937_64 rng(7);
+  const bool first = chp.measure(0, rng);
+  // after measuring one half, the other is determined
+  EXPECT_EQ(chp.probabilityOfOne(1), first ? 1.0 : 0.0);
+  EXPECT_EQ(chp.measure(1, rng), first);
+}
+
+TEST(Stabilizer, GhzMeasurementsAgree) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    StabilizerSimulator chp(5);
+    chp.h(0);
+    for (std::size_t q = 0; q + 1 < 5; ++q) {
+      chp.cx(q, q + 1);
+    }
+    std::mt19937_64 rng(seed);
+    const bool first = chp.measure(0, rng);
+    for (std::size_t q = 1; q < 5; ++q) {
+      EXPECT_EQ(chp.measure(q, rng), first);
+    }
+  }
+}
+
+TEST(Stabilizer, SGateTurnsPlusIntoPlusI) {
+  // S|+> = |+i>: measuring in Z stays 0.5, applying Sdg+H recovers |0>
+  StabilizerSimulator chp(1);
+  chp.h(0);
+  chp.s(0);
+  EXPECT_EQ(chp.probabilityOfOne(0), 0.5);
+  chp.sdg(0);
+  chp.h(0);
+  EXPECT_EQ(chp.probabilityOfOne(0), 0.0);
+}
+
+TEST(Stabilizer, VAndSyMatchTheirDefinitions) {
+  // V = H S H: V^2 = X
+  StabilizerSimulator chp(1);
+  ir::StandardOperation v(ir::OpType::V, {0});
+  chp.apply(v);
+  chp.apply(v);
+  EXPECT_EQ(chp.probabilityOfOne(0), 1.0); // X|0> = |1>
+
+  StabilizerSimulator chp2(1);
+  ir::StandardOperation sy(ir::OpType::SY, {0});
+  chp2.apply(sy);
+  chp2.apply(sy);
+  // SY^2 ∝ Y: |0> -> i|1>
+  EXPECT_EQ(chp2.probabilityOfOne(0), 1.0);
+}
+
+TEST(Stabilizer, PhaseGateQuarterTurns) {
+  StabilizerSimulator chp(1);
+  chp.h(0);
+  ir::StandardOperation p4(ir::OpType::Phase, {0}, {},
+                           {std::numbers::pi, 0, 0});
+  chp.apply(p4); // Z on |+> -> |-> ; H|-> = |1>
+  chp.h(0);
+  EXPECT_EQ(chp.probabilityOfOne(0), 1.0);
+
+  ir::StandardOperation t(ir::OpType::Phase, {0}, {},
+                          {std::numbers::pi / 4, 0, 0});
+  EXPECT_THROW(chp.apply(t), std::domain_error);
+}
+
+TEST(Stabilizer, IsCliffordClassifier) {
+  ir::QuantumComputation clifford(3);
+  clifford.h(0);
+  clifford.cx(0, 1);
+  clifford.s(2);
+  clifford.swap(1, 2);
+  clifford.cz(0, 2);
+  EXPECT_TRUE(StabilizerSimulator::isClifford(clifford));
+
+  ir::QuantumComputation nonClifford(2);
+  nonClifford.t(0);
+  EXPECT_FALSE(StabilizerSimulator::isClifford(nonClifford));
+
+  ir::QuantumComputation toffoli(3);
+  toffoli.ccx(0, 1, 2);
+  EXPECT_FALSE(StabilizerSimulator::isClifford(toffoli));
+}
+
+TEST(Stabilizer, NegativeControlHandled) {
+  StabilizerSimulator chp(2);
+  ir::StandardOperation op(ir::OpType::X, {0}, {ir::Control{1, false}});
+  chp.apply(op);
+  EXPECT_EQ(chp.probabilityOfOne(0), 1.0); // control qubit is |0> -> fires
+}
+
+class CliffordCrossValidation : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CliffordCrossValidation, MarginalsMatchDDSimulator) {
+  // 14 qubits: beyond what the dense oracle covers comfortably, easy for
+  // both CHP and DDs
+  const std::size_t n = 14;
+  const auto qc = gen::randomCliffordT(n, 120, GetParam());
+  // strip non-Clifford gates (T/Tdg) to get a Clifford circuit
+  ir::QuantumComputation clifford(n);
+  for (const auto& op : qc) {
+    if (op.type() != ir::OpType::T && op.type() != ir::OpType::Tdg) {
+      clifford.emplace(op);
+    }
+  }
+
+  StabilizerSimulator chp(n);
+  chp.run(clifford);
+
+  dd::Package pkg(n);
+  const auto state = sim::simulate(clifford, pkg.makeZeroState(), pkg);
+
+  for (std::size_t q = 0; q < n; ++q) {
+    EXPECT_NEAR(pkg.probabilityOfOne(state, static_cast<dd::Var>(q)),
+                chp.probabilityOfOne(q), 1e-9)
+        << "qubit " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliffordCrossValidation,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Stabilizer, MeasurementStatisticsMatchProbability) {
+  StabilizerSimulator reference(3);
+  reference.h(0);
+  reference.cx(0, 1);
+  std::mt19937_64 rng(99);
+  int ones = 0;
+  const int shots = 400;
+  for (int shot = 0; shot < shots; ++shot) {
+    StabilizerSimulator chp(3);
+    chp.h(0);
+    chp.cx(0, 1);
+    if (chp.measure(0, rng)) {
+      ++ones;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / shots, 0.5, 0.1);
+}

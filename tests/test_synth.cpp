@@ -1,0 +1,147 @@
+// Reversible-synthesis tests: truth tables and the transformation-based
+// (MMD) synthesis algorithm, verified against classical simulation and the
+// DD-based equivalence checker.
+
+#include "ec/construction_checker.hpp"
+#include "synth/transformation_based.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace qsimec;
+using synth::TruthTable;
+
+TEST(TruthTableTest, IdentityByDefault) {
+  const TruthTable tt(3);
+  EXPECT_TRUE(tt.isIdentity());
+  EXPECT_EQ(tt.size(), 8U);
+  EXPECT_EQ(tt.apply(5), 5U);
+}
+
+TEST(TruthTableTest, RejectsNonBijections) {
+  EXPECT_THROW(TruthTable({0, 0}), std::invalid_argument);
+  EXPECT_THROW(TruthTable({0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(TruthTable({0, 5}), std::invalid_argument);
+  EXPECT_THROW(TruthTable(0), std::invalid_argument);
+  EXPECT_THROW(TruthTable(25), std::invalid_argument);
+}
+
+TEST(TruthTableTest, InverseAndCompose) {
+  const TruthTable f = TruthTable::randomPermutation(4, 11);
+  const TruthTable inv = f.inverse();
+  EXPECT_TRUE(f.compose(inv).isIdentity());
+  EXPECT_TRUE(inv.compose(f).isIdentity());
+}
+
+TEST(TruthTableTest, ToffoliUpdates) {
+  TruthTable tt(3);
+  tt.applyToffoliToOutputs(0b110, 0); // flip bit 0 where bits 1,2 set
+  EXPECT_EQ(tt.apply(0b110), 0b111U);
+  EXPECT_EQ(tt.apply(0b111), 0b110U);
+  EXPECT_EQ(tt.apply(0b010), 0b010U);
+  EXPECT_THROW(tt.applyToffoliToOutputs(0b001, 0), std::invalid_argument);
+}
+
+TEST(TruthTableTest, InputSideEqualsOutputSideOfInverse) {
+  TruthTable a = TruthTable::randomPermutation(4, 3);
+  TruthTable b = a;
+  a.applyToffoliToOutputs(0b0011, 3);
+  // applying the same gate on the input side of the inverse, then inverting,
+  // gives the same function: (f ∘ g)^-1 = g^-1 ∘ f^-1 and g self-inverse
+  TruthTable bInv = b.inverse();
+  bInv.applyToffoliToInputs(0b0011, 3);
+  EXPECT_EQ(a.inverse().apply(0), bInv.apply(0));
+}
+
+TEST(TruthTableTest, HiddenWeightedBitIsPermutation) {
+  for (const std::size_t bits : {3UL, 5UL, 7UL}) {
+    const TruthTable tt = TruthTable::hiddenWeightedBit(bits);
+    EXPECT_FALSE(tt.isIdentity());
+    // constructor already validated bijection; spot-check the definition
+    // hwb: rotate left by popcount
+    EXPECT_EQ(tt.apply(0), 0U);
+    const std::uint64_t all = tt.size() - 1;
+    EXPECT_EQ(tt.apply(all), all);
+  }
+}
+
+TEST(TruthTableTest, WellKnownFunctions) {
+  const TruthTable inc = TruthTable::increment(3);
+  EXPECT_EQ(inc.apply(7), 0U);
+  EXPECT_EQ(inc.apply(3), 4U);
+
+  const TruthTable add = TruthTable::modularAdder(4);
+  // (a=2, b=1) -> (2, 3): x = 0b10'01 -> 0b10'11
+  EXPECT_EQ(add.apply(0b1001), 0b1011U);
+
+  const TruthTable rev = TruthTable::bitReversal(3);
+  EXPECT_EQ(rev.apply(0b001), 0b100U);
+  EXPECT_EQ(rev.apply(0b110), 0b011U);
+
+  EXPECT_THROW(TruthTable::modularAdder(3), std::invalid_argument);
+}
+
+TEST(TruthTableTest, FromCircuitMatchesGateSemantics) {
+  ir::QuantumComputation qc(3);
+  qc.x(0);
+  qc.cx(0, 1);
+  qc.swap(1, 2);
+  const TruthTable tt = TruthTable::fromCircuit(qc);
+  // input 000: x(0) -> 001, cx(0,1) -> 011, swap(1,2) -> 101
+  EXPECT_EQ(tt.apply(0b000), 0b101U);
+
+  ir::QuantumComputation bad(1);
+  bad.h(0);
+  EXPECT_THROW((void)TruthTable::fromCircuit(bad), std::domain_error);
+}
+
+class SynthesisTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SynthesisTest, RandomPermutationsAreRealizedExactly) {
+  const TruthTable tt = TruthTable::randomPermutation(4, GetParam());
+  synth::SynthesisStats stats;
+  const auto qc = synth::synthesize(tt, "random", &stats);
+  EXPECT_EQ(stats.gates, qc.size());
+  EXPECT_EQ(TruthTable::fromCircuit(qc), tt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Synthesis, IdentityNeedsNoGates) {
+  const auto qc = synth::synthesize(TruthTable(4));
+  EXPECT_EQ(qc.size(), 0U);
+}
+
+TEST(Synthesis, HwbMatchesTable) {
+  const TruthTable tt = TruthTable::hiddenWeightedBit(5);
+  const auto qc = synth::synthesize(tt);
+  EXPECT_EQ(TruthTable::fromCircuit(qc), tt);
+}
+
+TEST(Synthesis, NamedFunctionsRoundTrip) {
+  for (const auto& tt :
+       {TruthTable::increment(4), TruthTable::modularAdder(4),
+        TruthTable::bitReversal(4)}) {
+    const auto qc = synth::synthesize(tt);
+    EXPECT_EQ(TruthTable::fromCircuit(qc), tt);
+  }
+}
+
+TEST(Synthesis, AgreesWithUnitarySemantics) {
+  // the synthesized MCT circuit's unitary is the permutation matrix
+  const TruthTable tt = TruthTable::randomPermutation(3, 99);
+  const auto qc = synth::synthesize(tt);
+  const ec::ConstructionChecker checker;
+  // build a reference circuit directly from the permutation via its cycles:
+  // compare unitaries of two independent realizations of the same function
+  const TruthTable tt2 = TruthTable::fromCircuit(qc);
+  EXPECT_EQ(tt2, tt);
+  // sanity: synthesizing the inverse gives the inverse circuit functionality
+  const auto inv = synth::synthesize(tt.inverse());
+  ir::QuantumComputation composed(qc.qubits());
+  composed.append(qc);
+  composed.append(inv);
+  EXPECT_TRUE(TruthTable::fromCircuit(composed).isIdentity());
+  EXPECT_TRUE(ec::provedEquivalent(
+      checker.run(composed, ir::QuantumComputation(qc.qubits())).equivalence));
+}
