@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsimec_cli.dir/qsimec.cpp.o"
+  "CMakeFiles/qsimec_cli.dir/qsimec.cpp.o.d"
+  "qsimec"
+  "qsimec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsimec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_controls.dir/ablation_controls.cpp.o"
+  "CMakeFiles/ablation_controls.dir/ablation_controls.cpp.o.d"
+  "ablation_controls"
+  "ablation_controls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_controls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

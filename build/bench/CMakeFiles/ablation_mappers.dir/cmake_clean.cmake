@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mappers.dir/ablation_mappers.cpp.o"
+  "CMakeFiles/ablation_mappers.dir/ablation_mappers.cpp.o.d"
+  "ablation_mappers"
+  "ablation_mappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_r_sweep.dir/ablation_r_sweep.cpp.o"
+  "CMakeFiles/ablation_r_sweep.dir/ablation_r_sweep.cpp.o.d"
+  "ablation_r_sweep"
+  "ablation_r_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_r_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

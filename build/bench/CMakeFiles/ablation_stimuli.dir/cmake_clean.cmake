@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stimuli.dir/ablation_stimuli.cpp.o"
+  "CMakeFiles/ablation_stimuli.dir/ablation_stimuli.cpp.o.d"
+  "ablation_stimuli"
+  "ablation_stimuli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stimuli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

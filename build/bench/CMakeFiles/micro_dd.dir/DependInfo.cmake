@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_dd.cpp" "bench/CMakeFiles/micro_dd.dir/micro_dd.cpp.o" "gcc" "bench/CMakeFiles/micro_dd.dir/micro_dd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsimec_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1a_nonequivalent.dir/table1a_nonequivalent.cpp.o"
+  "CMakeFiles/table1a_nonequivalent.dir/table1a_nonequivalent.cpp.o.d"
+  "table1a_nonequivalent"
+  "table1a_nonequivalent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1a_nonequivalent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

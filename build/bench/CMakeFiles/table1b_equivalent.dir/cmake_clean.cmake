@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1b_equivalent.dir/table1b_equivalent.cpp.o"
+  "CMakeFiles/table1b_equivalent.dir/table1b_equivalent.cpp.o.d"
+  "table1b_equivalent"
+  "table1b_equivalent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1b_equivalent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_localization.dir/error_localization.cpp.o"
+  "CMakeFiles/error_localization.dir/error_localization.cpp.o.d"
+  "error_localization"
+  "error_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_the_bug.dir/find_the_bug.cpp.o"
+  "CMakeFiles/find_the_bug.dir/find_the_bug.cpp.o.d"
+  "find_the_bug"
+  "find_the_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_the_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

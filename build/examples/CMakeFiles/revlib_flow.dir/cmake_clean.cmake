@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revlib_flow.dir/revlib_flow.cpp.o"
+  "CMakeFiles/revlib_flow.dir/revlib_flow.cpp.o.d"
+  "revlib_flow"
+  "revlib_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revlib_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

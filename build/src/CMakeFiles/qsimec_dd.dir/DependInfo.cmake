@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dd/complex.cpp" "src/CMakeFiles/qsimec_dd.dir/dd/complex.cpp.o" "gcc" "src/CMakeFiles/qsimec_dd.dir/dd/complex.cpp.o.d"
+  "/root/repo/src/dd/export.cpp" "src/CMakeFiles/qsimec_dd.dir/dd/export.cpp.o" "gcc" "src/CMakeFiles/qsimec_dd.dir/dd/export.cpp.o.d"
+  "/root/repo/src/dd/package.cpp" "src/CMakeFiles/qsimec_dd.dir/dd/package.cpp.o" "gcc" "src/CMakeFiles/qsimec_dd.dir/dd/package.cpp.o.d"
+  "/root/repo/src/dd/real_table.cpp" "src/CMakeFiles/qsimec_dd.dir/dd/real_table.cpp.o" "gcc" "src/CMakeFiles/qsimec_dd.dir/dd/real_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsimec_dd.dir/dd/complex.cpp.o"
+  "CMakeFiles/qsimec_dd.dir/dd/complex.cpp.o.d"
+  "CMakeFiles/qsimec_dd.dir/dd/export.cpp.o"
+  "CMakeFiles/qsimec_dd.dir/dd/export.cpp.o.d"
+  "CMakeFiles/qsimec_dd.dir/dd/package.cpp.o"
+  "CMakeFiles/qsimec_dd.dir/dd/package.cpp.o.d"
+  "CMakeFiles/qsimec_dd.dir/dd/real_table.cpp.o"
+  "CMakeFiles/qsimec_dd.dir/dd/real_table.cpp.o.d"
+  "libqsimec_dd.a"
+  "libqsimec_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsimec_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

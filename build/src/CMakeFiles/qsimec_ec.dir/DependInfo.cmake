@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/alternating_checker.cpp" "src/CMakeFiles/qsimec_ec.dir/ec/alternating_checker.cpp.o" "gcc" "src/CMakeFiles/qsimec_ec.dir/ec/alternating_checker.cpp.o.d"
+  "/root/repo/src/ec/construction_checker.cpp" "src/CMakeFiles/qsimec_ec.dir/ec/construction_checker.cpp.o" "gcc" "src/CMakeFiles/qsimec_ec.dir/ec/construction_checker.cpp.o.d"
+  "/root/repo/src/ec/diff_analysis.cpp" "src/CMakeFiles/qsimec_ec.dir/ec/diff_analysis.cpp.o" "gcc" "src/CMakeFiles/qsimec_ec.dir/ec/diff_analysis.cpp.o.d"
+  "/root/repo/src/ec/error_localization.cpp" "src/CMakeFiles/qsimec_ec.dir/ec/error_localization.cpp.o" "gcc" "src/CMakeFiles/qsimec_ec.dir/ec/error_localization.cpp.o.d"
+  "/root/repo/src/ec/flow.cpp" "src/CMakeFiles/qsimec_ec.dir/ec/flow.cpp.o" "gcc" "src/CMakeFiles/qsimec_ec.dir/ec/flow.cpp.o.d"
+  "/root/repo/src/ec/rewriting_checker.cpp" "src/CMakeFiles/qsimec_ec.dir/ec/rewriting_checker.cpp.o" "gcc" "src/CMakeFiles/qsimec_ec.dir/ec/rewriting_checker.cpp.o.d"
+  "/root/repo/src/ec/serialize.cpp" "src/CMakeFiles/qsimec_ec.dir/ec/serialize.cpp.o" "gcc" "src/CMakeFiles/qsimec_ec.dir/ec/serialize.cpp.o.d"
+  "/root/repo/src/ec/simulation_checker.cpp" "src/CMakeFiles/qsimec_ec.dir/ec/simulation_checker.cpp.o" "gcc" "src/CMakeFiles/qsimec_ec.dir/ec/simulation_checker.cpp.o.d"
+  "/root/repo/src/ec/stimuli.cpp" "src/CMakeFiles/qsimec_ec.dir/ec/stimuli.cpp.o" "gcc" "src/CMakeFiles/qsimec_ec.dir/ec/stimuli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsimec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

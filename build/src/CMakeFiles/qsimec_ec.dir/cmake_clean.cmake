@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsimec_ec.dir/ec/alternating_checker.cpp.o"
+  "CMakeFiles/qsimec_ec.dir/ec/alternating_checker.cpp.o.d"
+  "CMakeFiles/qsimec_ec.dir/ec/construction_checker.cpp.o"
+  "CMakeFiles/qsimec_ec.dir/ec/construction_checker.cpp.o.d"
+  "CMakeFiles/qsimec_ec.dir/ec/diff_analysis.cpp.o"
+  "CMakeFiles/qsimec_ec.dir/ec/diff_analysis.cpp.o.d"
+  "CMakeFiles/qsimec_ec.dir/ec/error_localization.cpp.o"
+  "CMakeFiles/qsimec_ec.dir/ec/error_localization.cpp.o.d"
+  "CMakeFiles/qsimec_ec.dir/ec/flow.cpp.o"
+  "CMakeFiles/qsimec_ec.dir/ec/flow.cpp.o.d"
+  "CMakeFiles/qsimec_ec.dir/ec/rewriting_checker.cpp.o"
+  "CMakeFiles/qsimec_ec.dir/ec/rewriting_checker.cpp.o.d"
+  "CMakeFiles/qsimec_ec.dir/ec/serialize.cpp.o"
+  "CMakeFiles/qsimec_ec.dir/ec/serialize.cpp.o.d"
+  "CMakeFiles/qsimec_ec.dir/ec/simulation_checker.cpp.o"
+  "CMakeFiles/qsimec_ec.dir/ec/simulation_checker.cpp.o.d"
+  "CMakeFiles/qsimec_ec.dir/ec/stimuli.cpp.o"
+  "CMakeFiles/qsimec_ec.dir/ec/stimuli.cpp.o.d"
+  "libqsimec_ec.a"
+  "libqsimec_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsimec_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

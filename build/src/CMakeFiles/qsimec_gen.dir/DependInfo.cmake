@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/algorithms.cpp" "src/CMakeFiles/qsimec_gen.dir/gen/algorithms.cpp.o" "gcc" "src/CMakeFiles/qsimec_gen.dir/gen/algorithms.cpp.o.d"
+  "/root/repo/src/gen/chemistry.cpp" "src/CMakeFiles/qsimec_gen.dir/gen/chemistry.cpp.o" "gcc" "src/CMakeFiles/qsimec_gen.dir/gen/chemistry.cpp.o.d"
+  "/root/repo/src/gen/grover.cpp" "src/CMakeFiles/qsimec_gen.dir/gen/grover.cpp.o" "gcc" "src/CMakeFiles/qsimec_gen.dir/gen/grover.cpp.o.d"
+  "/root/repo/src/gen/qft.cpp" "src/CMakeFiles/qsimec_gen.dir/gen/qft.cpp.o" "gcc" "src/CMakeFiles/qsimec_gen.dir/gen/qft.cpp.o.d"
+  "/root/repo/src/gen/random_circuits.cpp" "src/CMakeFiles/qsimec_gen.dir/gen/random_circuits.cpp.o" "gcc" "src/CMakeFiles/qsimec_gen.dir/gen/random_circuits.cpp.o.d"
+  "/root/repo/src/gen/revlib_like.cpp" "src/CMakeFiles/qsimec_gen.dir/gen/revlib_like.cpp.o" "gcc" "src/CMakeFiles/qsimec_gen.dir/gen/revlib_like.cpp.o.d"
+  "/root/repo/src/gen/supremacy.cpp" "src/CMakeFiles/qsimec_gen.dir/gen/supremacy.cpp.o" "gcc" "src/CMakeFiles/qsimec_gen.dir/gen/supremacy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsimec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_dd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

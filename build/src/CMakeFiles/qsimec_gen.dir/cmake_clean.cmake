@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsimec_gen.dir/gen/algorithms.cpp.o"
+  "CMakeFiles/qsimec_gen.dir/gen/algorithms.cpp.o.d"
+  "CMakeFiles/qsimec_gen.dir/gen/chemistry.cpp.o"
+  "CMakeFiles/qsimec_gen.dir/gen/chemistry.cpp.o.d"
+  "CMakeFiles/qsimec_gen.dir/gen/grover.cpp.o"
+  "CMakeFiles/qsimec_gen.dir/gen/grover.cpp.o.d"
+  "CMakeFiles/qsimec_gen.dir/gen/qft.cpp.o"
+  "CMakeFiles/qsimec_gen.dir/gen/qft.cpp.o.d"
+  "CMakeFiles/qsimec_gen.dir/gen/random_circuits.cpp.o"
+  "CMakeFiles/qsimec_gen.dir/gen/random_circuits.cpp.o.d"
+  "CMakeFiles/qsimec_gen.dir/gen/revlib_like.cpp.o"
+  "CMakeFiles/qsimec_gen.dir/gen/revlib_like.cpp.o.d"
+  "CMakeFiles/qsimec_gen.dir/gen/supremacy.cpp.o"
+  "CMakeFiles/qsimec_gen.dir/gen/supremacy.cpp.o.d"
+  "libqsimec_gen.a"
+  "libqsimec_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsimec_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

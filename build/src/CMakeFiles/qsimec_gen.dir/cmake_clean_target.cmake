@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqsimec_gen.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsimec_io.dir/io/qasm.cpp.o"
+  "CMakeFiles/qsimec_io.dir/io/qasm.cpp.o.d"
+  "CMakeFiles/qsimec_io.dir/io/real.cpp.o"
+  "CMakeFiles/qsimec_io.dir/io/real.cpp.o.d"
+  "libqsimec_io.a"
+  "libqsimec_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsimec_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsimec_ir.dir/ir/operation.cpp.o"
+  "CMakeFiles/qsimec_ir.dir/ir/operation.cpp.o.d"
+  "CMakeFiles/qsimec_ir.dir/ir/quantum_computation.cpp.o"
+  "CMakeFiles/qsimec_ir.dir/ir/quantum_computation.cpp.o.d"
+  "libqsimec_ir.a"
+  "libqsimec_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsimec_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dd_simulator.cpp" "src/CMakeFiles/qsimec_sim.dir/sim/dd_simulator.cpp.o" "gcc" "src/CMakeFiles/qsimec_sim.dir/sim/dd_simulator.cpp.o.d"
+  "/root/repo/src/sim/dense_simulator.cpp" "src/CMakeFiles/qsimec_sim.dir/sim/dense_simulator.cpp.o" "gcc" "src/CMakeFiles/qsimec_sim.dir/sim/dense_simulator.cpp.o.d"
+  "/root/repo/src/sim/observables.cpp" "src/CMakeFiles/qsimec_sim.dir/sim/observables.cpp.o" "gcc" "src/CMakeFiles/qsimec_sim.dir/sim/observables.cpp.o.d"
+  "/root/repo/src/sim/stabilizer_simulator.cpp" "src/CMakeFiles/qsimec_sim.dir/sim/stabilizer_simulator.cpp.o" "gcc" "src/CMakeFiles/qsimec_sim.dir/sim/stabilizer_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsimec_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsimec_sim.dir/sim/dd_simulator.cpp.o"
+  "CMakeFiles/qsimec_sim.dir/sim/dd_simulator.cpp.o.d"
+  "CMakeFiles/qsimec_sim.dir/sim/dense_simulator.cpp.o"
+  "CMakeFiles/qsimec_sim.dir/sim/dense_simulator.cpp.o.d"
+  "CMakeFiles/qsimec_sim.dir/sim/observables.cpp.o"
+  "CMakeFiles/qsimec_sim.dir/sim/observables.cpp.o.d"
+  "CMakeFiles/qsimec_sim.dir/sim/stabilizer_simulator.cpp.o"
+  "CMakeFiles/qsimec_sim.dir/sim/stabilizer_simulator.cpp.o.d"
+  "libqsimec_sim.a"
+  "libqsimec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsimec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

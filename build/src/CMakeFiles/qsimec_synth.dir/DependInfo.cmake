@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/transformation_based.cpp" "src/CMakeFiles/qsimec_synth.dir/synth/transformation_based.cpp.o" "gcc" "src/CMakeFiles/qsimec_synth.dir/synth/transformation_based.cpp.o.d"
+  "/root/repo/src/synth/truth_table.cpp" "src/CMakeFiles/qsimec_synth.dir/synth/truth_table.cpp.o" "gcc" "src/CMakeFiles/qsimec_synth.dir/synth/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsimec_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

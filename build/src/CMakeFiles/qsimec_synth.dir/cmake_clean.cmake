@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsimec_synth.dir/synth/transformation_based.cpp.o"
+  "CMakeFiles/qsimec_synth.dir/synth/transformation_based.cpp.o.d"
+  "CMakeFiles/qsimec_synth.dir/synth/truth_table.cpp.o"
+  "CMakeFiles/qsimec_synth.dir/synth/truth_table.cpp.o.d"
+  "libqsimec_synth.a"
+  "libqsimec_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsimec_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/decomposition.cpp" "src/CMakeFiles/qsimec_transform.dir/transform/decomposition.cpp.o" "gcc" "src/CMakeFiles/qsimec_transform.dir/transform/decomposition.cpp.o.d"
+  "/root/repo/src/transform/error_injector.cpp" "src/CMakeFiles/qsimec_transform.dir/transform/error_injector.cpp.o" "gcc" "src/CMakeFiles/qsimec_transform.dir/transform/error_injector.cpp.o.d"
+  "/root/repo/src/transform/mapper.cpp" "src/CMakeFiles/qsimec_transform.dir/transform/mapper.cpp.o" "gcc" "src/CMakeFiles/qsimec_transform.dir/transform/mapper.cpp.o.d"
+  "/root/repo/src/transform/optimizer.cpp" "src/CMakeFiles/qsimec_transform.dir/transform/optimizer.cpp.o" "gcc" "src/CMakeFiles/qsimec_transform.dir/transform/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsimec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsimec_transform.dir/transform/decomposition.cpp.o"
+  "CMakeFiles/qsimec_transform.dir/transform/decomposition.cpp.o.d"
+  "CMakeFiles/qsimec_transform.dir/transform/error_injector.cpp.o"
+  "CMakeFiles/qsimec_transform.dir/transform/error_injector.cpp.o.d"
+  "CMakeFiles/qsimec_transform.dir/transform/mapper.cpp.o"
+  "CMakeFiles/qsimec_transform.dir/transform/mapper.cpp.o.d"
+  "CMakeFiles/qsimec_transform.dir/transform/optimizer.cpp.o"
+  "CMakeFiles/qsimec_transform.dir/transform/optimizer.cpp.o.d"
+  "libqsimec_transform.a"
+  "libqsimec_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsimec_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_cross_validation.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_dd_basic.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_dd_basic.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_dd_basic.cpp.o.d"
+  "/root/repo/tests/test_dd_edge_cases.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_dd_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_dd_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_dd_properties.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_dd_properties.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_dd_properties.cpp.o.d"
+  "/root/repo/tests/test_ec.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_ec.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_ec.cpp.o.d"
+  "/root/repo/tests/test_flow_sweep.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_flow_sweep.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_flow_sweep.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_io_files.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_io_files.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_io_files.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_observables.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_observables.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_observables.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_stabilizer.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_stabilizer.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_stabilizer.cpp.o.d"
+  "/root/repo/tests/test_stimuli.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_stimuli.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_stimuli.cpp.o.d"
+  "/root/repo/tests/test_synth.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_synth.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_synth.cpp.o.d"
+  "/root/repo/tests/test_transform.cpp" "tests/CMakeFiles/qsimec_tests.dir/test_transform.cpp.o" "gcc" "tests/CMakeFiles/qsimec_tests.dir/test_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qsimec_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_dd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qsimec_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
