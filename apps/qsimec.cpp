@@ -1,6 +1,7 @@
 // qsimec — command-line front end.
 //
 //   qsimec check A B [options]   equivalence-check two circuit files
+//   qsimec lint FILE [FILE2]     static analysis: report diagnostics
 //   qsimec sim FILE [options]    simulate a circuit, print top amplitudes
 //   qsimec info FILE             circuit statistics
 //   qsimec convert IN OUT        convert between .qasm and .real
@@ -8,7 +9,12 @@
 // Circuit files are read by extension: .qasm (OpenQASM 2.0) or .real
 // (RevLib). `check` implements the DAC'20 flow: r random-stimuli
 // simulations, then the complete DD-based alternating check.
+//
+// Exit codes: 0 equivalent (or no lint errors), 1 not equivalent,
+// 2 usage/internal error, 3 inconclusive, 4 invalid input (lint errors,
+// malformed circuit files).
 
+#include "analysis/analyzer.hpp"
 #include "dd/export.hpp"
 #include "ec/error_localization.hpp"
 #include "ec/flow.hpp"
@@ -25,6 +31,7 @@
 #include "io/real.hpp"
 #include "sim/dd_simulator.hpp"
 #include "transform/decomposition.hpp"
+#include "util/json.hpp"
 
 #include <algorithm>
 #include <cstring>
@@ -54,6 +61,12 @@ usage:
       --localize            on non-equivalence, binary-search the diverging gate
       --json                emit the result as a JSON object
       --seed N              stimuli seed (default 42)
+  qsimec lint FILE [FILE2] [options]
+      static circuit analysis (no simulation): structured diagnostics with
+      rule IDs (see docs/static-analysis.md); with two files, pair-level
+      rules (width mismatch, ...) run as well
+      --errors-only         suppress the QL lint rules (errors/warnings only)
+      --json                emit the diagnostics as a JSON object
   qsimec sim FILE [--input I] [--top K] [--seed N]
   qsimec info FILE
   qsimec convert IN OUT
@@ -63,16 +76,20 @@ usage:
                 bv N | dj N | qpe M | ghz N | w N
       (decompose first where the output format demands it: .real accepts
        only reversible gates, .qasm at most two controls)
+
+exit codes: 0 equivalent / lint clean, 1 not equivalent,
+            2 usage or internal error, 3 inconclusive, 4 invalid input
 )";
   std::exit(code);
 }
 
-ir::QuantumComputation load(const std::string& path) {
+ir::QuantumComputation load(const std::string& path,
+                            io::ParseOptions options = {}) {
   if (path.size() >= 5 && path.ends_with(".real")) {
-    return io::parseRealFile(path);
+    return io::parseRealFile(path, options);
   }
   if (path.ends_with(".qasm")) {
-    return io::parseQasmFile(path);
+    return io::parseQasmFile(path, options);
   }
   throw std::runtime_error("unrecognized circuit format (want .qasm/.real): " +
                            path);
@@ -168,6 +185,11 @@ int runCheck(ArgCursor& args) {
 
   if (jsonOutput) {
     std::cout << ec::toJson(result) << "\n";
+  } else if (result.equivalence == ec::Equivalence::InvalidInput) {
+    std::cout << "result:      " << toString(result.equivalence) << "\n";
+    for (const auto& d : result.diagnostics) {
+      std::cout << "  " << analysis::toString(d) << "\n";
+    }
   } else {
     std::cout << "result:      " << toString(result.equivalence) << "\n"
               << "simulations: " << result.simulations << " ("
@@ -196,7 +218,8 @@ int runCheck(ArgCursor& args) {
       }
     }
   }
-  // exit code: 0 equivalent-ish, 1 not equivalent, 3 inconclusive
+  // exit code: 0 equivalent-ish, 1 not equivalent, 3 inconclusive,
+  // 4 invalid input
   switch (result.equivalence) {
   case ec::Equivalence::Equivalent:
   case ec::Equivalence::EquivalentUpToGlobalPhase:
@@ -206,8 +229,77 @@ int runCheck(ArgCursor& args) {
     return 1;
   case ec::Equivalence::NoInformation:
     return 3;
+  case ec::Equivalence::InvalidInput:
+    return 4;
   }
   return 3;
+}
+
+/// `qsimec lint`: parse without validation, run the full analyzer, report.
+int runLint(ArgCursor& args) {
+  const bool jsonOutput = args.consumeFlag("--json");
+  const bool errorsOnly = args.consumeFlag("--errors-only");
+
+  std::vector<std::string> files;
+  files.push_back(args.next("circuit file"));
+  if (!args.empty()) {
+    files.push_back(args.next("second circuit file"));
+  }
+
+  // admit malformed circuits so every finding is reported, not just the
+  // first one a throwing parser would hit
+  std::vector<ir::QuantumComputation> circuits;
+  circuits.reserve(files.size());
+  for (const std::string& f : files) {
+    circuits.push_back(load(f, {.validate = false}));
+  }
+
+  const analysis::CircuitAnalyzer analyzer({.lint = !errorsOnly});
+  const analysis::AnalysisReport report =
+      circuits.size() == 2 ? analyzer.analyzePair(circuits[0], circuits[1])
+                           : analyzer.analyze(circuits[0]);
+
+  const std::size_t errors = report.count(analysis::Severity::Error);
+  const std::size_t warnings = report.count(analysis::Severity::Warning);
+  const std::size_t notes = report.count(analysis::Severity::Note);
+
+  if (jsonOutput) {
+    const auto quote = [](const std::string& s) {
+      std::string out = "\"";
+      for (const char c : s) {
+        if (c == '"' || c == '\\') {
+          out += '\\';
+        }
+        out += c;
+      }
+      return out + "\"";
+    };
+    std::string filesJson = "[";
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      if (i > 0) {
+        filesJson += ',';
+      }
+      filesJson += quote(files[i]);
+    }
+    filesJson += "]";
+    util::JsonWriter json;
+    json.beginObject()
+        .rawField("files", filesJson)
+        .rawField("diagnostics", analysis::toJson(report.diagnostics))
+        .field("errors", errors)
+        .field("warnings", warnings)
+        .field("notes", notes)
+        .endObject();
+    std::cout << json.str() << "\n";
+  } else {
+    for (const auto& d : report.diagnostics) {
+      const std::string& file = files[d.circuit < files.size() ? d.circuit : 0];
+      std::cout << file << ": " << analysis::toString(d) << "\n";
+    }
+    std::cout << errors << " error(s), " << warnings << " warning(s), "
+              << notes << " note(s)\n";
+  }
+  return errors > 0 ? 4 : 0;
 }
 
 int runSim(ArgCursor& args) {
@@ -385,6 +477,9 @@ int main(int argc, char** argv) {
     if (command == "check") {
       return runCheck(args);
     }
+    if (command == "lint") {
+      return runLint(args);
+    }
     if (command == "sim") {
       return runSim(args);
     }
@@ -402,6 +497,18 @@ int main(int argc, char** argv) {
     }
     std::cerr << "unknown command: " << command << "\n";
     usage(2);
+  } catch (const analysis::ValidationError& e) {
+    std::cerr << "invalid input: " << e.what() << "\n";
+    for (const auto& d : e.diagnostics()) {
+      std::cerr << "  " << analysis::toString(d) << "\n";
+    }
+    return 4;
+  } catch (const io::QasmParseError& e) {
+    std::cerr << "invalid input: " << e.what() << "\n";
+    return 4;
+  } catch (const io::RealParseError& e) {
+    std::cerr << "invalid input: " << e.what() << "\n";
+    return 4;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

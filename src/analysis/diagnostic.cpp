@@ -1,0 +1,89 @@
+#include "analysis/diagnostic.hpp"
+
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qsimec::analysis {
+
+std::string toString(const Diagnostic& d) {
+  std::ostringstream ss;
+  ss << toString(d.severity) << "[" << d.rule << "]";
+  if (d.gate) {
+    ss << " gate #" << *d.gate;
+  }
+  ss << ": " << d.message;
+  return ss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d) {
+  return os << toString(d);
+}
+
+std::string toJson(const Diagnostic& d) {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("rule", d.rule)
+      .field("severity", toString(d.severity));
+  if (d.gate) {
+    json.field("gate", *d.gate);
+  } else {
+    json.rawField("gate", "null");
+  }
+  json.field("circuit", d.circuit).field("message", d.message).endObject();
+  return json.str();
+}
+
+std::string toJson(const std::vector<Diagnostic>& ds) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += toJson(ds[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::size_t AnalysisReport::count(Severity s) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+void AnalysisReport::absorb(AnalysisReport other, std::size_t circuit) {
+  for (Diagnostic& d : other.diagnostics) {
+    d.circuit = circuit;
+    diagnostics.push_back(std::move(d));
+  }
+}
+
+std::string ValidationError::buildMessage(const std::string& context,
+                                          const std::vector<Diagnostic>& ds) {
+  std::string msg = context.empty() ? "circuit" : context;
+  msg += ": circuit validation failed";
+  const auto firstError =
+      std::find_if(ds.begin(), ds.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Error;
+      });
+  if (firstError != ds.end()) {
+    msg += ": " + toString(*firstError);
+  }
+  const auto errors = static_cast<std::size_t>(
+      std::count_if(ds.begin(), ds.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Error;
+      }));
+  if (errors > 1) {
+    msg += " (+" + std::to_string(errors - 1) + " more)";
+  }
+  return msg;
+}
+
+ValidationError::ValidationError(const std::string& context,
+                                 std::vector<Diagnostic> ds)
+    : std::runtime_error(buildMessage(context, ds)),
+      diagnostics_(std::move(ds)) {}
+
+} // namespace qsimec::analysis

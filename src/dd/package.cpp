@@ -308,6 +308,7 @@ vEdge Package::add(const vEdge& x, const vEdge& y) {
 }
 
 vEdge Package::addImpl(const vEdge& xIn, const vEdge& yIn) {
+  pollInterrupt();
   vEdge x = xIn;
   vEdge y = yIn;
   if (x.p == y.p) {
@@ -377,6 +378,7 @@ vEdge Package::multiply(const mEdge& m, const vEdge& v) {
 }
 
 vEdge Package::multiplyImpl(mNode* x, vNode* y) {
+  pollInterrupt();
   if (x->isTerminal()) {
     return vTerminalOne();
   }
@@ -507,6 +509,7 @@ mEdge Package::add(const mEdge& x, const mEdge& y) {
 }
 
 mEdge Package::addImpl(const mEdge& xIn, const mEdge& yIn) {
+  pollInterrupt();
   mEdge x = xIn;
   mEdge y = yIn;
   if (x.p == y.p) {
@@ -574,6 +577,7 @@ mEdge Package::multiply(const mEdge& x, const mEdge& y) {
 }
 
 mEdge Package::multiplyImpl(mNode* x, mNode* y) {
+  pollInterrupt();
   if (x->isTerminal()) {
     return mTerminalOne();
   }

@@ -152,9 +152,10 @@ public:
   }
 
   /// Hook invoked periodically from *inside* DD operations (every few
-  /// thousand node constructions). Deadline enforcement installs a hook
-  /// that throws — a single exponential multiply is then interruptible,
-  /// not just the gaps between gates.
+  /// thousand recursion steps or node constructions — compute-table hits
+  /// count, so dense reuse cannot starve the hook). Deadline enforcement
+  /// installs a hook that throws — a single exponential multiply is then
+  /// interruptible, not just the gaps between gates.
   void setInterruptHook(std::function<void()> hook) {
     interruptHook_ = std::move(hook);
   }
@@ -228,7 +229,10 @@ private:
   std::size_t interruptCounter_{0};
 
   void pollInterrupt() {
-    if (interruptHook_ && (++interruptCounter_ & 0x1FFFU) == 0) {
+    // Every 1024 steps: fine-grained enough that even small workloads (a
+    // few dozen gates on a product state) hit the hook, while the hook
+    // body (typically one clock read) stays amortized to nothing.
+    if (interruptHook_ && (++interruptCounter_ & 0x3FFU) == 0) {
       interruptHook_();
     }
   }

@@ -1,10 +1,26 @@
 #include "ec/flow.hpp"
 
+#include "analysis/analyzer.hpp"
+
 namespace qsimec::ec {
 
 FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
                                         const ir::QuantumComputation& qc2) const {
   FlowResult result;
+
+  if (config_.validateInputs) {
+    // Fig. 3 front-loads cheap simulations before the expensive DD check;
+    // the static analysis preflight is cheaper still: reject malformed
+    // pairs in O(gates) before any simulator sees them.
+    const analysis::CircuitAnalyzer analyzer({.lint = false});
+    analysis::AnalysisReport report = analyzer.analyzePair(qc1, qc2);
+    if (report.hasErrors()) {
+      result.equivalence = Equivalence::InvalidInput;
+      result.diagnostics = std::move(report.diagnostics);
+      return result;
+    }
+    result.diagnostics = std::move(report.diagnostics);
+  }
 
   if (!config_.skipSimulation) {
     const SimulationChecker simChecker(config_.simulation);

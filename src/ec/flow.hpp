@@ -15,11 +15,14 @@
 
 #pragma once
 
+#include "analysis/diagnostic.hpp"
 #include "ec/alternating_checker.hpp"
 #include "ec/result.hpp"
 #include "ec/rewriting_checker.hpp"
 #include "ec/simulation_checker.hpp"
 #include "ir/quantum_computation.hpp"
+
+#include <vector>
 
 namespace qsimec::ec {
 
@@ -37,6 +40,11 @@ struct FlowConfiguration {
   /// Skip the complete check (simulation only; outcome is then either
   /// NotEquivalent or ProbablyEquivalent).
   bool skipComplete{false};
+  /// Run error-level static analysis on the pair before any checking
+  /// strategy. Defects yield Equivalence::InvalidInput (with the
+  /// diagnostics in FlowResult::diagnostics) instead of throws or crashes
+  /// deep inside the simulators.
+  bool validateInputs{true};
 };
 
 struct FlowResult {
@@ -49,6 +57,9 @@ struct FlowResult {
   bool completeTimedOut{false};
   bool simulationTimedOut{false};
   std::optional<Counterexample> counterexample;
+  /// Preflight findings; non-empty error-level entries imply the verdict
+  /// Equivalence::InvalidInput.
+  std::vector<analysis::Diagnostic> diagnostics;
 
   [[nodiscard]] double totalSeconds() const noexcept {
     return simulationSeconds + rewritingSeconds + completeSeconds;

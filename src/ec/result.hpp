@@ -19,6 +19,10 @@ enum class Equivalence {
   ProbablyEquivalent,
   /// Nothing conclusive (e.g. complete check alone timed out).
   NoInformation,
+  /// The preflight static analysis found error-level defects (malformed
+  /// operations, width mismatch, ...); no checking strategy was run. The
+  /// diagnostics ride along in FlowResult::diagnostics.
+  InvalidInput,
 };
 
 [[nodiscard]] constexpr std::string_view toString(Equivalence e) noexcept {
@@ -33,6 +37,8 @@ enum class Equivalence {
     return "probably equivalent";
   case Equivalence::NoInformation:
     return "no information";
+  case Equivalence::InvalidInput:
+    return "invalid input";
   }
   return "?";
 }

@@ -1,5 +1,6 @@
 #include "ec/serialize.hpp"
 
+#include "analysis/diagnostic.hpp"
 #include "util/json.hpp"
 
 namespace qsimec::ec {
@@ -46,6 +47,7 @@ std::string toJson(const FlowResult& result) {
       .field("complete_timed_out", result.completeTimedOut)
       .field("simulation_timed_out", result.simulationTimedOut)
       .rawField("counterexample", counterexampleJson(result.counterexample))
+      .rawField("diagnostics", analysis::toJson(result.diagnostics))
       .endObject();
   return json.str();
 }

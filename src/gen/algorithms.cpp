@@ -113,7 +113,9 @@ ir::QuantumComputation wState(std::size_t n) {
   if (n == 0) {
     throw std::invalid_argument("wState: need at least one qubit");
   }
-  ir::QuantumComputation qc(n, "w" + std::to_string(n));
+  std::string name = "w";
+  name += std::to_string(n); // avoids a GCC 12 -Wrestrict false positive
+  ir::QuantumComputation qc(n, std::move(name));
   qc.x(0);
   for (std::size_t i = 0; i + 1 < n; ++i) {
     // move amplitude sqrt((n-i-1)/(n-i)) of the excitation onwards

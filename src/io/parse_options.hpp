@@ -1,0 +1,19 @@
+// Options shared by the circuit file parsers (OpenQASM and RevLib .real).
+
+#pragma once
+
+namespace qsimec::io {
+
+/// Controls what the parsers do beyond syntax.
+struct ParseOptions {
+  /// When true (the default), IR invariant violations surface as parse
+  /// errors with line information, and the parsed circuit is run through
+  /// error-level static analysis (analysis::CircuitAnalyzer); defects throw
+  /// analysis::ValidationError. When false, the parser admits malformed
+  /// circuits — out-of-range indices, overlapping controls, non-finite
+  /// parameters — so that `qsimec lint` can report structured diagnostics
+  /// instead of stopping at the first error.
+  bool validate{true};
+};
+
+} // namespace qsimec::io

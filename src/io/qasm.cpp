@@ -1,5 +1,7 @@
 #include "io/qasm.hpp"
 
+#include "analysis/analyzer.hpp"
+
 #include <cctype>
 #include <cmath>
 #include <fstream>
@@ -249,8 +251,8 @@ const std::map<std::string, GateSpec>& gateTable() {
 
 class Parser {
 public:
-  explicit Parser(std::istream& is, std::string name)
-      : in_(is), name_(std::move(name)) {}
+  Parser(std::istream& is, std::string name, ParseOptions options)
+      : in_(is), name_(std::move(name)), options_(options) {}
 
   ir::QuantumComputation parse() {
     parseHeader();
@@ -259,7 +261,12 @@ public:
     }
     ir::QuantumComputation qc(totalQubits_, name_);
     for (auto& op : ops_) {
-      qc.emplace(std::move(op));
+      if (options_.validate) {
+        qc.emplace(std::move(op));
+      } else {
+        // lint mode: keep out-of-range operations for the analyzer
+        qc.ops().push_back(std::move(op));
+      }
     }
     return qc;
   }
@@ -429,8 +436,19 @@ private:
     std::vector<ir::Qubit> targets(qubits.begin() +
                                        static_cast<std::ptrdiff_t>(spec.ncontrols),
                                    qubits.end());
-    ops_.emplace_back(spec.type, std::move(targets), std::move(controls),
-                      paramArray);
+    if (!options_.validate) {
+      ops_.push_back(ir::StandardOperation::makeUnchecked(
+          spec.type, std::move(targets), std::move(controls), paramArray));
+      return;
+    }
+    try {
+      ops_.emplace_back(spec.type, std::move(targets), std::move(controls),
+                        paramArray);
+    } catch (const std::invalid_argument& e) {
+      // IR invariant violations (control == target, duplicate control, SWAP
+      // on one wire) become parse errors with line information.
+      in_.fail(e.what());
+    }
   }
 
   void skipOperands() {
@@ -455,7 +473,8 @@ private:
     if (in_.consumeIf('[')) {
       const auto idx = static_cast<std::size_t>(in_.number());
       in_.expect(']');
-      if (idx >= it->second.size) {
+      if (idx >= it->second.size && options_.validate) {
+        // (lint mode admits the index; the analyzer reports it as QA001)
         in_.fail("index out of range for register " + reg);
       }
       return Operand{it->second.offset + idx, 1};
@@ -507,6 +526,7 @@ private:
 
   Cursor in_;
   std::string name_;
+  ParseOptions options_;
   std::map<std::string, Register> qregs_;
   std::map<std::string, GateDefinition> userGates_;
   std::size_t totalQubits_{0};
@@ -657,23 +677,36 @@ void writeOperation(const ir::StandardOperation& op, std::ostream& os) {
 
 } // namespace
 
-ir::QuantumComputation parseQasm(std::istream& is, std::string name) {
-  Parser parser(is, std::move(name));
-  return parser.parse();
+ir::QuantumComputation parseQasm(std::istream& is, std::string name,
+                                 ParseOptions options) {
+  Parser parser(is, name, options);
+  ir::QuantumComputation qc = parser.parse();
+  if (options.validate) {
+    // post-parse preflight: catch what the grammar cannot express as a
+    // syntax error (e.g. rx(1/0) producing a non-finite angle)
+    const analysis::CircuitAnalyzer analyzer({.lint = false});
+    analysis::AnalysisReport report = analyzer.analyze(qc);
+    if (report.hasErrors()) {
+      throw analysis::ValidationError(name, std::move(report.diagnostics));
+    }
+  }
+  return qc;
 }
 
 ir::QuantumComputation parseQasmString(const std::string& text,
-                                       std::string name) {
+                                       std::string name,
+                                       ParseOptions options) {
   std::istringstream is(text);
-  return parseQasm(is, std::move(name));
+  return parseQasm(is, std::move(name), options);
 }
 
-ir::QuantumComputation parseQasmFile(const std::string& path) {
+ir::QuantumComputation parseQasmFile(const std::string& path,
+                                     ParseOptions options) {
   std::ifstream is(path);
   if (!is) {
     throw std::runtime_error("cannot open " + path);
   }
-  return parseQasm(is, path);
+  return parseQasm(is, path, options);
 }
 
 void writeQasm(const ir::QuantumComputation& qc, std::ostream& os) {

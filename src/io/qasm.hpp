@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include "io/parse_options.hpp"
 #include "ir/quantum_computation.hpp"
 
 #include <iosfwd>
@@ -37,11 +38,13 @@ private:
   std::size_t line_;
 };
 
-[[nodiscard]] ir::QuantumComputation parseQasm(std::istream& is,
-                                               std::string name = "");
-[[nodiscard]] ir::QuantumComputation parseQasmString(const std::string& text,
-                                                     std::string name = "");
-[[nodiscard]] ir::QuantumComputation parseQasmFile(const std::string& path);
+[[nodiscard]] ir::QuantumComputation
+parseQasm(std::istream& is, std::string name = "", ParseOptions options = {});
+[[nodiscard]] ir::QuantumComputation
+parseQasmString(const std::string& text, std::string name = "",
+                ParseOptions options = {});
+[[nodiscard]] ir::QuantumComputation
+parseQasmFile(const std::string& path, ParseOptions options = {});
 
 void writeQasm(const ir::QuantumComputation& qc, std::ostream& os);
 [[nodiscard]] std::string toQasmString(const ir::QuantumComputation& qc);

@@ -1,5 +1,7 @@
 #include "io/real.hpp"
 
+#include "analysis/analyzer.hpp"
+
 #include <algorithm>
 #include <fstream>
 #include <map>
@@ -25,7 +27,8 @@ std::vector<std::string> tokenize(const std::string& line) {
 
 } // namespace
 
-ir::QuantumComputation parseReal(std::istream& is, std::string name) {
+ir::QuantumComputation parseReal(std::istream& is, std::string name,
+                                 ParseOptions options) {
   std::size_t lineNo = 0;
   std::size_t numvars = 0;
   std::map<std::string, ir::Qubit> variableIndex;
@@ -149,7 +152,19 @@ ir::QuantumComputation parseReal(std::istream& is, std::string name) {
     } else if (kind == 'v') {
       type = isVdg ? ir::OpType::Vdg : ir::OpType::V;
     }
-    ops.emplace_back(type, std::move(targets), std::move(controls));
+    if (options.validate) {
+      try {
+        ops.emplace_back(type, std::move(targets), std::move(controls));
+      } catch (const std::invalid_argument& e) {
+        // IR invariant violations (control == target, duplicate control,
+        // SWAP on one wire) become parse errors with line information
+        fail(e.what());
+      }
+    } else {
+      // lint mode: admit the malformed gate for the analyzer to report
+      ops.push_back(ir::StandardOperation::makeUnchecked(
+          type, std::move(targets), std::move(controls)));
+    }
   }
 
   if (inBody && !done) {
@@ -159,25 +174,38 @@ ir::QuantumComputation parseReal(std::istream& is, std::string name) {
     fail("missing .numvars");
   }
 
-  ir::QuantumComputation qc(numvars, std::move(name));
+  ir::QuantumComputation qc(numvars, name);
   for (auto& op : ops) {
-    qc.emplace(std::move(op));
+    if (options.validate) {
+      qc.emplace(std::move(op));
+    } else {
+      qc.ops().push_back(std::move(op));
+    }
+  }
+  if (options.validate) {
+    const analysis::CircuitAnalyzer analyzer({.lint = false});
+    analysis::AnalysisReport report = analyzer.analyze(qc);
+    if (report.hasErrors()) {
+      throw analysis::ValidationError(name, std::move(report.diagnostics));
+    }
   }
   return qc;
 }
 
 ir::QuantumComputation parseRealString(const std::string& text,
-                                       std::string name) {
+                                       std::string name,
+                                       ParseOptions options) {
   std::istringstream is(text);
-  return parseReal(is, std::move(name));
+  return parseReal(is, std::move(name), options);
 }
 
-ir::QuantumComputation parseRealFile(const std::string& path) {
+ir::QuantumComputation parseRealFile(const std::string& path,
+                                     ParseOptions options) {
   std::ifstream is(path);
   if (!is) {
     throw std::runtime_error("cannot open " + path);
   }
-  return parseReal(is, path);
+  return parseReal(is, path, options);
 }
 
 void writeReal(const ir::QuantumComputation& qc, std::ostream& os) {

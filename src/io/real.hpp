@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include "io/parse_options.hpp"
 #include "ir/quantum_computation.hpp"
 
 #include <iosfwd>
@@ -27,11 +28,13 @@ public:
                            "): " + message) {}
 };
 
-[[nodiscard]] ir::QuantumComputation parseReal(std::istream& is,
-                                               std::string name = "");
-[[nodiscard]] ir::QuantumComputation parseRealString(const std::string& text,
-                                                     std::string name = "");
-[[nodiscard]] ir::QuantumComputation parseRealFile(const std::string& path);
+[[nodiscard]] ir::QuantumComputation
+parseReal(std::istream& is, std::string name = "", ParseOptions options = {});
+[[nodiscard]] ir::QuantumComputation
+parseRealString(const std::string& text, std::string name = "",
+                ParseOptions options = {});
+[[nodiscard]] ir::QuantumComputation
+parseRealFile(const std::string& path, ParseOptions options = {});
 
 /// The circuit may only contain X, SWAP, V, and Vdg operations (with any
 /// controls); throws std::domain_error otherwise.

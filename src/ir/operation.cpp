@@ -32,6 +32,18 @@ StandardOperation::StandardOperation(OpType type, std::vector<Qubit> targets,
   }
 }
 
+StandardOperation StandardOperation::makeUnchecked(
+    OpType type, std::vector<Qubit> targets, std::vector<Control> controls,
+    std::array<double, 3> params) {
+  StandardOperation op;
+  op.type_ = type;
+  op.targets_ = std::move(targets);
+  std::sort(controls.begin(), controls.end());
+  op.controls_ = std::move(controls);
+  op.params_ = params;
+  return op;
+}
+
 bool StandardOperation::actsOn(Qubit q) const noexcept {
   if (std::find(targets_.begin(), targets_.end(), q) != targets_.end()) {
     return true;

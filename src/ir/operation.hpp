@@ -31,6 +31,16 @@ public:
                     std::vector<Control> controls = {},
                     std::array<double, 3> params = {});
 
+  /// Build an operation WITHOUT enforcing the class invariants (distinct
+  /// targets, controls disjoint from targets, no duplicate controls). For
+  /// deserializers and the lint front end, which admit malformed input and
+  /// hand it to analysis::CircuitAnalyzer instead of throwing; everything
+  /// else should use the checked constructor.
+  [[nodiscard]] static StandardOperation
+  makeUnchecked(OpType type, std::vector<Qubit> targets,
+                std::vector<Control> controls = {},
+                std::array<double, 3> params = {});
+
   [[nodiscard]] OpType type() const noexcept { return type_; }
   [[nodiscard]] const std::vector<Qubit>& targets() const noexcept {
     return targets_;

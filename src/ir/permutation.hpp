@@ -25,6 +25,16 @@ public:
     validate();
   }
 
+  /// Build a permutation WITHOUT the bijection check. For deserializers and
+  /// analyzer tests; analysis::CircuitAnalyzer reports non-bijective layouts
+  /// as diagnostics instead of throwing.
+  [[nodiscard]] static Permutation
+  makeUnchecked(std::vector<std::uint16_t> map) {
+    Permutation p;
+    p.map_ = std::move(map);
+    return p;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
   [[nodiscard]] std::uint16_t operator[](std::size_t i) const {
     return map_.at(i);

@@ -37,6 +37,15 @@ public:
   void setInitialLayout(Permutation p);
   void setOutputPermutation(Permutation p);
 
+  /// Size-unchecked layout setters, pairing with Permutation::makeUnchecked:
+  /// admit malformed layouts for analysis::CircuitAnalyzer to diagnose.
+  void setInitialLayoutUnchecked(Permutation p) {
+    initialLayout_ = std::move(p);
+  }
+  void setOutputPermutationUnchecked(Permutation p) {
+    outputPermutation_ = std::move(p);
+  }
+
   // --- operation access ---------------------------------------------------
   [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
   [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }

@@ -35,16 +35,18 @@ CouplingMap::CouplingMap(
 
 CouplingMap CouplingMap::linear(std::size_t nwires) {
   std::vector<std::pair<std::uint16_t, std::uint16_t>> edges;
-  for (std::uint16_t i = 0; i + 1 < nwires; ++i) {
-    edges.emplace_back(i, i + 1);
+  for (std::size_t i = 0; i + 1 < nwires; ++i) {
+    edges.emplace_back(static_cast<std::uint16_t>(i),
+                       static_cast<std::uint16_t>(i + 1));
   }
   return CouplingMap(nwires, std::move(edges));
 }
 
 CouplingMap CouplingMap::ring(std::size_t nwires) {
   std::vector<std::pair<std::uint16_t, std::uint16_t>> edges;
-  for (std::uint16_t i = 0; i + 1 < nwires; ++i) {
-    edges.emplace_back(i, i + 1);
+  for (std::size_t i = 0; i + 1 < nwires; ++i) {
+    edges.emplace_back(static_cast<std::uint16_t>(i),
+                       static_cast<std::uint16_t>(i + 1));
   }
   if (nwires > 2) {
     edges.emplace_back(static_cast<std::uint16_t>(nwires - 1), 0);

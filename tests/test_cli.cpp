@@ -123,6 +123,83 @@ TEST_F(CliTest, SimCommandPrintsAmplitudes) {
   EXPECT_NE(sim.output.find("|11>"), std::string::npos);
 }
 
+TEST_F(CliTest, LintCleanFileExitsZero) {
+  const std::string a = path("clean.qasm");
+  {
+    std::ofstream os(a);
+    os << "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+  }
+  const auto lint = runCli("lint " + a);
+  EXPECT_EQ(lint.exitCode, 0) << lint.output;
+  EXPECT_NE(lint.output.find("0 error(s)"), std::string::npos);
+}
+
+TEST_F(CliTest, LintMalformedFileReportsRulesAndExitsFour) {
+  const std::string a = path("bad.qasm");
+  {
+    std::ofstream os(a);
+    os << "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];\nrx(1/0) q[1];\n";
+  }
+  const auto lint = runCli("lint " + a);
+  EXPECT_EQ(lint.exitCode, 4);
+  EXPECT_NE(lint.output.find("QA002"), std::string::npos);
+  EXPECT_NE(lint.output.find("QA004"), std::string::npos);
+}
+
+TEST_F(CliTest, LintJsonShape) {
+  const std::string a = path("warn.qasm");
+  {
+    std::ofstream os(a);
+    os << "OPENQASM 2.0;\nqreg q[1];\nh q[0];\nh q[0];\n";
+  }
+  const auto lint = runCli("lint " + a + " --json");
+  EXPECT_EQ(lint.exitCode, 0); // warnings do not fail the lint
+  EXPECT_EQ(lint.output.front(), '{');
+  EXPECT_NE(lint.output.find("\"diagnostics\":["), std::string::npos);
+  EXPECT_NE(lint.output.find("QL001"), std::string::npos);
+  EXPECT_NE(lint.output.find("\"errors\":0"), std::string::npos);
+}
+
+TEST_F(CliTest, LintPairReportsWidthMismatch) {
+  const std::string narrow = path("ln.qasm");
+  const std::string wide = path("lw.qasm");
+  {
+    std::ofstream os(narrow);
+    os << "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nh q[1];\n";
+  }
+  {
+    std::ofstream os(wide);
+    os << "OPENQASM 2.0;\nqreg q[3];\nh q[0];\nh q[1];\nh q[2];\n";
+  }
+  const auto lint = runCli("lint " + narrow + " " + wide);
+  EXPECT_EQ(lint.exitCode, 4);
+  EXPECT_NE(lint.output.find("QP001"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckOnMalformedFileExitsFour) {
+  const std::string bad = path("bad.qasm");
+  const std::string ok = path("ok.qasm");
+  {
+    std::ofstream os(bad);
+    os << "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];\n";
+  }
+  {
+    std::ofstream os(ok);
+    os << "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n";
+  }
+  const auto check = runCli("check " + bad + " " + ok);
+  EXPECT_EQ(check.exitCode, 4);
+  EXPECT_NE(check.output.find("invalid input"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFileIsUsageErrorNotInvalidInput) {
+  const auto lint = runCli("lint " + path("nope.qasm"));
+  EXPECT_EQ(lint.exitCode, 2);
+  const auto check =
+      runCli("check " + path("nope.qasm") + " " + path("nope.qasm"));
+  EXPECT_EQ(check.exitCode, 2);
+}
+
 TEST_F(CliTest, WidthMismatchIsPaddedAutomatically) {
   const std::string narrow = path("n.qasm");
   const std::string wide = path("w.qasm");

@@ -2,6 +2,7 @@
 // robustness (fuzz-ish) checks — malformed input must raise parse errors,
 // never crash or silently succeed.
 
+#include "analysis/diagnostic.hpp"
 #include "ec/construction_checker.hpp"
 #include "io/qasm.hpp"
 #include "io/real.hpp"
@@ -62,6 +63,35 @@ TEST(GoldenFiles, MissingFileThrows) {
                std::runtime_error);
   EXPECT_THROW((void)io::parseRealFile(dataPath("nope.real")),
                std::runtime_error);
+}
+
+// --- malformed fixture files ---------------------------------------------
+// The bad_* fixtures exercise the validate/lint split on whole files: the
+// default (validating) parse rejects them, the lint-mode parse admits them
+// so `qsimec lint` can report structured diagnostics.
+
+TEST(MalformedFiles, QasmOverlapRejectedByDefaultParse) {
+  EXPECT_THROW((void)io::parseQasmFile(dataPath("bad_overlap.qasm")),
+               io::QasmParseError);
+  const auto qc =
+      io::parseQasmFile(dataPath("bad_overlap.qasm"), {.validate = false});
+  EXPECT_EQ(qc.size(), 2U); // h + the malformed cx, both admitted
+}
+
+TEST(MalformedFiles, QasmNonFiniteParamFailsPostParseValidation) {
+  EXPECT_THROW((void)io::parseQasmFile(dataPath("bad_nonfinite.qasm")),
+               analysis::ValidationError);
+  const auto qc =
+      io::parseQasmFile(dataPath("bad_nonfinite.qasm"), {.validate = false});
+  EXPECT_EQ(qc.size(), 1U);
+}
+
+TEST(MalformedFiles, RealOverlapRejectedByDefaultParse) {
+  EXPECT_THROW((void)io::parseRealFile(dataPath("bad_overlap.real")),
+               io::RealParseError);
+  const auto qc =
+      io::parseRealFile(dataPath("bad_overlap.real"), {.validate = false});
+  EXPECT_EQ(qc.size(), 1U);
 }
 
 // --- robustness ----------------------------------------------------------
