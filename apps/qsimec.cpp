@@ -59,7 +59,12 @@ usage:
       --strict-phase        do not treat global phase as equivalent
       --rewriting           try the syntactic rewriting checker first
       --localize            on non-equivalence, binary-search the diverging gate
-      --json                emit the result as a JSON object
+      --json                emit the result as a JSON object (with per-stage
+                            metrics and DD profile under "metrics")
+      --metrics             print the metrics JSON after the human-readable
+                            result (implied by --json)
+      --trace FILE          write a Chrome trace_event file of the run
+                            (open in about:tracing or ui.perfetto.dev)
       --seed N              stimuli seed (default 42)
   qsimec lint FILE [FILE2] [options]
       static circuit analysis (no simulation): structured diagnostics with
@@ -141,6 +146,8 @@ int runCheck(ArgCursor& args) {
   const bool localize = args.consumeFlag("--localize");
   const bool rewriting = args.consumeFlag("--rewriting");
   const bool jsonOutput = args.consumeFlag("--json");
+  const bool printMetrics = args.consumeFlag("--metrics");
+  const std::string tracePath = args.consumeOption("--trace", "");
 
   auto a = load(args.next("first circuit file"));
   auto b = load(args.next("second circuit file"));
@@ -180,8 +187,20 @@ int runCheck(ArgCursor& args) {
     return 2;
   }
 
+  // Attach the tracer only when requested: the null-sink path keeps the
+  // check itself free of clock reads and span bookkeeping.
+  obs::Tracer tracer;
+  obs::Context obsContext;
+  if (!tracePath.empty()) {
+    obsContext.tracer = &tracer;
+  }
+
   const ec::EquivalenceCheckingFlow flow(config);
-  const auto result = flow.run(a, b);
+  const auto result = flow.run(a, b, obsContext);
+
+  if (!tracePath.empty()) {
+    tracer.writeChromeTrace(tracePath);
+  }
 
   if (jsonOutput) {
     std::cout << ec::toJson(result) << "\n";
@@ -197,6 +216,13 @@ int runCheck(ArgCursor& args) {
     if (!config.skipComplete) {
       std::cout << "complete:    " << result.completeSeconds << "s"
                 << (result.completeTimedOut ? " (timed out)" : "") << "\n";
+    }
+    if (!tracePath.empty()) {
+      std::cout << "trace:       " << tracePath << " (" << tracer.events().size()
+                << " spans; open in about:tracing or ui.perfetto.dev)\n";
+    }
+    if (printMetrics) {
+      std::cout << "metrics:     " << obs::toJson(result.metrics) << "\n";
     }
     if (result.counterexample) {
       std::cout << "counterexample: "

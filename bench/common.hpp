@@ -23,13 +23,18 @@
 #include "gen/qft.hpp"
 #include "gen/revlib_like.hpp"
 #include "gen/supremacy.hpp"
+#include "obs/metrics.hpp"
 #include "transform/decomposition.hpp"
 #include "transform/mapper.hpp"
 #include "transform/optimizer.hpp"
+#include "util/json.hpp"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace qsimec::bench {
@@ -45,6 +50,9 @@ struct HarnessOptions {
   std::size_t simulations{10};
   std::uint64_t seed{42};
   bool paperScale{false};
+  /// When non-empty, write a machine-readable BENCH_*.json report here
+  /// (schema "qsimec-bench-v1") in addition to the human-readable table.
+  std::string jsonOut;
 };
 
 inline HarnessOptions parseOptions(int argc, char** argv) {
@@ -59,14 +67,90 @@ inline HarnessOptions parseOptions(int argc, char** argv) {
       options.simulations = std::stoul(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       options.seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      options.jsonOut = argv[++i];
     } else {
-      std::printf("usage: %s [--paper] [--timeout s] [--sims r] [--seed s]\n",
+      std::printf("usage: %s [--paper] [--timeout s] [--sims r] [--seed s] "
+                  "[--json-out FILE]\n",
                   argv[0]);
       std::exit(2);
     }
   }
   return options;
 }
+
+/// One benchmark row of a machine-readable report: pair identity, outcome,
+/// and whatever the harness measured (timings, DD profile, ...) as a
+/// metrics snapshot — the same shape FlowResult::metrics uses, so bench
+/// JSON and `qsimec check --json` speak one schema.
+struct BenchRecord {
+  std::string name;
+  std::size_t qubits{0};
+  std::size_t gatesG{0};
+  std::size_t gatesGPrime{0};
+  std::string outcome;
+  obs::MetricsSnapshot metrics;
+};
+
+/// Collects BenchRecords and writes the "qsimec-bench-v1" JSON report.
+class BenchReport {
+public:
+  BenchReport(std::string harness, const HarnessOptions& options)
+      : harness_(std::move(harness)), options_(options) {}
+
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  [[nodiscard]] std::string toJson() const {
+    std::string rows = "[";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      if (i > 0) {
+        rows += ',';
+      }
+      util::JsonWriter row;
+      row.beginObject()
+          .field("name", r.name)
+          .field("qubits", r.qubits)
+          .field("gates_g", r.gatesG)
+          .field("gates_g_prime", r.gatesGPrime)
+          .field("outcome", r.outcome)
+          .rawField("metrics", obs::toJson(r.metrics))
+          .endObject();
+      rows += row.str();
+    }
+    rows += ']';
+    util::JsonWriter json;
+    json.beginObject()
+        .field("schema", "qsimec-bench-v1")
+        .field("harness", harness_)
+        .field("timeout_seconds", options_.timeoutSeconds)
+        .field("simulations", options_.simulations)
+        .field("seed", options_.seed)
+        .field("paper_scale", options_.paperScale)
+        .rawField("results", rows)
+        .endObject();
+    return json.str();
+  }
+
+  /// Write the report to options.jsonOut; no-op when the flag was not given.
+  void writeIfRequested() const {
+    if (options_.jsonOut.empty()) {
+      return;
+    }
+    std::ofstream os(options_.jsonOut);
+    if (!os) {
+      throw std::runtime_error("cannot open " + options_.jsonOut);
+    }
+    os << toJson() << "\n";
+    std::printf("wrote %s (%zu records)\n", options_.jsonOut.c_str(),
+                records_.size());
+  }
+
+private:
+  std::string harness_;
+  HarnessOptions options_;
+  std::vector<BenchRecord> records_;
+};
 
 /// G' for the reversible family: pad G to the decomposed width.
 inline BenchmarkPair revlibPair(std::string name, ir::QuantumComputation g) {

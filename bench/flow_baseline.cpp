@@ -1,0 +1,61 @@
+// Flow observability baseline — one equivalent and one error-injected
+// non-equivalent pair through the full EquivalenceCheckingFlow, reporting
+// the flow's own FlowResult::metrics rollup per pair.
+//
+// The committed reference output lives at bench/baselines/BENCH_flow.json;
+// re-run this harness after changes to the flow or the DD package and diff
+// the structural counters (simulation.runs, *.dd.apply_ops, peak nodes —
+// the deterministic ones; timings vary with the machine).
+
+#include "common.hpp"
+
+#include "ec/flow.hpp"
+#include "transform/error_injector.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace qsimec;
+
+int main(int argc, char** argv) {
+  bench::HarnessOptions options = bench::parseOptions(argc, argv);
+  if (options.jsonOut.empty()) {
+    options.jsonOut = "BENCH_flow.json";
+  }
+  bench::BenchReport report("flow_baseline", options);
+
+  std::printf("Flow baseline (timeout %.1fs, r=%zu, seed %" PRIu64 ")\n",
+              options.timeoutSeconds, options.simulations, options.seed);
+
+  ec::FlowConfiguration config;
+  config.simulation.maxSimulations = options.simulations;
+  config.simulation.seed = options.seed;
+  config.complete.timeoutSeconds = options.timeoutSeconds;
+  const ec::EquivalenceCheckingFlow flow(config);
+
+  // pair 1: equivalent (optimized Grover vs its elementary realization)
+  // pair 2: the same pair with a random design-flow error injected into G'
+  bench::BenchmarkPair equivalent = bench::groverPair(5, 0b10110);
+  tf::ErrorInjector injector(options.seed);
+  const auto injected = injector.injectRandom(equivalent.gPrime);
+  bench::BenchmarkPair faulty{"Grover 5 (injected " +
+                                  std::string(toString(injected.error.kind)) +
+                                  ")",
+                              equivalent.g, injected.circuit};
+
+  for (const bench::BenchmarkPair* pair : {&equivalent, &faulty}) {
+    const ec::FlowResult result = flow.run(pair->g, pair->gPrime);
+    std::printf("%-28s -> %-22s (%.3fs, %zu sims)\n", pair->name.c_str(),
+                std::string(toString(result.equivalence)).c_str(),
+                result.totalSeconds(), result.simulations);
+    std::fflush(stdout);
+
+    bench::BenchRecord record{pair->name, pair->g.qubits(), pair->g.size(),
+                              pair->gPrime.size(),
+                              std::string(toString(result.equivalence)),
+                              result.metrics};
+    report.add(std::move(record));
+  }
+  report.writeIfRequested();
+  return 0;
+}

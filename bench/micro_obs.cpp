@@ -1,0 +1,66 @@
+// Micro-benchmarks guarding the observability null fast path.
+//
+// The contract (docs/observability.md): with no sink attached, the
+// instrumentation must compile down to a null-pointer test — no clock
+// reads, no allocation. BM_GateApply{Untraced,Traced} measure the real
+// integration point (the DD package's gc/span hooks around gate applies);
+// the untraced variant should be indistinguishable from the pre-obs
+// package, while the traced one is allowed to pay for its spans.
+
+#include "ec/simulation_checker.hpp"
+#include "gen/qft.hpp"
+#include "obs/tracer.hpp"
+#include "sim/dd_simulator.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace qsimec;
+
+namespace {
+
+void BM_NullScopedSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedSpan span(nullptr, "noop", "bench");
+    span.arg("k", std::uint64_t{1});
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_NullScopedSpan);
+
+void BM_ActiveScopedSpan(benchmark::State& state) {
+  obs::Tracer tracer;
+  for (auto _ : state) {
+    obs::ScopedSpan span(&tracer, "noop", "bench");
+    span.arg("k", std::uint64_t{1});
+    benchmark::DoNotOptimize(&span);
+  }
+  state.counters["spans"] =
+      benchmark::Counter(static_cast<double>(tracer.events().size()));
+}
+BENCHMARK(BM_ActiveScopedSpan);
+
+void simulateQft(std::size_t qubits, obs::Tracer* tracer,
+                 benchmark::State& state) {
+  const ir::QuantumComputation qc = gen::qft(qubits);
+  for (auto _ : state) {
+    dd::Package pkg(qc.qubits());
+    pkg.setTracer(tracer);
+    const auto out = sim::simulate(qc, pkg.makeBasisState(1), pkg);
+    benchmark::DoNotOptimize(dd::Package::size(out));
+  }
+}
+
+void BM_GateApplyUntraced(benchmark::State& state) {
+  simulateQft(static_cast<std::size_t>(state.range(0)), nullptr, state);
+}
+BENCHMARK(BM_GateApplyUntraced)->Arg(10)->Arg(14);
+
+void BM_GateApplyTraced(benchmark::State& state) {
+  obs::Tracer tracer;
+  simulateQft(static_cast<std::size_t>(state.range(0)), &tracer, state);
+}
+BENCHMARK(BM_GateApplyTraced)->Arg(10)->Arg(14);
+
+} // namespace
+
+BENCHMARK_MAIN();

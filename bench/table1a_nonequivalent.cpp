@@ -13,6 +13,7 @@
 
 #include "common.hpp"
 
+#include "dd/stats.hpp"
 #include "ec/construction_checker.hpp"
 #include "ec/flow.hpp"
 #include "transform/error_injector.hpp"
@@ -25,6 +26,7 @@ using namespace qsimec;
 int main(int argc, char** argv) {
   const bench::HarnessOptions options = bench::parseOptions(argc, argv);
   auto suite = bench::benchmarkSuite(options);
+  bench::BenchReport report("table1a_nonequivalent", options);
 
   std::printf("Table Ia: non-equivalent benchmarks (timeout %.1fs, r=%zu, "
               "seed %" PRIu64 ")\n",
@@ -69,6 +71,19 @@ int main(int argc, char** argv) {
                 simResult.simulations, simResult.seconds,
                 std::string(toString(simResult.equivalence)).c_str());
     std::fflush(stdout);
+
+    bench::BenchRecord record{pair.name, pair.g.qubits(), pair.g.size(),
+                              injected.circuit.size(),
+                              std::string(toString(simResult.equivalence)),
+                              {}};
+    record.metrics.gauges["ec.seconds"] = ecResult.seconds;
+    record.metrics.gauges["sim.seconds"] = simResult.seconds;
+    record.metrics.counters["ec.timed_out"] = ecResult.timedOut ? 1 : 0;
+    record.metrics.counters["sim.runs"] = simResult.simulations;
+    dd::appendPackageStats(record.metrics, "ec.dd", ecResult.ddStats);
+    dd::appendPackageStats(record.metrics, "sim.dd", simResult.ddStats);
+    report.add(std::move(record));
   }
+  report.writeIfRequested();
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "common.hpp"
 
+#include "dd/stats.hpp"
 #include "ec/construction_checker.hpp"
 #include "ec/flow.hpp"
 
@@ -22,6 +23,7 @@ using namespace qsimec;
 int main(int argc, char** argv) {
   const bench::HarnessOptions options = bench::parseOptions(argc, argv);
   const auto suite = bench::benchmarkSuite(options);
+  bench::BenchReport report("table1b_equivalent", options);
 
   std::printf("Table Ib: equivalent benchmarks (timeout %.1fs, r=%zu, seed "
               "%" PRIu64 ")\n",
@@ -66,6 +68,17 @@ int main(int argc, char** argv) {
                 pair.gPrime.size(), ecTime, simResult.seconds,
                 outcome.c_str());
     std::fflush(stdout);
+
+    bench::BenchRecord record{pair.name, pair.g.qubits(), pair.g.size(),
+                              pair.gPrime.size(), outcome, {}};
+    record.metrics.gauges["ec.seconds"] = ecResult.seconds;
+    record.metrics.gauges["sim.seconds"] = simResult.seconds;
+    record.metrics.counters["ec.timed_out"] = ecResult.timedOut ? 1 : 0;
+    record.metrics.counters["sim.runs"] = simResult.simulations;
+    dd::appendPackageStats(record.metrics, "ec.dd", ecResult.ddStats);
+    dd::appendPackageStats(record.metrics, "sim.dd", simResult.ddStats);
+    report.add(std::move(record));
   }
+  report.writeIfRequested();
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "dd/package.hpp"
 
+#include "util/deadline.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
@@ -739,11 +741,19 @@ void Package::garbageCollect(bool force) {
   if (!needed) {
     return;
   }
+  obs::ScopedSpan span(tracer_, "dd.gc", "dd");
+  const util::Stopwatch watch;
   clearComputeTables();
-  vUnique_.garbageCollect();
-  mUnique_.garbageCollect();
-  cn_.garbageCollect();
+  const std::size_t vCollected = vUnique_.garbageCollect();
+  const std::size_t mCollected = mUnique_.garbageCollect();
+  const std::size_t realsCollected = cn_.garbageCollect();
+  const double pause = watch.seconds();
+  gcSeconds_ += pause;
+  gcMaxPauseSeconds_ = std::max(gcMaxPauseSeconds_, pause);
   ++gcRuns_;
+  span.arg("v_collected", static_cast<std::uint64_t>(vCollected));
+  span.arg("m_collected", static_cast<std::uint64_t>(mCollected));
+  span.arg("reals_collected", static_cast<std::uint64_t>(realsCollected));
 }
 
 namespace {
@@ -770,9 +780,27 @@ std::size_t Package::size(const vEdge& e) { return sizeImpl(e); }
 std::size_t Package::size(const mEdge& e) { return sizeImpl(e); }
 
 PackageStats Package::stats() const noexcept {
-  return PackageStats{vUnique_.liveNodes(), vUnique_.allocated(),
-                      mUnique_.liveNodes(), mUnique_.allocated(),
-                      cn_.liveReals(),      gcRuns_};
+  PackageStats s;
+  s.vNodesLive = vUnique_.liveNodes();
+  s.vNodesAllocated = vUnique_.allocated();
+  s.vNodesPeakLive = vUnique_.peakLiveNodes();
+  s.mNodesLive = mUnique_.liveNodes();
+  s.mNodesAllocated = mUnique_.allocated();
+  s.mNodesPeakLive = mUnique_.peakLiveNodes();
+  s.realsLive = cn_.liveReals();
+  s.gcRuns = gcRuns_;
+  s.gcSeconds = gcSeconds_;
+  s.gcMaxPauseSeconds = gcMaxPauseSeconds_;
+  s.vUnique = {vUnique_.lookups(), vUnique_.hits()};
+  s.mUnique = {mUnique_.lookups(), mUnique_.hits()};
+  s.addV = {addVTable_.lookups(), addVTable_.hits()};
+  s.addM = {addMTable_.lookups(), addMTable_.hits()};
+  s.multMV = {multMVTable_.lookups(), multMVTable_.hits()};
+  s.multMM = {multMMTable_.lookups(), multMMTable_.hits()};
+  s.kron = {kronTable_.lookups(), kronTable_.hits()};
+  s.conj = {conjTable_.lookups(), conjTable_.hits()};
+  s.inner = {innerTable_.lookups(), innerTable_.hits()};
+  return s;
 }
 
 } // namespace qsimec::dd

@@ -12,7 +12,9 @@
 #include "dd/compute_table.hpp"
 #include "dd/gate_matrices.hpp"
 #include "dd/node.hpp"
+#include "dd/stats.hpp"
 #include "dd/unique_table.hpp"
+#include "obs/tracer.hpp"
 
 #include <cstdint>
 #include <functional>
@@ -30,15 +32,6 @@ struct Control {
   [[nodiscard]] auto operator<=>(const Control& o) const {
     return qubit <=> o.qubit;
   }
-};
-
-struct PackageStats {
-  std::size_t vNodesLive{};
-  std::size_t vNodesAllocated{};
-  std::size_t mNodesLive{};
-  std::size_t mNodesAllocated{};
-  std::size_t realsLive{};
-  std::size_t gcRuns{};
 };
 
 class Package {
@@ -160,6 +153,14 @@ public:
     interruptHook_ = std::move(hook);
   }
 
+  /// Attach (or detach, with nullptr) a tracer: garbage collections are
+  /// then recorded as "dd.gc" spans with per-table reclaim counts. The
+  /// package never owns the tracer; null costs one pointer test per GC.
+  void setTracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Profile snapshot: node-pool occupancy and peaks, per-operation apply
+  /// counts, table hit rates, and GC pause totals. Cheap — counters are
+  /// maintained unconditionally.
   [[nodiscard]] PackageStats stats() const noexcept;
 
   [[nodiscard]] ComplexTable& complexTable() noexcept { return cn_; }
@@ -224,6 +225,9 @@ private:
 
   std::vector<mEdge> idTable_; // idTable_[k] = identity on k qubits
   std::size_t gcRuns_{0};
+  double gcSeconds_{0.0};
+  double gcMaxPauseSeconds_{0.0};
+  obs::Tracer* tracer_{nullptr};
 
   std::function<void()> interruptHook_;
   std::size_t interruptCounter_{0};

@@ -1,0 +1,45 @@
+#include "dd/stats.hpp"
+
+namespace qsimec::dd {
+
+void appendPackageStats(obs::MetricsSnapshot& snapshot,
+                        std::string_view prefix, const PackageStats& stats) {
+  const std::string p(prefix);
+  auto counter = [&](const char* name, std::size_t value) {
+    snapshot.counters[p + "." + name] = value;
+  };
+  auto gauge = [&](const char* name, double value) {
+    snapshot.gauges[p + "." + name] = value;
+  };
+
+  counter("nodes_peak_live", stats.peakNodesLive());
+  counter("v_nodes_peak_live", stats.vNodesPeakLive);
+  counter("m_nodes_peak_live", stats.mNodesPeakLive);
+  counter("v_nodes_allocated", stats.vNodesAllocated);
+  counter("m_nodes_allocated", stats.mNodesAllocated);
+  counter("gc_runs", stats.gcRuns);
+
+  const TableStats compute = stats.computeTotals();
+  counter("apply_ops", compute.lookups);
+  counter("add_ops", stats.addV.lookups + stats.addM.lookups);
+  counter("mult_ops", stats.multMV.lookups + stats.multMM.lookups);
+  counter("kron_ops", stats.kron.lookups);
+  counter("conj_ops", stats.conj.lookups);
+  counter("unique_lookups", stats.vUnique.lookups + stats.mUnique.lookups);
+  counter("unique_hits", stats.vUnique.hits + stats.mUnique.hits);
+
+  gauge("compute_hit_rate", compute.hitRate());
+  TableStats add = stats.addV;
+  add += stats.addM;
+  gauge("add_hit_rate", add.hitRate());
+  TableStats mult = stats.multMV;
+  mult += stats.multMM;
+  gauge("mult_hit_rate", mult.hitRate());
+  TableStats unique = stats.vUnique;
+  unique += stats.mUnique;
+  gauge("unique_hit_rate", unique.hitRate());
+  gauge("gc_seconds", stats.gcSeconds);
+  gauge("gc_max_pause_seconds", stats.gcMaxPauseSeconds);
+}
+
+} // namespace qsimec::dd

@@ -1,0 +1,85 @@
+// Plain-data profile of a dd::Package: node-pool occupancy, hash-table hit
+// rates, per-operation apply counts, and GC pause accounting.
+//
+// The unique and compute tables count their traffic unconditionally (plain
+// integer increments on paths that already touch the table's memory), so a
+// stats() snapshot is free to take at any point; nothing here requires an
+// observability sink to be attached.
+
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#include <cstddef>
+#include <string_view>
+
+namespace qsimec::dd {
+
+/// Lookup/hit counts of one hash table (unique or compute).
+struct TableStats {
+  std::size_t lookups{};
+  std::size_t hits{};
+
+  [[nodiscard]] double hitRate() const noexcept {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+  TableStats& operator+=(const TableStats& other) noexcept {
+    lookups += other.lookups;
+    hits += other.hits;
+    return *this;
+  }
+};
+
+struct PackageStats {
+  std::size_t vNodesLive{};
+  std::size_t vNodesAllocated{};
+  std::size_t vNodesPeakLive{};
+  std::size_t mNodesLive{};
+  std::size_t mNodesAllocated{};
+  std::size_t mNodesPeakLive{};
+  std::size_t realsLive{};
+  std::size_t gcRuns{};
+  /// Accumulated wall-clock spent inside garbage collections.
+  double gcSeconds{};
+  /// Longest single collection pause.
+  double gcMaxPauseSeconds{};
+
+  /// Hash-consing traffic (a unique-table hit = a structurally shared node).
+  TableStats vUnique{};
+  TableStats mUnique{};
+  /// Per-operation compute-table traffic: one lookup = one recursive apply
+  /// step of that operation kind.
+  TableStats addV{};
+  TableStats addM{};
+  TableStats multMV{};
+  TableStats multMM{};
+  TableStats kron{};
+  TableStats conj{};
+  TableStats inner{};
+
+  /// High-water mark of simultaneously live DD nodes (vector + matrix).
+  [[nodiscard]] std::size_t peakNodesLive() const noexcept {
+    return vNodesPeakLive + mNodesPeakLive;
+  }
+  /// All compute-table traffic pooled — "how many apply steps ran".
+  [[nodiscard]] TableStats computeTotals() const noexcept {
+    TableStats total;
+    total += addV;
+    total += addM;
+    total += multMV;
+    total += multMM;
+    total += kron;
+    total += conj;
+    total += inner;
+    return total;
+  }
+};
+
+/// Record `stats` under `prefix` (e.g. "complete.dd") into a metrics
+/// snapshot, using the metric names documented in docs/observability.md.
+void appendPackageStats(obs::MetricsSnapshot& snapshot,
+                        std::string_view prefix, const PackageStats& stats);
+
+} // namespace qsimec::dd

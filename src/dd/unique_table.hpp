@@ -72,7 +72,9 @@ public:
     }
     candidate->next = buckets_[key];
     buckets_[key] = candidate;
-    ++liveNodes_;
+    if (++liveNodes_ > peakLiveNodes_) {
+      peakLiveNodes_ = liveNodes_;
+    }
     return candidate;
   }
 
@@ -104,6 +106,10 @@ public:
   }
 
   [[nodiscard]] std::size_t liveNodes() const noexcept { return liveNodes_; }
+  /// High-water mark of liveNodes() over the table's lifetime.
+  [[nodiscard]] std::size_t peakLiveNodes() const noexcept {
+    return peakLiveNodes_;
+  }
   [[nodiscard]] std::size_t allocated() const noexcept { return allocated_; }
   [[nodiscard]] std::size_t lookups() const noexcept { return lookups_; }
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
@@ -135,6 +141,7 @@ private:
   NodeT* freeList_{nullptr};
 
   std::size_t liveNodes_{0};
+  std::size_t peakLiveNodes_{0};
   std::size_t allocated_{0};
   std::size_t lookups_{0};
   std::size_t hits_{0};

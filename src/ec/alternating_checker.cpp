@@ -20,7 +20,8 @@ dd::mEdge gateInverseDD(const sim::ElementaryGate& g, dd::Package& pkg) {
 } // namespace
 
 CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
-                                    const ir::QuantumComputation& qc2) const {
+                                    const ir::QuantumComputation& qc2,
+                                    const obs::Context& obs) const {
   if (qc1.qubits() != qc2.qubits()) {
     throw std::invalid_argument(
         "equivalence checking requires equal qubit counts");
@@ -36,9 +37,14 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
 
   CheckResult result;
   const util::Stopwatch watch;
+  obs::ScopedSpan checkerSpan(obs.tracer, "checker.alternating", "checker");
+  checkerSpan.arg("strategy", toString(config_.strategy));
+  checkerSpan.arg("gates_left", static_cast<std::uint64_t>(left.size()));
+  checkerSpan.arg("gates_right", static_cast<std::uint64_t>(right.size()));
   dd::Package pkg(qc1.qubits());
   pkg.setMatrixNodeLimit(config_.maxNodes);
   pkg.setInterruptHook([&deadline] { deadline.check(); });
+  pkg.setTracer(obs.tracer);
 
   try {
     dd::mEdge m = pkg.makeIdent();
@@ -54,7 +60,7 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
     std::size_t j = 0;
     while (i < left.size() || j < right.size()) {
       deadline.check();
-      bool takeLeft;
+      bool takeLeft = false;
       if (i >= left.size()) {
         takeLeft = false;
       } else if (j >= right.size()) {
@@ -109,7 +115,9 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
     result.equivalence = Equivalence::NoInformation;
     result.timedOut = true;
   }
+  pkg.setTracer(nullptr);
   result.seconds = watch.seconds();
+  result.ddStats = pkg.stats();
   return result;
 }
 

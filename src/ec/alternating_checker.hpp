@@ -15,6 +15,7 @@
 
 #include "ec/result.hpp"
 #include "ir/quantum_computation.hpp"
+#include "obs/context.hpp"
 
 #include <cstddef>
 #include <string_view>
@@ -55,8 +56,12 @@ public:
   explicit AlternatingChecker(AlternatingConfiguration config = {})
       : config_(config) {}
 
+  /// An attached obs::Context records a "checker.alternating" span (with
+  /// "dd.gc" spans from the package nested inside); result.ddStats is
+  /// filled either way.
   [[nodiscard]] CheckResult run(const ir::QuantumComputation& qc1,
-                                const ir::QuantumComputation& qc2) const;
+                                const ir::QuantumComputation& qc2,
+                                const obs::Context& obs = {}) const;
 
 private:
   AlternatingConfiguration config_;

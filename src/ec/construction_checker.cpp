@@ -8,7 +8,8 @@
 namespace qsimec::ec {
 
 CheckResult ConstructionChecker::run(const ir::QuantumComputation& qc1,
-                                     const ir::QuantumComputation& qc2) const {
+                                     const ir::QuantumComputation& qc2,
+                                     const obs::Context& obs) const {
   if (qc1.qubits() != qc2.qubits()) {
     throw std::invalid_argument(
         "equivalence checking requires equal qubit counts");
@@ -21,9 +22,11 @@ CheckResult ConstructionChecker::run(const ir::QuantumComputation& qc1,
 
   CheckResult result;
   const util::Stopwatch watch;
+  obs::ScopedSpan checkerSpan(obs.tracer, "checker.construction", "checker");
   dd::Package pkg(qc1.qubits());
   pkg.setMatrixNodeLimit(config_.maxNodes);
   pkg.setInterruptHook([&deadline] { deadline.check(); });
+  pkg.setTracer(obs.tracer);
   try {
     const dd::mEdge u1 = sim::buildFunctionality(qc1, pkg, &deadline);
     pkg.incRef(u1);
@@ -48,7 +51,9 @@ CheckResult ConstructionChecker::run(const ir::QuantumComputation& qc1,
     result.equivalence = Equivalence::NoInformation;
     result.timedOut = true;
   }
+  pkg.setTracer(nullptr);
   result.seconds = watch.seconds();
+  result.ddStats = pkg.stats();
   return result;
 }
 

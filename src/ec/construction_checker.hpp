@@ -6,6 +6,7 @@
 
 #include "ec/result.hpp"
 #include "ir/quantum_computation.hpp"
+#include "obs/context.hpp"
 #include "util/deadline.hpp"
 
 #include <cstddef>
@@ -24,8 +25,11 @@ public:
   explicit ConstructionChecker(ConstructionConfiguration config = {})
       : config_(config) {}
 
+  /// An attached obs::Context records a "checker.construction" span (with
+  /// "dd.gc" spans nested inside); result.ddStats is filled either way.
   [[nodiscard]] CheckResult run(const ir::QuantumComputation& qc1,
-                                const ir::QuantumComputation& qc2) const;
+                                const ir::QuantumComputation& qc2,
+                                const obs::Context& obs = {}) const;
 
 private:
   ConstructionConfiguration config_;

@@ -1,73 +1,143 @@
 #include "ec/flow.hpp"
 
 #include "analysis/analyzer.hpp"
+#include "dd/stats.hpp"
+#include "util/deadline.hpp"
+
+#include <cstdint>
 
 namespace qsimec::ec {
 
+namespace {
+
+/// Roll the per-stage fields of a finished FlowResult (plus the DD profiles
+/// of the stages that ran) into FlowResult::metrics. Runs on every exit
+/// path, so early-out counterexamples still report their simulation cost.
+void buildMetrics(FlowResult& result, bool simulationRan,
+                  const dd::PackageStats& simulationDD, bool completeRan,
+                  const dd::PackageStats& completeDD) {
+  obs::MetricsSnapshot& m = result.metrics;
+  m.counters["simulation.runs"] = result.simulations;
+  m.counters["simulation.timed_out"] = result.simulationTimedOut ? 1 : 0;
+  m.counters["complete.timed_out"] = result.completeTimedOut ? 1 : 0;
+  m.counters["rewriting.proved"] = result.provedByRewriting ? 1 : 0;
+  m.counters["flow.diagnostics"] = result.diagnostics.size();
+  m.counters["flow.counterexample"] = result.counterexample.has_value() ? 1 : 0;
+  m.gauges["preflight.seconds"] = result.preflightSeconds;
+  m.gauges["simulation.seconds"] = result.simulationSeconds;
+  m.gauges["rewriting.seconds"] = result.rewritingSeconds;
+  m.gauges["complete.seconds"] = result.completeSeconds;
+  m.gauges["total.seconds"] = result.totalSeconds();
+  if (simulationRan) {
+    dd::appendPackageStats(m, "simulation.dd", simulationDD);
+  }
+  if (completeRan) {
+    dd::appendPackageStats(m, "complete.dd", completeDD);
+  }
+}
+
+} // namespace
+
 FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
-                                        const ir::QuantumComputation& qc2) const {
+                                        const ir::QuantumComputation& qc2,
+                                        const obs::Context& obs) const {
   FlowResult result;
+  dd::PackageStats simulationDD;
+  dd::PackageStats completeDD;
+  bool simulationRan = false;
+  bool completeRan = false;
 
-  if (config_.validateInputs) {
-    // Fig. 3 front-loads cheap simulations before the expensive DD check;
-    // the static analysis preflight is cheaper still: reject malformed
-    // pairs in O(gates) before any simulator sees them.
-    const analysis::CircuitAnalyzer analyzer({.lint = false});
-    analysis::AnalysisReport report = analyzer.analyzePair(qc1, qc2);
-    if (report.hasErrors()) {
-      result.equivalence = Equivalence::InvalidInput;
-      result.diagnostics = std::move(report.diagnostics);
-      return result;
-    }
-    result.diagnostics = std::move(report.diagnostics);
+  {
+    obs::ScopedSpan flowSpan(obs.tracer, "flow", "flow");
+    flowSpan.arg("qubits", static_cast<std::uint64_t>(qc1.qubits()));
+    flowSpan.arg("gates_g", static_cast<std::uint64_t>(qc1.size()));
+    flowSpan.arg("gates_g_prime", static_cast<std::uint64_t>(qc2.size()));
+
+    // The stage sequence lives in an immediately-invoked lambda so that
+    // every early exit (invalid input, counterexample, rewriting proof)
+    // still falls through to the metrics rollup and span finalization.
+    [&] {
+      if (config_.validateInputs) {
+        // Fig. 3 front-loads cheap simulations before the expensive DD
+        // check; the static analysis preflight is cheaper still: reject
+        // malformed pairs in O(gates) before any simulator sees them.
+        obs::ScopedSpan span(obs.tracer, "stage.preflight", "stage");
+        const util::Stopwatch watch;
+        const analysis::CircuitAnalyzer analyzer({.lint = false});
+        analysis::AnalysisReport report = analyzer.analyzePair(qc1, qc2);
+        result.preflightSeconds = watch.seconds();
+        span.arg("diagnostics",
+                 static_cast<std::uint64_t>(report.diagnostics.size()));
+        if (report.hasErrors()) {
+          result.equivalence = Equivalence::InvalidInput;
+          result.diagnostics = std::move(report.diagnostics);
+          return;
+        }
+        result.diagnostics = std::move(report.diagnostics);
+      }
+
+      if (!config_.skipSimulation) {
+        const SimulationChecker simChecker(config_.simulation);
+        const CheckResult sim = simChecker.run(qc1, qc2, obs);
+        simulationRan = true;
+        simulationDD = sim.ddStats;
+        result.simulations = sim.simulations;
+        result.simulationSeconds = sim.seconds;
+        result.simulationTimedOut = sim.timedOut;
+        result.counterexample = sim.counterexample;
+
+        if (sim.equivalence == Equivalence::NotEquivalent) {
+          result.equivalence = Equivalence::NotEquivalent;
+          return;
+        }
+      }
+
+      if (config_.tryRewriting) {
+        obs::ScopedSpan span(obs.tracer, "checker.rewriting", "checker");
+        const RewritingChecker rewriting(config_.rewriting);
+        const CheckResult rewritten = rewriting.run(qc1, qc2);
+        result.rewritingSeconds = rewritten.seconds;
+        span.arg("outcome", toString(rewritten.equivalence));
+        if (provedEquivalent(rewritten.equivalence)) {
+          result.equivalence = rewritten.equivalence;
+          result.provedByRewriting = true;
+          return;
+        }
+      }
+
+      if (config_.skipComplete) {
+        // Simulation found nothing: strong indication of equivalence.
+        result.equivalence = result.simulations > 0
+                                 ? Equivalence::ProbablyEquivalent
+                                 : Equivalence::NoInformation;
+        return;
+      }
+
+      const AlternatingChecker completeChecker(config_.complete);
+      const CheckResult complete = completeChecker.run(qc1, qc2, obs);
+      completeRan = true;
+      completeDD = complete.ddStats;
+      result.completeSeconds = complete.seconds;
+      result.completeTimedOut = complete.timedOut;
+
+      if (complete.timedOut) {
+        // The paper's third outcome: a timeout after unsuspicious
+        // simulations is a strong indication of equivalence rather than
+        // "no information".
+        result.equivalence = result.simulations > 0
+                                 ? Equivalence::ProbablyEquivalent
+                                 : Equivalence::NoInformation;
+      } else {
+        result.equivalence = complete.equivalence;
+      }
+    }();
+
+    flowSpan.arg("outcome", toString(result.equivalence));
   }
 
-  if (!config_.skipSimulation) {
-    const SimulationChecker simChecker(config_.simulation);
-    const CheckResult sim = simChecker.run(qc1, qc2);
-    result.simulations = sim.simulations;
-    result.simulationSeconds = sim.seconds;
-    result.simulationTimedOut = sim.timedOut;
-    result.counterexample = sim.counterexample;
-
-    if (sim.equivalence == Equivalence::NotEquivalent) {
-      result.equivalence = Equivalence::NotEquivalent;
-      return result;
-    }
-  }
-
-  if (config_.tryRewriting) {
-    const RewritingChecker rewriting(config_.rewriting);
-    const CheckResult rewritten = rewriting.run(qc1, qc2);
-    result.rewritingSeconds = rewritten.seconds;
-    if (provedEquivalent(rewritten.equivalence)) {
-      result.equivalence = rewritten.equivalence;
-      result.provedByRewriting = true;
-      return result;
-    }
-  }
-
-  if (config_.skipComplete) {
-    // Simulation found nothing: strong indication of equivalence.
-    result.equivalence = result.simulations > 0
-                             ? Equivalence::ProbablyEquivalent
-                             : Equivalence::NoInformation;
-    return result;
-  }
-
-  const AlternatingChecker completeChecker(config_.complete);
-  const CheckResult complete = completeChecker.run(qc1, qc2);
-  result.completeSeconds = complete.seconds;
-  result.completeTimedOut = complete.timedOut;
-
-  if (complete.timedOut) {
-    // The paper's third outcome: a timeout after unsuspicious simulations is
-    // a strong indication of equivalence rather than "no information".
-    result.equivalence = result.simulations > 0
-                             ? Equivalence::ProbablyEquivalent
-                             : Equivalence::NoInformation;
-  } else {
-    result.equivalence = complete.equivalence;
+  buildMetrics(result, simulationRan, simulationDD, completeRan, completeDD);
+  if (obs.metrics != nullptr) {
+    obs.metrics->merge(result.metrics);
   }
   return result;
 }

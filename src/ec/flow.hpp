@@ -21,6 +21,8 @@
 #include "ec/rewriting_checker.hpp"
 #include "ec/simulation_checker.hpp"
 #include "ir/quantum_computation.hpp"
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
 
 #include <vector>
 
@@ -50,6 +52,7 @@ struct FlowConfiguration {
 struct FlowResult {
   Equivalence equivalence{Equivalence::NoInformation};
   std::size_t simulations{0};
+  double preflightSeconds{0.0};
   double simulationSeconds{0.0};
   double rewritingSeconds{0.0};
   double completeSeconds{0.0};
@@ -60,9 +63,15 @@ struct FlowResult {
   /// Preflight findings; non-empty error-level entries imply the verdict
   /// Equivalence::InvalidInput.
   std::vector<analysis::Diagnostic> diagnostics;
+  /// Per-stage observability rollup: stage timings/counters plus the DD
+  /// package profile of every stage that ran ("simulation.dd.*",
+  /// "complete.dd.*"). Always populated, even on early exits; serialized by
+  /// ec/serialize.cpp and mirrored into obs::Context::metrics if attached.
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] double totalSeconds() const noexcept {
-    return simulationSeconds + rewritingSeconds + completeSeconds;
+    return preflightSeconds + simulationSeconds + rewritingSeconds +
+           completeSeconds;
   }
 };
 
@@ -71,8 +80,13 @@ public:
   explicit EquivalenceCheckingFlow(FlowConfiguration config = {})
       : config_(config) {}
 
+  /// An attached obs::Context records a root "flow" span enclosing one span
+  /// per stage that runs (stage.preflight, checker.simulation,
+  /// checker.rewriting, checker.alternating) and merges FlowResult::metrics
+  /// into the registry.
   [[nodiscard]] FlowResult run(const ir::QuantumComputation& qc1,
-                               const ir::QuantumComputation& qc2) const;
+                               const ir::QuantumComputation& qc2,
+                               const obs::Context& obs = {}) const;
 
 private:
   FlowConfiguration config_;

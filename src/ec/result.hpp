@@ -2,6 +2,8 @@
 
 #pragma once
 
+#include "dd/stats.hpp"
+
 #include <cstdint>
 #include <optional>
 #include <string_view>
@@ -84,6 +86,9 @@ struct CheckResult {
   std::size_t simulations{0};
   std::optional<Counterexample> counterexample;
   bool timedOut{false};
+  /// Profile of the DD package the check ran on (zeroed for checkers that
+  /// build no decision diagrams, e.g. the rewriting checker).
+  dd::PackageStats ddStats;
 };
 
 } // namespace qsimec::ec

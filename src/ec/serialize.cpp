@@ -1,6 +1,7 @@
 #include "ec/serialize.hpp"
 
 #include "analysis/diagnostic.hpp"
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 
 namespace qsimec::ec {
@@ -20,6 +21,36 @@ std::string counterexampleJson(const std::optional<Counterexample>& cex) {
   return json.str();
 }
 
+std::string ddSummaryJson(const dd::PackageStats& stats) {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("peak_nodes_live", stats.peakNodesLive())
+      .field("nodes_allocated", stats.vNodesAllocated + stats.mNodesAllocated)
+      .field("gc_runs", stats.gcRuns)
+      .field("gc_seconds", stats.gcSeconds)
+      .field("gc_max_pause_seconds", stats.gcMaxPauseSeconds)
+      .field("apply_ops", stats.addV.lookups + stats.addM.lookups +
+                             stats.multMV.lookups + stats.multMM.lookups +
+                             stats.kron.lookups + stats.conj.lookups +
+                             stats.inner.lookups)
+      .field("unique_hit_rate",
+             dd::TableStats{stats.vUnique.lookups + stats.mUnique.lookups,
+                            stats.vUnique.hits + stats.mUnique.hits}
+                 .hitRate())
+      .field("compute_hit_rate",
+             dd::TableStats{stats.addV.lookups + stats.addM.lookups +
+                                stats.multMV.lookups + stats.multMM.lookups +
+                                stats.kron.lookups + stats.conj.lookups +
+                                stats.inner.lookups,
+                            stats.addV.hits + stats.addM.hits +
+                                stats.multMV.hits + stats.multMM.hits +
+                                stats.kron.hits + stats.conj.hits +
+                                stats.inner.hits}
+                 .hitRate())
+      .endObject();
+  return json.str();
+}
+
 } // namespace
 
 std::string toJson(const CheckResult& result) {
@@ -30,6 +61,7 @@ std::string toJson(const CheckResult& result) {
       .field("simulations", result.simulations)
       .field("timed_out", result.timedOut)
       .rawField("counterexample", counterexampleJson(result.counterexample))
+      .rawField("dd", ddSummaryJson(result.ddStats))
       .endObject();
   return json.str();
 }
@@ -39,6 +71,7 @@ std::string toJson(const FlowResult& result) {
   json.beginObject()
       .field("equivalence", toString(result.equivalence))
       .field("simulations", result.simulations)
+      .field("preflight_seconds", result.preflightSeconds)
       .field("simulation_seconds", result.simulationSeconds)
       .field("rewriting_seconds", result.rewritingSeconds)
       .field("complete_seconds", result.completeSeconds)
@@ -48,6 +81,7 @@ std::string toJson(const FlowResult& result) {
       .field("simulation_timed_out", result.simulationTimedOut)
       .rawField("counterexample", counterexampleJson(result.counterexample))
       .rawField("diagnostics", analysis::toJson(result.diagnostics))
+      .rawField("metrics", obs::toJson(result.metrics))
       .endObject();
   return json.str();
 }

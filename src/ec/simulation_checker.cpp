@@ -11,7 +11,8 @@
 namespace qsimec::ec {
 
 CheckResult SimulationChecker::run(const ir::QuantumComputation& qc1,
-                                   const ir::QuantumComputation& qc2) const {
+                                   const ir::QuantumComputation& qc2,
+                                   const obs::Context& obs) const {
   if (qc1.qubits() != qc2.qubits()) {
     throw std::invalid_argument(
         "equivalence checking requires equal qubit counts");
@@ -35,15 +36,23 @@ CheckResult SimulationChecker::run(const ir::QuantumComputation& qc1,
 
   CheckResult result;
   const util::Stopwatch watch;
+  obs::ScopedSpan checkerSpan(obs.tracer, "checker.simulation", "checker");
+  checkerSpan.arg("max_simulations",
+                  static_cast<std::uint64_t>(config_.maxSimulations));
+  checkerSpan.arg("stimuli", toString(config_.stimuli));
   dd::Package pkg(n);
   pkg.setInterruptHook([&deadline] { deadline.check(); });
+  pkg.setTracer(obs.tracer);
 
   try {
     for (std::size_t run = 0; run < config_.maxSimulations; ++run) {
       deadline.check();
+      obs::ScopedSpan runSpan(obs.tracer, "sim.stimulus", "sim");
       const std::uint64_t stimulusSeed =
           config_.stimuli == StimuliKind::ComputationalBasis ? (rng() & mask)
                                                              : rng();
+      runSpan.arg("index", static_cast<std::uint64_t>(run));
+      runSpan.arg("seed", stimulusSeed);
       const dd::vEdge stimulus =
           makeStimulus(pkg, config_.stimuli, stimulusSeed);
       pkg.incRef(stimulus);
@@ -85,15 +94,18 @@ CheckResult SimulationChecker::run(const ir::QuantumComputation& qc1,
       pkg.garbageCollect();
 
       ++result.simulations;
+      runSpan.arg("fidelity", fidelity);
+      obs.observe("simulation.fidelity_deviation", deviation);
       if (deviation > config_.fidelityTolerance) {
         result.equivalence = Equivalence::NotEquivalent;
         result.counterexample =
             Counterexample{stimulusSeed, fidelity, config_.stimuli};
-        result.seconds = watch.seconds();
-        return result;
+        break;
       }
     }
-    result.equivalence = Equivalence::ProbablyEquivalent;
+    if (result.equivalence != Equivalence::NotEquivalent) {
+      result.equivalence = Equivalence::ProbablyEquivalent;
+    }
   } catch (const util::TimeoutError&) {
     result.equivalence = Equivalence::NoInformation;
     result.timedOut = true;
@@ -101,7 +113,9 @@ CheckResult SimulationChecker::run(const ir::QuantumComputation& qc1,
     result.equivalence = Equivalence::NoInformation;
     result.timedOut = true;
   }
+  pkg.setTracer(nullptr);
   result.seconds = watch.seconds();
+  result.ddStats = pkg.stats();
   return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include "ec/result.hpp"
 #include "ir/quantum_computation.hpp"
+#include "obs/context.hpp"
 
 #include <cstdint>
 
@@ -48,9 +49,13 @@ public:
 
   /// Outcome is either NotEquivalent (with counterexample) or
   /// ProbablyEquivalent; NoInformation on timeout before the first
-  /// completed comparison.
+  /// completed comparison. An attached obs::Context records a
+  /// "checker.simulation" span with one nested "sim.stimulus" span per run
+  /// (plus "dd.gc" spans from the package); result.ddStats is filled either
+  /// way.
   [[nodiscard]] CheckResult run(const ir::QuantumComputation& qc1,
-                                const ir::QuantumComputation& qc2) const;
+                                const ir::QuantumComputation& qc2,
+                                const obs::Context& obs = {}) const;
 
 private:
   SimulationConfiguration config_;

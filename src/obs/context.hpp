@@ -1,0 +1,41 @@
+// The observability context handed through the equivalence-checking flow.
+//
+// A Context bundles the two optional sinks — a Tracer for timed spans and a
+// MetricsRegistry for named values. Both default to null; instrumented code
+// calls the helpers unconditionally and pays one pointer test when no sink
+// is attached (the null fast path the bench guard in bench/micro_obs.cpp
+// pins down).
+
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace qsimec::obs {
+
+struct Context {
+  Tracer* tracer{nullptr};
+  MetricsRegistry* metrics{nullptr};
+
+  [[nodiscard]] bool active() const noexcept {
+    return tracer != nullptr || metrics != nullptr;
+  }
+
+  void count(std::string_view name, std::uint64_t delta = 1) const {
+    if (metrics != nullptr) {
+      metrics->add(name, delta);
+    }
+  }
+  void gauge(std::string_view name, double value) const {
+    if (metrics != nullptr) {
+      metrics->set(name, value);
+    }
+  }
+  void observe(std::string_view name, double value) const {
+    if (metrics != nullptr) {
+      metrics->observe(name, value);
+    }
+  }
+};
+
+} // namespace qsimec::obs

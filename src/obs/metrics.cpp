@@ -1,0 +1,110 @@
+#include "obs/metrics.hpp"
+
+#include "util/json.hpp"
+
+#include <algorithm>
+
+namespace qsimec::obs {
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    counters[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[name] = value;
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    auto [it, inserted] = histograms.try_emplace(name, hist);
+    if (!inserted) {
+      HistogramSnapshot& mine = it->second;
+      if (hist.count > 0) {
+        mine.min = mine.count == 0 ? hist.min : std::min(mine.min, hist.min);
+        mine.max = mine.count == 0 ? hist.max : std::max(mine.max, hist.max);
+        mine.count += hist.count;
+        mine.sum += hist.sum;
+      }
+    }
+  }
+}
+
+std::string toJson(const MetricsSnapshot& snapshot) {
+  util::JsonWriter json;
+  json.beginObject();
+
+  util::JsonWriter counters;
+  counters.beginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.field(name, value);
+  }
+  counters.endObject();
+  json.rawField("counters", counters.str());
+
+  util::JsonWriter gauges;
+  gauges.beginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.field(name, value);
+  }
+  gauges.endObject();
+  json.rawField("gauges", gauges.str());
+
+  util::JsonWriter histograms;
+  histograms.beginObject();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    util::JsonWriter entry;
+    entry.beginObject()
+        .field("count", hist.count)
+        .field("sum", hist.sum)
+        .field("min", hist.min)
+        .field("max", hist.max)
+        .field("mean", hist.mean())
+        .endObject();
+    histograms.rawField(name, entry.str());
+  }
+  histograms.endObject();
+  json.rawField("histograms", histograms.str());
+
+  json.endObject();
+  return json.str();
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  const auto it = data_.counters.find(name);
+  if (it == data_.counters.end()) {
+    data_.counters.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  const auto it = data_.gauges.find(name);
+  if (it == data_.gauges.end()) {
+    data_.gauges.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::setMax(std::string_view name, double value) {
+  const auto it = data_.gauges.find(name);
+  if (it == data_.gauges.end()) {
+    data_.gauges.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  auto it = data_.histograms.find(name);
+  if (it == data_.histograms.end()) {
+    it = data_.histograms.emplace(std::string(name), HistogramSnapshot{})
+             .first;
+  }
+  HistogramSnapshot& hist = it->second;
+  hist.min = hist.count == 0 ? value : std::min(hist.min, value);
+  hist.max = hist.count == 0 ? value : std::max(hist.max, value);
+  ++hist.count;
+  hist.sum += value;
+}
+
+} // namespace qsimec::obs

@@ -1,0 +1,74 @@
+// Named counters, gauges, and histograms with JSON snapshots.
+//
+// A MetricsRegistry is a passive sink: instrumented code records values under
+// dotted names ("complete.dd.gc_runs", "simulation.seconds"); snapshot()
+// yields a plain-data MetricsSnapshot that serializes deterministically (all
+// maps are ordered) through util::JsonWriter. Recording into a registry is a
+// map operation — hot loops should accumulate locally (the DD package keeps
+// plain integer counters) and publish once per stage.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace qsimec::obs {
+
+/// Summary statistics of an observed value stream (no buckets: the consumers
+/// are trend dashboards and bench JSON, not latency percentile queries).
+struct HistogramSnapshot {
+  std::uint64_t count{};
+  double sum{};
+  double min{};
+  double max{};
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Plain-data snapshot of a registry. Copyable, mergeable, serializable —
+/// this is what rides along in result structs (FlowResult::metrics) and
+/// bench JSON records.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, HistogramSnapshot, std::less<>> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Counters add, gauges overwrite, histograms pool.
+  void merge(const MetricsSnapshot& other);
+};
+
+/// Serialize as {"counters":{...},"gauges":{...},"histograms":{...}}.
+[[nodiscard]] std::string toJson(const MetricsSnapshot& snapshot);
+
+class MetricsRegistry {
+public:
+  /// Increment the counter `name` by `delta` (creating it at zero).
+  void add(std::string_view name, std::uint64_t delta = 1);
+  /// Set the gauge `name` (last write wins).
+  void set(std::string_view name, double value);
+  /// Set the gauge `name` to the maximum of its current and `value`.
+  void setMax(std::string_view name, double value);
+  /// Record one observation into the histogram `name`.
+  void observe(std::string_view name, double value);
+  /// Fold a finished snapshot in (counters add, gauges overwrite,
+  /// histograms pool) — used to aggregate per-stage stats upward.
+  void merge(const MetricsSnapshot& snapshot) { data_.merge(snapshot); }
+
+  [[nodiscard]] const MetricsSnapshot& snapshot() const noexcept {
+    return data_;
+  }
+  void clear() { data_ = {}; }
+
+private:
+  MetricsSnapshot data_;
+};
+
+} // namespace qsimec::obs

@@ -1,0 +1,166 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace qsimec::obs {
+
+namespace {
+
+void appendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    case '\r':
+      out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+        out += buffer;
+      } else {
+        out += c;
+      }
+    }
+  }
+}
+
+/// Microsecond values with nanosecond resolution; enough precision that
+/// span ordering survives serialization of hour-long traces.
+std::string formatMicros(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+std::string formatNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+} // namespace
+
+std::size_t Tracer::beginSpan(std::string_view name,
+                              std::string_view category) {
+  SpanEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.depth = depth_;
+  event.tsMicros = nowMicros();
+  events_.push_back(std::move(event));
+  ++depth_;
+  return events_.size() - 1;
+}
+
+void Tracer::endSpan(std::size_t index) {
+  if (index >= events_.size() || events_[index].durMicros >= 0.0) {
+    return;
+  }
+  SpanEvent& event = events_[index];
+  event.durMicros = nowMicros() - event.tsMicros;
+  if (event.durMicros < 0.0) {
+    event.durMicros = 0.0; // clock granularity paranoia
+  }
+  if (depth_ > 0) {
+    --depth_;
+  }
+}
+
+void Tracer::argString(std::size_t index, std::string_view key,
+                       std::string_view value) {
+  if (index < events_.size()) {
+    events_[index].args.push_back(
+        SpanArg{std::string(key), std::string(value), true});
+  }
+}
+
+void Tracer::argNumber(std::size_t index, std::string_view key,
+                       double value) {
+  if (index < events_.size()) {
+    events_[index].args.push_back(
+        SpanArg{std::string(key), formatNumber(value), false});
+  }
+}
+
+void Tracer::argNumber(std::size_t index, std::string_view key,
+                       std::uint64_t value) {
+  if (index < events_.size()) {
+    events_[index].args.push_back(
+        SpanArg{std::string(key), std::to_string(value), false});
+  }
+}
+
+std::string Tracer::toChromeTraceJson() const {
+  const double now = nowMicros();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& event : events_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    appendEscaped(out, event.name);
+    out += "\",\"cat\":\"";
+    appendEscaped(out, event.category);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    out += formatMicros(event.tsMicros);
+    out += ",\"dur\":";
+    const double dur = event.durMicros >= 0.0
+                           ? event.durMicros
+                           : std::max(0.0, now - event.tsMicros);
+    out += formatMicros(dur);
+    if (!event.args.empty()) {
+      out += ",\"args\":{";
+      bool firstArg = true;
+      for (const SpanArg& arg : event.args) {
+        if (!firstArg) {
+          out += ',';
+        }
+        firstArg = false;
+        out += '"';
+        appendEscaped(out, arg.key);
+        out += "\":";
+        if (arg.quoted) {
+          out += '"';
+          appendEscaped(out, arg.value);
+          out += '"';
+        } else {
+          out += arg.value;
+        }
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void Tracer::writeChromeTrace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open trace file: " + path);
+  }
+  os << toChromeTraceJson() << "\n";
+  if (!os) {
+    throw std::runtime_error("failed writing trace file: " + path);
+  }
+}
+
+} // namespace qsimec::obs

@@ -1,0 +1,131 @@
+// Scoped-span tracing with Chrome trace_event export.
+//
+// A Tracer records nested timed spans (flow -> stage -> per-stimulus
+// simulation -> DD GC) against a single steady-clock epoch and exports them
+// as Chrome "trace_event" JSON — loadable in about:tracing or
+// https://ui.perfetto.dev. Spans are "X" (complete) events; viewers infer
+// nesting from interval containment, which ScopedSpan guarantees by
+// construction.
+//
+// The null-tracer fast path: every instrumentation site holds a `Tracer*`
+// that may be null. ScopedSpan's constructor/destructor and arg() reduce to
+// a pointer test when it is — no clock reads, no allocation — so permanent
+// instrumentation costs nothing when no sink is attached (guarded by
+// bench/micro_obs.cpp).
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsimec::obs {
+
+/// One key/value annotation of a span. `value` is pre-rendered; `quoted`
+/// says whether export must wrap it in JSON quotes (strings) or emit it raw
+/// (numbers).
+struct SpanArg {
+  std::string key;
+  std::string value;
+  bool quoted{true};
+};
+
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  /// Start, microseconds since the tracer's epoch.
+  double tsMicros{};
+  /// Duration in microseconds; negative while the span is still open.
+  double durMicros{-1.0};
+  /// Nesting depth at begin (0 = root). Redundant with interval
+  /// containment but convenient for tests and text dumps.
+  int depth{};
+  std::vector<SpanArg> args;
+};
+
+class Tracer {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  Tracer() : epoch_(Clock::now()) {}
+
+  /// Open a span; returns its index for endSpan/arg. Prefer ScopedSpan.
+  std::size_t beginSpan(std::string_view name, std::string_view category);
+  /// Close the span opened at `index` (stamps its duration).
+  void endSpan(std::size_t index);
+
+  void argString(std::size_t index, std::string_view key,
+                 std::string_view value);
+  void argNumber(std::size_t index, std::string_view key, double value);
+  void argNumber(std::size_t index, std::string_view key,
+                 std::uint64_t value);
+
+  [[nodiscard]] const std::vector<SpanEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Number of spans begun and not yet ended.
+  [[nodiscard]] int openSpans() const noexcept { return depth_; }
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the Chrome trace-event
+  /// "JSON object format". Spans still open are exported as running until
+  /// now.
+  [[nodiscard]] std::string toChromeTraceJson() const;
+  /// Write toChromeTraceJson() to `path` (throws std::runtime_error on I/O
+  /// failure).
+  void writeChromeTrace(const std::string& path) const;
+
+private:
+  [[nodiscard]] double nowMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+        .count();
+  }
+
+  Clock::time_point epoch_;
+  std::vector<SpanEvent> events_;
+  int depth_{0};
+};
+
+/// RAII span: opens on construction, closes on destruction. A null `tracer`
+/// makes every member a no-op.
+class ScopedSpan {
+public:
+  ScopedSpan(Tracer* tracer, std::string_view name,
+             std::string_view category = "flow")
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      index_ = tracer_->beginSpan(name, category);
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->endSpan(index_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void arg(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) {
+      tracer_->argString(index_, key, value);
+    }
+  }
+  void arg(std::string_view key, double value) {
+    if (tracer_ != nullptr) {
+      tracer_->argNumber(index_, key, value);
+    }
+  }
+  void arg(std::string_view key, std::uint64_t value) {
+    if (tracer_ != nullptr) {
+      tracer_->argNumber(index_, key, value);
+    }
+  }
+
+private:
+  Tracer* tracer_;
+  std::size_t index_{0};
+};
+
+} // namespace qsimec::obs

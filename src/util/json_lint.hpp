@@ -1,0 +1,222 @@
+// Minimal JSON validator (recursive descent over RFC 8259 grammar).
+//
+// The library is write-only with respect to JSON (util/json.hpp), so tests
+// that want to assert "this output is well-formed" would otherwise need an
+// external parser. This validator checks syntax only — no DOM, no numbers
+// parsed to doubles, no escape decoding beyond structural correctness.
+
+#pragma once
+
+#include <cctype>
+#include <string_view>
+
+namespace qsimec::util {
+
+namespace detail {
+
+class JsonLinter {
+public:
+  explicit JsonLinter(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool validate() {
+    skipWs();
+    return value(0) && (skipWs(), pos_ == text_.size());
+  }
+
+private:
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] bool value(int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+    case '{':
+      return object(depth);
+    case '[':
+      return array(depth);
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  [[nodiscard]] bool object(int depth) {
+    ++pos_; // '{'
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!string()) {
+        return false;
+      }
+      skipWs();
+      if (peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      skipWs();
+      if (!value(depth + 1)) {
+        return false;
+      }
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  [[nodiscard]] bool array(int depth) {
+    ++pos_; // '['
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!value(depth + 1)) {
+        return false;
+      }
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  [[nodiscard]] bool string() {
+    if (peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false; // raw control character
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false; // unterminated
+  }
+
+  [[nodiscard]] bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    if (digit()) {
+      if (text_[pos_] == '0') {
+        ++pos_;
+      } else {
+        digits();
+      }
+    } else {
+      return false;
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!digit()) {
+        return false;
+      }
+      digits();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') {
+        ++pos_;
+      }
+      if (!digit()) {
+        return false;
+      }
+      digits();
+    }
+    return pos_ > start;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] bool digit() const {
+    return pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0;
+  }
+  void digits() {
+    while (digit()) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+};
+
+} // namespace detail
+
+/// True iff `text` is one syntactically valid JSON value (object, array,
+/// string, number, or literal) with nothing but whitespace around it.
+[[nodiscard]] inline bool isValidJson(std::string_view text) {
+  return detail::JsonLinter(text).validate();
+}
+
+} // namespace qsimec::util

@@ -1,5 +1,8 @@
 // End-to-end tests of the qsimec CLI binary (spawned as a subprocess):
-// generate -> info -> convert -> check pipelines, exit codes, and --json.
+// generate -> info -> convert -> check pipelines, exit codes, --json,
+// --trace, and --metrics.
+
+#include "util/json_lint.hpp"
 
 #include <gtest/gtest.h>
 
@@ -8,6 +11,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -213,4 +217,54 @@ TEST_F(CliTest, WidthMismatchIsPaddedAutomatically) {
   }
   const auto check = runCli("check " + narrow + " " + wide + " --timeout 30");
   EXPECT_EQ(check.exitCode, 0) << check.output;
+}
+
+TEST_F(CliTest, JsonOutputCarriesMetrics) {
+  const std::string a = path("g.qasm");
+  ASSERT_EQ(runCli("gen ghz 3 " + a).exitCode, 0);
+  const auto check = runCli("check " + a + " " + a + " --json --timeout 30");
+  EXPECT_EQ(check.exitCode, 0);
+  EXPECT_TRUE(qsimec::util::isValidJson(check.output)) << check.output;
+  EXPECT_NE(check.output.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(check.output.find("\"simulation.runs\""), std::string::npos);
+  EXPECT_NE(check.output.find("\"complete.dd.nodes_peak_live\""),
+            std::string::npos);
+  EXPECT_NE(check.output.find("\"preflight_seconds\""), std::string::npos);
+}
+
+TEST_F(CliTest, TraceFlagWritesChromeTraceFile) {
+  const std::string a = path("g.qasm");
+  const std::string trace = path("trace.json");
+  ASSERT_EQ(runCli("gen ghz 3 " + a).exitCode, 0);
+  const auto check =
+      runCli("check " + a + " " + a + " --trace " + trace + " --timeout 30");
+  EXPECT_EQ(check.exitCode, 0) << check.output;
+  EXPECT_NE(check.output.find("trace:"), std::string::npos);
+
+  ASSERT_TRUE(fs::exists(trace));
+  std::ifstream is(trace);
+  const std::string content((std::istreambuf_iterator<char>(is)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_TRUE(qsimec::util::isValidJson(content)) << content;
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"flow\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"checker.simulation\""),
+            std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"sim.stimulus\""), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsFlagPrintsMetricsJson) {
+  const std::string a = path("g.qasm");
+  ASSERT_EQ(runCli("gen ghz 3 " + a).exitCode, 0);
+  const auto check = runCli("check " + a + " " + a + " --metrics --timeout 30");
+  EXPECT_EQ(check.exitCode, 0) << check.output;
+  const std::size_t at = check.output.find("metrics:     ");
+  ASSERT_NE(at, std::string::npos);
+  std::string json = check.output.substr(at + 13);
+  if (const std::size_t newline = json.find('\n');
+      newline != std::string::npos) {
+    json.resize(newline);
+  }
+  EXPECT_TRUE(qsimec::util::isValidJson(json)) << json;
+  EXPECT_NE(json.find("\"total.seconds\""), std::string::npos);
 }

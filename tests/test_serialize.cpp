@@ -2,6 +2,7 @@
 
 #include "ec/serialize.hpp"
 #include "util/json.hpp"
+#include "util/json_lint.hpp"
 
 #include <gtest/gtest.h>
 
@@ -56,4 +57,31 @@ TEST(Serialize, FlowResultWithoutCounterexample) {
   EXPECT_NE(json.find("\"equivalence\":\"probably equivalent\""),
             std::string::npos);
   EXPECT_NE(json.find("\"counterexample\":null"), std::string::npos);
+}
+
+TEST(Serialize, CheckResultCarriesDDSummary) {
+  ec::CheckResult result;
+  result.ddStats.vNodesPeakLive = 40;
+  result.ddStats.mNodesPeakLive = 2;
+  result.ddStats.gcRuns = 3;
+  const std::string json = toJson(result);
+  EXPECT_TRUE(util::isValidJson(json)) << json;
+  EXPECT_NE(json.find("\"dd\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_nodes_live\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"gc_runs\":3"), std::string::npos);
+}
+
+TEST(Serialize, FlowResultCarriesMetricsAndPreflight) {
+  ec::FlowResult result;
+  result.preflightSeconds = 0.5;
+  result.simulationSeconds = 1.0;
+  result.metrics.counters["simulation.runs"] = 10;
+  result.metrics.gauges["total.seconds"] = 1.5;
+  const std::string json = toJson(result);
+  EXPECT_TRUE(util::isValidJson(json)) << json;
+  EXPECT_NE(json.find("\"preflight_seconds\":0.5"), std::string::npos);
+  // totalSeconds() folds the preflight stage in
+  EXPECT_NE(json.find("\"total_seconds\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"simulation.runs\":10"), std::string::npos);
 }
