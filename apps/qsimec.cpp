@@ -55,6 +55,12 @@ usage:
       --stimuli KIND        basis | product | stabilizer (default basis)
       --timeout SECONDS     budget of the complete check (default 60; 0 = none)
       --strategy NAME       naive | proportional | lookahead (default proportional)
+      --threads N           worker threads for the stimuli runs (default 0 =
+                            one per hardware thread; results are identical
+                            for every N — see docs/parallelism.md)
+      --race                run simulations and the complete check
+                            concurrently; first conclusive verdict wins and
+                            the loser is cancelled
       --sim-only            skip the complete check
       --strict-phase        do not treat global phase as equivalent
       --rewriting           try the syntactic rewriting checker first
@@ -141,6 +147,8 @@ int runCheck(ArgCursor& args) {
   const std::string strategyStr =
       args.consumeOption("--strategy", "proportional");
   const std::string seedStr = args.consumeOption("--seed", "42");
+  const std::string threadsStr = args.consumeOption("--threads", "0");
+  const bool race = args.consumeFlag("--race");
   const bool simOnly = args.consumeFlag("--sim-only");
   const bool strictPhase = args.consumeFlag("--strict-phase");
   const bool localize = args.consumeFlag("--localize");
@@ -161,10 +169,13 @@ int runCheck(ArgCursor& args) {
   config.simulation.maxSimulations = std::stoul(simsStr);
   config.simulation.seed = std::stoull(seedStr);
   config.simulation.ignoreGlobalPhase = !strictPhase;
+  config.simulation.numThreads =
+      static_cast<unsigned>(std::stoul(threadsStr));
   config.complete.timeoutSeconds = std::stod(timeoutStr);
   config.skipSimulation = config.simulation.maxSimulations == 0;
   config.skipComplete = simOnly;
   config.tryRewriting = rewriting;
+  config.mode = race ? ec::FlowMode::Race : ec::FlowMode::Staged;
 
   if (stimuliStr == "basis") {
     config.simulation.stimuli = ec::StimuliKind::ComputationalBasis;
@@ -212,10 +223,16 @@ int runCheck(ArgCursor& args) {
   } else {
     std::cout << "result:      " << toString(result.equivalence) << "\n"
               << "simulations: " << result.simulations << " ("
-              << result.simulationSeconds << "s)\n";
+              << result.simulationSeconds << "s, " << result.numThreads
+              << (result.numThreads == 1 ? " thread" : " threads")
+              << (result.simulationCancelled ? ", cancelled" : "") << ")\n";
     if (!config.skipComplete) {
       std::cout << "complete:    " << result.completeSeconds << "s"
-                << (result.completeTimedOut ? " (timed out)" : "") << "\n";
+                << (result.completeTimedOut ? " (timed out)" : "")
+                << (result.completeCancelled ? " (cancelled)" : "") << "\n";
+    }
+    if (result.mode == ec::FlowMode::Race) {
+      std::cout << "race winner: " << toString(result.winner) << "\n";
     }
     if (!tracePath.empty()) {
       std::cout << "trace:       " << tracePath << " (" << tracer.events().size()

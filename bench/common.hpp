@@ -49,6 +49,10 @@ struct HarnessOptions {
   double timeoutSeconds{10.0};
   std::size_t simulations{10};
   std::uint64_t seed{42};
+  /// Worker threads for the simulation stage. Benches default to 1 (not the
+  /// library's hardware default) so committed baselines are comparable
+  /// across machines; pass --threads to measure the parallel portfolio.
+  unsigned numThreads{1};
   bool paperScale{false};
   /// When non-empty, write a machine-readable BENCH_*.json report here
   /// (schema "qsimec-bench-v1") in addition to the human-readable table.
@@ -67,11 +71,13 @@ inline HarnessOptions parseOptions(int argc, char** argv) {
       options.simulations = std::stoul(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       options.seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.numThreads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
       options.jsonOut = argv[++i];
     } else {
       std::printf("usage: %s [--paper] [--timeout s] [--sims r] [--seed s] "
-                  "[--json-out FILE]\n",
+                  "[--threads n] [--json-out FILE]\n",
                   argv[0]);
       std::exit(2);
     }
@@ -126,6 +132,7 @@ public:
         .field("timeout_seconds", options_.timeoutSeconds)
         .field("simulations", options_.simulations)
         .field("seed", options_.seed)
+        .field("threads", options_.numThreads)
         .field("paper_scale", options_.paperScale)
         .rawField("results", rows)
         .endObject();

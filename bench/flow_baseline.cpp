@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   ec::FlowConfiguration config;
   config.simulation.maxSimulations = options.simulations;
   config.simulation.seed = options.seed;
+  config.simulation.numThreads = options.numThreads;
   config.complete.timeoutSeconds = options.timeoutSeconds;
   const ec::EquivalenceCheckingFlow flow(config);
 

@@ -1,0 +1,147 @@
+// Thread-count sweep of the parallel stimuli portfolio — the Table Ia
+// non-equivalent set (random error injected into each G') checked by the
+// simulation checker at 1/2/4/8 worker threads.
+//
+// Two things to read off the committed baseline
+// (bench/baselines/BENCH_parallel.json):
+//   * speedup — suite wall-clock at 8 threads vs 1 thread. Pairs whose
+//     error escapes the first basis stimuli run many simulations and
+//     parallelize well; pairs caught at run 0 are latency-bound and don't.
+//   * determinism — #sims and the verdict per pair must be identical in
+//     every column that completed; the sweep asserts this and fails loudly
+//     otherwise. Timed-out columns are exempt (a deadline is wall-clock,
+//     not payload — see docs/parallelism.md): on machines with fewer cores
+//     than workers the oversubscribed columns of the heavyweight pairs can
+//     hit the deadline that the sequential column beats. Such cells print
+//     as "timeout" and their pair is excluded from the suite totals.
+
+#include "common.hpp"
+
+#include "ec/parallel.hpp"
+#include "ec/simulation_checker.hpp"
+#include "transform/error_injector.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace qsimec;
+
+int main(int argc, char** argv) {
+  bench::HarnessOptions options = bench::parseOptions(argc, argv);
+  if (options.jsonOut.empty()) {
+    options.jsonOut = "BENCH_parallel.json";
+  }
+  bench::BenchReport report("parallel_sweep", options);
+
+  const unsigned sweep[] = {1, 2, 4, 8};
+
+  std::printf("Parallel sweep: simulation checker on the Table Ia set "
+              "(r=%zu, seed %" PRIu64 ", %u hardware threads)\n",
+              options.simulations, options.seed, ec::defaultThreadCount());
+  std::printf("%-18s %4s %6s | %10s %10s %10s %10s | %7s\n", "benchmark", "n",
+              "#sims", "t_1 [s]", "t_2 [s]", "t_4 [s]", "t_8 [s]", "speedup");
+  bench::printRule(100);
+
+  // Injection must happen once per pair, outside the thread sweep, so every
+  // column checks the same faulty circuit.
+  auto suite = bench::benchmarkSuite(options);
+  tf::ErrorInjector injector(options.seed);
+
+  double total[4] = {0, 0, 0, 0};
+  std::size_t excluded = 0;
+  for (auto& pair : suite) {
+    const auto injected = injector.injectRandom(pair.gPrime);
+
+    double seconds[4] = {0, 0, 0, 0};
+    bool timedOut[4] = {false, false, false, false};
+    bool haveReference = false;
+    std::size_t sims = 0;
+    std::string verdict;
+    for (std::size_t t = 0; t < 4; ++t) {
+      ec::SimulationConfiguration config;
+      config.maxSimulations = options.simulations;
+      config.seed = options.seed;
+      config.timeoutSeconds = 20 * options.timeoutSeconds;
+      config.numThreads = sweep[t];
+      const ec::SimulationChecker checker(config);
+      const auto result = checker.run(pair.g, injected.circuit);
+      seconds[t] = result.seconds;
+      timedOut[t] = result.timedOut;
+      if (result.timedOut) {
+        continue;  // a deadline is timing, not payload: exempt from the check
+      }
+      if (!haveReference) {
+        haveReference = true;
+        sims = result.simulations;
+        verdict = toString(result.equivalence);
+      } else if (result.simulations != sims ||
+                 toString(result.equivalence) != verdict) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %s at %u threads: %zu sims "
+                     "(%s), expected %zu (%s)\n",
+                     pair.name.c_str(), sweep[t], result.simulations,
+                     std::string(toString(result.equivalence)).c_str(), sims,
+                     verdict.c_str());
+        return 1;
+      }
+    }
+
+    const bool complete =
+        !timedOut[0] && !timedOut[1] && !timedOut[2] && !timedOut[3];
+    char cell[4][16];
+    for (std::size_t t = 0; t < 4; ++t) {
+      if (timedOut[t]) {
+        std::snprintf(cell[t], sizeof(cell[t]), "%10s", "timeout");
+      } else {
+        std::snprintf(cell[t], sizeof(cell[t]), "%10.3f", seconds[t]);
+      }
+    }
+    std::printf("%-18s %4zu %6zu | %s %s %s %s | %6.2fx\n", pair.name.c_str(),
+                pair.g.qubits(), sims, cell[0], cell[1], cell[2], cell[3],
+                complete && seconds[3] > 0 ? seconds[0] / seconds[3] : 0.0);
+    std::fflush(stdout);
+    if (complete) {
+      for (std::size_t t = 0; t < 4; ++t) {
+        total[t] += seconds[t];
+      }
+    } else {
+      ++excluded;
+    }
+
+    bench::BenchRecord record{pair.name,     pair.g.qubits(),
+                              pair.g.size(), injected.circuit.size(),
+                              verdict,       {}};
+    record.metrics.counters["sim.runs"] = sims;
+    record.metrics.gauges["sim.seconds.t1"] = seconds[0];
+    record.metrics.gauges["sim.seconds.t2"] = seconds[1];
+    record.metrics.gauges["sim.seconds.t4"] = seconds[2];
+    record.metrics.gauges["sim.seconds.t8"] = seconds[3];
+    record.metrics.counters["sim.timeouts"] =
+        static_cast<std::size_t>(timedOut[0]) + timedOut[1] + timedOut[2] +
+        timedOut[3];
+    report.add(std::move(record));
+  }
+
+  bench::printRule(100);
+  std::printf("%-18s %4s %6s | %10.3f %10.3f %10.3f %10.3f | %6.2fx\n",
+              "suite total", "", "", total[0], total[1], total[2], total[3],
+              total[3] > 0 ? total[0] / total[3] : 0.0);
+  if (excluded > 0) {
+    std::printf("(%zu pair(s) with timed-out columns excluded from totals)\n",
+                excluded);
+  }
+
+  bench::BenchRecord summary{"suite total", 0, 0, 0, "", {}};
+  summary.metrics.gauges["sim.seconds.t1"] = total[0];
+  summary.metrics.gauges["sim.seconds.t2"] = total[1];
+  summary.metrics.gauges["sim.seconds.t4"] = total[2];
+  summary.metrics.gauges["sim.seconds.t8"] = total[3];
+  summary.metrics.gauges["speedup.t8"] =
+      total[3] > 0 ? total[0] / total[3] : 0.0;
+  summary.metrics.counters["pairs.excluded"] = excluded;
+  report.add(std::move(summary));
+
+  report.writeIfRequested();
+  return 0;
+}

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     ec::SimulationConfiguration simConfig;
     simConfig.maxSimulations = options.simulations;
     simConfig.seed = options.seed;
+    simConfig.numThreads = options.numThreads;
     // the simulation stage gets a generous separate budget — the paper
     // reports t_sim in full even where the complete check times out
     simConfig.timeoutSeconds = 20 * options.timeoutSeconds;

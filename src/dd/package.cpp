@@ -756,6 +756,25 @@ void Package::garbageCollect(bool force) {
   span.arg("reals_collected", static_cast<std::uint64_t>(realsCollected));
 }
 
+void Package::resetComputationState() {
+  // Release the identities cached "for the package lifetime" so the forced
+  // collection below reclaims them (and their weights) like everything else.
+  for (std::size_t nq = 0; nq < idTable_.size(); ++nq) {
+    if (nq > 0) { // entry 0 is the bare terminal, never incRef'd
+      decRef(idTable_[nq]);
+    }
+  }
+  idTable_.clear();
+  garbageCollect(/*force=*/true);
+  // The thresholds double monotonically; left alone, *when* a threshold
+  // collection fires mid-run would depend on prior runs, and with it which
+  // transient reals are available as tolerance-snapping targets.
+  vUnique_.resetGcThreshold();
+  mUnique_.resetGcThreshold();
+  cn_.reals().resetGcThreshold();
+  interruptCounter_ = 0;
+}
+
 namespace {
 template <class EdgeT> std::size_t sizeImpl(const EdgeT& e) {
   std::unordered_set<const void*> visited;

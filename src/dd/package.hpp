@@ -5,7 +5,11 @@
 // Ownership model: a Package owns every node and number it hands out. Edges
 // returned to callers are *weak* until the caller takes a reference with
 // `incRef`; garbage collection (triggered explicitly or between top-level
-// operations) reclaims everything unreferenced. A Package is single-threaded.
+// operations) reclaims everything unreferenced. A Package is single-threaded:
+// exactly one thread may construct or manipulate DDs on it. The only
+// cross-thread entry point is requestInterrupt(), an atomic flag another
+// thread may set to make the owning thread's current operation throw
+// util::CancelledError at its next poll.
 
 #pragma once
 
@@ -15,7 +19,9 @@
 #include "dd/stats.hpp"
 #include "dd/unique_table.hpp"
 #include "obs/tracer.hpp"
+#include "util/deadline.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <random>
@@ -134,6 +140,16 @@ public:
   /// to call between gate applications.
   void garbageCollect(bool force = false);
 
+  /// Return the package to a value-state indistinguishable from a freshly
+  /// constructed one: drop the cached identities, force-collect every
+  /// unreferenced node and real number (only the immortal constants
+  /// survive), and reset the GC trigger thresholds and the interrupt poll
+  /// phase. A computation started afterwards produces bit-identical numbers
+  /// no matter what ran on the package before — the determinism barrier the
+  /// parallel stimuli portfolio inserts between runs (docs/parallelism.md).
+  /// Profiling counters (allocations, lookups, GC totals) keep accumulating.
+  void resetComputationState();
+
   /// Number of distinct nodes reachable from the edge (excluding terminal).
   [[nodiscard]] static std::size_t size(const vEdge& e);
   [[nodiscard]] static std::size_t size(const mEdge& e);
@@ -148,9 +164,27 @@ public:
   /// thousand recursion steps or node constructions — compute-table hits
   /// count, so dense reuse cannot starve the hook). Deadline enforcement
   /// installs a hook that throws — a single exponential multiply is then
-  /// interruptible, not just the gaps between gates.
+  /// interruptible, not just the gaps between gates. Must only be called by
+  /// the thread that owns the package (the hook itself is not synchronized;
+  /// cross-thread cancellation goes through requestInterrupt instead).
   void setInterruptHook(std::function<void()> hook) {
     interruptHook_ = std::move(hook);
+  }
+
+  /// Ask the (single) thread operating on this package to abandon its
+  /// current DD operation: its next interrupt poll throws
+  /// util::CancelledError. Safe to call from any thread — this is the one
+  /// sanctioned cross-thread entry point (a relaxed atomic store; the plain
+  /// interrupt-hook member would be a data race if written concurrently).
+  void requestInterrupt() noexcept {
+    interruptRequested_.store(true, std::memory_order_relaxed);
+  }
+  /// Re-arm after a cancellation was delivered (owner thread only).
+  void clearInterruptRequest() noexcept {
+    interruptRequested_.store(false, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool interruptRequested() const noexcept {
+    return interruptRequested_.load(std::memory_order_relaxed);
   }
 
   /// Attach (or detach, with nullptr) a tracer: garbage collections are
@@ -231,12 +265,22 @@ private:
 
   std::function<void()> interruptHook_;
   std::size_t interruptCounter_{0};
+  std::atomic<bool> interruptRequested_{false};
 
   void pollInterrupt() {
     // Every 1024 steps: fine-grained enough that even small workloads (a
     // few dozen gates on a product state) hit the hook, while the hook
-    // body (typically one clock read) stays amortized to nothing.
-    if (interruptHook_ && (++interruptCounter_ & 0x3FFU) == 0) {
+    // body (typically one clock read) stays amortized to nothing. The
+    // cross-thread cancellation flag is checked with the same cadence — a
+    // relaxed load on the polling thread, so concurrent requestInterrupt
+    // calls are race-free without fencing the hot path.
+    if ((++interruptCounter_ & 0x3FFU) != 0) {
+      return;
+    }
+    if (interruptRequested_.load(std::memory_order_relaxed)) {
+      throw util::CancelledError();
+    }
+    if (interruptHook_) {
       interruptHook_();
     }
   }

@@ -78,8 +78,13 @@ public:
     return liveEntries_ > gcThreshold_;
   }
 
+  /// Restore the GC trigger point to its construction-time value (see
+  /// UniqueTable::resetGcThreshold).
+  void resetGcThreshold() noexcept { gcThreshold_ = INITIAL_GC_THRESHOLD; }
+
 private:
   static constexpr std::size_t NSLOTS = 1ULL << 20;
+  static constexpr std::size_t INITIAL_GC_THRESHOLD = 262144;
 
   RealEntry* allocate(double val, std::int64_t bucket);
   [[nodiscard]] RealEntry* searchBucket(std::int64_t bucket, double val,
@@ -108,7 +113,7 @@ private:
   std::size_t liveEntries_{0};
   std::size_t lookups_{0};
   std::size_t hits_{0};
-  std::size_t gcThreshold_{262144};
+  std::size_t gcThreshold_{INITIAL_GC_THRESHOLD};
 };
 
 } // namespace qsimec::dd

@@ -10,6 +10,7 @@
 
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <string_view>
 
@@ -63,6 +64,34 @@ struct PackageStats {
   [[nodiscard]] std::size_t peakNodesLive() const noexcept {
     return vNodesPeakLive + mNodesPeakLive;
   }
+  /// Fold another package's profile into this one — used by the parallel
+  /// stimuli portfolio to report one profile across all worker packages.
+  /// Traffic counters, allocations and GC totals add up; occupancy and peak
+  /// figures take the maximum (workers run concurrently, so the meaningful
+  /// "peak" is the largest any single package reached).
+  PackageStats& mergeFrom(const PackageStats& other) noexcept {
+    vNodesLive = std::max(vNodesLive, other.vNodesLive);
+    vNodesAllocated += other.vNodesAllocated;
+    vNodesPeakLive = std::max(vNodesPeakLive, other.vNodesPeakLive);
+    mNodesLive = std::max(mNodesLive, other.mNodesLive);
+    mNodesAllocated += other.mNodesAllocated;
+    mNodesPeakLive = std::max(mNodesPeakLive, other.mNodesPeakLive);
+    realsLive = std::max(realsLive, other.realsLive);
+    gcRuns += other.gcRuns;
+    gcSeconds += other.gcSeconds;
+    gcMaxPauseSeconds = std::max(gcMaxPauseSeconds, other.gcMaxPauseSeconds);
+    vUnique += other.vUnique;
+    mUnique += other.mUnique;
+    addV += other.addV;
+    addM += other.addM;
+    multMV += other.multMV;
+    multMM += other.multMM;
+    kron += other.kron;
+    conj += other.conj;
+    inner += other.inner;
+    return *this;
+  }
+
   /// All compute-table traffic pooled — "how many apply steps ran".
   [[nodiscard]] TableStats computeTotals() const noexcept {
     TableStats total;

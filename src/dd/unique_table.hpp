@@ -121,8 +121,16 @@ public:
   /// 0 disables the limit.
   void setNodeLimit(std::size_t limit) noexcept { nodeLimit_ = limit; }
 
+  /// Restore the GC trigger point to its construction-time value. The
+  /// threshold doubles monotonically under load, so long-lived packages
+  /// that interleave independent computations (the parallel stimuli
+  /// portfolio) reset it between runs — otherwise *when* a mid-run
+  /// collection fires would depend on what ran before.
+  void resetGcThreshold() noexcept { gcThreshold_ = INITIAL_GC_THRESHOLD; }
+
 private:
   static constexpr std::size_t CHUNK_SIZE = 4096;
+  static constexpr std::size_t INITIAL_GC_THRESHOLD = 262144;
 
   static std::size_t hash(const NodeT* n) noexcept {
     std::size_t h = static_cast<std::size_t>(n->v) * 0xff51afd7ed558ccdULL;
@@ -145,7 +153,7 @@ private:
   std::size_t allocated_{0};
   std::size_t lookups_{0};
   std::size_t hits_{0};
-  std::size_t gcThreshold_{262144};
+  std::size_t gcThreshold_{INITIAL_GC_THRESHOLD};
   std::size_t nodeLimit_{0};
 };
 

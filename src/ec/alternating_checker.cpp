@@ -43,7 +43,14 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
   checkerSpan.arg("gates_right", static_cast<std::uint64_t>(right.size()));
   dd::Package pkg(qc1.qubits());
   pkg.setMatrixNodeLimit(config_.maxNodes);
-  pkg.setInterruptHook([&deadline] { deadline.check(); });
+  const std::atomic<bool>* cancel = config_.cancelFlag;
+  const auto poll = [&deadline, cancel] {
+    deadline.check();
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw util::CancelledError();
+    }
+  };
+  pkg.setInterruptHook(poll);
   pkg.setTracer(obs.tracer);
 
   try {
@@ -59,7 +66,7 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
     std::size_t i = 0;
     std::size_t j = 0;
     while (i < left.size() || j < right.size()) {
-      deadline.check();
+      poll();
       bool takeLeft = false;
       if (i >= left.size()) {
         takeLeft = false;
@@ -114,6 +121,10 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
   } catch (const dd::ResourceLimitExceeded&) {
     result.equivalence = Equivalence::NoInformation;
     result.timedOut = true;
+  } catch (const util::CancelledError&) {
+    result.equivalence = Equivalence::NoInformation;
+    result.cancelled = true;
+    checkerSpan.arg("cancelled", std::uint64_t{1});
   }
   pkg.setTracer(nullptr);
   result.seconds = watch.seconds();

@@ -17,6 +17,7 @@
 #include "ir/quantum_computation.hpp"
 #include "obs/context.hpp"
 
+#include <atomic>
 #include <cstddef>
 #include <string_view>
 
@@ -49,6 +50,10 @@ struct AlternatingConfiguration {
   double timeoutSeconds{0.0};
   /// Matrix-node budget (0: unlimited). Exhaustion counts as a timeout.
   std::size_t maxNodes{0};
+  /// Optional external cancellation (the race-mode flow's stop flag): when
+  /// the pointee becomes true, the checker abandons the construction at the
+  /// next gate boundary or interrupt poll and reports cancelled=true.
+  const std::atomic<bool>* cancelFlag{nullptr};
 };
 
 class AlternatingChecker {

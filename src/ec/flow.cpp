@@ -4,7 +4,10 @@
 #include "dd/stats.hpp"
 #include "util/deadline.hpp"
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
+#include <thread>
 
 namespace qsimec::ec {
 
@@ -19,7 +22,10 @@ void buildMetrics(FlowResult& result, bool simulationRan,
   obs::MetricsSnapshot& m = result.metrics;
   m.counters["simulation.runs"] = result.simulations;
   m.counters["simulation.timed_out"] = result.simulationTimedOut ? 1 : 0;
+  m.counters["simulation.cancelled"] = result.simulationCancelled ? 1 : 0;
+  m.counters["simulation.threads"] = result.numThreads;
   m.counters["complete.timed_out"] = result.completeTimedOut ? 1 : 0;
+  m.counters["complete.cancelled"] = result.completeCancelled ? 1 : 0;
   m.counters["rewriting.proved"] = result.provedByRewriting ? 1 : 0;
   m.counters["flow.diagnostics"] = result.diagnostics.size();
   m.counters["flow.counterexample"] = result.counterexample.has_value() ? 1 : 0;
@@ -76,6 +82,98 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         result.diagnostics = std::move(report.diagnostics);
       }
 
+      // Race degenerates to the staged flow when either strategy is
+      // skipped — there is nothing to race against.
+      const bool race = config_.mode == FlowMode::Race &&
+                        !config_.skipSimulation && !config_.skipComplete;
+      result.mode = race ? FlowMode::Race : FlowMode::Staged;
+
+      if (race) {
+        if (config_.tryRewriting) {
+          // the syntactic proof attempt is cheap: run it before spinning up
+          // either expensive strategy
+          obs::ScopedSpan span(obs.tracer, "checker.rewriting", "checker");
+          const RewritingChecker rewriting(config_.rewriting);
+          const CheckResult rewritten = rewriting.run(qc1, qc2);
+          result.rewritingSeconds = rewritten.seconds;
+          span.arg("outcome", toString(rewritten.equivalence));
+          if (provedEquivalent(rewritten.equivalence)) {
+            result.equivalence = rewritten.equivalence;
+            result.provedByRewriting = true;
+            return;
+          }
+        }
+
+        std::atomic<bool> cancelSim{false};
+        std::atomic<bool> cancelComplete{false};
+        CheckResult sim;
+        CheckResult complete;
+        std::exception_ptr completeError;
+        {
+          // the complete check runs on its own thread, the simulation
+          // portfolio on this one; the scope's closing brace joins
+          std::jthread completeThread([&] {
+            try {
+              AlternatingConfiguration completeConfig = config_.complete;
+              completeConfig.cancelFlag = &cancelComplete;
+              complete = AlternatingChecker(completeConfig).run(qc1, qc2, obs);
+              if (!complete.timedOut && !complete.cancelled) {
+                // conclusive either way: the simulations are moot
+                cancelSim.store(true, std::memory_order_relaxed);
+              }
+            } catch (...) {
+              completeError = std::current_exception();
+              cancelSim.store(true, std::memory_order_relaxed);
+            }
+          });
+          try {
+            SimulationConfiguration simConfig = config_.simulation;
+            simConfig.cancelFlag = &cancelSim;
+            sim = SimulationChecker(simConfig).run(qc1, qc2, obs);
+          } catch (...) {
+            cancelComplete.store(true, std::memory_order_relaxed);
+            throw; // completeThread joins during unwinding
+          }
+          if (sim.equivalence == Equivalence::NotEquivalent) {
+            cancelComplete.store(true, std::memory_order_relaxed);
+          }
+        }
+        if (completeError) {
+          std::rethrow_exception(completeError);
+        }
+
+        simulationRan = true;
+        completeRan = true;
+        simulationDD = sim.ddStats;
+        completeDD = complete.ddStats;
+        result.simulations = sim.simulations;
+        result.simulationSeconds = sim.seconds;
+        result.simulationTimedOut = sim.timedOut;
+        result.simulationCancelled = sim.cancelled;
+        result.numThreads = sim.numThreads;
+        result.completeSeconds = complete.seconds;
+        result.completeTimedOut = complete.timedOut;
+        result.completeCancelled = complete.cancelled;
+
+        if (sim.equivalence == Equivalence::NotEquivalent) {
+          // A counterexample is a proof — and since the complete check can
+          // only ever agree with it, preferring the simulation here keeps
+          // the reported winner deterministic even when both finish.
+          result.equivalence = Equivalence::NotEquivalent;
+          result.counterexample = sim.counterexample;
+          result.winner = RaceWinner::Simulation;
+        } else if (!complete.timedOut && !complete.cancelled) {
+          result.equivalence = complete.equivalence;
+          result.winner = RaceWinner::Complete;
+        } else {
+          // neither strategy concluded: fall back to the staged rule
+          result.equivalence = result.simulations > 0
+                                   ? Equivalence::ProbablyEquivalent
+                                   : Equivalence::NoInformation;
+        }
+        return;
+      }
+
       if (!config_.skipSimulation) {
         const SimulationChecker simChecker(config_.simulation);
         const CheckResult sim = simChecker.run(qc1, qc2, obs);
@@ -84,6 +182,7 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         result.simulations = sim.simulations;
         result.simulationSeconds = sim.seconds;
         result.simulationTimedOut = sim.timedOut;
+        result.numThreads = sim.numThreads;
         result.counterexample = sim.counterexample;
 
         if (sim.equivalence == Equivalence::NotEquivalent) {
@@ -133,6 +232,10 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
     }();
 
     flowSpan.arg("outcome", toString(result.equivalence));
+    flowSpan.arg("mode", toString(result.mode));
+    if (result.mode == FlowMode::Race) {
+      flowSpan.arg("winner", toString(result.winner));
+    }
   }
 
   buildMetrics(result, simulationRan, simulationDD, completeRan, completeDD);

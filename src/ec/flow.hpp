@@ -12,6 +12,11 @@
 //                             simulations give a strong indication of
 //                             equivalence (stronger than the state of the
 //                             art's "no information").
+//
+// Besides this staged ordering, the flow offers a *race* mode that launches
+// the simulation portfolio and the complete check concurrently and cancels
+// the loser: whichever strategy reaches a conclusive verdict first decides
+// (see docs/parallelism.md for the exact semantics).
 
 #pragma once
 
@@ -28,10 +33,54 @@
 
 namespace qsimec::ec {
 
+/// How the flow schedules its two main strategies.
+enum class FlowMode {
+  /// Fig. 3: simulations first, complete check only if they find nothing.
+  Staged,
+  /// Simulations and complete check run concurrently; the first conclusive
+  /// verdict wins and the loser is cancelled. Same verdicts as Staged for
+  /// deterministic inputs — the difference is wall-clock, not outcome.
+  Race,
+};
+
+[[nodiscard]] constexpr std::string_view toString(FlowMode m) noexcept {
+  switch (m) {
+  case FlowMode::Staged:
+    return "staged";
+  case FlowMode::Race:
+    return "race";
+  }
+  return "?";
+}
+
+/// Which strategy produced the verdict of a race-mode flow.
+enum class RaceWinner {
+  /// Not a race (staged mode), or neither strategy was conclusive.
+  None,
+  Simulation,
+  Complete,
+};
+
+[[nodiscard]] constexpr std::string_view toString(RaceWinner w) noexcept {
+  switch (w) {
+  case RaceWinner::None:
+    return "none";
+  case RaceWinner::Simulation:
+    return "simulation";
+  case RaceWinner::Complete:
+    return "complete";
+  }
+  return "?";
+}
+
 struct FlowConfiguration {
   SimulationConfiguration simulation{};
   AlternatingConfiguration complete{};
   RewritingConfiguration rewriting{};
+  /// Staged (Fig. 3 ordering, the default) or Race (concurrent strategies,
+  /// first conclusive verdict wins). Race degenerates to Staged when either
+  /// strategy is skipped.
+  FlowMode mode{FlowMode::Staged};
   /// Skip the simulation stage entirely (for baseline measurements).
   bool skipSimulation{false};
   /// Try the (cheap, incomplete) rewriting checker between the simulation
@@ -59,6 +108,17 @@ struct FlowResult {
   bool provedByRewriting{false};
   bool completeTimedOut{false};
   bool simulationTimedOut{false};
+  /// The mode the flow actually ran in.
+  FlowMode mode{FlowMode::Staged};
+  /// Race mode only: the strategy whose verdict was adopted. The verdict is
+  /// deterministic; whether the *loser* also finished before its
+  /// cancellation landed is timing-dependent and not reported here.
+  RaceWinner winner{RaceWinner::None};
+  /// Worker threads the simulation stage used.
+  unsigned numThreads{1};
+  /// Race mode: the stage was cancelled because the other one won.
+  bool simulationCancelled{false};
+  bool completeCancelled{false};
   std::optional<Counterexample> counterexample;
   /// Preflight findings; non-empty error-level entries imply the verdict
   /// Equivalence::InvalidInput.

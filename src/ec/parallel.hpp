@@ -1,0 +1,105 @@
+// Parallel execution of the simulation checker's stimuli portfolio.
+//
+// The r random-stimuli runs of Sec. IV-A are independent of each other, so
+// they fan out across a small worker pool: each worker owns a private
+// dd::Package (packages are single-threaded) and claims run indices from a
+// shared atomic counter. A mismatch publishes its run index through an
+// atomic min; workers poll it from inside DD operations (the package's
+// interrupt hook) and abandon runs that can no longer contribute to the
+// verdict.
+//
+// Determinism contract (locked in by tests/test_parallel.cpp and spelled
+// out in docs/parallelism.md): for a fixed configuration seed, verdict,
+// counterexample, per-run fidelities and the reported number of simulations
+// are bit-identical for every thread count. Two mechanisms make that true:
+//
+//   1. Run i draws its stimulus seed from a (seed, i)-derived stream — not
+//      from a shared sequential generator — so *what* run i computes never
+//      depends on which worker claims it.
+//   2. Every run starts behind a package reset
+//      (dd::Package::resetComputationState), so the canonical-number table
+//      it snaps weights against is in the same (pristine) state no matter
+//      what ran on that package before. Run i's floating-point output is
+//      then a function of the circuit pair and stimulus alone.
+//
+// A mismatch is reported at the *lowest* mismatching run index — exactly
+// the run a sequential sweep would have stopped at — and runs at larger
+// indices are cancelled, never runs at smaller ones.
+
+#pragma once
+
+#include "ec/result.hpp"
+#include "ec/simulation_checker.hpp"
+#include "ir/quantum_computation.hpp"
+#include "obs/context.hpp"
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qsimec::ec {
+
+/// Worker threads used when SimulationConfiguration::numThreads == 0: one
+/// per hardware thread (at least 1).
+[[nodiscard]] unsigned defaultThreadCount() noexcept;
+
+/// Effective worker count for a portfolio of `runs` stimuli: `requested`
+/// (0 = defaultThreadCount()), capped at the number of runs.
+[[nodiscard]] unsigned resolveThreadCount(unsigned requested,
+                                          std::size_t runs) noexcept;
+
+/// A small fixed-size pool of std::jthread workers draining a FIFO task
+/// queue. Tasks must not throw (wrap the body in try/catch); wait() blocks
+/// until the queue is empty and every worker is idle. The destructor stops
+/// the workers and joins them — tasks still queued at that point are
+/// dropped, so call wait() first if they matter.
+class WorkerPool {
+public:
+  explicit WorkerPool(unsigned threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  void submit(std::function<void()> task);
+  void wait();
+
+private:
+  void workerLoop(const std::stop_token& stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any taskReady_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t busy_{0};
+  // last member: destruction joins the workers while the state above is
+  // still alive
+  std::vector<std::jthread> workers_;
+};
+
+/// The stimulus seed of run `runIndex` under configuration seed `seed`
+/// (splitmix64 over the pair). Exposed so counterexamples can be replayed
+/// and tests can predict the stream.
+[[nodiscard]] std::uint64_t perRunStimulusSeed(std::uint64_t seed,
+                                               std::size_t runIndex) noexcept;
+
+/// Run the r-stimuli portfolio for `config` — the engine behind
+/// SimulationChecker::run. Fans the runs across
+/// resolveThreadCount(config.numThreads, r) workers (inline on the calling
+/// thread when that is 1) and aggregates the outcome with sequential
+/// first-mismatch semantics.
+[[nodiscard]] CheckResult
+runStimuliPortfolio(const SimulationConfiguration& config,
+                    const ir::QuantumComputation& qc1,
+                    const ir::QuantumComputation& qc2,
+                    const obs::Context& obs = {});
+
+} // namespace qsimec::ec

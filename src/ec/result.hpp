@@ -86,8 +86,17 @@ struct CheckResult {
   std::size_t simulations{0};
   std::optional<Counterexample> counterexample;
   bool timedOut{false};
-  /// Profile of the DD package the check ran on (zeroed for checkers that
-  /// build no decision diagrams, e.g. the rewriting checker).
+  /// The check was abandoned because another strategy produced the verdict
+  /// first (race-mode flow) or the caller cancelled it. Implies the verdict
+  /// carries no information of its own.
+  bool cancelled{false};
+  /// Worker threads the check actually used (1 for the single-threaded
+  /// checkers). Thread count never changes a verdict — see
+  /// docs/parallelism.md for the determinism contract.
+  unsigned numThreads{1};
+  /// Profile of the DD package(s) the check ran on (zeroed for checkers
+  /// that build no decision diagrams, e.g. the rewriting checker; merged
+  /// across workers for the parallel simulation portfolio).
   dd::PackageStats ddStats;
 };
 

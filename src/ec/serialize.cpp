@@ -53,36 +53,56 @@ std::string ddSummaryJson(const dd::PackageStats& stats) {
 
 } // namespace
 
-std::string toJson(const CheckResult& result) {
+std::string toJson(const CheckResult& result, const SerializeOptions& options) {
   util::JsonWriter json;
-  json.beginObject()
-      .field("equivalence", toString(result.equivalence))
-      .field("seconds", result.seconds)
-      .field("simulations", result.simulations)
+  json.beginObject().field("equivalence", toString(result.equivalence));
+  if (!options.redactProfile) {
+    json.field("seconds", result.seconds);
+  }
+  json.field("simulations", result.simulations)
       .field("timed_out", result.timedOut)
-      .rawField("counterexample", counterexampleJson(result.counterexample))
-      .rawField("dd", ddSummaryJson(result.ddStats))
-      .endObject();
+      .field("cancelled", result.cancelled);
+  if (!options.redactProfile) {
+    json.field("num_threads", result.numThreads);
+  }
+  json.rawField("counterexample", counterexampleJson(result.counterexample));
+  if (!options.redactProfile) {
+    json.rawField("dd", ddSummaryJson(result.ddStats));
+  }
+  json.endObject();
   return json.str();
 }
 
-std::string toJson(const FlowResult& result) {
+std::string toJson(const FlowResult& result, const SerializeOptions& options) {
   util::JsonWriter json;
   json.beginObject()
       .field("equivalence", toString(result.equivalence))
-      .field("simulations", result.simulations)
-      .field("preflight_seconds", result.preflightSeconds)
-      .field("simulation_seconds", result.simulationSeconds)
-      .field("rewriting_seconds", result.rewritingSeconds)
-      .field("complete_seconds", result.completeSeconds)
-      .field("total_seconds", result.totalSeconds())
-      .field("proved_by_rewriting", result.provedByRewriting)
+      .field("mode", toString(result.mode))
+      .field("simulations", result.simulations);
+  if (!options.redactProfile) {
+    json.field("preflight_seconds", result.preflightSeconds)
+        .field("simulation_seconds", result.simulationSeconds)
+        .field("rewriting_seconds", result.rewritingSeconds)
+        .field("complete_seconds", result.completeSeconds)
+        .field("total_seconds", result.totalSeconds())
+        .field("num_threads", result.numThreads);
+  }
+  json.field("proved_by_rewriting", result.provedByRewriting)
       .field("complete_timed_out", result.completeTimedOut)
-      .field("simulation_timed_out", result.simulationTimedOut)
-      .rawField("counterexample", counterexampleJson(result.counterexample))
-      .rawField("diagnostics", analysis::toJson(result.diagnostics))
-      .rawField("metrics", obs::toJson(result.metrics))
-      .endObject();
+      .field("simulation_timed_out", result.simulationTimedOut);
+  if (result.mode == FlowMode::Race && !options.redactProfile) {
+    // whether the loser also finished is timing-dependent, so the
+    // cancellation flags and the winner are profile, not payload
+    json.field("winner", toString(result.winner))
+        .field("simulation_cancelled", result.simulationCancelled)
+        .field("complete_cancelled", result.completeCancelled);
+  }
+  json.rawField("counterexample", counterexampleJson(result.counterexample))
+      .rawField("diagnostics", analysis::toJson(result.diagnostics));
+  if (!options.redactProfile) {
+    json.rawField("metrics", obs::toJson(result.metrics));
+  }
+  json.endObject();
   return json.str();
 }
 

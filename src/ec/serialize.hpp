@@ -10,7 +10,19 @@
 
 namespace qsimec::ec {
 
-[[nodiscard]] std::string toJson(const CheckResult& result);
-[[nodiscard]] std::string toJson(const FlowResult& result);
+struct SerializeOptions {
+  /// Drop everything that legitimately varies between runs of the same
+  /// check — wall-clock timings, the DD package profile, the metrics
+  /// rollup, and the worker-thread count. What remains (verdict,
+  /// simulations, counterexample, flags) is bit-identical for a fixed
+  /// configuration seed regardless of thread count or machine load; the
+  /// determinism tests in tests/test_parallel.cpp compare exactly this.
+  bool redactProfile{false};
+};
+
+[[nodiscard]] std::string toJson(const CheckResult& result,
+                                 const SerializeOptions& options = {});
+[[nodiscard]] std::string toJson(const FlowResult& result,
+                                 const SerializeOptions& options = {});
 
 } // namespace qsimec::ec

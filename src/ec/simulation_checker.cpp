@@ -1,122 +1,16 @@
 #include "ec/simulation_checker.hpp"
 
-#include "ec/stimuli.hpp"
-#include "sim/dd_simulator.hpp"
-
-#include <cmath>
-#include <optional>
-#include <random>
-#include <stdexcept>
+#include "ec/parallel.hpp"
 
 namespace qsimec::ec {
 
 CheckResult SimulationChecker::run(const ir::QuantumComputation& qc1,
                                    const ir::QuantumComputation& qc2,
                                    const obs::Context& obs) const {
-  if (qc1.qubits() != qc2.qubits()) {
-    throw std::invalid_argument(
-        "equivalence checking requires equal qubit counts");
-  }
-  const std::size_t n = qc1.qubits();
-  const util::Deadline deadline =
-      config_.timeoutSeconds > 0
-          ? util::Deadline::after(
-                std::chrono::duration<double>(config_.timeoutSeconds))
-          : util::Deadline::never();
-
-  std::mt19937_64 rng(config_.seed);
-  const std::uint64_t mask =
-      (n >= 64) ? ~0ULL : ((1ULL << n) - 1ULL);
-
-  // difference-circuit mode: precompute G'^-1 once
-  std::optional<ir::QuantumComputation> inverse2;
-  if (config_.simulateDifferenceCircuit) {
-    inverse2 = qc2.inverse();
-  }
-
-  CheckResult result;
-  const util::Stopwatch watch;
-  obs::ScopedSpan checkerSpan(obs.tracer, "checker.simulation", "checker");
-  checkerSpan.arg("max_simulations",
-                  static_cast<std::uint64_t>(config_.maxSimulations));
-  checkerSpan.arg("stimuli", toString(config_.stimuli));
-  dd::Package pkg(n);
-  pkg.setInterruptHook([&deadline] { deadline.check(); });
-  pkg.setTracer(obs.tracer);
-
-  try {
-    for (std::size_t run = 0; run < config_.maxSimulations; ++run) {
-      deadline.check();
-      obs::ScopedSpan runSpan(obs.tracer, "sim.stimulus", "sim");
-      const std::uint64_t stimulusSeed =
-          config_.stimuli == StimuliKind::ComputationalBasis ? (rng() & mask)
-                                                             : rng();
-      runSpan.arg("index", static_cast<std::uint64_t>(run));
-      runSpan.arg("seed", stimulusSeed);
-      const dd::vEdge stimulus =
-          makeStimulus(pkg, config_.stimuli, stimulusSeed);
-      pkg.incRef(stimulus);
-
-      dd::vEdge out1;
-      dd::vEdge out2;
-      if (config_.simulateDifferenceCircuit) {
-        // out2 = G'^-1 G |i>, compared against out1 = |i>
-        out1 = stimulus;
-        const dd::vEdge mid = sim::simulate(qc1, stimulus, pkg, &deadline);
-        pkg.incRef(mid);
-        out2 = sim::simulate(*inverse2, mid, pkg, &deadline);
-        pkg.incRef(out2);
-        pkg.decRef(mid);
-        pkg.incRef(out1);
-      } else {
-        out1 = sim::simulate(qc1, stimulus, pkg, &deadline);
-        pkg.incRef(out1);
-        out2 = sim::simulate(qc2, stimulus, pkg, &deadline);
-        pkg.incRef(out2);
-      }
-      pkg.decRef(stimulus);
-
-      // Normalize by both state norms: long circuits accumulate tiny
-      // floating-point norm drift that must not masquerade as
-      // non-equivalence.
-      const dd::ComplexValue overlap = pkg.innerProduct(out1, out2);
-      const double n1 = pkg.innerProduct(out1, out1).re;
-      const double n2 = pkg.innerProduct(out2, out2).re;
-      const double fidelity = overlap.mag2() / (n1 * n2);
-      const double cosine = overlap.re / std::sqrt(n1 * n2);
-      const double deviation = config_.ignoreGlobalPhase
-                                   ? std::abs(1.0 - fidelity)
-                                   : std::abs(1.0 - cosine) +
-                                         std::abs(overlap.im) / std::sqrt(n1 * n2);
-
-      pkg.decRef(out1);
-      pkg.decRef(out2);
-      pkg.garbageCollect();
-
-      ++result.simulations;
-      runSpan.arg("fidelity", fidelity);
-      obs.observe("simulation.fidelity_deviation", deviation);
-      if (deviation > config_.fidelityTolerance) {
-        result.equivalence = Equivalence::NotEquivalent;
-        result.counterexample =
-            Counterexample{stimulusSeed, fidelity, config_.stimuli};
-        break;
-      }
-    }
-    if (result.equivalence != Equivalence::NotEquivalent) {
-      result.equivalence = Equivalence::ProbablyEquivalent;
-    }
-  } catch (const util::TimeoutError&) {
-    result.equivalence = Equivalence::NoInformation;
-    result.timedOut = true;
-  } catch (const dd::ResourceLimitExceeded&) {
-    result.equivalence = Equivalence::NoInformation;
-    result.timedOut = true;
-  }
-  pkg.setTracer(nullptr);
-  result.seconds = watch.seconds();
-  result.ddStats = pkg.stats();
-  return result;
+  // The r stimuli runs are independent; ec/parallel.cpp fans them out
+  // across config_.numThreads workers (inline on this thread for 1) with
+  // deterministic, thread-count-independent results.
+  return runStimuliPortfolio(config_, qc1, qc2, obs);
 }
 
 } // namespace qsimec::ec

@@ -14,6 +14,7 @@
 #include "ir/quantum_computation.hpp"
 #include "obs/context.hpp"
 
+#include <atomic>
 #include <cstdint>
 
 namespace qsimec::ec {
@@ -40,6 +41,16 @@ struct SimulationConfiguration {
   /// independently. Same verdicts; the intermediate often collapses back
   /// towards the stimulus and stays smaller.
   bool simulateDifferenceCircuit{false};
+  /// Worker threads for the stimuli runs; 0 = one per hardware thread
+  /// (capped at maxSimulations). Verdict, counterexample and fidelities are
+  /// bit-identical for every thread count — each run draws its stimulus
+  /// from a (seed, runIndex)-derived stream and executes on a freshly reset
+  /// package (see docs/parallelism.md).
+  unsigned numThreads{0};
+  /// Optional external cancellation (the race-mode flow's stop flag): when
+  /// the pointee becomes true, workers abandon their runs at the next
+  /// interrupt poll and the result reports cancelled=true.
+  const std::atomic<bool>* cancelFlag{nullptr};
 };
 
 class SimulationChecker {

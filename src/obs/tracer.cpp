@@ -60,29 +60,43 @@ std::size_t Tracer::beginSpan(std::string_view name,
   SpanEvent event;
   event.name = std::string(name);
   event.category = std::string(category);
-  event.depth = depth_;
   event.tsMicros = nowMicros();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] =
+      tidOf_.try_emplace(std::this_thread::get_id(), nextTid_);
+  if (inserted) {
+    ++nextTid_;
+  }
+  event.tid = it->second;
+  event.depth = depthOf_[event.tid]++;
+  ++openCount_;
   events_.push_back(std::move(event));
-  ++depth_;
   return events_.size() - 1;
 }
 
 void Tracer::endSpan(std::size_t index) {
+  const double now = nowMicros();
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (index >= events_.size() || events_[index].durMicros >= 0.0) {
     return;
   }
   SpanEvent& event = events_[index];
-  event.durMicros = nowMicros() - event.tsMicros;
+  event.durMicros = now - event.tsMicros;
   if (event.durMicros < 0.0) {
     event.durMicros = 0.0; // clock granularity paranoia
   }
-  if (depth_ > 0) {
-    --depth_;
+  if (int& depth = depthOf_[event.tid]; depth > 0) {
+    --depth;
+  }
+  if (openCount_ > 0) {
+    --openCount_;
   }
 }
 
 void Tracer::argString(std::size_t index, std::string_view key,
                        std::string_view value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (index < events_.size()) {
     events_[index].args.push_back(
         SpanArg{std::string(key), std::string(value), true});
@@ -91,6 +105,7 @@ void Tracer::argString(std::size_t index, std::string_view key,
 
 void Tracer::argNumber(std::size_t index, std::string_view key,
                        double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (index < events_.size()) {
     events_[index].args.push_back(
         SpanArg{std::string(key), formatNumber(value), false});
@@ -99,6 +114,7 @@ void Tracer::argNumber(std::size_t index, std::string_view key,
 
 void Tracer::argNumber(std::size_t index, std::string_view key,
                        std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (index < events_.size()) {
     events_[index].args.push_back(
         SpanArg{std::string(key), std::to_string(value), false});
@@ -107,6 +123,7 @@ void Tracer::argNumber(std::size_t index, std::string_view key,
 
 std::string Tracer::toChromeTraceJson() const {
   const double now = nowMicros();
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const SpanEvent& event : events_) {
@@ -118,7 +135,9 @@ std::string Tracer::toChromeTraceJson() const {
     appendEscaped(out, event.name);
     out += "\",\"cat\":\"";
     appendEscaped(out, event.category);
-    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(event.tid);
+    out += ",\"ts\":";
     out += formatMicros(event.tsMicros);
     out += ",\"dur\":";
     const double dur = event.durMicros >= 0.0

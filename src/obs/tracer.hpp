@@ -12,14 +12,24 @@
 // a pointer test when it is — no clock reads, no allocation — so permanent
 // instrumentation costs nothing when no sink is attached (guarded by
 // bench/micro_obs.cpp).
+//
+// Thread safety: span recording is internally synchronized, so worker
+// threads (the parallel stimuli portfolio, the race-mode complete checker)
+// may share one tracer. Each thread gets a stable `tid` (assigned in order
+// of first span) and its own nesting-depth counter; the Chrome export emits
+// the tid so per-thread lanes render correctly. Reading `events()` is only
+// safe once every recording thread has been joined.
 
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace qsimec::obs {
@@ -40,9 +50,12 @@ struct SpanEvent {
   double tsMicros{};
   /// Duration in microseconds; negative while the span is still open.
   double durMicros{-1.0};
-  /// Nesting depth at begin (0 = root). Redundant with interval
-  /// containment but convenient for tests and text dumps.
+  /// Nesting depth at begin (0 = root of its thread). Redundant with
+  /// interval containment but convenient for tests and text dumps.
   int depth{};
+  /// Recording thread, 1-based in order of first span (1 = the thread that
+  /// traced first, typically the flow's coordinator).
+  int tid{1};
   std::vector<SpanArg> args;
 };
 
@@ -63,11 +76,15 @@ public:
   void argNumber(std::size_t index, std::string_view key,
                  std::uint64_t value);
 
+  /// The recorded spans. Only call after recording threads have joined.
   [[nodiscard]] const std::vector<SpanEvent>& events() const noexcept {
     return events_;
   }
-  /// Number of spans begun and not yet ended.
-  [[nodiscard]] int openSpans() const noexcept { return depth_; }
+  /// Number of spans begun and not yet ended (across all threads).
+  [[nodiscard]] int openSpans() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return openCount_;
+  }
 
   /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the Chrome trace-event
   /// "JSON object format". Spans still open are exported as running until
@@ -84,8 +101,12 @@ private:
   }
 
   Clock::time_point epoch_;
+  mutable std::mutex mutex_;
   std::vector<SpanEvent> events_;
-  int depth_{0};
+  std::unordered_map<std::thread::id, int> tidOf_;
+  std::unordered_map<int, int> depthOf_; // keyed by tid
+  int nextTid_{1};
+  int openCount_{0};
 };
 
 /// RAII span: opens on construction, closes on destruction. A null `tracer`

@@ -18,6 +18,15 @@ public:
   TimeoutError() : std::runtime_error("operation timed out") {}
 };
 
+/// Raised from inside a long-running operation when another thread asked it
+/// to stop (first-mismatch cancellation in the parallel stimuli portfolio,
+/// loser cancellation in the race-mode flow). Distinct from TimeoutError so
+/// callers can tell "budget exhausted" from "result no longer needed".
+class CancelledError : public std::runtime_error {
+public:
+  CancelledError() : std::runtime_error("operation cancelled") {}
+};
+
 class Deadline {
 public:
   using Clock = std::chrono::steady_clock;
