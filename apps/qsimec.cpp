@@ -5,6 +5,7 @@
 //   qsimec sim FILE [options]    simulate a circuit, print top amplitudes
 //   qsimec info FILE             circuit statistics
 //   qsimec convert IN OUT        convert between .qasm and .real
+//   qsimec bench-diff BASE CUR   compare two qsimec-bench-v1 reports
 //
 // Circuit files are read by extension: .qasm (OpenQASM 2.0) or .real
 // (RevLib). `check` implements the DAC'20 flow: r random-stimuli
@@ -29,6 +30,7 @@
 #include "gen/supremacy.hpp"
 #include "io/qasm.hpp"
 #include "io/real.hpp"
+#include "obs/bench_diff.hpp"
 #include "sim/dd_simulator.hpp"
 #include "transform/decomposition.hpp"
 #include "util/json.hpp"
@@ -71,6 +73,13 @@ usage:
                             result (implied by --json)
       --trace FILE          write a Chrome trace_event file of the run
                             (open in about:tracing or ui.perfetto.dev)
+      --journal FILE        write a structured JSONL run journal (stage
+                            transitions, per-stimulus verdicts, GC pauses)
+      --sample FILE         poll live gauges (DD nodes, table rates, RSS,
+                            stimuli done) on a background thread; write the
+                            time-series CSV here; with --trace the samples
+                            also appear as Perfetto counter tracks
+      --progress            live progress line on stderr
       --seed N              stimuli seed (default 42)
   qsimec lint FILE [FILE2] [options]
       static circuit analysis (no simulation): structured diagnostics with
@@ -81,6 +90,13 @@ usage:
   qsimec sim FILE [--input I] [--top K] [--seed N]
   qsimec info FILE
   qsimec convert IN OUT
+  qsimec bench-diff BASELINE.json CURRENT.json [options]
+      regression gate over two qsimec-bench-v1 reports (bench --json-out):
+      verdict flips and deterministic-counter drift always fail; wall times
+      fail beyond the tolerance; timed-out records are exempt
+      --tolerance F         relative wall-time tolerance (default 0.25)
+      --counter-tolerance F relative counter tolerance (default 0 = exact)
+      --min-seconds S       times below this never regress (default 0.01)
   qsimec gen FAMILY OUT.{qasm,real} [--seed N]
       families: qft N | qft-alt N | grover K | supremacy R C D |
                 chemistry R C | hwb K | urf K | adder K | inc K | random N G |
@@ -88,8 +104,9 @@ usage:
       (decompose first where the output format demands it: .real accepts
        only reversible gates, .qasm at most two controls)
 
-exit codes: 0 equivalent / lint clean, 1 not equivalent,
-            2 usage or internal error, 3 inconclusive, 4 invalid input
+exit codes: 0 equivalent / lint clean / bench-diff pass, 1 not equivalent /
+            bench-diff regression, 2 usage or internal error, 3 inconclusive,
+            4 invalid input
 )";
   std::exit(code);
 }
@@ -155,7 +172,10 @@ int runCheck(ArgCursor& args) {
   const bool rewriting = args.consumeFlag("--rewriting");
   const bool jsonOutput = args.consumeFlag("--json");
   const bool printMetrics = args.consumeFlag("--metrics");
+  const bool showProgress = args.consumeFlag("--progress");
   const std::string tracePath = args.consumeOption("--trace", "");
+  const std::string journalPath = args.consumeOption("--journal", "");
+  const std::string samplePath = args.consumeOption("--sample", "");
 
   auto a = load(args.next("first circuit file"));
   auto b = load(args.next("second circuit file"));
@@ -198,20 +218,54 @@ int runCheck(ArgCursor& args) {
     return 2;
   }
 
-  // Attach the tracer only when requested: the null-sink path keeps the
-  // check itself free of clock reads and span bookkeeping.
+  // Attach the sinks only when requested: the null path keeps the check
+  // itself free of clock reads and span/journal bookkeeping.
   obs::Tracer tracer;
+  obs::Journal journal;
+  obs::LiveGauges gauges;
+  obs::Sampler sampler;
+  std::ofstream journalStream;
   obs::Context obsContext;
   if (!tracePath.empty()) {
     obsContext.tracer = &tracer;
+  }
+  if (!journalPath.empty()) {
+    journalStream.open(journalPath);
+    if (!journalStream) {
+      throw std::runtime_error("cannot open journal file: " + journalPath);
+    }
+    journal.streamTo(&journalStream);
+    obsContext.journal = &journal;
+  }
+  if (!samplePath.empty()) {
+    obsContext.live = &gauges;
+    sampler.addLiveGaugeProbes(gauges);
+    if (!tracePath.empty()) {
+      sampler.attachTracer(&tracer); // counter tracks under the spans
+    }
+    sampler.start();
+  }
+  if (showProgress) {
+    config.progress = [](const ec::FlowProgress& p) {
+      std::cerr << "\r[" << p.stage << "] stimuli " << p.simulationsDone
+                << "/" << p.simulationsTotal << "   " << std::flush;
+      if (p.stage == "done") {
+        std::cerr << "\n";
+      }
+    };
   }
 
   const ec::EquivalenceCheckingFlow flow(config);
   const auto result = flow.run(a, b, obsContext);
 
+  sampler.stop(); // before the trace export so counter events are complete
+  if (!samplePath.empty()) {
+    sampler.writeCsv(samplePath);
+  }
   if (!tracePath.empty()) {
     tracer.writeChromeTrace(tracePath);
   }
+  journal.streamTo(nullptr);
 
   if (jsonOutput) {
     std::cout << ec::toJson(result) << "\n";
@@ -236,7 +290,18 @@ int runCheck(ArgCursor& args) {
     }
     if (!tracePath.empty()) {
       std::cout << "trace:       " << tracePath << " (" << tracer.events().size()
-                << " spans; open in about:tracing or ui.perfetto.dev)\n";
+                << " spans, " << tracer.counterEvents().size()
+                << " counter samples; open in about:tracing or"
+                << " ui.perfetto.dev)\n";
+    }
+    if (!journalPath.empty()) {
+      std::cout << "journal:     " << journalPath << " ("
+                << journal.lineCount() << " lines)\n";
+    }
+    if (!samplePath.empty()) {
+      std::cout << "samples:     " << samplePath << " ("
+                << sampler.sampleCount() << " samples over "
+                << sampler.series().size() << " probes)\n";
     }
     if (printMetrics) {
       std::cout << "metrics:     " << obs::toJson(result.metrics) << "\n";
@@ -276,6 +341,39 @@ int runCheck(ArgCursor& args) {
     return 4;
   }
   return 3;
+}
+
+/// `qsimec bench-diff`: the CI regression gate over two bench reports.
+int runBenchDiff(ArgCursor& args) {
+  obs::BenchDiffOptions options;
+  options.timeTolerance =
+      std::stod(args.consumeOption("--tolerance", "0.25"));
+  options.counterTolerance =
+      std::stod(args.consumeOption("--counter-tolerance", "0"));
+  options.minSeconds = std::stod(args.consumeOption("--min-seconds", "0.01"));
+
+  const std::string baselinePath = args.next("baseline report");
+  const std::string currentPath = args.next("current report");
+  const obs::BenchReportFile baseline = obs::loadBenchReport(baselinePath);
+  const obs::BenchReportFile current = obs::loadBenchReport(currentPath);
+
+  const obs::BenchDiffResult result =
+      obs::diffBenchReports(baseline, current, options);
+  std::cout << obs::formatBenchDiff(result);
+
+  std::size_t regressions = 0;
+  for (const obs::DiffFinding& finding : result.findings) {
+    regressions += finding.severity == obs::DiffSeverity::Regression ? 1 : 0;
+  }
+  if (regressions > 0) {
+    std::cout << "\nbench-diff: REGRESSION (" << regressions
+              << " finding(s) across " << result.rows.size()
+              << " benchmark(s))\n";
+    return 1;
+  }
+  std::cout << "\nbench-diff: OK (" << result.rows.size()
+            << " benchmark(s) within tolerance)\n";
+  return 0;
 }
 
 /// `qsimec lint`: parse without validation, run the full analyzer, report.
@@ -534,6 +632,9 @@ int main(int argc, char** argv) {
     }
     if (command == "gen") {
       return runGen(args);
+    }
+    if (command == "bench-diff") {
+      return runBenchDiff(args);
     }
     if (command == "--help" || command == "-h" || command == "help") {
       usage(0);

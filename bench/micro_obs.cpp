@@ -9,6 +9,8 @@
 
 #include "ec/simulation_checker.hpp"
 #include "gen/qft.hpp"
+#include "obs/journal.hpp"
+#include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
 #include "sim/dd_simulator.hpp"
 
@@ -38,6 +40,45 @@ void BM_ActiveScopedSpan(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(tracer.events().size()));
 }
 BENCHMARK(BM_ActiveScopedSpan);
+
+void BM_NullJournalEvent(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::JournalEvent event(nullptr, obs::JournalLevel::Info, "noop");
+    event.num("k", std::uint64_t{1}).flag("ok", true);
+    benchmark::DoNotOptimize(&event);
+  }
+}
+BENCHMARK(BM_NullJournalEvent);
+
+void BM_ActiveJournalEvent(benchmark::State& state) {
+  obs::Journal journal;
+  for (auto _ : state) {
+    obs::JournalEvent event(&journal, obs::JournalLevel::Info, "noop");
+    event.num("k", std::uint64_t{1}).flag("ok", true);
+    benchmark::DoNotOptimize(&event);
+  }
+  state.counters["lines"] =
+      benchmark::Counter(static_cast<double>(journal.lineCount()));
+}
+BENCHMARK(BM_ActiveJournalEvent);
+
+// The gauge-publish path the DD package pays per interrupt poll (every 1024
+// steps) when a sampler is attached: a handful of relaxed stores. The
+// unattached case is a single pointer test inside pollInterrupt and is
+// covered by BM_GateApplyUntraced below.
+void BM_LiveGaugePublish(benchmark::State& state) {
+  obs::LiveGauges gauges;
+  double x = 0.0;
+  for (auto _ : state) {
+    gauges.ddNodesLive.store(x, std::memory_order_relaxed);
+    gauges.ddUniqueFill.store(x, std::memory_order_relaxed);
+    gauges.ddUniqueHitRate.store(x, std::memory_order_relaxed);
+    gauges.ddComputeHitRate.store(x, std::memory_order_relaxed);
+    x += 1.0;
+    benchmark::DoNotOptimize(&gauges);
+  }
+}
+BENCHMARK(BM_LiveGaugePublish);
 
 void simulateQft(std::size_t qubits, obs::Tracer* tracer,
                  benchmark::State& state) {

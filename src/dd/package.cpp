@@ -754,6 +754,43 @@ void Package::garbageCollect(bool force) {
   span.arg("v_collected", static_cast<std::uint64_t>(vCollected));
   span.arg("m_collected", static_cast<std::uint64_t>(mCollected));
   span.arg("reals_collected", static_cast<std::uint64_t>(realsCollected));
+  obs::JournalEvent(journal_, obs::JournalLevel::Debug, "dd.gc")
+      .num("pause_seconds", pause)
+      .num("v_collected", static_cast<std::uint64_t>(vCollected))
+      .num("m_collected", static_cast<std::uint64_t>(mCollected))
+      .num("reals_collected", static_cast<std::uint64_t>(realsCollected));
+  if (liveGauges_ != nullptr) {
+    publishLiveGauges(); // node drops are most visible right after a GC
+  }
+}
+
+void Package::publishLiveGauges() noexcept {
+  const auto live =
+      static_cast<double>(vUnique_.liveNodes() + mUnique_.liveNodes());
+  const auto allocated =
+      static_cast<double>(vUnique_.allocated() + mUnique_.allocated());
+  liveGauges_->ddNodesLive.store(live, std::memory_order_relaxed);
+  if (allocated > 0) {
+    liveGauges_->ddUniqueFill.store(live / allocated,
+                                    std::memory_order_relaxed);
+  }
+  const auto uniqueLookups =
+      static_cast<double>(vUnique_.lookups() + mUnique_.lookups());
+  if (uniqueLookups > 0) {
+    liveGauges_->ddUniqueHitRate.store(
+        static_cast<double>(vUnique_.hits() + mUnique_.hits()) / uniqueLookups,
+        std::memory_order_relaxed);
+  }
+  const auto computeLookups =
+      static_cast<double>(addVTable_.lookups() + addMTable_.lookups() +
+                          multMVTable_.lookups() + multMMTable_.lookups());
+  if (computeLookups > 0) {
+    liveGauges_->ddComputeHitRate.store(
+        static_cast<double>(addVTable_.hits() + addMTable_.hits() +
+                            multMVTable_.hits() + multMMTable_.hits()) /
+            computeLookups,
+        std::memory_order_relaxed);
+  }
 }
 
 void Package::resetComputationState() {

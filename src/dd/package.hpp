@@ -18,6 +18,8 @@
 #include "dd/node.hpp"
 #include "dd/stats.hpp"
 #include "dd/unique_table.hpp"
+#include "obs/journal.hpp"
+#include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
 #include "util/deadline.hpp"
 
@@ -192,6 +194,19 @@ public:
   /// package never owns the tracer; null costs one pointer test per GC.
   void setTracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attach (or detach, with nullptr) a journal: garbage collections then
+  /// emit a "dd.gc" line with the pause and per-table reclaim counts. Owner
+  /// thread only (the journal itself is thread-safe, the pointer is not).
+  void setJournal(obs::Journal* journal) noexcept { journal_ = journal; }
+
+  /// Attach (or detach, with nullptr) a live-gauge block for a concurrently
+  /// polling obs::Sampler. The owning thread publishes node population and
+  /// table rates into it from the interrupt-poll cadence (every 1024 steps)
+  /// and after every GC — relaxed atomic stores, so the sampler thread can
+  /// read without racing the DD hot path. Null costs one pointer test per
+  /// poll.
+  void setLiveGauges(obs::LiveGauges* live) noexcept { liveGauges_ = live; }
+
   /// Profile snapshot: node-pool occupancy and peaks, per-operation apply
   /// counts, table hit rates, and GC pause totals. Cheap — counters are
   /// maintained unconditionally.
@@ -262,6 +277,10 @@ private:
   double gcSeconds_{0.0};
   double gcMaxPauseSeconds_{0.0};
   obs::Tracer* tracer_{nullptr};
+  obs::Journal* journal_{nullptr};
+  obs::LiveGauges* liveGauges_{nullptr};
+
+  void publishLiveGauges() noexcept;
 
   std::function<void()> interruptHook_;
   std::size_t interruptCounter_{0};
@@ -279,6 +298,9 @@ private:
     }
     if (interruptRequested_.load(std::memory_order_relaxed)) {
       throw util::CancelledError();
+    }
+    if (liveGauges_ != nullptr) {
+      publishLiveGauges();
     }
     if (interruptHook_) {
       interruptHook_();

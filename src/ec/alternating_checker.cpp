@@ -52,6 +52,8 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
   };
   pkg.setInterruptHook(poll);
   pkg.setTracer(obs.tracer);
+  pkg.setJournal(obs.journal);
+  pkg.setLiveGauges(obs.live);
 
   try {
     dd::mEdge m = pkg.makeIdent();
@@ -127,6 +129,8 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
     checkerSpan.arg("cancelled", std::uint64_t{1});
   }
   pkg.setTracer(nullptr);
+  pkg.setJournal(nullptr);
+  pkg.setLiveGauges(nullptr);
   result.seconds = watch.seconds();
   result.ddStats = pkg.stats();
   return result;

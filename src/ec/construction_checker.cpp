@@ -27,6 +27,8 @@ CheckResult ConstructionChecker::run(const ir::QuantumComputation& qc1,
   pkg.setMatrixNodeLimit(config_.maxNodes);
   pkg.setInterruptHook([&deadline] { deadline.check(); });
   pkg.setTracer(obs.tracer);
+  pkg.setJournal(obs.journal);
+  pkg.setLiveGauges(obs.live);
   try {
     const dd::mEdge u1 = sim::buildFunctionality(qc1, pkg, &deadline);
     pkg.incRef(u1);
@@ -52,6 +54,8 @@ CheckResult ConstructionChecker::run(const ir::QuantumComputation& qc1,
     result.timedOut = true;
   }
   pkg.setTracer(nullptr);
+  pkg.setJournal(nullptr);
+  pkg.setLiveGauges(nullptr);
   result.seconds = watch.seconds();
   result.ddStats = pkg.stats();
   return result;

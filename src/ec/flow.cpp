@@ -53,11 +53,50 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
   bool simulationRan = false;
   bool completeRan = false;
 
+  const std::size_t simsTotal =
+      config_.skipSimulation ? 0 : config_.simulation.maxSimulations;
+  // Written by portfolio workers (serialized), read by the flow thread only
+  // between stages — atomic so neither side races.
+  std::atomic<std::size_t> simsDone{0};
+  const auto enterStage = [&](std::string_view stage) {
+    obs.log(obs::JournalLevel::Info, "flow.stage").str("stage", stage);
+    if (config_.progress) {
+      config_.progress(FlowProgress{
+          stage, simsDone.load(std::memory_order_relaxed), simsTotal});
+    }
+  };
+  // The simulation stage gets a copy of the configuration with a completion
+  // callback that feeds the progress stream (chaining any caller-installed
+  // callback). Installed only when someone listens, so the default path
+  // stays callback-free.
+  const auto instrumentedSimulation = [&] {
+    SimulationConfiguration simConfig = config_.simulation;
+    if (config_.progress || simConfig.onRunCompleted) {
+      const auto inner = simConfig.onRunCompleted;
+      simConfig.onRunCompleted = [this, &simsDone,
+                                  inner](std::size_t done, std::size_t total) {
+        simsDone.store(done, std::memory_order_relaxed);
+        if (inner) {
+          inner(done, total);
+        }
+        if (config_.progress) {
+          config_.progress(FlowProgress{"simulation", done, total});
+        }
+      };
+    }
+    return simConfig;
+  };
+
   {
     obs::ScopedSpan flowSpan(obs.tracer, "flow", "flow");
     flowSpan.arg("qubits", static_cast<std::uint64_t>(qc1.qubits()));
     flowSpan.arg("gates_g", static_cast<std::uint64_t>(qc1.size()));
     flowSpan.arg("gates_g_prime", static_cast<std::uint64_t>(qc2.size()));
+    obs.log(obs::JournalLevel::Info, "flow.start")
+        .num("qubits", static_cast<std::uint64_t>(qc1.qubits()))
+        .num("gates_g", static_cast<std::uint64_t>(qc1.size()))
+        .num("gates_g_prime", static_cast<std::uint64_t>(qc2.size()))
+        .str("mode", toString(config_.mode));
 
     // The stage sequence lives in an immediately-invoked lambda so that
     // every early exit (invalid input, counterexample, rewriting proof)
@@ -67,6 +106,7 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         // Fig. 3 front-loads cheap simulations before the expensive DD
         // check; the static analysis preflight is cheaper still: reject
         // malformed pairs in O(gates) before any simulator sees them.
+        enterStage("preflight");
         obs::ScopedSpan span(obs.tracer, "stage.preflight", "stage");
         const util::Stopwatch watch;
         const analysis::CircuitAnalyzer analyzer({.lint = false});
@@ -92,6 +132,7 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         if (config_.tryRewriting) {
           // the syntactic proof attempt is cheap: run it before spinning up
           // either expensive strategy
+          enterStage("rewriting");
           obs::ScopedSpan span(obs.tracer, "checker.rewriting", "checker");
           const RewritingChecker rewriting(config_.rewriting);
           const CheckResult rewritten = rewriting.run(qc1, qc2);
@@ -104,6 +145,7 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
           }
         }
 
+        enterStage("race");
         std::atomic<bool> cancelSim{false};
         std::atomic<bool> cancelComplete{false};
         CheckResult sim;
@@ -127,7 +169,7 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
             }
           });
           try {
-            SimulationConfiguration simConfig = config_.simulation;
+            SimulationConfiguration simConfig = instrumentedSimulation();
             simConfig.cancelFlag = &cancelSim;
             sim = SimulationChecker(simConfig).run(qc1, qc2, obs);
           } catch (...) {
@@ -140,6 +182,14 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         }
         if (completeError) {
           std::rethrow_exception(completeError);
+        }
+        if (sim.cancelled) {
+          obs.log(obs::JournalLevel::Info, "flow.race.cancelled")
+              .str("loser", "simulation");
+        }
+        if (complete.cancelled) {
+          obs.log(obs::JournalLevel::Info, "flow.race.cancelled")
+              .str("loser", "complete");
         }
 
         simulationRan = true;
@@ -175,7 +225,8 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
       }
 
       if (!config_.skipSimulation) {
-        const SimulationChecker simChecker(config_.simulation);
+        enterStage("simulation");
+        const SimulationChecker simChecker(instrumentedSimulation());
         const CheckResult sim = simChecker.run(qc1, qc2, obs);
         simulationRan = true;
         simulationDD = sim.ddStats;
@@ -192,6 +243,7 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
       }
 
       if (config_.tryRewriting) {
+        enterStage("rewriting");
         obs::ScopedSpan span(obs.tracer, "checker.rewriting", "checker");
         const RewritingChecker rewriting(config_.rewriting);
         const CheckResult rewritten = rewriting.run(qc1, qc2);
@@ -212,6 +264,7 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         return;
       }
 
+      enterStage("complete");
       const AlternatingChecker completeChecker(config_.complete);
       const CheckResult complete = completeChecker.run(qc1, qc2, obs);
       completeRan = true;
@@ -235,6 +288,16 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
     flowSpan.arg("mode", toString(result.mode));
     if (result.mode == FlowMode::Race) {
       flowSpan.arg("winner", toString(result.winner));
+    }
+    obs.log(obs::JournalLevel::Info, "flow.verdict")
+        .str("outcome", toString(result.equivalence))
+        .str("mode", toString(result.mode))
+        .str("winner", toString(result.winner))
+        .num("simulations", static_cast<std::uint64_t>(result.simulations))
+        .num("total_seconds", result.totalSeconds());
+    if (config_.progress) {
+      config_.progress(FlowProgress{
+          "done", simsDone.load(std::memory_order_relaxed), simsTotal});
     }
   }
 

@@ -29,6 +29,9 @@
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
 
+#include <cstddef>
+#include <functional>
+#include <string_view>
 #include <vector>
 
 namespace qsimec::ec {
@@ -73,6 +76,17 @@ enum class RaceWinner {
   return "?";
 }
 
+/// Live progress snapshot handed to FlowConfiguration::progress.
+struct FlowProgress {
+  /// The stage that just started (or "done" once the verdict is in):
+  /// "preflight", "simulation", "rewriting", "complete", "race".
+  std::string_view stage;
+  /// Completed stimulus runs so far (monotonic across the whole flow).
+  std::size_t simulationsDone{0};
+  /// Configured stimulus runs (0 when the simulation stage is skipped).
+  std::size_t simulationsTotal{0};
+};
+
 struct FlowConfiguration {
   SimulationConfiguration simulation{};
   AlternatingConfiguration complete{};
@@ -96,6 +110,12 @@ struct FlowConfiguration {
   /// diagnostics in FlowResult::diagnostics) instead of throws or crashes
   /// deep inside the simulators.
   bool validateInputs{true};
+  /// Invoked on every stage transition and after every completed stimulus
+  /// run (per-run calls come from portfolio worker threads, serialized —
+  /// never concurrently with a stage-transition call). Keep the body cheap;
+  /// it sits between a worker finishing a run and claiming the next. Drives
+  /// the CLI's `--progress` line.
+  std::function<void(const FlowProgress&)> progress;
 };
 
 struct FlowResult {

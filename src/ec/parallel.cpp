@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 
@@ -144,8 +145,10 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
   std::vector<dd::PackageStats> workerStats(threads);
   std::atomic<std::size_t> nextRun{0};
   std::atomic<std::size_t> firstMismatch{NO_MISMATCH};
+  std::atomic<std::size_t> completedRuns{0};
   std::atomic<bool> timedOut{false};
   std::atomic<bool> cancelled{false};
+  std::mutex progressMutex; // serializes onRunCompleted across workers
   const std::atomic<bool>* externalCancel = config.cancelFlag;
 
   const auto workerBody = [&](unsigned workerIndex) {
@@ -172,6 +175,8 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
       if (!pkg) {
         pkg.emplace(n);
         pkg->setTracer(obs.tracer);
+        pkg->setJournal(obs.journal);
+        pkg->setLiveGauges(obs.live);
         pkg->setInterruptHook(
             [&deadline, externalCancel, &firstMismatch, &currentRun] {
               deadline.check();
@@ -245,7 +250,25 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
         outcome.deviation = deviation;
         outcome.completed = true;
         runSpan.arg("fidelity", fidelity);
-        if (deviation > config.fidelityTolerance) {
+        const bool mismatch = deviation > config.fidelityTolerance;
+        obs.log(mismatch ? obs::JournalLevel::Warn : obs::JournalLevel::Info,
+                "sim.stimulus")
+            .num("index", static_cast<std::uint64_t>(i))
+            .num("seed", stimulusSeed)
+            .num("fidelity", fidelity)
+            .num("deviation", deviation)
+            .flag("mismatch", mismatch);
+        const std::size_t done =
+            completedRuns.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (obs.live != nullptr) {
+          obs.live->stimuliCompleted.store(static_cast<double>(done),
+                                           std::memory_order_relaxed);
+        }
+        if (config.onRunCompleted) {
+          const std::lock_guard<std::mutex> progressLock(progressMutex);
+          config.onRunCompleted(done, r);
+        }
+        if (mismatch) {
           // publish the smallest mismatching index: exactly the run a
           // sequential sweep would have stopped at
           std::size_t expected = firstMismatch.load(std::memory_order_relaxed);
@@ -263,11 +286,16 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
         // outdated by a smaller mismatch index or an external stop; the
         // loop header decides which
         runSpan.arg("cancelled", std::uint64_t{1});
+        obs.log(obs::JournalLevel::Debug, "sim.stimulus.cancelled")
+            .num("index", static_cast<std::uint64_t>(i))
+            .num("seed", stimulusSeed);
         continue;
       }
     }
     if (pkg) {
       pkg->setTracer(nullptr);
+      pkg->setJournal(nullptr);
+      pkg->setLiveGauges(nullptr);
       workerStats[workerIndex] = pkg->stats();
     }
   };

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 
 namespace qsimec::ec {
 
@@ -51,6 +52,12 @@ struct SimulationConfiguration {
   /// the pointee becomes true, workers abandon their runs at the next
   /// interrupt poll and the result reports cancelled=true.
   const std::atomic<bool>* cancelFlag{nullptr};
+  /// Invoked as onRunCompleted(done, total) after every finished stimulus
+  /// run (done counts completions, not run indices — workers finish out of
+  /// order). Calls are serialized by the portfolio, but may come from any
+  /// worker thread; keep the body cheap. Drives the flow's progress
+  /// callback and the CLI's --progress line.
+  std::function<void(std::size_t, std::size_t)> onRunCompleted;
 };
 
 class SimulationChecker {

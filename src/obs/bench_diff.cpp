@@ -1,0 +1,254 @@
+#include "obs/bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+namespace qsimec::obs {
+
+namespace {
+
+constexpr std::string_view TIMED_OUT_SUFFIX = ".timed_out";
+constexpr std::string_view SECONDS_SUFFIX = ".seconds";
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Wall-time gauges carry a ".seconds" suffix (flow reports) or segment
+/// (parallel_sweep's per-thread "sim.seconds.tN" columns).
+bool isWallTimeGauge(std::string_view key) {
+  return endsWith(key, SECONDS_SUFFIX) ||
+         key.find(".seconds.") != std::string_view::npos;
+}
+
+/// The headline wall-time for the delta table: "total.seconds" when the
+/// harness reports one, otherwise the record's first wall-time gauge.
+double displaySeconds(const MetricsSnapshot& metrics) {
+  if (const auto it = metrics.gauges.find("total.seconds");
+      it != metrics.gauges.end()) {
+    return it->second;
+  }
+  for (const auto& [key, value] : metrics.gauges) {
+    if (isWallTimeGauge(key)) {
+      return value;
+    }
+  }
+  return 0.0;
+}
+
+bool anyTimeout(const MetricsSnapshot& metrics) {
+  for (const auto& [key, value] : metrics.counters) {
+    if (value > 0 && endsWith(key, TIMED_OUT_SUFFIX)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void requireMatch(BenchDiffResult& result, std::string_view what,
+                  const std::string& base, const std::string& current) {
+  if (base != current) {
+    result.findings.push_back(
+        {DiffSeverity::Regression, "",
+         std::string(what) + " mismatch: baseline " + base + ", current " +
+             current + " (reports are not comparable)"});
+  }
+}
+
+std::string formatValue(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", v);
+  return buffer;
+}
+
+void diffRecord(BenchDiffResult& result, const BenchDiffOptions& options,
+                const BenchReportRecord& base,
+                const BenchReportRecord& current) {
+  DiffRow row;
+  row.name = base.name;
+  row.baseOutcome = base.outcome;
+  row.currentOutcome = current.outcome;
+  row.baseSeconds = displaySeconds(base.metrics);
+  row.currentSeconds = displaySeconds(current.metrics);
+  const std::size_t before = result.findings.size();
+
+  // Verdicts are deterministic: any flip is a behavioural change.
+  if (base.outcome != current.outcome) {
+    result.findings.push_back({DiffSeverity::Regression, base.name,
+                               "verdict flipped: " + base.outcome + " -> " +
+                                   current.outcome});
+  }
+
+  const bool baseTimedOut = anyTimeout(base.metrics);
+  const bool currentTimedOut = anyTimeout(current.metrics);
+  row.timedOut = baseTimedOut || currentTimedOut;
+  if (currentTimedOut && !baseTimedOut) {
+    result.findings.push_back({DiffSeverity::Regression, base.name,
+                               "newly timed out (baseline completed)"});
+  }
+
+  if (row.timedOut) {
+    // Where the clock expired decides which counters moved; the comparison
+    // below would only report noise (same exemption as parallel_sweep).
+    result.findings.push_back(
+        {DiffSeverity::Info, base.name,
+         "timed out on at least one side: time/counter checks skipped"});
+  } else {
+    // The counterexample indicator always compares exactly — finding (or
+    // losing) a counterexample is never tolerable drift.
+    for (const auto& [key, baseValue] : base.metrics.counters) {
+      const auto it = current.metrics.counters.find(key);
+      if (it == current.metrics.counters.end()) {
+        result.findings.push_back(
+            {DiffSeverity::Info, base.name, "counter gone: " + key});
+        continue;
+      }
+      const std::uint64_t currentValue = it->second;
+      if (baseValue == currentValue) {
+        continue;
+      }
+      const double drift =
+          std::abs(static_cast<double>(currentValue) -
+                   static_cast<double>(baseValue)) /
+          std::max(static_cast<double>(baseValue), 1.0);
+      const bool exactRequired =
+          options.counterTolerance <= 0.0 || key == "flow.counterexample";
+      if (exactRequired || drift > options.counterTolerance) {
+        result.findings.push_back(
+            {DiffSeverity::Regression, base.name,
+             "deterministic counter drift: " + key + " " +
+                 std::to_string(baseValue) + " -> " +
+                 std::to_string(currentValue)});
+      }
+    }
+    for (const auto& [key, value] : current.metrics.counters) {
+      if (base.metrics.counters.find(key) == base.metrics.counters.end()) {
+        result.findings.push_back(
+            {DiffSeverity::Info, base.name, "new counter: " + key});
+      }
+    }
+
+    for (const auto& [key, baseValue] : base.metrics.gauges) {
+      if (!isWallTimeGauge(key)) {
+        continue; // non-time gauges are informational, not gated
+      }
+      const auto it = current.metrics.gauges.find(key);
+      if (it == current.metrics.gauges.end()) {
+        continue;
+      }
+      const double currentValue = it->second;
+      const double budget = std::max(baseValue, options.minSeconds) *
+                            (1.0 + options.timeTolerance);
+      if (currentValue > budget) {
+        result.findings.push_back(
+            {DiffSeverity::Regression, base.name,
+             "wall-time regression: " + key + " " + formatValue(baseValue) +
+                 "s -> " + formatValue(currentValue) + "s (budget " +
+                 formatValue(budget) + "s)"});
+      } else if (baseValue > options.minSeconds &&
+                 currentValue <
+                     baseValue / (1.0 + options.timeTolerance)) {
+        result.findings.push_back({DiffSeverity::Info, base.name,
+                                   "improvement: " + key + " " +
+                                       formatValue(baseValue) + "s -> " +
+                                       formatValue(currentValue) + "s"});
+      }
+    }
+  }
+
+  for (std::size_t i = before; i < result.findings.size(); ++i) {
+    if (result.findings[i].severity == DiffSeverity::Regression) {
+      row.regression = true;
+      break;
+    }
+  }
+  result.rows.push_back(std::move(row));
+}
+
+} // namespace
+
+BenchDiffResult diffBenchReports(const BenchReportFile& baseline,
+                                 const BenchReportFile& current,
+                                 const BenchDiffOptions& options) {
+  BenchDiffResult result;
+
+  // Different harness configurations measure different things; comparing
+  // them silently would turn the gate into noise.
+  requireMatch(result, "harness", baseline.harness, current.harness);
+  requireMatch(result, "seed", std::to_string(baseline.seed),
+               std::to_string(current.seed));
+  requireMatch(result, "simulations", std::to_string(baseline.simulations),
+               std::to_string(current.simulations));
+  requireMatch(result, "threads", std::to_string(baseline.threads),
+               std::to_string(current.threads));
+  requireMatch(result, "paper_scale",
+               baseline.paperScale ? "true" : "false",
+               current.paperScale ? "true" : "false");
+
+  for (const BenchReportRecord& base : baseline.records) {
+    const BenchReportRecord* cur = current.find(base.name);
+    if (cur == nullptr) {
+      result.findings.push_back({DiffSeverity::Regression, base.name,
+                                 "benchmark missing from current report"});
+      continue;
+    }
+    diffRecord(result, options, base, *cur);
+  }
+  for (const BenchReportRecord& cur : current.records) {
+    if (baseline.find(cur.name) == nullptr) {
+      result.findings.push_back(
+          {DiffSeverity::Info, cur.name,
+           "benchmark not in baseline (skipped; re-record to gate it)"});
+    }
+  }
+  return result;
+}
+
+std::string formatBenchDiff(const BenchDiffResult& result) {
+  std::string out;
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "%-26s %-22s %-22s %10s %10s %7s\n",
+                "benchmark", "baseline", "current", "base_s", "cur_s",
+                "delta");
+  out += buffer;
+  out += std::string(101, '-');
+  out += '\n';
+  for (const DiffRow& row : result.rows) {
+    std::string delta;
+    if (row.timedOut) {
+      delta = "t/o";
+    } else if (row.baseSeconds > 0.0) {
+      std::snprintf(buffer, sizeof(buffer), "%+.0f%%",
+                    100.0 * (row.currentSeconds - row.baseSeconds) /
+                        row.baseSeconds);
+      delta = buffer;
+    } else {
+      delta = "-";
+    }
+    std::snprintf(buffer, sizeof(buffer),
+                  "%-26s %-22s %-22s %10.3f %10.3f %7s%s\n", row.name.c_str(),
+                  row.baseOutcome.c_str(), row.currentOutcome.c_str(),
+                  row.baseSeconds, row.currentSeconds, delta.c_str(),
+                  row.regression ? "  REGRESSION" : "");
+    out += buffer;
+  }
+  bool anyFinding = false;
+  for (const DiffFinding& finding : result.findings) {
+    if (!anyFinding) {
+      out += '\n';
+      anyFinding = true;
+    }
+    out += finding.severity == DiffSeverity::Regression ? "FAIL " : "note ";
+    if (!finding.benchmark.empty()) {
+      out += '[' + finding.benchmark + "] ";
+    }
+    out += finding.message;
+    out += '\n';
+  }
+  return out;
+}
+
+} // namespace qsimec::obs

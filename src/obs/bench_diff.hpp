@@ -1,0 +1,88 @@
+// Comparator for two qsimec-bench-v1 reports: the regression gate behind
+// `qsimec bench-diff BASELINE CURRENT`.
+//
+// The determinism contract (docs/parallelism.md) makes most of a report
+// exactly reproducible: verdicts, counterexamples, and the DD operation
+// counters (e.g. `complete.dd.add_ops`) must match bit-for-bit between two
+// runs of the same code on the same seed — any drift is a real behavioural
+// change and hard-fails by default. Wall-clock gauges (`*.seconds`) are
+// machine-dependent and only fail beyond a configurable relative tolerance,
+// with a floor below which times are treated as noise. Records that timed
+// out on either side are exempt from time and counter comparisons (their
+// counters reflect where the clock happened to expire — the same rule
+// bench/parallel_sweep.cpp applies), but a record that times out in CURRENT
+// and not in BASELINE is itself a regression.
+
+#pragma once
+
+#include "obs/bench_report.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qsimec::obs {
+
+struct BenchDiffOptions {
+  /// Allowed relative wall-time growth: current may be up to
+  /// base * (1 + timeTolerance) before a `*.seconds` gauge regresses.
+  double timeTolerance{0.25};
+  /// Times below this floor (seconds) never regress — sub-centisecond
+  /// timings are scheduler noise.
+  double minSeconds{0.01};
+  /// Allowed relative counter drift. The default 0 demands exact equality —
+  /// right for same-machine CI gating; cross-platform comparisons may need
+  /// a little slack for libm-dependent node counts.
+  double counterTolerance{0.0};
+};
+
+enum class DiffSeverity {
+  /// Noteworthy but not failing: improvements, new/removed metric keys,
+  /// timed-out exemptions.
+  Info,
+  /// Fails the gate (non-zero exit from `qsimec bench-diff`).
+  Regression,
+};
+
+struct DiffFinding {
+  DiffSeverity severity{DiffSeverity::Info};
+  /// Benchmark the finding is about; empty for report-level findings
+  /// (configuration mismatch, missing records).
+  std::string benchmark;
+  std::string message;
+};
+
+/// One per-benchmark delta-table row (benchmarks present in both reports).
+struct DiffRow {
+  std::string name;
+  std::string baseOutcome;
+  std::string currentOutcome;
+  double baseSeconds{0.0};
+  double currentSeconds{0.0};
+  /// Either side recorded a stage timeout (time/counter checks skipped).
+  bool timedOut{false};
+  bool regression{false};
+};
+
+struct BenchDiffResult {
+  std::vector<DiffFinding> findings;
+  std::vector<DiffRow> rows;
+
+  [[nodiscard]] bool hasRegression() const noexcept {
+    for (const DiffFinding& finding : findings) {
+      if (finding.severity == DiffSeverity::Regression) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Compare CURRENT against BASELINE under `options`.
+[[nodiscard]] BenchDiffResult diffBenchReports(const BenchReportFile& baseline,
+                                               const BenchReportFile& current,
+                                               const BenchDiffOptions& options = {});
+
+/// Human-readable delta table plus the findings, ready for stdout.
+[[nodiscard]] std::string formatBenchDiff(const BenchDiffResult& result);
+
+} // namespace qsimec::obs

@@ -1,0 +1,85 @@
+#include "obs/bench_report.hpp"
+
+#include "util/json_parse.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qsimec::obs {
+
+namespace {
+
+MetricsSnapshot parseMetrics(const util::JsonValue& v) {
+  MetricsSnapshot snapshot;
+  if (const util::JsonValue* counters = v.find("counters")) {
+    for (const auto& [key, value] : counters->members()) {
+      snapshot.counters[key] = value.asUint();
+    }
+  }
+  if (const util::JsonValue* gauges = v.find("gauges")) {
+    for (const auto& [key, value] : gauges->members()) {
+      snapshot.gauges[key] = value.asNumber();
+    }
+  }
+  if (const util::JsonValue* histograms = v.find("histograms")) {
+    for (const auto& [key, value] : histograms->members()) {
+      HistogramSnapshot h;
+      h.count = value.at("count").asUint();
+      h.sum = value.at("sum").asNumber();
+      h.min = value.at("min").asNumber();
+      h.max = value.at("max").asNumber();
+      snapshot.histograms[key] = h;
+    }
+  }
+  return snapshot;
+}
+
+} // namespace
+
+const BenchReportRecord* BenchReportFile::find(std::string_view name) const {
+  for (const BenchReportRecord& record : records) {
+    if (record.name == name) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+BenchReportFile parseBenchReport(std::string_view json) {
+  const util::JsonValue root = util::parseJson(json);
+  const std::string& schema = root.at("schema").asString();
+  if (schema != "qsimec-bench-v1") {
+    throw util::JsonParseError("unsupported bench report schema: " + schema);
+  }
+  BenchReportFile report;
+  report.harness = root.at("harness").asString();
+  report.timeoutSeconds = root.at("timeout_seconds").asNumber();
+  report.simulations = root.at("simulations").asUint();
+  report.seed = root.at("seed").asUint();
+  report.threads = root.at("threads").asUint();
+  report.paperScale = root.at("paper_scale").asBool();
+  for (const util::JsonValue& row : root.at("results").elements()) {
+    BenchReportRecord record;
+    record.name = row.at("name").asString();
+    record.qubits = row.at("qubits").asUint();
+    record.gatesG = row.at("gates_g").asUint();
+    record.gatesGPrime = row.at("gates_g_prime").asUint();
+    record.outcome = row.at("outcome").asString();
+    record.metrics = parseMetrics(row.at("metrics"));
+    report.records.push_back(std::move(record));
+  }
+  return report;
+}
+
+BenchReportFile loadBenchReport(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open bench report: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parseBenchReport(buffer.str());
+}
+
+} // namespace qsimec::obs

@@ -1,0 +1,49 @@
+// Reader for "qsimec-bench-v1" reports — the JSON the bench harnesses write
+// (bench/common.hpp, `--json-out`) and `qsimec bench-diff` consumes. The
+// writer side lives with the harnesses; this is the parse-back into plain
+// structs, with MetricsSnapshot reused so a loaded record has the same shape
+// as a freshly measured one.
+
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsimec::obs {
+
+/// One parsed benchmark row (mirrors bench::BenchRecord).
+struct BenchReportRecord {
+  std::string name;
+  std::uint64_t qubits{0};
+  std::uint64_t gatesG{0};
+  std::uint64_t gatesGPrime{0};
+  std::string outcome;
+  MetricsSnapshot metrics;
+};
+
+/// A parsed qsimec-bench-v1 report file.
+struct BenchReportFile {
+  std::string harness;
+  double timeoutSeconds{0.0};
+  std::uint64_t simulations{0};
+  std::uint64_t seed{0};
+  std::uint64_t threads{0};
+  bool paperScale{false};
+  std::vector<BenchReportRecord> records;
+
+  /// Record by benchmark name, or nullptr.
+  [[nodiscard]] const BenchReportRecord* find(std::string_view name) const;
+};
+
+/// Parse a report from its JSON text. Throws util::JsonParseError on
+/// malformed JSON or a schema/shape mismatch (wrong `schema` tag included).
+[[nodiscard]] BenchReportFile parseBenchReport(std::string_view json);
+
+/// Read and parse the report at `path`; std::runtime_error if unreadable.
+[[nodiscard]] BenchReportFile loadBenchReport(const std::string& path);
+
+} // namespace qsimec::obs

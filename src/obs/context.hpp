@@ -1,14 +1,17 @@
 // The observability context handed through the equivalence-checking flow.
 //
-// A Context bundles the two optional sinks — a Tracer for timed spans and a
-// MetricsRegistry for named values. Both default to null; instrumented code
-// calls the helpers unconditionally and pays one pointer test when no sink
-// is attached (the null fast path the bench guard in bench/micro_obs.cpp
-// pins down).
+// A Context bundles the optional sinks — a Tracer for timed spans, a
+// MetricsRegistry for named values, a Journal for the structured event log,
+// and a LiveGauges block for the Sampler's time-series probes. All default
+// to null; instrumented code calls the helpers unconditionally and pays one
+// pointer test when no sink is attached (the null fast path the bench guard
+// in bench/micro_obs.cpp pins down).
 
 #pragma once
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
 
 namespace qsimec::obs {
@@ -16,9 +19,16 @@ namespace qsimec::obs {
 struct Context {
   Tracer* tracer{nullptr};
   MetricsRegistry* metrics{nullptr};
+  Journal* journal{nullptr};
+  /// Gauge slots the computation publishes into (relaxed atomic stores) for
+  /// a concurrently polling Sampler. Unlike the other sinks this is written
+  /// from the hot side, so publishers throttle themselves (the DD package
+  /// uses its interrupt-poll cadence, the portfolio one store per run).
+  LiveGauges* live{nullptr};
 
   [[nodiscard]] bool active() const noexcept {
-    return tracer != nullptr || metrics != nullptr;
+    return tracer != nullptr || metrics != nullptr || journal != nullptr ||
+           live != nullptr;
   }
 
   void count(std::string_view name, std::uint64_t delta = 1) const {
@@ -35,6 +45,12 @@ struct Context {
     if (metrics != nullptr) {
       metrics->observe(name, value);
     }
+  }
+  /// Journal-line builder; no-op (no clock read, no allocation) when no
+  /// journal is attached.
+  [[nodiscard]] JournalEvent log(JournalLevel level,
+                                 std::string_view event) const {
+    return JournalEvent(journal, level, event);
   }
 };
 

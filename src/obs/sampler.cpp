@@ -1,0 +1,131 @@
+#include "obs/sampler.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace qsimec::obs {
+
+double processRssBytes() {
+#ifdef __linux__
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      // "VmRSS:   123456 kB"
+      const double kb = std::strtod(line.c_str() + 6, nullptr);
+      return kb * 1024.0;
+    }
+  }
+#endif
+  return 0.0;
+}
+
+void Sampler::addProbe(std::string name, std::function<double()> probe) {
+  if (running()) {
+    throw std::logic_error("Sampler::addProbe while running");
+  }
+  probes_.push_back(std::move(probe));
+  series_.push_back(Series{std::move(name), {}});
+}
+
+void Sampler::addLiveGaugeProbes(const LiveGauges& gauges) {
+  const LiveGauges* g = &gauges;
+  addProbe("dd.nodes_live", [g] {
+    return g->ddNodesLive.load(std::memory_order_relaxed);
+  });
+  addProbe("dd.unique_fill", [g] {
+    return g->ddUniqueFill.load(std::memory_order_relaxed);
+  });
+  addProbe("dd.unique_hit_rate", [g] {
+    return g->ddUniqueHitRate.load(std::memory_order_relaxed);
+  });
+  addProbe("dd.compute_hit_rate", [g] {
+    return g->ddComputeHitRate.load(std::memory_order_relaxed);
+  });
+  addProbe("sim.stimuli_completed", [g] {
+    return g->stimuliCompleted.load(std::memory_order_relaxed);
+  });
+  addProbe("process.rss_bytes", [] { return processRssBytes(); });
+}
+
+void Sampler::start() {
+  if (running() || probes_.empty()) {
+    return;
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  thread_ = std::jthread([this](const std::stop_token& stop) { run(stop); });
+}
+
+void Sampler::stop() {
+  if (!running()) {
+    return;
+  }
+  thread_.request_stop();
+  wake_.notify_all();
+  thread_.join();
+  thread_ = std::jthread();
+}
+
+void Sampler::run(const std::stop_token& stop) {
+  while (!stop.stop_requested()) {
+    const double ts = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - epoch_)
+                          .count();
+    sampleOnce(ts);
+    std::unique_lock<std::mutex> lock(wakeMutex_);
+    wake_.wait_for(lock, stop, options_.period, [] { return false; });
+  }
+  // final sample so short-lived runs always record their end state
+  const double ts = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - epoch_)
+                        .count();
+  sampleOnce(ts);
+}
+
+void Sampler::sampleOnce(double tsMicros) {
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    Series& series = series_[i];
+    if (series.samples.size() >= options_.maxSamplesPerSeries) {
+      continue;
+    }
+    const double value = probes_[i]();
+    if (!std::isfinite(value)) {
+      continue;
+    }
+    series.samples.push_back(Sample{tsMicros, value});
+    sampleCount_.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_ != nullptr) {
+      tracer_->counter(series.name, value);
+    }
+  }
+}
+
+std::string Sampler::toCsv() const {
+  std::string out = "ts_micros,probe,value\n";
+  char buffer[128];
+  for (const Series& series : series_) {
+    for (const Sample& sample : series.samples) {
+      std::snprintf(buffer, sizeof(buffer), "%.3f,%s,%.17g\n", sample.tsMicros,
+                    series.name.c_str(), sample.value);
+      out += buffer;
+    }
+  }
+  return out;
+}
+
+void Sampler::writeCsv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open sample file: " + path);
+  }
+  os << toCsv();
+  if (!os) {
+    throw std::runtime_error("failed writing sample file: " + path);
+  }
+}
+
+} // namespace qsimec::obs

@@ -1,0 +1,142 @@
+// Time-series sampling of live gauges on a background thread.
+//
+// The Tracer and MetricsRegistry capture end-of-run aggregates; the Sampler
+// captures the *trajectory* — DD node population, table fill and hit rates,
+// process RSS, stimuli completed — by polling registered probes from its own
+// std::jthread at a fixed period while the check runs. Samples land in
+// per-probe series, exportable as CSV and (when a Tracer is attached)
+// mirrored into the trace as Chrome "C" counter events so Perfetto renders
+// counter tracks beneath the `flow`/`checker.*` spans.
+//
+// Thread safety: probes are called from the sampler thread concurrently
+// with the instrumented computation, so a probe must only read data that is
+// safe to read cross-thread — in practice the relaxed atomics of a
+// LiveGauges block that the computation's own thread publishes into (the DD
+// package does this from its interrupt-poll cadence, the stimuli portfolio
+// after each run). Nothing here touches a hot path: a computation with no
+// sampler attached pays at most the LiveGauges pointer tests the publishers
+// already amortize (guarded by bench/micro_obs.cpp).
+
+#pragma once
+
+#include "obs/tracer.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qsimec::obs {
+
+/// Single-writer/single-reader gauge slots bridging an instrumented
+/// computation and a Sampler. The computation's thread stores (relaxed),
+/// the sampler thread loads (relaxed); no ordering is implied — a sample is
+/// an approximate instantaneous view, which is all a trend line needs.
+/// Handed down via obs::Context::live; publishers null-test it exactly like
+/// the tracer.
+struct LiveGauges {
+  /// Live DD nodes (vector + matrix) of the most recently publishing
+  /// package. With several worker packages the slot shows the last writer —
+  /// an approximate but honest live view.
+  std::atomic<double> ddNodesLive{0.0};
+  /// Unique-table fill: live nodes / nodes ever allocated.
+  std::atomic<double> ddUniqueFill{0.0};
+  std::atomic<double> ddUniqueHitRate{0.0};
+  std::atomic<double> ddComputeHitRate{0.0};
+  /// Monotonic count of completed stimulus runs across all portfolio
+  /// workers.
+  std::atomic<double> stimuliCompleted{0.0};
+};
+
+/// Resident-set size of this process in bytes (Linux: VmRSS from
+/// /proc/self/status; 0 where unavailable). Safe to call from any thread —
+/// the canonical process-level Sampler probe.
+[[nodiscard]] double processRssBytes();
+
+class Sampler {
+public:
+  struct Options {
+    /// Poll period. The default keeps even sub-second checks at a few dozen
+    /// samples; raise it for hour-long runs.
+    std::chrono::milliseconds period{20};
+    /// Hard cap per series so a forgotten sampler cannot grow unbounded
+    /// (at the default period this is ~5.8 h of samples).
+    std::size_t maxSamplesPerSeries{1U << 20U};
+  };
+
+  struct Sample {
+    /// Microseconds since start() (the sampler's own epoch; the Tracer
+    /// mirror uses the tracer's epoch instead so counters align with spans).
+    double tsMicros{};
+    double value{};
+  };
+  struct Series {
+    std::string name;
+    std::vector<Sample> samples;
+  };
+
+  Sampler() = default;
+  explicit Sampler(Options options) : options_(options) {}
+  ~Sampler() { stop(); }
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Register a probe polled once per period. Must be called before
+  /// start(); the probe must be safe to call from the sampler thread while
+  /// the instrumented computation runs (read atomics, not plain state).
+  void addProbe(std::string name, std::function<double()> probe);
+
+  /// Convenience: register the standard probes over a LiveGauges block
+  /// (dd.nodes_live, dd.unique_fill, dd.unique_hit_rate,
+  /// dd.compute_hit_rate, sim.stimuli_completed) plus process.rss_bytes.
+  void addLiveGaugeProbes(const LiveGauges& gauges);
+
+  /// Mirror every sample into `tracer` as a Chrome "C" counter event. Call
+  /// before start(); pass nullptr to detach.
+  void attachTracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Launch the sampling thread. No-op when already running or when no
+  /// probes are registered.
+  void start();
+  /// Take one final sample, stop the thread, join. Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return thread_.joinable(); }
+
+  /// The recorded series, one per probe in registration order. Only read
+  /// after stop().
+  [[nodiscard]] const std::vector<Series>& series() const noexcept {
+    return series_;
+  }
+  /// Total samples across all series (thread-safe, approximate while
+  /// running).
+  [[nodiscard]] std::size_t sampleCount() const noexcept {
+    return sampleCount_.load(std::memory_order_relaxed);
+  }
+
+  /// `ts_micros,probe,value` rows (header included), one per sample, series
+  /// in registration order. Only call after stop().
+  [[nodiscard]] std::string toCsv() const;
+  /// Write toCsv() to `path` (throws std::runtime_error on I/O failure).
+  void writeCsv(const std::string& path) const;
+
+private:
+  void sampleOnce(double tsMicros);
+  void run(const std::stop_token& stop);
+
+  Options options_;
+  std::vector<std::function<double()>> probes_;
+  std::vector<Series> series_;
+  Tracer* tracer_{nullptr};
+  std::atomic<std::size_t> sampleCount_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex wakeMutex_;
+  std::condition_variable_any wake_;
+  std::jthread thread_;
+};
+
+} // namespace qsimec::obs

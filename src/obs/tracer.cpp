@@ -1,6 +1,7 @@
 #include "obs/tracer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <stdexcept>
@@ -121,6 +122,18 @@ void Tracer::argNumber(std::size_t index, std::string_view key,
   }
 }
 
+void Tracer::counter(std::string_view name, double value) {
+  if (!std::isfinite(value)) {
+    return; // a NaN/inf sample would render the export invalid JSON
+  }
+  CounterEvent event;
+  event.name = std::string(name);
+  event.tsMicros = nowMicros();
+  event.value = value;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counterEvents_.push_back(std::move(event));
+}
+
 std::string Tracer::toChromeTraceJson() const {
   const double now = nowMicros();
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -166,6 +179,21 @@ std::string Tracer::toChromeTraceJson() const {
       out += '}';
     }
     out += '}';
+  }
+  // Counter samples ride along as "C" events on tid 0 — viewers group them
+  // by name into counter tracks below the span lanes.
+  for (const CounterEvent& event : counterEvents_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":\"";
+    appendEscaped(out, event.name);
+    out += "\",\"cat\":\"counter\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":";
+    out += formatMicros(event.tsMicros);
+    out += ",\"args\":{\"value\":";
+    out += formatNumber(event.value);
+    out += "}}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;

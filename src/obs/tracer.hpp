@@ -43,6 +43,16 @@ struct SpanArg {
   bool quoted{true};
 };
 
+/// One time-series sample, recorded as a Chrome `"C"` (counter) event.
+/// Viewers render all samples sharing a name as one counter track below the
+/// span lanes — the obs::Sampler feeds these.
+struct CounterEvent {
+  std::string name;
+  /// Sample instant, microseconds since the tracer's epoch.
+  double tsMicros{};
+  double value{};
+};
+
 struct SpanEvent {
   std::string name;
   std::string category;
@@ -76,9 +86,20 @@ public:
   void argNumber(std::size_t index, std::string_view key,
                  std::uint64_t value);
 
+  /// Record one counter sample (timestamped against the span epoch, so
+  /// counter tracks line up with the span lanes in trace viewers). Safe to
+  /// call from any thread — this is the Sampler's entry point.
+  void counter(std::string_view name, double value);
+
   /// The recorded spans. Only call after recording threads have joined.
   [[nodiscard]] const std::vector<SpanEvent>& events() const noexcept {
     return events_;
+  }
+  /// The recorded counter samples. Only call after recording threads (and
+  /// any Sampler) have stopped.
+  [[nodiscard]] const std::vector<CounterEvent>& counterEvents()
+      const noexcept {
+    return counterEvents_;
   }
   /// Number of spans begun and not yet ended (across all threads).
   [[nodiscard]] int openSpans() const noexcept {
@@ -103,6 +124,7 @@ private:
   Clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::vector<SpanEvent> events_;
+  std::vector<CounterEvent> counterEvents_;
   std::unordered_map<std::thread::id, int> tidOf_;
   std::unordered_map<int, int> depthOf_; // keyed by tid
   int nextTid_{1};

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -267,4 +268,100 @@ TEST_F(CliTest, MetricsFlagPrintsMetricsJson) {
   }
   EXPECT_TRUE(qsimec::util::isValidJson(json)) << json;
   EXPECT_NE(json.find("\"total.seconds\""), std::string::npos);
+}
+
+TEST_F(CliTest, JournalFlagWritesJsonlFile) {
+  const std::string a = path("g.qasm");
+  const std::string journal = path("run.jsonl");
+  ASSERT_EQ(runCli("gen ghz 3 " + a).exitCode, 0);
+  const auto check =
+      runCli("check " + a + " " + a + " --journal " + journal + " --timeout 30");
+  EXPECT_EQ(check.exitCode, 0) << check.output;
+  EXPECT_NE(check.output.find("journal:"), std::string::npos);
+
+  ASSERT_TRUE(fs::exists(journal));
+  std::ifstream is(journal);
+  std::string line;
+  std::size_t lines = 0;
+  bool sawVerdict = false;
+  while (std::getline(is, line)) {
+    EXPECT_TRUE(qsimec::util::isValidJson(line)) << line;
+    sawVerdict = sawVerdict ||
+                 line.find("\"event\":\"flow.verdict\"") != std::string::npos;
+    ++lines;
+  }
+  EXPECT_GT(lines, 0U);
+  EXPECT_TRUE(sawVerdict);
+}
+
+TEST_F(CliTest, SampleFlagWritesCsvAndCountersLandInTrace) {
+  const std::string a = path("g.qasm");
+  const std::string csv = path("samples.csv");
+  const std::string trace = path("trace.json");
+  ASSERT_EQ(runCli("gen qft 6 " + a).exitCode, 0);
+  const auto check = runCli("check " + a + " " + a + " --sample " + csv +
+                            " --trace " + trace + " --timeout 30");
+  EXPECT_EQ(check.exitCode, 0) << check.output;
+  EXPECT_NE(check.output.find("samples:"), std::string::npos);
+
+  ASSERT_TRUE(fs::exists(csv));
+  std::ifstream is(csv);
+  std::string header;
+  ASSERT_TRUE(std::getline(is, header));
+  EXPECT_EQ(header, "ts_micros,probe,value");
+  std::string row;
+  bool sawRss = false;
+  while (std::getline(is, row)) {
+    sawRss = sawRss || row.find(",process.rss_bytes,") != std::string::npos;
+  }
+  EXPECT_TRUE(sawRss);
+
+  // the sampler mirrors its samples into the Chrome trace as counter events
+  ASSERT_TRUE(fs::exists(trace));
+  std::ifstream ts(trace);
+  const std::string content((std::istreambuf_iterator<char>(ts)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_TRUE(qsimec::util::isValidJson(content));
+  EXPECT_NE(content.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"dd.nodes_live\""), std::string::npos);
+}
+
+TEST_F(CliTest, BenchDiffGatesOnRegressionsAndPassesSelfComparison) {
+  const auto writeReport = [this](const std::string& name,
+                                  const std::string& outcome, double seconds,
+                                  std::uint64_t addOps) {
+    const std::string file = path(name);
+    std::ofstream os(file);
+    os << R"({"schema":"qsimec-bench-v1","harness":"flow_baseline",)"
+       << R"("timeout_seconds":10,"simulations":10,"seed":42,"threads":1,)"
+       << R"("paper_scale":false,"results":[{"name":"Grover 5","qubits":9,)"
+       << R"("gates_g":100,"gates_g_prime":90,"outcome":")" << outcome
+       << R"(","metrics":{"counters":{"complete.dd.add_ops":)" << addOps
+       << R"(},"gauges":{"total.seconds":)" << seconds << "}}}]}";
+    return file;
+  };
+  const std::string base = writeReport("base.json", "equivalent", 0.5, 1000);
+  const std::string flipped =
+      writeReport("flipped.json", "not equivalent", 0.5, 1000);
+  const std::string slow = writeReport("slow.json", "equivalent", 1.0, 1000);
+
+  const auto same = runCli("bench-diff " + base + " " + base);
+  EXPECT_EQ(same.exitCode, 0) << same.output;
+  EXPECT_NE(same.output.find("bench-diff: OK"), std::string::npos);
+
+  const auto flip = runCli("bench-diff " + base + " " + flipped);
+  EXPECT_EQ(flip.exitCode, 1) << flip.output;
+  EXPECT_NE(flip.output.find("verdict flipped"), std::string::npos);
+  EXPECT_NE(flip.output.find("bench-diff: REGRESSION"), std::string::npos);
+
+  const auto slower = runCli("bench-diff " + base + " " + slow);
+  EXPECT_EQ(slower.exitCode, 1) << slower.output;
+
+  // ...but the same slowdown passes under a wide-enough tolerance
+  const auto tolerated =
+      runCli("bench-diff " + base + " " + slow + " --tolerance 1.5");
+  EXPECT_EQ(tolerated.exitCode, 0) << tolerated.output;
+
+  const auto missing = runCli("bench-diff " + base + " " + path("nope.json"));
+  EXPECT_EQ(missing.exitCode, 2) << missing.output;
 }

@@ -1,0 +1,307 @@
+// Journal and Sampler tests: every committed line is valid JSON with the
+// deterministic header/key order, the null path records nothing, the flow
+// and the DD package emit the documented events, and the sampler's
+// time-series/CSV/counter-mirror exports hold together.
+
+#include "dd/package.hpp"
+#include "ec/flow.hpp"
+#include "gen/qft.hpp"
+#include "obs/context.hpp"
+#include "obs/journal.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tracer.hpp"
+#include "sim/dd_simulator.hpp"
+#include "util/json_lint.hpp"
+#include "util/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace qsimec;
+
+namespace {
+
+ir::QuantumComputation paperCircuitG() {
+  ir::QuantumComputation qc(3, "fig1b");
+  qc.h(1);
+  qc.cx(1, 0);
+  qc.h(2);
+  qc.h(1);
+  qc.cx(2, 1);
+  qc.h(2);
+  qc.cx(2, 1);
+  qc.cx(1, 0);
+  return qc;
+}
+
+ir::QuantumComputation paperCircuitBroken() {
+  ir::QuantumComputation qc = paperCircuitG();
+  qc.x(0);
+  return qc;
+}
+
+} // namespace
+
+TEST(Journal, LinesAreValidJsonWithDeterministicKeyOrder) {
+  obs::Journal journal;
+  journal.event(obs::JournalLevel::Info, "unit.test")
+      .str("name", "qft")
+      .num("qubits", std::uint64_t{8})
+      .num("fidelity", 0.5)
+      .flag("ok", true);
+  journal.event(obs::JournalLevel::Warn, "esc\"api\ng").str("k", "a\\b\tc");
+
+  const std::vector<std::string> lines = journal.lines();
+  ASSERT_EQ(lines.size(), 2U);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(util::isValidJson(line)) << line;
+  }
+
+  // fixed header first, then caller fields in call order
+  const util::JsonValue first = util::parseJson(lines[0]);
+  const auto& members = first.members();
+  ASSERT_EQ(members.size(), 7U);
+  EXPECT_EQ(members[0].first, "ts_micros");
+  EXPECT_EQ(members[1].first, "level");
+  EXPECT_EQ(members[2].first, "event");
+  EXPECT_EQ(members[3].first, "name");
+  EXPECT_EQ(members[4].first, "qubits");
+  EXPECT_EQ(members[5].first, "fidelity");
+  EXPECT_EQ(members[6].first, "ok");
+  EXPECT_EQ(first.at("level").asString(), "info");
+  EXPECT_EQ(first.at("event").asString(), "unit.test");
+  EXPECT_EQ(first.at("qubits").asUint(), 8U);
+  EXPECT_TRUE(first.at("ok").asBool());
+  EXPECT_GE(first.at("ts_micros").asNumber(), 0.0);
+
+  // escapes round-trip through the parser
+  const util::JsonValue second = util::parseJson(lines[1]);
+  EXPECT_EQ(second.at("event").asString(), "esc\"api\ng");
+  EXPECT_EQ(second.at("k").asString(), "a\\b\tc");
+}
+
+TEST(Journal, TimestampsAreMonotonic) {
+  obs::Journal journal;
+  for (int i = 0; i < 5; ++i) {
+    journal.event(obs::JournalLevel::Debug, "tick")
+        .num("i", static_cast<std::uint64_t>(i));
+  }
+  const std::vector<std::string> lines = journal.lines();
+  double previous = -1.0;
+  for (const std::string& line : lines) {
+    const double ts = util::parseJson(line).at("ts_micros").asNumber();
+    EXPECT_GE(ts, previous);
+    previous = ts;
+  }
+}
+
+TEST(Journal, NullJournalRecordsNothingAndIsSafe) {
+  obs::JournalEvent event(nullptr, obs::JournalLevel::Error, "noop");
+  event.str("s", "v").num("d", 1.5).num("u", std::uint64_t{2}).flag("b", true);
+
+  const obs::Context context;
+  context.log(obs::JournalLevel::Info, "also.noop").num("k", 1.0);
+  EXPECT_FALSE(context.active());
+}
+
+TEST(Journal, StreamMirrorsCommittedLines) {
+  std::ostringstream sink;
+  obs::Journal journal;
+  journal.streamTo(&sink);
+  (void)journal.event(obs::JournalLevel::Info, "one");
+  (void)journal.event(obs::JournalLevel::Info, "two");
+  journal.streamTo(nullptr);
+  // after the detach: recorded but not mirrored
+  (void)journal.event(obs::JournalLevel::Info, "three");
+
+  EXPECT_EQ(journal.lineCount(), 3U);
+  std::istringstream lines(sink.str());
+  std::string line;
+  std::size_t streamed = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(util::isValidJson(line)) << line;
+    ++streamed;
+  }
+  EXPECT_EQ(streamed, 2U);
+  EXPECT_EQ(journal.dump(),
+            journal.lines()[0] + "\n" + journal.lines()[1] + "\n" +
+                journal.lines()[2] + "\n");
+}
+
+TEST(Journal, ConcurrentCommitsStayLineAtomic) {
+  obs::Journal journal;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&journal, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          journal.event(obs::JournalLevel::Info, "worker")
+              .num("thread", static_cast<std::uint64_t>(t))
+              .num("i", static_cast<std::uint64_t>(i));
+        }
+      });
+    }
+  }
+  const std::vector<std::string> lines = journal.lines();
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(util::isValidJson(line)) << line;
+  }
+}
+
+TEST(Journal, FlowEmitsStageAndVerdictEvents) {
+  obs::Journal journal;
+  obs::Context context;
+  context.journal = &journal;
+
+  const ec::EquivalenceCheckingFlow flow;
+  const ec::FlowResult result =
+      flow.run(paperCircuitG(), paperCircuitBroken(), context);
+  ASSERT_EQ(result.equivalence, ec::Equivalence::NotEquivalent);
+
+  bool sawStart = false;
+  bool sawSimulationStage = false;
+  bool sawVerdict = false;
+  std::size_t stimulusLines = 0;
+  bool sawMismatch = false;
+  for (const std::string& line : journal.lines()) {
+    ASSERT_TRUE(util::isValidJson(line)) << line;
+    const util::JsonValue v = util::parseJson(line);
+    const std::string& event = v.at("event").asString();
+    sawStart = sawStart || event == "flow.start";
+    if (event == "flow.stage") {
+      sawSimulationStage =
+          sawSimulationStage || v.at("stage").asString() == "simulation";
+    }
+    if (event == "sim.stimulus") {
+      ++stimulusLines;
+      sawMismatch = sawMismatch || v.at("mismatch").asBool();
+    }
+    if (event == "flow.verdict") {
+      sawVerdict = true;
+      EXPECT_EQ(v.at("outcome").asString(), "not equivalent");
+    }
+  }
+  EXPECT_TRUE(sawStart);
+  EXPECT_TRUE(sawSimulationStage);
+  EXPECT_TRUE(sawVerdict);
+  EXPECT_GT(stimulusLines, 0U);
+  EXPECT_TRUE(sawMismatch);
+}
+
+TEST(Journal, PackageGcEmitsEvent) {
+  obs::Journal journal;
+  dd::Package pkg(3);
+  pkg.setJournal(&journal);
+  const ir::QuantumComputation qc = paperCircuitG();
+  const auto out = sim::simulate(qc, pkg.makeBasisState(0), pkg);
+  ASSERT_NE(out.p, nullptr);
+  pkg.garbageCollect(/*force=*/true);
+  pkg.setJournal(nullptr);
+
+  bool sawGc = false;
+  for (const std::string& line : journal.lines()) {
+    ASSERT_TRUE(util::isValidJson(line)) << line;
+    const util::JsonValue v = util::parseJson(line);
+    if (v.at("event").asString() == "dd.gc") {
+      sawGc = true;
+      EXPECT_GE(v.at("pause_seconds").asNumber(), 0.0);
+    }
+  }
+  EXPECT_TRUE(sawGc);
+}
+
+TEST(Sampler, PollsProbesIntoSeriesAndCsv) {
+  obs::Sampler::Options options;
+  options.period = std::chrono::milliseconds(1);
+  obs::Sampler sampler(options);
+  std::atomic<double> value{1.0};
+  sampler.addProbe("test.value",
+                   [&value] { return value.load(std::memory_order_relaxed); });
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  EXPECT_THROW(sampler.addProbe("late", [] { return 0.0; }), std::logic_error);
+  value.store(2.0, std::memory_order_relaxed);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+
+  ASSERT_EQ(sampler.series().size(), 1U);
+  const auto& samples = sampler.series()[0].samples;
+  ASSERT_GE(samples.size(), 2U); // at least first + final sample
+  EXPECT_EQ(sampler.sampleCount(), samples.size());
+  double previousTs = -1.0;
+  for (const auto& sample : samples) {
+    EXPECT_GE(sample.tsMicros, previousTs);
+    previousTs = sample.tsMicros;
+    EXPECT_TRUE(sample.value == 1.0 || sample.value == 2.0);
+  }
+  EXPECT_EQ(samples.back().value, 2.0);
+
+  const std::string csv = sampler.toCsv();
+  EXPECT_EQ(csv.rfind("ts_micros,probe,value\n", 0), 0U);
+  std::istringstream rows(csv);
+  std::string row;
+  std::size_t dataRows = 0;
+  std::getline(rows, row); // header
+  while (std::getline(rows, row)) {
+    EXPECT_NE(row.find(",test.value,"), std::string::npos) << row;
+    ++dataRows;
+  }
+  EXPECT_EQ(dataRows, samples.size());
+}
+
+TEST(Sampler, MirrorsSamplesAsTracerCounterEvents) {
+  obs::Tracer tracer;
+  obs::Sampler::Options options;
+  options.period = std::chrono::milliseconds(1);
+  obs::Sampler sampler(options);
+  sampler.addProbe("mirrored", [] { return 42.0; });
+  sampler.attachTracer(&tracer);
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.stop();
+
+  ASSERT_FALSE(tracer.counterEvents().empty());
+  EXPECT_EQ(tracer.counterEvents().size(), sampler.sampleCount());
+  for (const obs::CounterEvent& event : tracer.counterEvents()) {
+    EXPECT_EQ(event.name, "mirrored");
+    EXPECT_EQ(event.value, 42.0);
+  }
+  EXPECT_TRUE(util::isValidJson(tracer.toChromeTraceJson()));
+}
+
+TEST(Sampler, LiveGaugesAreFedByThePackage) {
+  obs::LiveGauges gauges;
+  dd::Package pkg(8);
+  pkg.setLiveGauges(&gauges);
+  const ir::QuantumComputation qc = gen::qft(8);
+  const auto out = sim::simulate(qc, pkg.makeBasisState(1), pkg);
+  ASSERT_NE(out.p, nullptr);
+  pkg.garbageCollect(/*force=*/true); // publishes unconditionally
+  pkg.setLiveGauges(nullptr);
+
+  // after a forced GC the slots reflect the package's own stats
+  const dd::PackageStats stats = pkg.stats();
+  EXPECT_DOUBLE_EQ(gauges.ddNodesLive.load(),
+                   static_cast<double>(stats.vNodesLive + stats.mNodesLive));
+  EXPECT_GT(gauges.ddUniqueFill.load(), 0.0);
+  EXPECT_LE(gauges.ddUniqueFill.load(), 1.0);
+  EXPECT_GE(gauges.ddUniqueHitRate.load(), 0.0);
+  EXPECT_LE(gauges.ddUniqueHitRate.load(), 1.0);
+}
+
+TEST(Sampler, ProcessRssIsPositiveOnLinux) {
+#ifdef __linux__
+  EXPECT_GT(obs::processRssBytes(), 0.0);
+#else
+  EXPECT_GE(obs::processRssBytes(), 0.0);
+#endif
+}

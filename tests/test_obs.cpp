@@ -15,7 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
+#include <thread>
 
 using namespace qsimec;
 
@@ -193,6 +195,82 @@ TEST(Tracer, OpenSpansExportWithNonNegativeDuration) {
   EXPECT_EQ(json.find("\"dur\":-"), std::string::npos);
   tracer.endSpan(index);
   EXPECT_EQ(tracer.openSpans(), 0);
+}
+
+TEST(Tracer, MidFlightMultiThreadExportIsValidWithStableTids) {
+  // Satellite of the observability PR: exporting while spans are still open
+  // on several threads must yield valid JSON, and each thread must keep one
+  // stable tid across all of its spans.
+  obs::Tracer tracer;
+  const std::size_t mainSpan = tracer.beginSpan("main.open", "test");
+
+  std::string midFlightJson;
+  {
+    std::jthread worker([&tracer, &midFlightJson] {
+      obs::ScopedSpan first(&tracer, "worker.first", "test");
+      {
+        obs::ScopedSpan nested(&tracer, "worker.nested", "test");
+      }
+      // export while this thread's span and the main thread's span are open
+      midFlightJson = tracer.toChromeTraceJson();
+    });
+  }
+  {
+    obs::ScopedSpan second(&tracer, "main.second", "test");
+  }
+  tracer.endSpan(mainSpan);
+
+  EXPECT_TRUE(util::isValidJson(midFlightJson)) << midFlightJson;
+  EXPECT_EQ(midFlightJson.find("\"dur\":-"), std::string::npos);
+  EXPECT_TRUE(util::isValidJson(tracer.toChromeTraceJson()));
+  EXPECT_EQ(tracer.openSpans(), 0);
+
+  // tids: one per thread, stable across that thread's spans
+  int mainTid = -1;
+  int workerTid = -1;
+  for (const obs::SpanEvent& event : tracer.events()) {
+    if (event.name.rfind("main.", 0) == 0) {
+      EXPECT_TRUE(mainTid == -1 || mainTid == event.tid);
+      mainTid = event.tid;
+    } else {
+      EXPECT_TRUE(workerTid == -1 || workerTid == event.tid);
+      workerTid = event.tid;
+    }
+  }
+  EXPECT_NE(mainTid, -1);
+  EXPECT_NE(workerTid, -1);
+  EXPECT_NE(mainTid, workerTid);
+  // the worker's spans nest on the worker's own lane
+  for (const obs::SpanEvent& event : tracer.events()) {
+    if (event.name == "worker.first") {
+      EXPECT_EQ(event.depth, 0);
+    }
+    if (event.name == "worker.nested") {
+      EXPECT_EQ(event.depth, 1);
+    }
+  }
+}
+
+TEST(Tracer, CounterEventsExportAsChromeCounterTrack) {
+  obs::Tracer tracer;
+  {
+    obs::ScopedSpan span(&tracer, "flow", "flow");
+    tracer.counter("dd.nodes_live", 128.0);
+    tracer.counter("dd.nodes_live", 256.5);
+  }
+  tracer.counter("dd.nodes_live",
+                 std::numeric_limits<double>::quiet_NaN()); // dropped
+
+  ASSERT_EQ(tracer.counterEvents().size(), 2U);
+  EXPECT_EQ(tracer.counterEvents()[0].name, "dd.nodes_live");
+  EXPECT_DOUBLE_EQ(tracer.counterEvents()[0].value, 128.0);
+  EXPECT_LE(tracer.counterEvents()[0].tsMicros,
+            tracer.counterEvents()[1].tsMicros);
+
+  const std::string json = tracer.toChromeTraceJson();
+  EXPECT_TRUE(util::isValidJson(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":256.5}"), std::string::npos);
 }
 
 TEST(Tracer, NullSinkRecordsNothing) {
