@@ -1,6 +1,7 @@
 // qsimec — command-line front end.
 //
 //   qsimec check A B [options]   equivalence-check two circuit files
+//   qsimec batch MANIFEST        check a JSONL manifest of circuit pairs
 //   qsimec lint FILE [FILE2]     static analysis: report diagnostics
 //   qsimec sim FILE [options]    simulate a circuit, print top amplitudes
 //   qsimec info FILE             circuit statistics
@@ -32,6 +33,8 @@
 #include "io/real.hpp"
 #include "obs/bench_diff.hpp"
 #include "sim/dd_simulator.hpp"
+#include "svc/batch.hpp"
+#include "svc/verdict_cache.hpp"
 #include "transform/decomposition.hpp"
 #include "util/json.hpp"
 
@@ -81,6 +84,29 @@ usage:
                             also appear as Perfetto counter tracks
       --progress            live progress line on stderr
       --seed N              stimuli seed (default 42)
+  qsimec batch MANIFEST.jsonl [options]
+      check every circuit pair of a JSONL manifest (one {"g": A, "gp": B}
+      object per line, with optional per-pair overrides — see
+      docs/service.md) against one shared worker pool
+      --threads N           worker threads; one pair per worker (default 0 =
+                            one per hardware thread). Results are reported
+                            in manifest order and verdicts are identical
+                            for every N
+      --cache FILE          persistent verdict cache (JSONL): loaded on
+                            start, appended on every new proof; cached
+                            pairs are answered without any checker work
+      --json                one qsimec-batch-v1 JSON object per pair plus a
+                            summary object, in manifest order
+      --journal FILE        structured JSONL run journal (pair starts,
+                            verdicts, cache hits)
+      --trace FILE          Chrome trace_event file of the batch
+      --progress            live pair counter on stderr
+      (plus the check options --sims --stimuli --timeout --strategy --seed
+       --race --sim-only --strict-phase --rewriting as the base
+       configuration every manifest line starts from)
+      exit codes mirror check over the whole batch: 1 if any pair is not
+      equivalent, else 4 if any input was invalid, else 3 if any pair was
+      inconclusive, else 0
   qsimec lint FILE [FILE2] [options]
       static circuit analysis (no simulation): structured diagnostics with
       rule IDs (see docs/static-analysis.md); with two files, pair-level
@@ -157,40 +183,24 @@ struct ArgCursor {
   }
 };
 
-int runCheck(ArgCursor& args) {
+/// Flow-configuration flags shared by `check` and `batch` (everything except
+/// --threads, whose meaning differs between the two). Returns 0 on success,
+/// 2 after complaining about a bad enum value.
+int parseFlowFlags(ArgCursor& args, ec::FlowConfiguration& config) {
   const std::string simsStr = args.consumeOption("--sims", "10");
   const std::string stimuliStr = args.consumeOption("--stimuli", "basis");
   const std::string timeoutStr = args.consumeOption("--timeout", "60");
   const std::string strategyStr =
       args.consumeOption("--strategy", "proportional");
   const std::string seedStr = args.consumeOption("--seed", "42");
-  const std::string threadsStr = args.consumeOption("--threads", "0");
   const bool race = args.consumeFlag("--race");
   const bool simOnly = args.consumeFlag("--sim-only");
   const bool strictPhase = args.consumeFlag("--strict-phase");
-  const bool localize = args.consumeFlag("--localize");
   const bool rewriting = args.consumeFlag("--rewriting");
-  const bool jsonOutput = args.consumeFlag("--json");
-  const bool printMetrics = args.consumeFlag("--metrics");
-  const bool showProgress = args.consumeFlag("--progress");
-  const std::string tracePath = args.consumeOption("--trace", "");
-  const std::string journalPath = args.consumeOption("--journal", "");
-  const std::string samplePath = args.consumeOption("--sample", "");
 
-  auto a = load(args.next("first circuit file"));
-  auto b = load(args.next("second circuit file"));
-
-  // ancilla-adding flows produce different widths; pad the narrower one
-  const std::size_t width = std::max(a.qubits(), b.qubits());
-  a = tf::padQubits(a, width);
-  b = tf::padQubits(b, width);
-
-  ec::FlowConfiguration config;
   config.simulation.maxSimulations = std::stoul(simsStr);
   config.simulation.seed = std::stoull(seedStr);
   config.simulation.ignoreGlobalPhase = !strictPhase;
-  config.simulation.numThreads =
-      static_cast<unsigned>(std::stoul(threadsStr));
   config.complete.timeoutSeconds = std::stod(timeoutStr);
   config.skipSimulation = config.simulation.maxSimulations == 0;
   config.skipComplete = simOnly;
@@ -217,6 +227,48 @@ int runCheck(ArgCursor& args) {
     std::cerr << "unknown strategy: " << strategyStr << "\n";
     return 2;
   }
+  return 0;
+}
+
+/// Batch verdicts folded into one process exit code, mirroring `check`:
+/// a disproof outranks bad input outranks "ran out of budget".
+int batchExitCode(const svc::BatchSummary& summary) {
+  if (summary.notEquivalent > 0) {
+    return 1;
+  }
+  if (summary.invalid > 0) {
+    return 4;
+  }
+  if (summary.inconclusive > 0) {
+    return 3;
+  }
+  return 0;
+}
+
+int runCheck(ArgCursor& args) {
+  const std::string threadsStr = args.consumeOption("--threads", "0");
+  const bool localize = args.consumeFlag("--localize");
+  const bool jsonOutput = args.consumeFlag("--json");
+  const bool printMetrics = args.consumeFlag("--metrics");
+  const bool showProgress = args.consumeFlag("--progress");
+  const std::string tracePath = args.consumeOption("--trace", "");
+  const std::string journalPath = args.consumeOption("--journal", "");
+  const std::string samplePath = args.consumeOption("--sample", "");
+
+  ec::FlowConfiguration config;
+  if (const int rc = parseFlowFlags(args, config); rc != 0) {
+    return rc;
+  }
+  config.simulation.numThreads =
+      static_cast<unsigned>(std::stoul(threadsStr));
+
+  auto a = load(args.next("first circuit file"));
+  auto b = load(args.next("second circuit file"));
+
+  // ancilla-adding flows produce different widths; pad the narrower one
+  const std::size_t width = std::max(a.qubits(), b.qubits());
+  a = tf::padQubits(a, width);
+  b = tf::padQubits(b, width);
 
   // Attach the sinks only when requested: the null path keeps the check
   // itself free of clock reads and span/journal bookkeeping.
@@ -341,6 +393,111 @@ int runCheck(ArgCursor& args) {
     return 4;
   }
   return 3;
+}
+
+/// `qsimec batch`: check a JSONL manifest of circuit pairs against one
+/// worker pool, with an optional persistent verdict cache.
+int runBatch(ArgCursor& args) {
+  const std::string threadsStr = args.consumeOption("--threads", "0");
+  const std::string cachePath = args.consumeOption("--cache", "");
+  const bool jsonOutput = args.consumeFlag("--json");
+  const bool showProgress = args.consumeFlag("--progress");
+  const std::string tracePath = args.consumeOption("--trace", "");
+  const std::string journalPath = args.consumeOption("--journal", "");
+
+  ec::FlowConfiguration base;
+  if (const int rc = parseFlowFlags(args, base); rc != 0) {
+    return rc;
+  }
+  // pairs are the unit of parallelism here; keep each pair's stimulus
+  // portfolio serial so --threads N never oversubscribes to N*N workers
+  base.simulation.numThreads = 1;
+
+  const std::string manifestPath = args.next("manifest file");
+  const svc::BatchManifest manifest =
+      svc::loadManifestFile(manifestPath, base);
+
+  obs::Tracer tracer;
+  obs::Journal journal;
+  std::ofstream journalStream;
+  obs::Context obsContext;
+  if (!tracePath.empty()) {
+    obsContext.tracer = &tracer;
+  }
+  if (!journalPath.empty()) {
+    journalStream.open(journalPath);
+    if (!journalStream) {
+      throw std::runtime_error("cannot open journal file: " + journalPath);
+    }
+    journal.streamTo(&journalStream);
+    obsContext.journal = &journal;
+  }
+
+  svc::VerdictCache cache;
+  std::ofstream cacheStream;
+  if (!cachePath.empty()) {
+    cache.loadFile(cachePath); // missing file = cold cache
+    cacheStream.open(cachePath, std::ios::app);
+    if (!cacheStream) {
+      throw std::runtime_error("cannot open cache file: " + cachePath);
+    }
+    cache.persistTo(&cacheStream);
+  }
+
+  svc::BatchOptions options;
+  options.threads = static_cast<unsigned>(std::stoul(threadsStr));
+  options.cache = cachePath.empty() ? nullptr : &cache;
+  if (showProgress) {
+    options.onPairDone = [](std::size_t done, std::size_t total) {
+      std::cerr << "\rpairs " << done << "/" << total << "   " << std::flush;
+      if (done == total) {
+        std::cerr << "\n";
+      }
+    };
+  }
+
+  svc::BatchScheduler scheduler(std::move(options));
+  const svc::BatchResult result = scheduler.run(manifest, obsContext);
+  cache.persistTo(nullptr);
+
+  if (!tracePath.empty()) {
+    tracer.writeChromeTrace(tracePath);
+  }
+  journal.streamTo(nullptr);
+
+  if (jsonOutput) {
+    for (const svc::PairOutcome& outcome : result.outcomes) {
+      std::cout << svc::toJsonLine(outcome) << "\n";
+    }
+    std::cout << svc::toJsonLine(result.summary) << "\n";
+  } else {
+    for (const svc::PairOutcome& outcome : result.outcomes) {
+      std::cout << "[" << outcome.index << "] " << outcome.gPath << " vs "
+                << outcome.gPrimePath << ": "
+                << ec::toString(outcome.equivalence);
+      if (outcome.cacheHit) {
+        std::cout << " (cached)";
+      } else if (outcome.cancelled) {
+        std::cout << " (cancelled)";
+      } else if (!outcome.error.empty()) {
+        std::cout << " (" << outcome.error << ")";
+      } else {
+        std::cout << " (" << outcome.simulations << " sims, "
+                  << outcome.seconds << "s"
+                  << (outcome.completeTimedOut ? ", timed out" : "") << ")";
+      }
+      std::cout << "\n";
+    }
+    const svc::BatchSummary& s = result.summary;
+    std::cout << "pairs: " << s.pairs << "  equivalent: " << s.equivalent
+              << "  not-equivalent: " << s.notEquivalent
+              << "  inconclusive: " << s.inconclusive
+              << "  invalid: " << s.invalid << "\n"
+              << "cache: " << s.cacheHits << " hit(s), " << s.cacheStores
+              << " store(s)  threads: " << s.threads << "  " << s.seconds
+              << "s\n";
+  }
+  return batchExitCode(result.summary);
 }
 
 /// `qsimec bench-diff`: the CI regression gate over two bench reports.
@@ -617,6 +774,9 @@ int main(int argc, char** argv) {
   try {
     if (command == "check") {
       return runCheck(args);
+    }
+    if (command == "batch") {
+      return runBatch(args);
     }
     if (command == "lint") {
       return runLint(args);

@@ -34,6 +34,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -133,6 +134,9 @@ public:
         .field("simulations", options_.simulations)
         .field("seed", options_.seed)
         .field("threads", options_.numThreads)
+        // cores of the recording machine: bench-diff downgrades per-thread
+        // wall-time comparisons when baseline and current disagree here
+        .field("hardware_concurrency", std::thread::hardware_concurrency())
         .field("paper_scale", options_.paperScale)
         .rawField("results", rows)
         .endObject();

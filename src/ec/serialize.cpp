@@ -8,19 +8,6 @@ namespace qsimec::ec {
 
 namespace {
 
-std::string counterexampleJson(const std::optional<Counterexample>& cex) {
-  if (!cex) {
-    return "null";
-  }
-  util::JsonWriter json;
-  json.beginObject()
-      .field("input", cex->input)
-      .field("fidelity", cex->fidelity)
-      .field("stimuli", toString(cex->stimuli))
-      .endObject();
-  return json.str();
-}
-
 std::string ddSummaryJson(const dd::PackageStats& stats) {
   util::JsonWriter json;
   json.beginObject()
@@ -53,6 +40,42 @@ std::string ddSummaryJson(const dd::PackageStats& stats) {
 
 } // namespace
 
+std::string toJson(const std::optional<Counterexample>& cex) {
+  if (!cex) {
+    return "null";
+  }
+  util::JsonWriter json;
+  json.beginObject()
+      .field("input", cex->input)
+      .field("fidelity", cex->fidelity)
+      .field("stimuli", toString(cex->stimuli))
+      .endObject();
+  return json.str();
+}
+
+std::optional<Equivalence> parseEquivalence(std::string_view s) {
+  for (const Equivalence e :
+       {Equivalence::Equivalent, Equivalence::EquivalentUpToGlobalPhase,
+        Equivalence::NotEquivalent, Equivalence::ProbablyEquivalent,
+        Equivalence::NoInformation, Equivalence::InvalidInput}) {
+    if (s == toString(e)) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<StimuliKind> parseStimuliKind(std::string_view s) {
+  for (const StimuliKind k :
+       {StimuliKind::ComputationalBasis, StimuliKind::RandomProduct,
+        StimuliKind::RandomStabilizer}) {
+    if (s == toString(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
 std::string toJson(const CheckResult& result, const SerializeOptions& options) {
   util::JsonWriter json;
   json.beginObject().field("equivalence", toString(result.equivalence));
@@ -65,7 +88,7 @@ std::string toJson(const CheckResult& result, const SerializeOptions& options) {
   if (!options.redactProfile) {
     json.field("num_threads", result.numThreads);
   }
-  json.rawField("counterexample", counterexampleJson(result.counterexample));
+  json.rawField("counterexample", toJson(result.counterexample));
   if (!options.redactProfile) {
     json.rawField("dd", ddSummaryJson(result.ddStats));
   }
@@ -97,7 +120,7 @@ std::string toJson(const FlowResult& result, const SerializeOptions& options) {
         .field("simulation_cancelled", result.simulationCancelled)
         .field("complete_cancelled", result.completeCancelled);
   }
-  json.rawField("counterexample", counterexampleJson(result.counterexample))
+  json.rawField("counterexample", toJson(result.counterexample))
       .rawField("diagnostics", analysis::toJson(result.diagnostics));
   if (!options.redactProfile) {
     json.rawField("metrics", obs::toJson(result.metrics));

@@ -6,7 +6,9 @@
 #include "ec/flow.hpp"
 #include "ec/result.hpp"
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace qsimec::ec {
 
@@ -24,5 +26,16 @@ struct SerializeOptions {
                                  const SerializeOptions& options = {});
 [[nodiscard]] std::string toJson(const FlowResult& result,
                                  const SerializeOptions& options = {});
+
+/// The counterexample object embedded in check/flow JSON ("null" when
+/// absent). Exposed for the batch service, whose cache and result lines
+/// reuse the exact same shape.
+[[nodiscard]] std::string toJson(const std::optional<Counterexample>& cex);
+
+/// Inverses of toString(Equivalence) / toString(StimuliKind), for readers of
+/// persisted results (the batch service's verdict cache); std::nullopt on
+/// unknown spellings.
+[[nodiscard]] std::optional<Equivalence> parseEquivalence(std::string_view s);
+[[nodiscard]] std::optional<StimuliKind> parseStimuliKind(std::string_view s);
 
 } // namespace qsimec::ec

@@ -64,9 +64,16 @@ std::string formatValue(double v) {
   return buffer;
 }
 
+/// Per-thread wall-time columns ("sim.seconds.tN") scale with the core
+/// count of the recording machine, unlike the plain ".seconds" totals whose
+/// single-threaded portions dominate.
+bool isPerThreadGauge(std::string_view key) {
+  return key.find(".seconds.") != std::string_view::npos;
+}
+
 void diffRecord(BenchDiffResult& result, const BenchDiffOptions& options,
                 const BenchReportRecord& base,
-                const BenchReportRecord& current) {
+                const BenchReportRecord& current, bool coreCountDiffers) {
   DiffRow row;
   row.name = base.name;
   row.baseOutcome = base.outcome;
@@ -143,10 +150,18 @@ void diffRecord(BenchDiffResult& result, const BenchDiffOptions& options,
       const double budget = std::max(baseValue, options.minSeconds) *
                             (1.0 + options.timeTolerance);
       if (currentValue > budget) {
+        // A per-thread column recorded on a machine with a different core
+        // count is not comparable: fewer cores serialize the portfolio and
+        // inflate every tN column without any code having regressed.
+        const bool downgrade = coreCountDiffers && isPerThreadGauge(key);
         result.findings.push_back(
-            {DiffSeverity::Regression, base.name,
-             "wall-time regression: " + key + " " + formatValue(baseValue) +
-                 "s -> " + formatValue(currentValue) + "s (budget " +
+            {downgrade ? DiffSeverity::Info : DiffSeverity::Regression,
+             base.name,
+             std::string(downgrade ? "wall-time drift (not gated: core "
+                                     "counts differ): "
+                                   : "wall-time regression: ") +
+                 key + " " + formatValue(baseValue) + "s -> " +
+                 formatValue(currentValue) + "s (budget " +
                  formatValue(budget) + "s)"});
       } else if (baseValue > options.minSeconds &&
                  currentValue <
@@ -188,6 +203,23 @@ BenchDiffResult diffBenchReports(const BenchReportFile& baseline,
                baseline.paperScale ? "true" : "false",
                current.paperScale ? "true" : "false");
 
+  // Core-count mismatch (or an old report that never recorded it) is not a
+  // failure — same-machine determinism still holds for everything except
+  // the per-thread wall-time columns, which get downgraded to notes.
+  const bool coreCountDiffers =
+      baseline.hardwareConcurrency != current.hardwareConcurrency;
+  if (coreCountDiffers) {
+    const auto describe = [](std::uint64_t hc) {
+      return hc == 0 ? std::string("unknown") : std::to_string(hc);
+    };
+    result.findings.push_back(
+        {DiffSeverity::Info, "",
+         "hardware_concurrency differs: baseline " +
+             describe(baseline.hardwareConcurrency) + ", current " +
+             describe(current.hardwareConcurrency) +
+             " (per-thread wall-time comparisons downgraded to notes)"});
+  }
+
   for (const BenchReportRecord& base : baseline.records) {
     const BenchReportRecord* cur = current.find(base.name);
     if (cur == nullptr) {
@@ -195,7 +227,7 @@ BenchDiffResult diffBenchReports(const BenchReportFile& baseline,
                                  "benchmark missing from current report"});
       continue;
     }
-    diffRecord(result, options, base, *cur);
+    diffRecord(result, options, base, *cur, coreCountDiffers);
   }
   for (const BenchReportRecord& cur : current.records) {
     if (baseline.find(cur.name) == nullptr) {

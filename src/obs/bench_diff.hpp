@@ -12,6 +12,12 @@
 // counters reflect where the clock happened to expire — the same rule
 // bench/parallel_sweep.cpp applies), but a record that times out in CURRENT
 // and not in BASELINE is itself a regression.
+//
+// Reports stamp the recording machine's hardware_concurrency; when baseline
+// and current disagree (or an old report predates the field), the
+// per-thread wall-time columns ("sim.seconds.tN") are downgraded from gate
+// failures to notes — those columns scale with the core count, not with
+// the code under test.
 
 #pragma once
 

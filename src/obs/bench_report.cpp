@@ -58,6 +58,9 @@ BenchReportFile parseBenchReport(std::string_view json) {
   report.simulations = root.at("simulations").asUint();
   report.seed = root.at("seed").asUint();
   report.threads = root.at("threads").asUint();
+  if (const util::JsonValue* hc = root.find("hardware_concurrency")) {
+    report.hardwareConcurrency = hc->asUint(); // optional: older reports
+  }
   report.paperScale = root.at("paper_scale").asBool();
   for (const util::JsonValue& row : root.at("results").elements()) {
     BenchReportRecord record;

@@ -32,6 +32,9 @@ struct BenchReportFile {
   std::uint64_t simulations{0};
   std::uint64_t seed{0};
   std::uint64_t threads{0};
+  /// std::thread::hardware_concurrency() of the recording machine; 0 when
+  /// the report predates the field (treated as unknown by bench-diff).
+  std::uint64_t hardwareConcurrency{0};
   bool paperScale{false};
   std::vector<BenchReportRecord> records;
 

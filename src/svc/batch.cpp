@@ -1,0 +1,440 @@
+#include "svc/batch.hpp"
+
+#include "ec/parallel.hpp"
+#include "ec/serialize.hpp"
+#include "io/qasm.hpp"
+#include "io/real.hpp"
+#include "transform/decomposition.hpp"
+#include "util/deadline.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qsimec::svc {
+
+namespace {
+
+/// The CLI's stimuli shorthands plus the canonical toString spellings.
+std::optional<ec::StimuliKind> stimuliFromString(std::string_view s) {
+  if (s == "basis") {
+    return ec::StimuliKind::ComputationalBasis;
+  }
+  if (s == "product") {
+    return ec::StimuliKind::RandomProduct;
+  }
+  if (s == "stabilizer") {
+    return ec::StimuliKind::RandomStabilizer;
+  }
+  return ec::parseStimuliKind(s);
+}
+
+std::optional<ec::Strategy> strategyFromString(std::string_view s) {
+  for (const ec::Strategy strategy :
+       {ec::Strategy::Naive, ec::Strategy::Proportional,
+        ec::Strategy::Lookahead}) {
+    if (s == ec::toString(strategy)) {
+      return strategy;
+    }
+  }
+  return std::nullopt;
+}
+
+[[noreturn]] void failLine(std::size_t lineNumber, const std::string& what) {
+  throw std::runtime_error("manifest line " + std::to_string(lineNumber) +
+                           ": " + what);
+}
+
+void applyOverride(ec::FlowConfiguration& config, const std::string& key,
+                   const util::JsonValue& value, std::size_t lineNumber) {
+  if (key == "sims") {
+    config.simulation.maxSimulations = value.asUint();
+    config.skipSimulation = config.simulation.maxSimulations == 0;
+  } else if (key == "seed") {
+    config.simulation.seed = value.asUint();
+  } else if (key == "timeout") {
+    config.complete.timeoutSeconds = value.asNumber();
+  } else if (key == "stimuli") {
+    const auto kind = stimuliFromString(value.asString());
+    if (!kind) {
+      failLine(lineNumber, "unknown stimuli kind: " + value.asString());
+    }
+    config.simulation.stimuli = *kind;
+  } else if (key == "strategy") {
+    const auto strategy = strategyFromString(value.asString());
+    if (!strategy) {
+      failLine(lineNumber, "unknown strategy: " + value.asString());
+    }
+    config.complete.strategy = *strategy;
+  } else if (key == "strict_phase") {
+    config.simulation.ignoreGlobalPhase = !value.asBool();
+  } else if (key == "sim_only") {
+    config.skipComplete = value.asBool();
+  } else if (key == "rewriting") {
+    config.tryRewriting = value.asBool();
+  } else if (key == "race") {
+    config.mode = value.asBool() ? ec::FlowMode::Race : ec::FlowMode::Staged;
+  } else {
+    failLine(lineNumber, "unknown key: " + key);
+  }
+}
+
+/// Parse a circuit by file extension, admitting malformed circuits: the
+/// flow's preflight turns defects into per-pair InvalidInput outcomes with
+/// diagnostics instead of one throw aborting the whole batch.
+ir::QuantumComputation loadCircuit(const std::string& path) {
+  const io::ParseOptions options{.validate = false};
+  if (path.size() >= 5 && path.ends_with(".real")) {
+    return io::parseRealFile(path, options);
+  }
+  if (path.ends_with(".qasm")) {
+    return io::parseQasmFile(path, options);
+  }
+  throw std::runtime_error("unrecognized circuit format (want .qasm/.real): " +
+                           path);
+}
+
+/// One dispatched (cache-missed) pair: the parsed circuits live here until
+/// the worker consumes them, so the whole miss set is resident at once —
+/// fine for design-flow batches, where the checking dominates memory anyway.
+struct Job {
+  std::size_t index{0};
+  ir::QuantumComputation g;
+  ir::QuantumComputation gPrime;
+  PairKey key;
+  const ec::FlowConfiguration* config{nullptr};
+};
+
+} // namespace
+
+BatchManifest parseManifest(std::istream& is,
+                            const ec::FlowConfiguration& base) {
+  BatchManifest manifest;
+  std::string line;
+  std::size_t lineNumber = 0;
+  while (std::getline(is, line)) {
+    ++lineNumber;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    util::JsonValue doc;
+    try {
+      doc = util::parseJson(line);
+    } catch (const util::JsonParseError& e) {
+      failLine(lineNumber, e.what());
+    }
+    if (!doc.isObject()) {
+      failLine(lineNumber, "expected a JSON object");
+    }
+    BatchPairSpec spec;
+    spec.config = base;
+    try {
+      for (const auto& [key, value] : doc.members()) {
+        if (key == "g") {
+          spec.gPath = value.asString();
+        } else if (key == "gp") {
+          spec.gPrimePath = value.asString();
+        } else {
+          applyOverride(spec.config, key, value, lineNumber);
+        }
+      }
+    } catch (const util::JsonParseError& e) {
+      failLine(lineNumber, e.what());
+    }
+    if (spec.gPath.empty() || spec.gPrimePath.empty()) {
+      failLine(lineNumber, "missing \"g\" or \"gp\"");
+    }
+    manifest.pairs.push_back(std::move(spec));
+  }
+  return manifest;
+}
+
+BatchManifest loadManifestFile(const std::string& path,
+                               const ec::FlowConfiguration& base) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open manifest: " + path);
+  }
+  return parseManifest(is, base);
+}
+
+void BatchScheduler::cancel() {
+  cancelRequested_.store(true, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(flagsMutex_);
+  if (activeFlags_ != nullptr) {
+    for (std::atomic<bool>& flag : *activeFlags_) {
+      flag.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+BatchResult BatchScheduler::run(const BatchManifest& manifest,
+                                const obs::Context& obs) {
+  const std::size_t total = manifest.pairs.size();
+  const unsigned threads =
+      ec::resolveThreadCount(options_.threads, std::max<std::size_t>(total, 1));
+
+  BatchResult result;
+  result.outcomes.resize(total);
+  result.summary.pairs = total;
+  result.summary.threads = threads;
+
+  const util::Stopwatch watch;
+  obs::ScopedSpan batchSpan(obs.tracer, "svc.batch", "svc");
+  batchSpan.arg("pairs", static_cast<std::uint64_t>(total));
+  batchSpan.arg("threads", static_cast<std::uint64_t>(threads));
+  obs.log(obs::JournalLevel::Info, "svc.batch.start")
+      .num("pairs", static_cast<std::uint64_t>(total))
+      .num("threads", static_cast<std::uint64_t>(threads));
+
+  std::vector<std::atomic<bool>> cancelFlags(total);
+  {
+    const std::lock_guard<std::mutex> lock(flagsMutex_);
+    activeFlags_ = &cancelFlags;
+    if (cancelRequested_.load(std::memory_order_relaxed)) {
+      for (std::atomic<bool>& flag : cancelFlags) {
+        flag.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::atomic<std::size_t> doneCount{0};
+  std::mutex progressMutex;
+  const auto reportDone = [&] {
+    const std::size_t done =
+        doneCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.onPairDone) {
+      const std::lock_guard<std::mutex> lock(progressMutex);
+      options_.onPairDone(done, total);
+    }
+  };
+
+  // Scheduler-thread pre-pass in manifest order: parse, fingerprint, and
+  // consult the cache; only misses become pool jobs.
+  std::vector<Job> jobs;
+  std::size_t cacheHits = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const BatchPairSpec& spec = manifest.pairs[i];
+    PairOutcome& outcome = result.outcomes[i];
+    outcome.index = i;
+    outcome.gPath = spec.gPath;
+    outcome.gPrimePath = spec.gPrimePath;
+    obs.log(obs::JournalLevel::Info, "svc.pair.start")
+        .num("index", static_cast<std::uint64_t>(i))
+        .str("g", spec.gPath)
+        .str("gp", spec.gPrimePath);
+    if (cancelFlags[i].load(std::memory_order_relaxed)) {
+      outcome.cancelled = true;
+      reportDone();
+      continue;
+    }
+    try {
+      ir::QuantumComputation g = loadCircuit(spec.gPath);
+      ir::QuantumComputation gPrime = loadCircuit(spec.gPrimePath);
+      // ancilla-adding flows produce different widths; pad the narrower one
+      // (the same normalization `qsimec check` applies, so verdicts match)
+      const std::size_t width = std::max(g.qubits(), gPrime.qubits());
+      g = tf::padQubits(g, width);
+      gPrime = tf::padQubits(gPrime, width);
+      PairKey key{fingerprint(g), fingerprint(gPrime),
+                  configDigest(spec.config)};
+      if (options_.cache != nullptr) {
+        if (const auto hit = options_.cache->lookup(key)) {
+          obs::ScopedSpan pairSpan(obs.tracer, "svc.pair", "svc");
+          pairSpan.arg("index", static_cast<std::uint64_t>(i));
+          pairSpan.arg("cache_hit", std::uint64_t{1});
+          outcome.cacheHit = true;
+          outcome.equivalence = hit->equivalence;
+          outcome.counterexample = hit->counterexample;
+          ++cacheHits;
+          obs.log(obs::JournalLevel::Info, "svc.pair.cache_hit")
+              .num("index", static_cast<std::uint64_t>(i))
+              .str("verdict", ec::toString(outcome.equivalence));
+          reportDone();
+          continue;
+        }
+      }
+      jobs.push_back(Job{i, std::move(g), std::move(gPrime), key,
+                         &spec.config});
+    } catch (const std::exception& e) {
+      outcome.equivalence = ec::Equivalence::InvalidInput;
+      outcome.error = e.what();
+      obs.log(obs::JournalLevel::Error, "svc.pair.verdict")
+          .num("index", static_cast<std::uint64_t>(i))
+          .str("outcome", ec::toString(outcome.equivalence))
+          .str("error", outcome.error);
+      reportDone();
+    }
+  }
+
+  std::atomic<std::size_t> cacheStores{0};
+  const auto runJob = [&](Job& job) {
+    PairOutcome& outcome = result.outcomes[job.index];
+    if (cancelFlags[job.index].load(std::memory_order_relaxed)) {
+      outcome.cancelled = true;
+      reportDone();
+      return;
+    }
+    obs::ScopedSpan pairSpan(obs.tracer, "svc.pair", "svc");
+    pairSpan.arg("index", static_cast<std::uint64_t>(job.index));
+    pairSpan.arg("cache_hit", std::uint64_t{0});
+    ec::FlowConfiguration config = *job.config;
+    config.simulation.cancelFlag = &cancelFlags[job.index];
+    config.complete.cancelFlag = &cancelFlags[job.index];
+    // Workers share the thread-safe sinks (tracer, journal) but never the
+    // metrics registry or live gauges — the registry is single-threaded and
+    // the gauge block expects one publisher.
+    obs::Context workerObs;
+    workerObs.tracer = obs.tracer;
+    workerObs.journal = obs.journal;
+    try {
+      const ec::FlowResult flow =
+          ec::EquivalenceCheckingFlow(config).run(job.g, job.gPrime,
+                                                  workerObs);
+      outcome.equivalence = flow.equivalence;
+      outcome.counterexample = flow.counterexample;
+      outcome.completeTimedOut = flow.completeTimedOut;
+      outcome.simulations = flow.simulations;
+      outcome.seconds = flow.totalSeconds();
+      outcome.cancelled =
+          cancelFlags[job.index].load(std::memory_order_relaxed);
+      if (options_.cache != nullptr && !outcome.cancelled &&
+          isCacheable(outcome.equivalence)) {
+        options_.cache->store(job.key,
+                              CachedVerdict{outcome.equivalence,
+                                            outcome.counterexample});
+        cacheStores.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const std::exception& e) {
+      outcome.equivalence = ec::Equivalence::NoInformation;
+      outcome.error = e.what();
+    }
+    obs.log(outcome.equivalence == ec::Equivalence::NotEquivalent
+                ? obs::JournalLevel::Warn
+                : obs::JournalLevel::Info,
+            "svc.pair.verdict")
+        .num("index", static_cast<std::uint64_t>(job.index))
+        .str("outcome", ec::toString(outcome.equivalence))
+        .num("simulations", static_cast<std::uint64_t>(outcome.simulations))
+        .num("seconds", outcome.seconds)
+        .flag("cancelled", outcome.cancelled);
+    reportDone();
+  };
+
+  if (!jobs.empty()) {
+    const unsigned poolThreads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, jobs.size()));
+    if (poolThreads <= 1) {
+      for (Job& job : jobs) {
+        runJob(job);
+      }
+    } else {
+      ec::WorkerPool pool(poolThreads);
+      for (Job& job : jobs) {
+        pool.submit([&runJob, &job] { runJob(job); });
+      }
+      pool.wait();
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(flagsMutex_);
+    activeFlags_ = nullptr;
+  }
+
+  BatchSummary& summary = result.summary;
+  summary.cacheHits = cacheHits;
+  summary.cacheStores = cacheStores.load(std::memory_order_relaxed);
+  for (const PairOutcome& outcome : result.outcomes) {
+    switch (outcome.equivalence) {
+    case ec::Equivalence::Equivalent:
+    case ec::Equivalence::EquivalentUpToGlobalPhase:
+    case ec::Equivalence::ProbablyEquivalent:
+      ++summary.equivalent;
+      break;
+    case ec::Equivalence::NotEquivalent:
+      ++summary.notEquivalent;
+      break;
+    case ec::Equivalence::InvalidInput:
+      ++summary.invalid;
+      break;
+    case ec::Equivalence::NoInformation:
+      ++summary.inconclusive;
+      break;
+    }
+  }
+  summary.seconds = watch.seconds();
+
+  batchSpan.arg("cache_hits", static_cast<std::uint64_t>(summary.cacheHits));
+  batchSpan.arg("not_equivalent",
+                static_cast<std::uint64_t>(summary.notEquivalent));
+  obs.log(obs::JournalLevel::Info, "svc.batch.done")
+      .num("pairs", static_cast<std::uint64_t>(summary.pairs))
+      .num("equivalent", static_cast<std::uint64_t>(summary.equivalent))
+      .num("not_equivalent",
+           static_cast<std::uint64_t>(summary.notEquivalent))
+      .num("inconclusive", static_cast<std::uint64_t>(summary.inconclusive))
+      .num("invalid", static_cast<std::uint64_t>(summary.invalid))
+      .num("cache_hits", static_cast<std::uint64_t>(summary.cacheHits))
+      .num("cache_stores", static_cast<std::uint64_t>(summary.cacheStores))
+      .num("seconds", summary.seconds);
+  // Published from the scheduler thread only, after the pool has drained.
+  obs.count("svc.pairs", summary.pairs);
+  obs.count("svc.cache.hit", summary.cacheHits);
+  obs.count("svc.cache.miss", total - summary.cacheHits);
+  obs.count("svc.cache.store", summary.cacheStores);
+  obs.gauge("svc.batch.seconds", summary.seconds);
+  return result;
+}
+
+std::string toJsonLine(const PairOutcome& outcome,
+                       const BatchSerializeOptions& options) {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("schema", "qsimec-batch-v1")
+      .field("index", static_cast<std::uint64_t>(outcome.index))
+      .field("g", outcome.gPath)
+      .field("gp", outcome.gPrimePath)
+      .field("equivalence", ec::toString(outcome.equivalence))
+      .field("cache_hit", outcome.cacheHit)
+      .field("cancelled", outcome.cancelled)
+      .field("simulations", static_cast<std::uint64_t>(outcome.simulations));
+  if (!options.redact) {
+    json.field("complete_timed_out", outcome.completeTimedOut)
+        .field("seconds", outcome.seconds);
+  }
+  json.rawField("counterexample", ec::toJson(outcome.counterexample));
+  if (!outcome.error.empty()) {
+    json.field("error", outcome.error);
+  }
+  json.endObject();
+  return json.str();
+}
+
+std::string toJsonLine(const BatchSummary& summary,
+                       const BatchSerializeOptions& options) {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("schema", "qsimec-batch-v1")
+      .field("summary", true)
+      .field("pairs", static_cast<std::uint64_t>(summary.pairs))
+      .field("equivalent", static_cast<std::uint64_t>(summary.equivalent))
+      .field("not_equivalent",
+             static_cast<std::uint64_t>(summary.notEquivalent))
+      .field("inconclusive", static_cast<std::uint64_t>(summary.inconclusive))
+      .field("invalid", static_cast<std::uint64_t>(summary.invalid))
+      .field("cache_hits", static_cast<std::uint64_t>(summary.cacheHits))
+      .field("cache_stores",
+             static_cast<std::uint64_t>(summary.cacheStores));
+  if (!options.redact) {
+    json.field("threads", summary.threads)
+        .field("seconds", summary.seconds);
+  }
+  json.endObject();
+  return json.str();
+}
+
+} // namespace qsimec::svc

@@ -1,0 +1,154 @@
+// The batch checking service front-end: check a manifest of circuit pairs
+// against one shared worker pool, with a verdict cache consulted before any
+// checker work is dispatched.
+//
+// The manifest is JSONL — one pair per line:
+//
+//   {"g": "a.qasm", "gp": "b.qasm"}
+//   {"g": "c.real", "gp": "d.qasm", "sims": 16, "timeout": 5, "seed": 7}
+//
+// with optional per-pair overrides of the base configuration (see
+// docs/service.md for the full key list). Pairs are processed as follows:
+// the scheduler walks the manifest in order on the calling thread, parses
+// both circuits, fingerprints them, and consults the VerdictCache; hits are
+// resolved immediately and only misses are dispatched to the ec::WorkerPool
+// — so a fully warm cache dispatches zero checker work. Results are
+// reported in manifest order regardless of completion order, and the
+// redacted serialization of a batch is byte-identical for every thread
+// count (the per-pair flow verdicts are deterministic by the parallelism
+// contract, and the scheduler adds no ordering of its own).
+//
+// Observability: an attached obs::Context records a "svc.batch" root span
+// with one "svc.pair" child span per pair (hits on the scheduler thread,
+// misses on the worker that ran the flow, which nests the usual "flow"
+// span), journal events svc.batch.start / svc.pair.start /
+// svc.pair.cache_hit / svc.pair.verdict / svc.batch.done, and
+// svc.cache.{hit,miss,store} counters published into the metrics registry
+// by the scheduler thread after the pool drains (worker threads never touch
+// the registry — it is not thread-safe).
+
+#pragma once
+
+#include "ec/flow.hpp"
+#include "obs/context.hpp"
+#include "svc/verdict_cache.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qsimec::svc {
+
+/// One manifest line: the two circuit files plus the (base + overrides)
+/// configuration this pair is checked under.
+struct BatchPairSpec {
+  std::string gPath;
+  std::string gPrimePath;
+  ec::FlowConfiguration config;
+};
+
+struct BatchManifest {
+  std::vector<BatchPairSpec> pairs;
+};
+
+/// Parse a JSONL manifest; every pair starts from a copy of `base` and
+/// applies its per-pair overrides. Blank lines are skipped; malformed JSON,
+/// missing "g"/"gp", or an unknown override key throw std::runtime_error
+/// naming the offending line.
+[[nodiscard]] BatchManifest parseManifest(std::istream& is,
+                                          const ec::FlowConfiguration& base);
+
+/// parseManifest() on the file at `path`; std::runtime_error if unreadable.
+[[nodiscard]] BatchManifest loadManifestFile(const std::string& path,
+                                             const ec::FlowConfiguration& base);
+
+/// Per-pair result, reported in manifest order.
+struct PairOutcome {
+  std::size_t index{0};
+  std::string gPath;
+  std::string gPrimePath;
+  ec::Equivalence equivalence{ec::Equivalence::NoInformation};
+  std::optional<ec::Counterexample> counterexample;
+  /// Verdict came from the cache; no checker work ran for this pair.
+  bool cacheHit{false};
+  /// Pair was cancelled (BatchScheduler::cancel) before or while running.
+  bool cancelled{false};
+  bool completeTimedOut{false};
+  std::size_t simulations{0};
+  double seconds{0.0};
+  /// Non-empty when the pair could not be checked at all (unreadable or
+  /// unparseable file); equivalence is then InvalidInput.
+  std::string error;
+};
+
+struct BatchSummary {
+  std::size_t pairs{0};
+  std::size_t equivalent{0};      // both equivalence flavours + probably
+  std::size_t notEquivalent{0};
+  std::size_t inconclusive{0};    // NoInformation or cancelled
+  std::size_t invalid{0};
+  std::size_t cacheHits{0};
+  std::size_t cacheStores{0};
+  unsigned threads{1};
+  double seconds{0.0};
+};
+
+struct BatchResult {
+  std::vector<PairOutcome> outcomes; // manifest order
+  BatchSummary summary;
+};
+
+struct BatchOptions {
+  /// Worker threads for dispatched pairs; 0 = one per hardware thread,
+  /// capped at the number of pairs.
+  unsigned threads{0};
+  /// Optional shared verdict cache (not owned). Null: every pair is checked.
+  VerdictCache* cache{nullptr};
+  /// Invoked after every resolved pair as onPairDone(done, total) — calls
+  /// are serialized but may come from any worker thread; keep it cheap.
+  std::function<void(std::size_t, std::size_t)> onPairDone;
+};
+
+class BatchScheduler {
+public:
+  explicit BatchScheduler(BatchOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Check every pair of the manifest. Blocks until all pairs are resolved
+  /// (verdict, cache hit, error, or cancellation).
+  [[nodiscard]] BatchResult run(const BatchManifest& manifest,
+                                const obs::Context& obs = {});
+
+  /// Cancel the batch: pairs not yet started resolve as cancelled, in-flight
+  /// pairs abandon at their next interrupt poll (staged-mode stages observe
+  /// the flag directly; a race-mode pair re-checks it between stages).
+  /// Callable from any thread while run() is in flight.
+  void cancel();
+
+private:
+  BatchOptions options_;
+  std::atomic<bool> cancelRequested_{false};
+  std::mutex flagsMutex_;
+  std::vector<std::atomic<bool>>* activeFlags_{nullptr};
+};
+
+/// Serialization of batch results: one "qsimec-batch-v1" JSONL line per
+/// pair plus one summary line. Redaction drops what legitimately varies
+/// between runs (wall-clock seconds, thread count, timeout flags); the rest
+/// is bit-identical for a fixed manifest + cache state at every thread
+/// count, which tests/test_svc.cpp compares byte-for-byte.
+struct BatchSerializeOptions {
+  bool redact{false};
+};
+
+[[nodiscard]] std::string toJsonLine(const PairOutcome& outcome,
+                                     const BatchSerializeOptions& options = {});
+[[nodiscard]] std::string toJsonLine(const BatchSummary& summary,
+                                     const BatchSerializeOptions& options = {});
+
+} // namespace qsimec::svc

@@ -1,0 +1,132 @@
+// Thread-safe LRU cache of proven equivalence verdicts, keyed by
+// (fingerprint(G), fingerprint(G'), config digest), with optional JSONL
+// persistence — the memory of the batch checking service.
+//
+// Only *proofs* are cacheable: Equivalent / EquivalentUpToGlobalPhase (the
+// complete check finished) and NotEquivalent (a counterexample in hand) hold
+// for the circuit pair forever, independent of the machine, the thread
+// count, or the timeout that happened to be configured when they were
+// found. ProbablyEquivalent and NoInformation are statements about a
+// *budget* ("the complete check did not finish in time"), not about the
+// pair — caching them would freeze a timeout into a verdict that a retry
+// with a larger budget could upgrade. InvalidInput is likewise never
+// cached: it describes the files as parsed, and files change.
+// docs/service.md carries the full safety argument.
+//
+// Persistence is a JSONL append log (`qsimec-cache-v1`): load replays the
+// file into the in-memory LRU (later lines win, corrupt lines are skipped
+// and counted — a half-written tail from a killed run must not poison the
+// store), and every store() appends one line to the attached stream. Every
+// line is a self-contained JSON object parseable by util::parseJson.
+
+#pragma once
+
+#include "ec/result.hpp"
+#include "svc/fingerprint.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace qsimec::svc {
+
+/// Identity of one checking task: both circuit fingerprints plus the digest
+/// of the verdict-relevant configuration. Order matters — (G, G') and
+/// (G', G) are distinct keys (their counterexample fidelities differ even
+/// though the verdict agrees).
+struct PairKey {
+  Fingerprint g;
+  Fingerprint gPrime;
+  std::uint64_t configDigest{0};
+
+  [[nodiscard]] bool operator==(const PairKey&) const = default;
+};
+
+struct PairKeyHash {
+  [[nodiscard]] std::size_t operator()(const PairKey& k) const noexcept {
+    // the fingerprint words are already avalanche-mixed; xor with odd
+    // multipliers keeps the lanes from cancelling
+    return static_cast<std::size_t>(k.g.lo ^ (k.gPrime.lo * 0x9e3779b97f4a7c15ULL) ^
+                                    (k.configDigest * 0xc2b2ae3d27d4eb4fULL));
+  }
+};
+
+/// A cached proof: the verdict plus the counterexample stimulus that proved
+/// non-equivalence (absent for equivalence proofs).
+struct CachedVerdict {
+  ec::Equivalence equivalence{ec::Equivalence::NoInformation};
+  std::optional<ec::Counterexample> counterexample;
+};
+
+/// True for the verdicts that are proofs (and therefore cacheable): both
+/// equivalence flavours and NotEquivalent. Timeout-shaped outcomes
+/// (ProbablyEquivalent, NoInformation) and InvalidInput are not.
+[[nodiscard]] constexpr bool isCacheable(ec::Equivalence e) noexcept {
+  return e == ec::Equivalence::Equivalent ||
+         e == ec::Equivalence::EquivalentUpToGlobalPhase ||
+         e == ec::Equivalence::NotEquivalent;
+}
+
+class VerdictCache {
+public:
+  explicit VerdictCache(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Look the key up, refreshing its LRU position. Counts a hit or a miss.
+  [[nodiscard]] std::optional<CachedVerdict> lookup(const PairKey& key);
+
+  /// Insert (or refresh) a proof; silently ignores non-cacheable verdicts.
+  /// Appends one JSONL line to the persistence stream if one is attached
+  /// and the entry is new or changed.
+  void store(const PairKey& key, const CachedVerdict& verdict);
+
+  /// Replay a qsimec-cache-v1 JSONL stream into the cache (no persistence
+  /// echo). Returns the number of entries loaded; malformed or
+  /// wrong-schema lines are skipped and counted in corruptLines().
+  std::size_t load(std::istream& is);
+
+  /// load() from the file at `path`; a missing file is an empty cache (0).
+  std::size_t loadFile(const std::string& path);
+
+  /// Mirror every store() as one JSONL line into `os` (flushed per line).
+  /// The stream is never owned; detach with nullptr before it dies.
+  void persistTo(std::ostream* os);
+
+  /// One qsimec-cache-v1 line (no trailing newline).
+  [[nodiscard]] static std::string toJsonLine(const PairKey& key,
+                                              const CachedVerdict& verdict);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t stores() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+  [[nodiscard]] std::uint64_t corruptLines() const;
+
+private:
+  using Entry = std::pair<PairKey, CachedVerdict>;
+
+  void insertLocked(const PairKey& key, const CachedVerdict& verdict,
+                    bool persist);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_; // front = most recently used
+  std::unordered_map<PairKey, std::list<Entry>::iterator, PairKeyHash> index_;
+  std::ostream* persistStream_{nullptr};
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+  std::uint64_t stores_{0};
+  std::uint64_t evictions_{0};
+  std::uint64_t corruptLines_{0};
+};
+
+} // namespace qsimec::svc

@@ -1,0 +1,39 @@
+# Smoke test for tools/journal2folded.py: run one real check with
+# --journal, fold the journal, and require the flow stage frames in the
+# output. Driven from tests/CMakeLists.txt (test name tools.journal2folded).
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(COMMAND ${QSIMEC_CLI} gen ghz 4 ${WORK_DIR}/g.qasm
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${QSIMEC_CLI} check ${WORK_DIR}/g.qasm ${WORK_DIR}/g.qasm
+          --timeout 60 --journal ${WORK_DIR}/run.jsonl
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON3} ${FOLD_SCRIPT} ${WORK_DIR}/run.jsonl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE folded ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "journal2folded failed (${rc}): ${err}")
+endif()
+
+foreach(frame "flow;simulation" "flow;complete")
+  if(NOT folded MATCHES "${frame} [0-9]+")
+    message(FATAL_ERROR "missing frame '${frame}' in folded output:\n${folded}")
+  endif()
+endforeach()
+
+# folded counts are integer microseconds: every line is "stack count"
+# (cannot split into a CMake list here — the stack frames themselves
+# contain semicolons)
+if(NOT folded MATCHES "^([^ \n]+ [0-9]+\n)+$")
+  message(FATAL_ERROR "malformed folded output:\n${folded}")
+endif()

@@ -211,3 +211,63 @@ TEST(BenchDiff, ConfigAndRecordSetMismatchesFail) {
   extra.records.push_back(added);
   EXPECT_FALSE(obs::diffBenchReports(baseline, extra).hasRegression());
 }
+
+TEST(BenchReport, HardwareConcurrencyIsOptional) {
+  // reports that predate the field parse with hardwareConcurrency == 0
+  const std::string withoutField = R"({
+    "schema":"qsimec-bench-v1","harness":"h","timeout_seconds":10,
+    "simulations":10,"seed":42,"threads":1,"paper_scale":false,
+    "results":[]})";
+  EXPECT_EQ(obs::parseBenchReport(withoutField).hardwareConcurrency, 0U);
+
+  const std::string withField = R"({
+    "schema":"qsimec-bench-v1","harness":"h","timeout_seconds":10,
+    "simulations":10,"seed":42,"threads":1,"hardware_concurrency":16,
+    "paper_scale":false,"results":[]})";
+  EXPECT_EQ(obs::parseBenchReport(withField).hardwareConcurrency, 16U);
+}
+
+TEST(BenchDiff, CoreCountMismatchDowngradesPerThreadColumnsOnly) {
+  // a tN column regression on a machine with a different core count is a
+  // note, not a gate failure — but the plain ".seconds" totals still gate
+  obs::BenchReportFile baseline = makeReport("equivalent", 0.5, 1000);
+  baseline.hardwareConcurrency = 8;
+  baseline.records[0].metrics.gauges["sim.seconds.t2"] = 0.5;
+
+  obs::BenchReportFile current = baseline;
+  current.hardwareConcurrency = 2;
+  current.records[0].metrics.gauges["sim.seconds.t2"] = 2.0; // 4x slower
+
+  obs::BenchDiffResult result = obs::diffBenchReports(baseline, current);
+  EXPECT_FALSE(result.hasRegression());
+  bool downgraded = false;
+  for (const obs::DiffFinding& finding : result.findings) {
+    downgraded = downgraded ||
+                 (finding.severity == obs::DiffSeverity::Info &&
+                  finding.message.find("sim.seconds.t2") != std::string::npos);
+  }
+  EXPECT_TRUE(downgraded);
+
+  // the single-threaded totals are still comparable and still gate
+  current.records[0].metrics.gauges["total.seconds"] = 5.0;
+  result = obs::diffBenchReports(baseline, current);
+  EXPECT_TRUE(result.hasRegression());
+
+  // same core count (field present and equal): tN columns gate as before
+  current.hardwareConcurrency = 8;
+  current.records[0].metrics.gauges["total.seconds"] = 0.5;
+  result = obs::diffBenchReports(baseline, current);
+  EXPECT_TRUE(result.hasRegression());
+}
+
+TEST(BenchDiff, UnknownCoreCountAlsoDowngrades) {
+  // baseline recorded before the field existed (0 = unknown) vs a current
+  // report that has it: not comparable, downgrade rather than fail
+  obs::BenchReportFile baseline = makeReport("equivalent", 0.5, 1000);
+  baseline.records[0].metrics.gauges["sim.seconds.t4"] = 0.5;
+  obs::BenchReportFile current = baseline;
+  current.hardwareConcurrency = 4;
+  current.records[0].metrics.gauges["sim.seconds.t4"] = 2.0;
+  const obs::BenchDiffResult result = obs::diffBenchReports(baseline, current);
+  EXPECT_FALSE(result.hasRegression());
+}

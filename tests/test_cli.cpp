@@ -13,7 +13,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -364,4 +366,88 @@ TEST_F(CliTest, BenchDiffGatesOnRegressionsAndPassesSelfComparison) {
 
   const auto missing = runCli("bench-diff " + base + " " + path("nope.json"));
   EXPECT_EQ(missing.exitCode, 2) << missing.output;
+}
+
+TEST_F(CliTest, BatchChecksManifestAndMirrorsCheckExitCodes) {
+  const std::string a = path("a.qasm");
+  const std::string b = path("b.qasm");
+  const std::string add = path("add.real");
+  const std::string inc = path("inc.real");
+  ASSERT_EQ(runCli("gen qft 3 " + a).exitCode, 0);
+  ASSERT_EQ(runCli("gen qft-alt 3 " + b).exitCode, 0);
+  ASSERT_EQ(runCli("gen adder 4 " + add).exitCode, 0);
+  ASSERT_EQ(runCli("gen inc 4 " + inc).exitCode, 0);
+
+  const std::string equivalentOnly = path("eq.jsonl");
+  {
+    std::ofstream os(equivalentOnly);
+    os << R"({"g": ")" << a << R"(", "gp": ")" << b << "\"}\n"
+       << R"({"g": ")" << add << R"(", "gp": ")" << add << "\"}\n";
+  }
+  const auto eq = runCli("batch " + equivalentOnly + " --timeout 60");
+  EXPECT_EQ(eq.exitCode, 0) << eq.output;
+  EXPECT_NE(eq.output.find("pairs: 2"), std::string::npos) << eq.output;
+
+  // one non-equivalent pair flips the batch exit code to 1, like check's
+  const std::string mixed = path("mixed.jsonl");
+  {
+    std::ofstream os(mixed);
+    os << R"({"g": ")" << a << R"(", "gp": ")" << b << "\"}\n"
+       << R"({"g": ")" << add << R"(", "gp": ")" << inc << "\"}\n";
+  }
+  const auto ne = runCli("batch " + mixed + " --timeout 60 --json");
+  EXPECT_EQ(ne.exitCode, 1) << ne.output;
+  // every line of --json output is a valid, schema-tagged JSON object
+  std::istringstream lines(ne.output);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(qsimec::util::isValidJson(line)) << line;
+    EXPECT_NE(line.find("\"schema\":\"qsimec-batch-v1\""), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, 3U); // two pairs + summary
+
+  const auto missing = runCli("batch " + path("nope.jsonl"));
+  EXPECT_EQ(missing.exitCode, 2) << missing.output;
+}
+
+TEST_F(CliTest, BatchWarmCacheRerunAnswersFromCache) {
+  const std::string a = path("wa.qasm");
+  const std::string b = path("wb.qasm");
+  ASSERT_EQ(runCli("gen qft 3 " + a).exitCode, 0);
+  ASSERT_EQ(runCli("gen qft-alt 3 " + b).exitCode, 0);
+  const std::string manifest = path("warm.jsonl");
+  {
+    std::ofstream os(manifest);
+    os << R"({"g": ")" << a << R"(", "gp": ")" << b << "\"}\n"
+       << R"({"g": ")" << a << R"(", "gp": ")" << a << "\"}\n";
+  }
+  const std::string cache = path("cache.jsonl");
+  const std::string cmd =
+      "batch " + manifest + " --cache " + cache + " --timeout 60 --json";
+
+  const auto cold = runCli(cmd);
+  EXPECT_EQ(cold.exitCode, 0) << cold.output;
+  EXPECT_NE(cold.output.find("\"cache_hits\":0"), std::string::npos);
+  EXPECT_NE(cold.output.find("\"cache_stores\":2"), std::string::npos);
+
+  const auto warm = runCli(cmd);
+  EXPECT_EQ(warm.exitCode, 0) << warm.output;
+  EXPECT_NE(warm.output.find("\"cache_hits\":2"), std::string::npos)
+      << warm.output;
+  EXPECT_NE(warm.output.find("\"cache_stores\":0"), std::string::npos);
+
+  // the verdict sequence is identical whether computed or replayed
+  const auto verdicts = [](const std::string& s) {
+    std::vector<std::string> found;
+    const std::string needle = "\"equivalence\":\"";
+    for (std::size_t at = s.find(needle); at != std::string::npos;
+         at = s.find(needle, at + 1)) {
+      const std::size_t begin = at + needle.size();
+      found.push_back(s.substr(begin, s.find('"', begin) - begin));
+    }
+    return found;
+  };
+  EXPECT_EQ(verdicts(cold.output), verdicts(warm.output));
 }

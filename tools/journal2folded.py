@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Convert a qsimec run journal (--journal FILE, JSONL) to folded-stack format.
+
+Folded stacks are the input of Brendan Gregg's flamegraph.pl and of the
+"sandwich" view in speedscope (https://www.speedscope.app): one line per
+stack, frames separated by ';', followed by a count. We use integer
+microseconds as the count, so frame widths are proportional to wall time.
+
+Frames emitted:
+
+    flow;<stage>                    stage self-time (interval between two
+                                    flow.stage markers, minus children)
+    flow;<stage>;dd.gc              DD garbage-collection pauses inside the
+                                    stage (the journal's dd.gc events carry
+                                    the measured pause_seconds)
+    flow;simulation;sim.stimulus    stimulus-run time: deltas between
+                                    consecutive sim.stimulus completions,
+                                    minus the GC pauses inside them
+
+Attribution is approximate by design: the journal records completion
+events, not begin/end pairs, so a stimulus delta includes whatever else the
+worker did in that window. For single-threaded runs (--threads 1) the
+approximation is exact up to journal-write overhead; for portfolio runs the
+per-stimulus deltas overlap and only the stage totals are meaningful.
+
+Usage:
+    tools/journal2folded.py run.jsonl > run.folded
+    tools/journal2folded.py run.jsonl -o run.folded
+
+Malformed lines are skipped (the journal may have a half-written tail if
+the run was killed); a journal with no flow.stage events yields no output
+and exit code 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def read_events(path: str) -> list[dict]:
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # half-written tail of a killed run
+            if isinstance(event, dict) and "ts_micros" in event:
+                events.append(event)
+    events.sort(key=lambda e: e["ts_micros"])
+    return events
+
+
+def fold(events: list[dict]) -> dict[str, float]:
+    """Aggregate events into {stack: microseconds}."""
+    # Stage intervals: each flow.stage marker opens a stage that the next
+    # marker (or the flow.verdict / last event) closes.
+    markers = [e for e in events if e.get("event") == "flow.stage"]
+    if not markers:
+        return {}
+    end_ts = markers[-1]["ts_micros"]
+    for event in events:
+        if event.get("event") == "flow.verdict":
+            end_ts = max(end_ts, event["ts_micros"])
+    if events:
+        end_ts = max(end_ts, events[-1]["ts_micros"])
+
+    intervals = []  # (stage, begin, end)
+    for i, marker in enumerate(markers):
+        begin = marker["ts_micros"]
+        end = markers[i + 1]["ts_micros"] if i + 1 < len(markers) else end_ts
+        intervals.append((str(marker.get("stage", "?")), begin, end))
+
+    def stage_at(ts: float) -> str | None:
+        for stage, begin, end in intervals:
+            if begin <= ts <= end:
+                return stage
+        return None
+
+    folded: dict[str, float] = defaultdict(float)
+    children: dict[str, float] = defaultdict(float)  # per-stage child time
+
+    # GC pauses: measured durations, attributed to the enclosing stage.
+    gc_by_stage: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for event in events:
+        if event.get("event") != "dd.gc":
+            continue
+        stage = stage_at(event["ts_micros"])
+        if stage is None:
+            continue
+        pause_us = float(event.get("pause_seconds", 0.0)) * 1e6
+        folded[f"flow;{stage};dd.gc"] += pause_us
+        children[stage] += pause_us
+        gc_by_stage[stage].append((event["ts_micros"], pause_us))
+
+    # Stimulus runs: completion deltas inside the simulation stage, minus
+    # the GC pauses that fell into the same window (they are already their
+    # own frame).
+    sim_intervals = [iv for iv in intervals if iv[0] == "simulation"]
+    for _, begin, end in sim_intervals:
+        prev = begin
+        for event in events:
+            if event.get("event") not in ("sim.stimulus",
+                                          "sim.stimulus.cancelled"):
+                continue
+            ts = event["ts_micros"]
+            if not begin <= ts <= end:
+                continue
+            delta = ts - prev
+            gc_inside = sum(pause for gc_ts, pause in gc_by_stage["simulation"]
+                            if prev < gc_ts <= ts)
+            folded["flow;simulation;sim.stimulus"] += max(
+                0.0, delta - gc_inside)
+            children["simulation"] += max(0.0, delta - gc_inside)
+            prev = ts
+
+    for stage, begin, end in intervals:
+        self_time = max(0.0, (end - begin) - children[stage])
+        children[stage] = 0.0  # consumed; repeated stages start fresh
+        folded[f"flow;{stage}"] += self_time
+
+    return folded
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="qsimec journal (JSONL) -> folded stacks")
+    parser.add_argument("journal", help="journal file written by --journal")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output file (default: stdout)")
+    args = parser.parse_args()
+
+    try:
+        events = read_events(args.journal)
+    except OSError as error:
+        print(f"cannot read {args.journal}: {error}", file=sys.stderr)
+        return 2
+
+    folded = fold(events)
+    if not folded:
+        print("no flow.stage events in journal; nothing to fold",
+              file=sys.stderr)
+        return 1
+
+    out = open(args.output, "w", encoding="utf-8") if args.output \
+        else sys.stdout
+    try:
+        for stack in sorted(folded):
+            micros = int(round(folded[stack]))
+            if micros > 0:
+                print(f"{stack} {micros}", file=out)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
