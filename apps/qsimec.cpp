@@ -3,6 +3,7 @@
 //   qsimec check A B [options]   equivalence-check two circuit files
 //   qsimec batch MANIFEST        check a JSONL manifest of circuit pairs
 //   qsimec lint FILE [FILE2]     static analysis: report diagnostics
+//   qsimec profile FILE [FILE2]  gate-set / tier profile without any checking
 //   qsimec sim FILE [options]    simulate a circuit, print top amplitudes
 //   qsimec info FILE             circuit statistics
 //   qsimec convert IN OUT        convert between .qasm and .real
@@ -17,6 +18,8 @@
 // malformed circuit files).
 
 #include "analysis/analyzer.hpp"
+#include "analysis/prescreen.hpp"
+#include "analysis/profile.hpp"
 #include "dd/export.hpp"
 #include "ec/error_localization.hpp"
 #include "ec/flow.hpp"
@@ -69,6 +72,8 @@ usage:
       --sim-only            skip the complete check
       --strict-phase        do not treat global phase as equivalent
       --rewriting           try the syntactic rewriting checker first
+      --no-prescreen        skip the static prescreen and tier routing; every
+                            pair takes the general simulation + DD path
       --localize            on non-equivalence, binary-search the diverging gate
       --json                emit the result as a JSON object (with per-stage
                             metrics and DD profile under "metrics")
@@ -113,6 +118,12 @@ usage:
       rules (width mismatch, ...) run as well
       --errors-only         suppress the QL lint rules (errors/warnings only)
       --json                emit the diagnostics as a JSON object
+  qsimec profile FILE [FILE2] [--json]
+      static semantic profile, no simulation and no decision diagrams:
+      gate-set class (clifford | clifford+t | general), control-arity
+      histogram, Clifford-breaking gates; with two files also the pair
+      prescreen (prefix/suffix cancellation, rotation merging) and the
+      tier the check flow would route the pair to
   qsimec sim FILE [--input I] [--top K] [--seed N]
   qsimec info FILE
   qsimec convert IN OUT
@@ -197,7 +208,9 @@ int parseFlowFlags(ArgCursor& args, ec::FlowConfiguration& config) {
   const bool simOnly = args.consumeFlag("--sim-only");
   const bool strictPhase = args.consumeFlag("--strict-phase");
   const bool rewriting = args.consumeFlag("--rewriting");
+  const bool noPrescreen = args.consumeFlag("--no-prescreen");
 
+  config.prescreen.enabled = !noPrescreen;
   config.simulation.maxSimulations = std::stoul(simsStr);
   config.simulation.seed = std::stoull(seedStr);
   config.simulation.ignoreGlobalPhase = !strictPhase;
@@ -328,6 +341,7 @@ int runCheck(ArgCursor& args) {
     }
   } else {
     std::cout << "result:      " << toString(result.equivalence) << "\n"
+              << "tier:        " << toString(result.tier) << "\n"
               << "simulations: " << result.simulations << " ("
               << result.simulationSeconds << "s, " << result.numThreads
               << (result.numThreads == 1 ? " thread" : " threads")
@@ -591,13 +605,126 @@ int runLint(ArgCursor& args) {
     std::cout << json.str() << "\n";
   } else {
     for (const auto& d : report.diagnostics) {
-      const std::string& file = files[d.circuit < files.size() ? d.circuit : 0];
+      // pair-level findings (QP/QS rules) belong to both files, not to
+      // whichever circuit index happens to be stored
+      const std::string file =
+          d.pair && files.size() == 2 ? files[0] + ", " + files[1]
+                                      : files[d.circuit < files.size()
+                                                  ? d.circuit
+                                                  : 0];
       std::cout << file << ": " << analysis::toString(d) << "\n";
     }
     std::cout << errors << " error(s), " << warnings << " warning(s), "
               << notes << " note(s)\n";
   }
   return errors > 0 ? 4 : 0;
+}
+
+/// `qsimec profile`: the static semantic profile (and, for a pair, the
+/// prescreen + tier routing) with no simulation and no decision diagrams.
+int runProfile(ArgCursor& args) {
+  const bool jsonOutput = args.consumeFlag("--json");
+
+  std::vector<std::string> files;
+  files.push_back(args.next("circuit file"));
+  if (!args.empty()) {
+    files.push_back(args.next("second circuit file"));
+  }
+
+  std::vector<ir::QuantumComputation> circuits;
+  circuits.reserve(files.size());
+  for (const std::string& f : files) {
+    circuits.push_back(load(f, {.validate = false}));
+  }
+  if (circuits.size() == 2) {
+    // mirror `check`: pad the narrower circuit so ancilla-adding flows
+    // profile as a comparable pair
+    const std::size_t width =
+        std::max(circuits[0].qubits(), circuits[1].qubits());
+    circuits[0] = tf::padQubits(circuits[0], width);
+    circuits[1] = tf::padQubits(circuits[1], width);
+  }
+
+  // error-gate before profiling: a malformed circuit has no meaningful
+  // gate-set class, and the prescreen assumes well-formed operations
+  const analysis::CircuitAnalyzer analyzer({.lint = false});
+  const analysis::AnalysisReport report =
+      circuits.size() == 2 ? analyzer.analyzePair(circuits[0], circuits[1])
+                           : analyzer.analyze(circuits[0]);
+  if (report.count(analysis::Severity::Error) > 0) {
+    std::cerr << "invalid input:\n";
+    for (const auto& d : report.diagnostics) {
+      if (d.severity == analysis::Severity::Error) {
+        std::cerr << "  " << analysis::toString(d) << "\n";
+      }
+    }
+    return 4;
+  }
+
+  const auto describe = [](const analysis::CircuitProfile& p,
+                           const std::string& file) {
+    std::cout << file << ":\n"
+              << "  gate set:  " << toString(p.gateSet) << "\n"
+              << "  qubits:    " << p.qubits << "\n"
+              << "  gates:     " << p.gates << " (depth " << p.depth << ", "
+              << p.twoQubitGates << " two-qubit)\n";
+    if (p.tGates > 0) {
+      std::cout << "  t gates:   " << p.tGates << "\n";
+    }
+    if (p.cliffordBreakerCount > 0) {
+      std::cout << "  non-clifford gates: " << p.cliffordBreakerCount
+                << " (first at";
+      for (const std::size_t index : p.cliffordBreakers) {
+        std::cout << " #" << index;
+      }
+      if (p.cliffordBreakerCount > p.cliffordBreakers.size()) {
+        std::cout << " ...";
+      }
+      std::cout << ")\n";
+    }
+  };
+
+  if (circuits.size() == 1) {
+    const auto profile = analysis::profileCircuit(circuits[0]);
+    if (jsonOutput) {
+      std::cout << analysis::toJson(profile) << "\n";
+    } else {
+      describe(profile, files[0]);
+    }
+    return 0;
+  }
+
+  const auto profile = analysis::profilePair(circuits[0], circuits[1]);
+  const auto pre = analysis::prescreenPair(circuits[0], circuits[1]);
+  const auto tier = analysis::routeTier(profile, pre);
+  if (jsonOutput) {
+    util::JsonWriter json;
+    json.beginObject()
+        .rawField("profile", analysis::toJson(profile))
+        .field("tier", std::string(toString(tier)))
+        .field("static_verdict", std::string(toString(pre.verdict)))
+        .field("stripped_prefix", pre.strippedPrefix)
+        .field("stripped_suffix", pre.strippedSuffix)
+        .field("merged_rotations", pre.mergedRotations)
+        .field("residual_gates",
+               pre.residualG.size() + pre.residualGPrime.size())
+        .rawField("diagnostics", analysis::toJson(pre.diagnostics))
+        .endObject();
+    std::cout << json.str() << "\n";
+  } else {
+    describe(profile.g, files[0]);
+    describe(profile.gPrime, files[1]);
+    std::cout << "pair:\n"
+              << "  gate set:  " << toString(profile.combined()) << "\n"
+              << "  tier:      " << toString(tier) << "\n"
+              << "  prescreen: stripped " << pre.strippedPrefix
+              << " prefix + " << pre.strippedSuffix << " suffix gate(s), "
+              << "merged " << pre.mergedRotations << " rotation(s); "
+              << pre.residualG.size() + pre.residualGPrime.size()
+              << " residual gate(s)\n"
+              << "  verdict:   " << toString(pre.verdict) << "\n";
+  }
+  return 0;
 }
 
 int runSim(ArgCursor& args) {
@@ -780,6 +907,9 @@ int main(int argc, char** argv) {
     }
     if (command == "lint") {
       return runLint(args);
+    }
+    if (command == "profile") {
+      return runProfile(args);
     }
     if (command == "sim") {
       return runSim(args);

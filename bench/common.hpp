@@ -198,6 +198,35 @@ inline BenchmarkPair qftPair(std::size_t n) {
                        gen::qftAlternative(n, false)};
 }
 
+/// Clifford-only pair: a GHZ-style entangler with an S-layer vs the same
+/// circuit with every CNOT re-expressed through the H-conjugated reversed
+/// CNOT and every S as Z·S†. Equivalent but structurally disjoint, so the
+/// static prescreen cannot decide it and the stabilizer tier does the work.
+inline BenchmarkPair cliffordPair(std::size_t n) {
+  ir::QuantumComputation g(n);
+  ir::QuantumComputation gPrime(n);
+  g.h(0);
+  gPrime.h(0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto q = static_cast<ir::Qubit>(i);
+    const auto next = static_cast<ir::Qubit>(i + 1);
+    g.cx(q, next);
+    gPrime.h(q);
+    gPrime.h(next);
+    gPrime.cx(next, q);
+    gPrime.h(q);
+    gPrime.h(next);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto q = static_cast<ir::Qubit>(i);
+    g.s(q);
+    gPrime.z(q);
+    gPrime.sdg(q);
+  }
+  return BenchmarkPair{"Clifford ladder " + std::to_string(n), std::move(g),
+                       std::move(gPrime)};
+}
+
 inline BenchmarkPair supremacyPair(std::size_t rows, std::size_t cols,
                                    std::size_t cycles, std::uint64_t seed) {
   // routing the grid circuit onto a *linear* device makes G' structurally

@@ -1,6 +1,7 @@
-// Flow observability baseline — one equivalent and one error-injected
-// non-equivalent pair through the full EquivalenceCheckingFlow, reporting
-// the flow's own FlowResult::metrics rollup per pair.
+// Flow observability baseline — one equivalent pair, one error-injected
+// non-equivalent pair, and one Clifford-only pair (stabilizer tier) through
+// the full EquivalenceCheckingFlow, reporting the flow's own
+// FlowResult::metrics rollup per pair.
 //
 // The committed reference output lives at bench/baselines/BENCH_flow.json;
 // re-run this harness after changes to the flow or the DD package and diff
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
 
   // pair 1: equivalent (optimized Grover vs its elementary realization)
   // pair 2: the same pair with a random design-flow error injected into G'
+  // pair 3: Clifford-only ladder — routed to the DD-free stabilizer tier
   bench::BenchmarkPair equivalent = bench::groverPair(5, 0b10110);
   tf::ErrorInjector injector(options.seed);
   const auto injected = injector.injectRandom(equivalent.gPrime);
@@ -43,12 +45,15 @@ int main(int argc, char** argv) {
                                   std::string(toString(injected.error.kind)) +
                                   ")",
                               equivalent.g, injected.circuit};
+  bench::BenchmarkPair clifford = bench::cliffordPair(10);
 
-  for (const bench::BenchmarkPair* pair : {&equivalent, &faulty}) {
+  for (const bench::BenchmarkPair* pair : {&equivalent, &faulty, &clifford}) {
     const ec::FlowResult result = flow.run(pair->g, pair->gPrime);
-    std::printf("%-28s -> %-22s (%.3fs, %zu sims)\n", pair->name.c_str(),
+    std::printf("%-28s -> %-22s (%.3fs, %zu sims, %s tier)\n",
+                pair->name.c_str(),
                 std::string(toString(result.equivalence)).c_str(),
-                result.totalSeconds(), result.simulations);
+                result.totalSeconds(), result.simulations,
+                std::string(toString(result.tier)).c_str());
     std::fflush(stdout);
 
     bench::BenchRecord record{pair->name, pair->g.qubits(), pair->g.size(),

@@ -183,7 +183,8 @@ CircuitAnalyzer::analyzePair(const ir::QuantumComputation& qc1,
         rules::WidthMismatch, Severity::Error, std::nullopt, 0,
         "qubit counts differ (" + std::to_string(qc1.qubits()) + " vs " +
             std::to_string(qc2.qubits()) +
-            "); pad the narrower circuit before checking"});
+            "); pad the narrower circuit before checking",
+        /*pair=*/true});
   }
   if (qc1.outputPermutation().size() != qc2.outputPermutation().size()) {
     report.diagnostics.push_back(Diagnostic{
@@ -191,7 +192,8 @@ CircuitAnalyzer::analyzePair(const ir::QuantumComputation& qc1,
         "output permutations act on different domains (" +
             std::to_string(qc1.outputPermutation().size()) + " vs " +
             std::to_string(qc2.outputPermutation().size()) +
-            " wires); the outputs cannot be compared qubit by qubit"});
+            " wires); the outputs cannot be compared qubit by qubit",
+        /*pair=*/true});
   }
   return report;
 }

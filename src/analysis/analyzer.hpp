@@ -20,6 +20,12 @@
 //   QL002  note     qubit is never used by any operation (lint)
 //   QP001  error    qubit-count mismatch between the pair
 //   QP002  error    incompatible output permutations (different domains)
+//   QS001  note     matching prefix stripped across the pair (prescreen)
+//   QS002  note     matching suffix stripped across the pair (prescreen)
+//   QS003  note     adjacent rotations merged / identities dropped (prescreen)
+//   QS004  note     pair statically identical (prescreen verdict)
+//   QS005  warning  pair statically distinct (prescreen verdict)
+//   QS006  note     pair identical up to global phase (prescreen verdict)
 
 #pragma once
 
@@ -42,6 +48,12 @@ inline constexpr const char* AdjacentInversePair = "QL001";
 inline constexpr const char* UnusedQubit = "QL002";
 inline constexpr const char* WidthMismatch = "QP001";
 inline constexpr const char* OutputPermutationMismatch = "QP002";
+inline constexpr const char* PrefixStripped = "QS001";
+inline constexpr const char* SuffixStripped = "QS002";
+inline constexpr const char* RotationsMerged = "QS003";
+inline constexpr const char* StaticallyIdentical = "QS004";
+inline constexpr const char* StaticallyDistinct = "QS005";
+inline constexpr const char* StaticallyEqualUpToPhase = "QS006";
 } // namespace rules
 
 struct AnalyzerOptions {

@@ -10,6 +10,9 @@ namespace qsimec::analysis {
 std::string toString(const Diagnostic& d) {
   std::ostringstream ss;
   ss << toString(d.severity) << "[" << d.rule << "]";
+  if (d.pair) {
+    ss << " pair";
+  }
   if (d.gate) {
     ss << " gate #" << *d.gate;
   }
@@ -31,7 +34,9 @@ std::string toJson(const Diagnostic& d) {
   } else {
     json.rawField("gate", "null");
   }
-  json.field("circuit", d.circuit).field("message", d.message).endObject();
+  const std::string_view attribution =
+      d.pair ? "pair" : (d.circuit == 0 ? "left" : "right");
+  json.field("circuit", attribution).field("message", d.message).endObject();
   return json.str();
 }
 

@@ -48,6 +48,10 @@ struct Diagnostic {
   /// always 0 for single-circuit analysis and for pair-level rules.
   std::size_t circuit{0};
   std::string message;
+  /// True for pair-level findings (QP/QS verdict rules) that concern the
+  /// pair as a whole rather than either circuit; `circuit` is then 0 and
+  /// carries no meaning. JSON renders circuit as "left"/"right"/"pair".
+  bool pair{false};
 
   [[nodiscard]] bool operator==(const Diagnostic&) const = default;
 };

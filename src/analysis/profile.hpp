@@ -1,0 +1,151 @@
+// Semantic circuit profiling — the gate-set classifier behind the flow's
+// tier router (docs/static-analysis.md, "Pair profiling").
+//
+// A CircuitProfile is computed in one O(gates) pass over the IR without
+// building a DD or running any simulator. It classifies the circuit's gate
+// set (Clifford-only / Clifford+T / general), and — unlike a bare boolean
+// predicate — records *which* gates break each class, so diagnostics stay
+// actionable ("gate #17 rz(0.3) is the first non-Clifford operation").
+//
+// The per-operation predicates mirror sim::StabilizerSimulator::apply
+// exactly: an operation is CliffordOnly here iff the tableau simulator
+// accepts it. They are reimplemented statically (instead of probing the
+// simulator) because qsimec_analysis sits below qsimec_sim in the library
+// layering — and because a static predicate reports the offending gate
+// instead of throwing from the middle of a run.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsimec::analysis {
+
+/// Gate-set class of a circuit, ordered from most to least structured.
+enum class GateSetClass : std::uint8_t {
+  /// Every operation is accepted by the CHP tableau simulator: H, X, Y, Z,
+  /// S, Sdg, V, Vdg, SY, SYdg, SWAP, I, GPhase, singly-controlled X/Y/Z
+  /// (either polarity), and Phase/RZ at multiples of pi/2.
+  CliffordOnly,
+  /// CliffordOnly plus T/Tdg and Phase/RZ at multiples of pi/4.
+  CliffordT,
+  /// Anything else: generic rotations, U2/U3, multi-controlled gates.
+  General,
+};
+
+[[nodiscard]] constexpr std::string_view toString(GateSetClass c) noexcept {
+  switch (c) {
+  case GateSetClass::CliffordOnly:
+    return "clifford";
+  case GateSetClass::CliffordT:
+    return "clifford+t";
+  case GateSetClass::General:
+    return "general";
+  }
+  return "?";
+}
+
+/// The wider (less structured) of two classes — the class of a circuit
+/// pair is the combination of its halves.
+[[nodiscard]] constexpr GateSetClass combine(GateSetClass a,
+                                             GateSetClass b) noexcept {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+/// True iff sim::StabilizerSimulator::apply would accept the operation
+/// (same control-arity limits, same pi/2 angle tolerance of 1e-9 turns).
+[[nodiscard]] bool isCliffordOperation(const ir::StandardOperation& op);
+
+/// Clifford plus the T layer: additionally admits uncontrolled T/Tdg and
+/// Phase/RZ at multiples of pi/4.
+[[nodiscard]] bool isCliffordTOperation(const ir::StandardOperation& op);
+
+/// Per-circuit summary of everything the tier router and the strategy
+/// heuristics look at. All counts are exact; the breaker lists are capped
+/// at kMaxReportedBreakers gate indices each (the counts are not).
+struct CircuitProfile {
+  std::size_t qubits{0};
+  std::size_t gates{0};
+  std::size_t depth{0};
+  std::size_t twoQubitGates{0};
+  /// Operations in the Clifford+T set but not the Clifford set (the
+  /// T-count of fault-tolerance literature, on the pi/4 grid).
+  std::size_t tGates{0};
+  /// Operations outside even the Clifford+T set.
+  std::size_t generalGates{0};
+  /// controlArity[k] = number of operations carrying exactly k controls
+  /// (index 0 = uncontrolled); size = maxControls + 1.
+  std::vector<std::size_t> controlArity;
+  GateSetClass gateSet{GateSetClass::CliffordOnly};
+  /// Gate indices of the first operations that break CliffordOnly /
+  /// CliffordT (empty when the class holds). Capped; see
+  /// cliffordBreakerCount / cliffordTBreakerCount for the totals.
+  std::vector<std::size_t> cliffordBreakers;
+  std::vector<std::size_t> cliffordTBreakers;
+  std::size_t cliffordBreakerCount{0};
+  std::size_t cliffordTBreakerCount{0};
+  /// Qubits touched by at least one operation, sorted ascending.
+  std::vector<ir::Qubit> support;
+  /// Both layouts are identity permutations.
+  bool layoutsTrivial{true};
+
+  [[nodiscard]] std::size_t maxControls() const noexcept {
+    return controlArity.empty() ? 0 : controlArity.size() - 1;
+  }
+};
+
+inline constexpr std::size_t kMaxReportedBreakers = 8;
+
+/// Profile one circuit in a single pass (no DD, no simulation).
+[[nodiscard]] CircuitProfile profileCircuit(const ir::QuantumComputation& qc);
+
+/// The profile of an equivalence-checking pair: both halves plus the
+/// combined gate-set class driving the tier decision.
+struct PairProfile {
+  CircuitProfile g;
+  CircuitProfile gPrime;
+
+  [[nodiscard]] GateSetClass combined() const noexcept {
+    return combine(g.gateSet, gPrime.gateSet);
+  }
+};
+
+[[nodiscard]] PairProfile profilePair(const ir::QuantumComputation& qc1,
+                                      const ir::QuantumComputation& qc2);
+
+/// Alternating-check strategy suggestion derived from a pair profile (the
+/// analysis-level mirror of ec::Strategy; ec::flow maps it over). Equal
+/// gate counts favour strict alternation; strongly unbalanced pairs favour
+/// the lookahead scheme; everything else the proportional default.
+enum class StrategyHint : std::uint8_t {
+  Naive,
+  Proportional,
+  Lookahead,
+};
+
+[[nodiscard]] constexpr std::string_view toString(StrategyHint h) noexcept {
+  switch (h) {
+  case StrategyHint::Naive:
+    return "naive";
+  case StrategyHint::Proportional:
+    return "proportional";
+  case StrategyHint::Lookahead:
+    return "lookahead";
+  }
+  return "?";
+}
+
+/// The decision table (docs/static-analysis.md): equal sizes -> Naive,
+/// size ratio >= 4 -> Lookahead, else Proportional.
+[[nodiscard]] StrategyHint strategyHint(const PairProfile& profile) noexcept;
+
+/// JSON renderings (self-contained objects via util::JsonWriter, suitable
+/// for util::JsonWriter::rawField embedding).
+[[nodiscard]] std::string toJson(const CircuitProfile& profile);
+[[nodiscard]] std::string toJson(const PairProfile& profile);
+
+} // namespace qsimec::analysis

@@ -2,6 +2,7 @@
 
 #include "analysis/analyzer.hpp"
 #include "dd/stats.hpp"
+#include "ec/stabilizer_checker.hpp"
 #include "util/deadline.hpp"
 
 #include <atomic>
@@ -29,6 +30,14 @@ void buildMetrics(FlowResult& result, bool simulationRan,
   m.counters["rewriting.proved"] = result.provedByRewriting ? 1 : 0;
   m.counters["flow.diagnostics"] = result.diagnostics.size();
   m.counters["flow.counterexample"] = result.counterexample.has_value() ? 1 : 0;
+  m.counters["prescreen.stripped_prefix"] = result.strippedPrefix;
+  m.counters["prescreen.stripped_suffix"] = result.strippedSuffix;
+  m.counters["prescreen.merged_rotations"] = result.mergedRotations;
+  m.counters["tier.static"] =
+      result.tier == analysis::TierHint::Static ? 1 : 0;
+  m.counters["tier.stabilizer"] =
+      result.tier == analysis::TierHint::Stabilizer ? 1 : 0;
+  m.gauges["prescreen.seconds"] = result.prescreenSeconds;
   m.gauges["preflight.seconds"] = result.preflightSeconds;
   m.gauges["simulation.seconds"] = result.simulationSeconds;
   m.gauges["rewriting.seconds"] = result.rewritingSeconds;
@@ -122,6 +131,121 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         result.diagnostics = std::move(report.diagnostics);
       }
 
+      // The complete checker's inputs: the originals unless the prescreen
+      // produced a stripped residual pair. The simulation stage always
+      // keeps the originals — counterexample stimuli of the residual pair
+      // would not distinguish the original circuits as stated.
+      const ir::QuantumComputation* completeG = &qc1;
+      const ir::QuantumComputation* completeGPrime = &qc2;
+      ir::QuantumComputation residualG;
+      ir::QuantumComputation residualGPrime;
+      AlternatingConfiguration completeConfig = config_.complete;
+
+      if (config_.prescreen.enabled) {
+        enterStage("prescreen");
+        const util::Stopwatch watch;
+        analysis::PairProfile profile;
+        {
+          obs::ScopedSpan span(obs.tracer, "analysis.profile", "analysis");
+          profile = analysis::profilePair(qc1, qc2);
+          span.arg("gate_set", std::string(toString(profile.combined())));
+        }
+        analysis::PrescreenResult pre;
+        {
+          obs::ScopedSpan span(obs.tracer, "analysis.prescreen", "analysis");
+          pre = analysis::prescreenPair(qc1, qc2);
+          span.arg("verdict", std::string(toString(pre.verdict)));
+          span.arg("stripped", static_cast<std::uint64_t>(
+                                   pre.strippedPrefix + pre.strippedSuffix));
+        }
+        result.tier = analysis::routeTier(profile, pre);
+        result.prescreenSeconds = watch.seconds();
+        result.strippedPrefix = pre.strippedPrefix;
+        result.strippedSuffix = pre.strippedSuffix;
+        result.mergedRotations = pre.mergedRotations;
+        obs.log(obs::JournalLevel::Info, "flow.tier")
+            .str("tier", toString(result.tier))
+            .str("gate_set", toString(profile.combined()))
+            .str("verdict", toString(pre.verdict))
+            .num("stripped_prefix",
+                 static_cast<std::uint64_t>(pre.strippedPrefix))
+            .num("stripped_suffix",
+                 static_cast<std::uint64_t>(pre.strippedSuffix));
+
+        // only the verdict-level QS rules ride along in the flow result;
+        // the stripping/merging notes surface via `qsimec profile`
+        for (analysis::Diagnostic& d : pre.diagnostics) {
+          if (d.rule == analysis::rules::StaticallyIdentical ||
+              d.rule == analysis::rules::StaticallyDistinct ||
+              d.rule == analysis::rules::StaticallyEqualUpToPhase) {
+            result.diagnostics.push_back(std::move(d));
+          }
+        }
+        result.profile = profile;
+
+        if (result.tier == analysis::TierHint::Static) {
+          switch (pre.verdict) {
+          case analysis::StaticVerdict::Identical:
+            result.equivalence = Equivalence::Equivalent;
+            break;
+          case analysis::StaticVerdict::IdenticalUpToGlobalPhase:
+            result.equivalence = Equivalence::EquivalentUpToGlobalPhase;
+            break;
+          default:
+            // Distinct: a static disproof. No counterexample — the proof
+            // is the non-identity residual factor, not a stimulus.
+            result.equivalence = Equivalence::NotEquivalent;
+            break;
+          }
+          return;
+        }
+
+        if (result.tier == analysis::TierHint::Stabilizer &&
+            config_.prescreen.stabilizerTier && !config_.skipComplete) {
+          enterStage("stabilizer");
+          StabilizerConfiguration stabConfig;
+          // skipSimulation means "no random stimuli" in every tier; the
+          // exact conjugation check alone still decides the pair
+          stabConfig.maxSimulations =
+              config_.skipSimulation ? 0 : config_.prescreen.stabilizerStimuli;
+          stabConfig.seed = config_.simulation.seed;
+          stabConfig.phaseProbeMaxQubits =
+              config_.prescreen.phaseProbeMaxQubits;
+          // external cancellation (the batch scheduler) reaches every tier
+          // through the complete check's flag
+          stabConfig.cancelFlag = config_.complete.cancelFlag;
+          const CheckResult stab =
+              StabilizerChecker(stabConfig).run(qc1, qc2, obs);
+          result.simulations = stab.simulations;
+          result.completeSeconds = stab.seconds;
+          result.counterexample = stab.counterexample;
+          result.numThreads = stab.numThreads;
+          result.equivalence = stab.equivalence;
+          return;
+        }
+
+        if (config_.prescreen.checkStrippedPair && pre.stripped() &&
+            !config_.skipComplete) {
+          residualG = std::move(pre.residualG);
+          residualGPrime = std::move(pre.residualGPrime);
+          completeG = &residualG;
+          completeGPrime = &residualGPrime;
+        }
+        if (config_.prescreen.applyStrategyHint) {
+          switch (analysis::strategyHint(profile)) {
+          case analysis::StrategyHint::Naive:
+            completeConfig.strategy = Strategy::Naive;
+            break;
+          case analysis::StrategyHint::Proportional:
+            completeConfig.strategy = Strategy::Proportional;
+            break;
+          case analysis::StrategyHint::Lookahead:
+            completeConfig.strategy = Strategy::Lookahead;
+            break;
+          }
+        }
+      }
+
       // Race degenerates to the staged flow when either strategy is
       // skipped — there is nothing to race against.
       const bool race = config_.mode == FlowMode::Race &&
@@ -156,9 +280,10 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
           // portfolio on this one; the scope's closing brace joins
           std::jthread completeThread([&] {
             try {
-              AlternatingConfiguration completeConfig = config_.complete;
-              completeConfig.cancelFlag = &cancelComplete;
-              complete = AlternatingChecker(completeConfig).run(qc1, qc2, obs);
+              AlternatingConfiguration raceConfig = completeConfig;
+              raceConfig.cancelFlag = &cancelComplete;
+              complete = AlternatingChecker(raceConfig)
+                             .run(*completeG, *completeGPrime, obs);
               if (!complete.timedOut && !complete.cancelled) {
                 // conclusive either way: the simulations are moot
                 cancelSim.store(true, std::memory_order_relaxed);
@@ -265,8 +390,9 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
       }
 
       enterStage("complete");
-      const AlternatingChecker completeChecker(config_.complete);
-      const CheckResult complete = completeChecker.run(qc1, qc2, obs);
+      const AlternatingChecker completeChecker(completeConfig);
+      const CheckResult complete =
+          completeChecker.run(*completeG, *completeGPrime, obs);
       completeRan = true;
       completeDD = complete.ddStats;
       result.completeSeconds = complete.seconds;
@@ -285,12 +411,14 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
     }();
 
     flowSpan.arg("outcome", toString(result.equivalence));
+    flowSpan.arg("tier", std::string(toString(result.tier)));
     flowSpan.arg("mode", toString(result.mode));
     if (result.mode == FlowMode::Race) {
       flowSpan.arg("winner", toString(result.winner));
     }
     obs.log(obs::JournalLevel::Info, "flow.verdict")
         .str("outcome", toString(result.equivalence))
+        .str("tier", toString(result.tier))
         .str("mode", toString(result.mode))
         .str("winner", toString(result.winner))
         .num("simulations", static_cast<std::uint64_t>(result.simulations))

@@ -21,6 +21,8 @@
 #pragma once
 
 #include "analysis/diagnostic.hpp"
+#include "analysis/prescreen.hpp"
+#include "analysis/profile.hpp"
 #include "ec/alternating_checker.hpp"
 #include "ec/result.hpp"
 #include "ec/rewriting_checker.hpp"
@@ -31,6 +33,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -79,7 +82,8 @@ enum class RaceWinner {
 /// Live progress snapshot handed to FlowConfiguration::progress.
 struct FlowProgress {
   /// The stage that just started (or "done" once the verdict is in):
-  /// "preflight", "simulation", "rewriting", "complete", "race".
+  /// "preflight", "prescreen", "stabilizer", "simulation", "rewriting",
+  /// "complete", "race".
   std::string_view stage;
   /// Completed stimulus runs so far (monotonic across the whole flow).
   std::size_t simulationsDone{0};
@@ -87,10 +91,37 @@ struct FlowProgress {
   std::size_t simulationsTotal{0};
 };
 
+/// The static-analysis front of the flow: pair profiling, the prefix/suffix
+/// prescreen, and the tier router (docs/static-analysis.md). All of it is
+/// deterministic — it looks only at the two operation streams — so routing
+/// decisions are byte-stable across thread counts by construction.
+struct PrescreenConfiguration {
+  /// Run the profiler + prescreen after preflight. Off: every pair takes
+  /// the general tier untouched (the pre-PR behaviour; `--no-prescreen`).
+  bool enabled{true};
+  /// Dispatch Clifford-only pairs to the polynomial stabilizer tier
+  /// instead of the DD machinery. Ignored when `enabled` is false.
+  bool stabilizerTier{true};
+  /// Randomized witness runs of the stabilizer tier.
+  std::size_t stabilizerStimuli{8};
+  /// Dense-probe cap for resolving the exact global phase in the
+  /// stabilizer tier (see StabilizerConfiguration::phaseProbeMaxQubits).
+  std::size_t phaseProbeMaxQubits{12};
+  /// Feed the stripped residual pair (instead of the originals) to the
+  /// complete checker. Sound for the verdict; the simulation stage always
+  /// keeps the originals so counterexample stimuli stay meaningful.
+  bool checkStrippedPair{true};
+  /// Override AlternatingConfiguration::strategy with the profile's
+  /// strategy hint. Off by default: the hint is advisory and surfaces via
+  /// `qsimec profile`.
+  bool applyStrategyHint{false};
+};
+
 struct FlowConfiguration {
   SimulationConfiguration simulation{};
   AlternatingConfiguration complete{};
   RewritingConfiguration rewriting{};
+  PrescreenConfiguration prescreen{};
   /// Staged (Fig. 3 ordering, the default) or Race (concurrent strategies,
   /// first conclusive verdict wins). Race degenerates to Staged when either
   /// strategy is skipped.
@@ -122,9 +153,18 @@ struct FlowResult {
   Equivalence equivalence{Equivalence::NoInformation};
   std::size_t simulations{0};
   double preflightSeconds{0.0};
+  double prescreenSeconds{0.0};
   double simulationSeconds{0.0};
   double rewritingSeconds{0.0};
   double completeSeconds{0.0};
+  /// The tier the pair routed to (General when the prescreen is disabled).
+  analysis::TierHint tier{analysis::TierHint::General};
+  /// Prescreen statistics (all zero when the prescreen is disabled).
+  std::size_t strippedPrefix{0};
+  std::size_t strippedSuffix{0};
+  std::size_t mergedRotations{0};
+  /// The pair profile, when the prescreen ran.
+  std::optional<analysis::PairProfile> profile;
   bool provedByRewriting{false};
   bool completeTimedOut{false};
   bool simulationTimedOut{false};
@@ -150,8 +190,8 @@ struct FlowResult {
   obs::MetricsSnapshot metrics;
 
   [[nodiscard]] double totalSeconds() const noexcept {
-    return preflightSeconds + simulationSeconds + rewritingSeconds +
-           completeSeconds;
+    return preflightSeconds + prescreenSeconds + simulationSeconds +
+           rewritingSeconds + completeSeconds;
   }
 };
 

@@ -79,6 +79,10 @@ std::optional<StimuliKind> parseStimuliKind(std::string_view s) {
 std::string toJson(const CheckResult& result, const SerializeOptions& options) {
   util::JsonWriter json;
   json.beginObject().field("equivalence", toString(result.equivalence));
+  if (options.verdictOnly) {
+    json.endObject();
+    return json.str();
+  }
   if (!options.redactProfile) {
     json.field("seconds", result.seconds);
   }
@@ -98,12 +102,20 @@ std::string toJson(const CheckResult& result, const SerializeOptions& options) {
 
 std::string toJson(const FlowResult& result, const SerializeOptions& options) {
   util::JsonWriter json;
-  json.beginObject()
-      .field("equivalence", toString(result.equivalence))
+  json.beginObject().field("equivalence", toString(result.equivalence));
+  if (options.verdictOnly) {
+    json.endObject();
+    return json.str();
+  }
+  json.field("tier", toString(result.tier))
       .field("mode", toString(result.mode))
-      .field("simulations", result.simulations);
+      .field("simulations", result.simulations)
+      .field("stripped_prefix", result.strippedPrefix)
+      .field("stripped_suffix", result.strippedSuffix)
+      .field("merged_rotations", result.mergedRotations);
   if (!options.redactProfile) {
     json.field("preflight_seconds", result.preflightSeconds)
+        .field("prescreen_seconds", result.prescreenSeconds)
         .field("simulation_seconds", result.simulationSeconds)
         .field("rewriting_seconds", result.rewritingSeconds)
         .field("complete_seconds", result.completeSeconds)
@@ -122,6 +134,9 @@ std::string toJson(const FlowResult& result, const SerializeOptions& options) {
   }
   json.rawField("counterexample", toJson(result.counterexample))
       .rawField("diagnostics", analysis::toJson(result.diagnostics));
+  if (!options.redactProfile && result.profile) {
+    json.rawField("profile", analysis::toJson(*result.profile));
+  }
   if (!options.redactProfile) {
     json.rawField("metrics", obs::toJson(result.metrics));
   }

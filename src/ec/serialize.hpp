@@ -20,6 +20,13 @@ struct SerializeOptions {
   /// configuration seed regardless of thread count or machine load; the
   /// determinism tests in tests/test_parallel.cpp compare exactly this.
   bool redactProfile{false};
+  /// Emit only {"equivalence": ...}. This is the cross-*configuration*
+  /// comparison mode: two flows over the same pair with different tier
+  /// routing (prescreen on vs off) must agree on the verdict, but may
+  /// legitimately differ in simulation counts and counterexample
+  /// provenance (a stabilizer-tier witness is a stabilizer-state seed, a
+  /// general-tier one a basis-state index). Implies redactProfile.
+  bool verdictOnly{false};
 };
 
 [[nodiscard]] std::string toJson(const CheckResult& result,

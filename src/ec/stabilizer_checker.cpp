@@ -1,0 +1,237 @@
+#include "ec/stabilizer_checker.hpp"
+
+#include "ec/parallel.hpp" // perRunStimulusSeed
+#include "sim/dense_simulator.hpp"
+#include "sim/stabilizer_simulator.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <optional>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace qsimec::ec {
+
+namespace {
+
+struct PrefixGate {
+  int kind; // 0 = H, 1 = S, 2 = CX, 3 = CZ
+  std::size_t target;
+  std::size_t control; // kind 2/3 only
+};
+
+void applyPrefixGate(sim::StabilizerSimulator& s, const PrefixGate& g,
+                     bool inverse) {
+  switch (g.kind) {
+  case 0:
+    s.h(g.target);
+    break;
+  case 1:
+    inverse ? s.sdg(g.target) : s.s(g.target);
+    break;
+  case 2:
+    s.cx(g.control, g.target);
+    break;
+  default:
+    s.cz(g.control, g.target);
+    break;
+  }
+}
+
+/// Exact fidelity |<0..0|psi>|^2 of a stabilizer state, via forced-0
+/// measurements: each qubit contributes a factor 1 (P(1)=0), 1/2 (random
+/// outcome, forced to 0 before moving on), or 0 (P(1)=1 — orthogonal).
+double zeroStateFidelity(sim::StabilizerSimulator& s) {
+  double fidelity = 1.0;
+  for (std::size_t q = 0; q < s.qubits(); ++q) {
+    const double p1 = s.probabilityOfOne(q);
+    if (p1 == 1.0) {
+      return 0.0;
+    }
+    if (p1 == 0.5) {
+      fidelity *= 0.5;
+      // collapse onto the 0 branch so later qubits see the conditioned
+      // state (coin 0.0 < 0.5 => outcome false)
+      s.measureWithCoin(q, [] { return 0.0; });
+    }
+  }
+  return fidelity;
+}
+
+} // namespace
+
+CheckResult StabilizerChecker::run(const ir::QuantumComputation& qc1,
+                                   const ir::QuantumComputation& qc2,
+                                   const obs::Context& obs) const {
+  const auto start = std::chrono::steady_clock::now();
+  obs::ScopedSpan span(obs.tracer, "tier.stabilizer", "ec");
+
+  const bool trivial1 = qc1.initialLayout().isIdentity() &&
+                        qc1.outputPermutation().isIdentity();
+  const bool trivial2 = qc2.initialLayout().isIdentity() &&
+                        qc2.outputPermutation().isIdentity();
+  const ir::QuantumComputation g = trivial1 ? qc1 : qc1.withMaterializedLayouts();
+  const ir::QuantumComputation gp =
+      trivial2 ? qc2 : qc2.withMaterializedLayouts();
+  if (g.qubits() != gp.qubits() || g.qubits() == 0) {
+    throw std::invalid_argument(
+        "StabilizerChecker: circuits must have the same nonzero width");
+  }
+  const std::size_t n = g.qubits();
+  const ir::QuantumComputation gpInverse = gp.inverse();
+
+  CheckResult result;
+  result.numThreads = 2;
+
+  const std::atomic<bool>* external = config_.cancelFlag;
+  const auto externallyCancelled = [external] {
+    return external != nullptr && external->load(std::memory_order_relaxed);
+  };
+
+  // exact tableau check on a worker thread, cancellable by a witness
+  std::atomic<bool> cancelExact{false};
+  std::atomic<bool> exactDone{false};
+  bool exactIdentity = false;
+  bool exactAborted = false;
+  std::exception_ptr exactError;
+  std::jthread exactThread([&] {
+    try {
+      sim::StabilizerSimulator tableau(n);
+      for (const ir::QuantumComputation* qc : {&g, &gpInverse}) {
+        for (const ir::StandardOperation& op : *qc) {
+          if (cancelExact.load(std::memory_order_relaxed) ||
+              externallyCancelled()) {
+            exactAborted = true;
+            return;
+          }
+          tableau.apply(op);
+        }
+      }
+      exactIdentity = tableau.isIdentityConjugation();
+      exactDone.store(true, std::memory_order_release);
+    } catch (...) {
+      exactError = std::current_exception();
+    }
+  });
+
+  // randomized stabilizer agreement runs, sequential on this thread; never
+  // cancelled by the exact check, so the witness (and the run count) is
+  // deterministic
+  std::optional<Counterexample> witness;
+  for (std::size_t r = 0; r < config_.maxSimulations; ++r) {
+    if (externallyCancelled()) {
+      break;
+    }
+    const std::uint64_t stimulusSeed = perRunStimulusSeed(config_.seed, r);
+    obs::ScopedSpan runSpan(obs.tracer, "tier.stabilizer.run", "ec");
+    runSpan.arg("index", static_cast<std::uint64_t>(r));
+    runSpan.arg("seed", stimulusSeed);
+
+    // same draw order as ec/stimuli.cpp randomStabilizerState: H layer,
+    // then 2n gates from {H, S, CX, CZ} with control-collision bumping
+    std::mt19937_64 rng(stimulusSeed);
+    std::uniform_int_distribution<int> gateDist(0, 3);
+    std::uniform_int_distribution<std::size_t> qubitDist(0, n - 1);
+    std::vector<PrefixGate> prefix;
+    prefix.reserve(3 * n);
+    for (std::size_t q = 0; q < n; ++q) {
+      prefix.push_back({0, q, 0});
+    }
+    for (std::size_t step = 0; step < 2 * n; ++step) {
+      const std::size_t q = qubitDist(rng);
+      const int kind = gateDist(rng);
+      if (kind <= 1) {
+        prefix.push_back({kind, q, 0});
+      } else {
+        std::size_t c = qubitDist(rng);
+        if (c == q) {
+          c = (c + 1) % n;
+        }
+        prefix.push_back({kind, q, c});
+      }
+    }
+
+    sim::StabilizerSimulator state(n);
+    for (const PrefixGate& pg : prefix) {
+      applyPrefixGate(state, pg, /*inverse=*/false);
+    }
+    for (const ir::StandardOperation& op : g) {
+      state.apply(op);
+    }
+    for (const ir::StandardOperation& op : gpInverse) {
+      state.apply(op);
+    }
+    for (auto it = prefix.rbegin(); it != prefix.rend(); ++it) {
+      applyPrefixGate(state, *it, /*inverse=*/true);
+    }
+
+    const double fidelity = zeroStateFidelity(state);
+    ++result.simulations;
+    if (fidelity < 1.0) {
+      witness = Counterexample{stimulusSeed, fidelity,
+                               StimuliKind::RandomStabilizer};
+      cancelExact.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+
+  exactThread.join();
+  if (exactError) {
+    std::rethrow_exception(exactError);
+  }
+
+  const auto finish = [&](CheckResult& res) {
+    res.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    span.arg("verdict", std::string(toString(res.equivalence)));
+    span.arg("simulations",
+             static_cast<std::uint64_t>(res.simulations));
+  };
+
+  if (witness) {
+    result.equivalence = Equivalence::NotEquivalent;
+    result.counterexample = witness;
+    finish(result);
+    return result;
+  }
+  if (externallyCancelled() || exactAborted) {
+    result.cancelled = true;
+    result.equivalence = Equivalence::NoInformation;
+    finish(result);
+    return result;
+  }
+
+  if (!exactIdentity) {
+    // complete disproof without a witness stimulus: the tableau shows some
+    // Pauli generator is not preserved even though no randomized run
+    // distinguished the pair within the budget
+    result.equivalence = Equivalence::NotEquivalent;
+    finish(result);
+    return result;
+  }
+
+  if (n <= config_.phaseProbeMaxQubits) {
+    // D = lambda * I, so one dense run on |0..0> reads lambda directly
+    ir::QuantumComputation diff(n);
+    for (const ir::StandardOperation& op : g) {
+      diff.emplace(op);
+    }
+    for (const ir::StandardOperation& op : gpInverse) {
+      diff.emplace(op);
+    }
+    const sim::Amplitude lambda = sim::DenseSimulator::simulate(diff, 0)[0];
+    result.equivalence = std::abs(lambda - sim::Amplitude{1.0, 0.0}) <= 1e-9
+                             ? Equivalence::Equivalent
+                             : Equivalence::EquivalentUpToGlobalPhase;
+  } else {
+    result.equivalence = Equivalence::EquivalentUpToGlobalPhase;
+  }
+  finish(result);
+  return result;
+}
+
+} // namespace qsimec::ec

@@ -263,6 +263,24 @@ bool StabilizerSimulator::isClifford(const ir::QuantumComputation& qc) {
   return true;
 }
 
+bool StabilizerSimulator::isIdentityConjugation() const noexcept {
+  for (std::size_t i = 0; i < 2 * n_; ++i) {
+    if (r_[i] != 0) {
+      return false;
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+      // initial tableau: x_[i][j] = [i == j], z_[n+i][j] = [i == j],
+      // everything else zero
+      const std::uint8_t wantX = (i < n_ && i == j) ? 1 : 0;
+      const std::uint8_t wantZ = (i >= n_ && i - n_ == j) ? 1 : 0;
+      if (x_[i][j] != wantX || z_[i][j] != wantZ) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 int StabilizerSimulator::deterministicOutcome(std::size_t q) const {
   // accumulate the product of stabilizers whose destabilizer partner
   // anticommutes with Z_q, into a local scratch row

@@ -51,6 +51,14 @@ public:
   /// True if every operation of the circuit is in the supported set.
   [[nodiscard]] static bool isClifford(const ir::QuantumComputation& qc);
 
+  /// True iff the Clifford unitary U applied so far is proportional to the
+  /// identity. Row i of the tableau tracks U X_i U^dag (destabilizers) and
+  /// row n+i tracks U Z_i U^dag; U ~ I iff every generator is mapped to
+  /// itself with a + sign, i.e. the tableau equals its initial value and
+  /// every phase bit is clear. The overall global phase is invisible to the
+  /// tableau, so "proportional to" is the strongest statement available.
+  [[nodiscard]] bool isIdentityConjugation() const noexcept;
+
   // --- measurement ---------------------------------------------------------
   /// P(measuring qubit q gives 1): always 0, 0.5, or 1 for stabilizer
   /// states. Does not collapse the state.

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace qsimec::svc {
 
@@ -106,6 +107,9 @@ struct Job {
   ir::QuantumComputation gPrime;
   PairKey key;
   const ec::FlowConfiguration* config{nullptr};
+  /// Manifest indices of later entries with the identical key; they get a
+  /// copy of this job's verdict instead of a dispatch of their own.
+  std::vector<std::size_t> duplicates;
 };
 
 } // namespace
@@ -213,9 +217,13 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
   };
 
   // Scheduler-thread pre-pass in manifest order: parse, fingerprint, and
-  // consult the cache; only misses become pool jobs.
+  // consult the cache; only misses become pool jobs, and misses repeating
+  // an earlier miss's (fp(g), fp(gp), configDigest) triple are coalesced
+  // onto the first occurrence's job instead of being dispatched again.
   std::vector<Job> jobs;
+  std::unordered_map<PairKey, std::size_t, PairKeyHash> representatives;
   std::size_t cacheHits = 0;
+  std::size_t dedupedPairs = 0;
   for (std::size_t i = 0; i < total; ++i) {
     const BatchPairSpec& spec = manifest.pairs[i];
     PairOutcome& outcome = result.outcomes[i];
@@ -257,6 +265,20 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
           continue;
         }
       }
+      if (const auto rep = representatives.find(key);
+          rep != representatives.end()) {
+        jobs[rep->second].duplicates.push_back(i);
+        outcome.deduped = true;
+        ++dedupedPairs;
+        obs.log(obs::JournalLevel::Info, "svc.pair.dedup")
+            .num("index", static_cast<std::uint64_t>(i))
+            .num("representative",
+                 static_cast<std::uint64_t>(jobs[rep->second].index));
+        // resolved (and reported done) when the representative's verdict
+        // fans out after the pool drains
+        continue;
+      }
+      representatives.emplace(key, jobs.size());
       jobs.push_back(Job{i, std::move(g), std::move(gPrime), key,
                          &spec.config});
     } catch (const std::exception& e) {
@@ -299,6 +321,10 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
       outcome.completeTimedOut = flow.completeTimedOut;
       outcome.simulations = flow.simulations;
       outcome.seconds = flow.totalSeconds();
+      outcome.tier = std::string(analysis::toString(flow.tier));
+      if (flow.profile) {
+        outcome.gateSet = std::string(toString(flow.profile->combined()));
+      }
       outcome.cancelled =
           cancelFlags[job.index].load(std::memory_order_relaxed);
       if (options_.cache != nullptr && !outcome.cancelled &&
@@ -340,6 +366,29 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
     }
   }
 
+  // Fan the representative verdicts out to their deduplicated entries, in
+  // manifest order (the jobs vector is manifest-ordered and so is each
+  // duplicates list, so this loop is deterministic).
+  for (const Job& job : jobs) {
+    const PairOutcome& rep = result.outcomes[job.index];
+    for (const std::size_t dup : job.duplicates) {
+      PairOutcome& outcome = result.outcomes[dup];
+      outcome.equivalence = rep.equivalence;
+      outcome.counterexample = rep.counterexample;
+      outcome.completeTimedOut = rep.completeTimedOut;
+      outcome.simulations = rep.simulations;
+      outcome.cancelled = rep.cancelled;
+      outcome.tier = rep.tier;
+      outcome.gateSet = rep.gateSet;
+      outcome.error = rep.error;
+      obs.log(obs::JournalLevel::Info, "svc.pair.verdict")
+          .num("index", static_cast<std::uint64_t>(dup))
+          .str("outcome", ec::toString(outcome.equivalence))
+          .flag("deduped", true);
+      reportDone();
+    }
+  }
+
   {
     const std::lock_guard<std::mutex> lock(flagsMutex_);
     activeFlags_ = nullptr;
@@ -348,6 +397,7 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
   BatchSummary& summary = result.summary;
   summary.cacheHits = cacheHits;
   summary.cacheStores = cacheStores.load(std::memory_order_relaxed);
+  summary.deduped = dedupedPairs;
   for (const PairOutcome& outcome : result.outcomes) {
     switch (outcome.equivalence) {
     case ec::Equivalence::Equivalent:
@@ -380,12 +430,14 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
       .num("invalid", static_cast<std::uint64_t>(summary.invalid))
       .num("cache_hits", static_cast<std::uint64_t>(summary.cacheHits))
       .num("cache_stores", static_cast<std::uint64_t>(summary.cacheStores))
+      .num("deduped", static_cast<std::uint64_t>(summary.deduped))
       .num("seconds", summary.seconds);
   // Published from the scheduler thread only, after the pool has drained.
   obs.count("svc.pairs", summary.pairs);
   obs.count("svc.cache.hit", summary.cacheHits);
   obs.count("svc.cache.miss", total - summary.cacheHits);
   obs.count("svc.cache.store", summary.cacheStores);
+  obs.count("svc.pairs.deduped", summary.deduped);
   obs.gauge("svc.batch.seconds", summary.seconds);
   return result;
 }
@@ -400,8 +452,15 @@ std::string toJsonLine(const PairOutcome& outcome,
       .field("gp", outcome.gPrimePath)
       .field("equivalence", ec::toString(outcome.equivalence))
       .field("cache_hit", outcome.cacheHit)
+      .field("deduped", outcome.deduped)
       .field("cancelled", outcome.cancelled)
       .field("simulations", static_cast<std::uint64_t>(outcome.simulations));
+  if (!outcome.tier.empty()) {
+    json.field("tier", outcome.tier);
+  }
+  if (!outcome.gateSet.empty()) {
+    json.field("gate_set", outcome.gateSet);
+  }
   if (!options.redact) {
     json.field("complete_timed_out", outcome.completeTimedOut)
         .field("seconds", outcome.seconds);
@@ -428,7 +487,8 @@ std::string toJsonLine(const BatchSummary& summary,
       .field("invalid", static_cast<std::uint64_t>(summary.invalid))
       .field("cache_hits", static_cast<std::uint64_t>(summary.cacheHits))
       .field("cache_stores",
-             static_cast<std::uint64_t>(summary.cacheStores));
+             static_cast<std::uint64_t>(summary.cacheStores))
+      .field("deduped", static_cast<std::uint64_t>(summary.deduped));
   if (!options.redact) {
     json.field("threads", summary.threads)
         .field("seconds", summary.seconds);

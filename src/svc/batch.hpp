@@ -12,7 +12,11 @@
 // the scheduler walks the manifest in order on the calling thread, parses
 // both circuits, fingerprints them, and consults the VerdictCache; hits are
 // resolved immediately and only misses are dispatched to the ec::WorkerPool
-// — so a fully warm cache dispatches zero checker work. Results are
+// — so a fully warm cache dispatches zero checker work. Cache misses are
+// additionally deduplicated within the batch: manifest entries sharing the
+// (fingerprint(g), fingerprint(gp), configDigest) triple of an earlier
+// entry are not dispatched at all — the first occurrence's verdict is
+// fanned back out to them in manifest order once it resolves. Results are
 // reported in manifest order regardless of completion order, and the
 // redacted serialization of a batch is byte-identical for every thread
 // count (the per-pair flow verdicts are deterministic by the parallelism
@@ -76,11 +80,19 @@ struct PairOutcome {
   std::optional<ec::Counterexample> counterexample;
   /// Verdict came from the cache; no checker work ran for this pair.
   bool cacheHit{false};
+  /// Verdict was copied from an earlier manifest entry with the identical
+  /// (fingerprint(g), fingerprint(gp), configDigest) triple — the dedup
+  /// pre-pass dispatched only the first occurrence.
+  bool deduped{false};
   /// Pair was cancelled (BatchScheduler::cancel) before or while running.
   bool cancelled{false};
   bool completeTimedOut{false};
   std::size_t simulations{0};
   double seconds{0.0};
+  /// Tier the flow routed the pair to and the pair's combined gate-set
+  /// class (empty for cache hits and errors — no flow ran).
+  std::string tier;
+  std::string gateSet;
   /// Non-empty when the pair could not be checked at all (unreadable or
   /// unparseable file); equivalence is then InvalidInput.
   std::string error;
@@ -94,6 +106,9 @@ struct BatchSummary {
   std::size_t invalid{0};
   std::size_t cacheHits{0};
   std::size_t cacheStores{0};
+  /// Manifest entries resolved by copying an identical earlier entry's
+  /// verdict (see PairOutcome::deduped).
+  std::size_t deduped{0};
   unsigned threads{1};
   double seconds{0.0};
 };

@@ -130,7 +130,10 @@ std::optional<Fingerprint> parseFingerprint(std::string_view hex) {
 
 std::uint64_t configDigest(const ec::FlowConfiguration& config) {
   Hasher h;
-  h.absorb(std::uint64_t{1}); // digest schema version
+  // schema 2: added the prescreen/tier-routing fields below — the tier a
+  // pair routes to changes how a verdict is produced, so cached verdicts
+  // from flows with different routing must not collide
+  h.absorb(std::uint64_t{2}); // digest schema version
   h.absorb(static_cast<std::uint64_t>(config.simulation.maxSimulations));
   h.absorb(static_cast<std::uint64_t>(config.simulation.stimuli));
   h.absorb(config.simulation.fidelityTolerance);
@@ -143,6 +146,11 @@ std::uint64_t configDigest(const ec::FlowConfiguration& config) {
   h.absorb(config.skipComplete ? std::uint64_t{1} : std::uint64_t{0});
   h.absorb(config.tryRewriting ? std::uint64_t{1} : std::uint64_t{0});
   h.absorb(config.validateInputs ? std::uint64_t{1} : std::uint64_t{0});
+  h.absorb(config.prescreen.enabled ? std::uint64_t{1} : std::uint64_t{0});
+  h.absorb(config.prescreen.stabilizerTier ? std::uint64_t{1}
+                                           : std::uint64_t{0});
+  h.absorb(static_cast<std::uint64_t>(config.prescreen.stabilizerStimuli));
+  h.absorb(static_cast<std::uint64_t>(config.prescreen.phaseProbeMaxQubits));
   return h.digest().lo;
 }
 

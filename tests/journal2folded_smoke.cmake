@@ -10,9 +10,11 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "gen failed (${rc})")
 endif()
 
+# --no-prescreen: ghz vs itself is decided statically otherwise, and the
+# folded output must contain the general flow's stage frames
 execute_process(
   COMMAND ${QSIMEC_CLI} check ${WORK_DIR}/g.qasm ${WORK_DIR}/g.qasm
-          --timeout 60 --journal ${WORK_DIR}/run.jsonl
+          --timeout 60 --no-prescreen --journal ${WORK_DIR}/run.jsonl
   RESULT_VARIABLE rc OUTPUT_QUIET)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "check failed (${rc})")

@@ -435,7 +435,12 @@ TEST(AnalysisIntegration, FlowPreflightCanBeDisabled) {
   config.validateInputs = false;
   const auto result = ec::EquivalenceCheckingFlow(config).run(a, b);
   EXPECT_EQ(result.equivalence, ec::Equivalence::Equivalent);
-  EXPECT_TRUE(result.diagnostics.empty());
+  // no preflight findings; the only diagnostic is the prescreen's QS004
+  // note (the identical pair is decided statically)
+  ASSERT_EQ(result.diagnostics.size(), 1U);
+  EXPECT_EQ(result.diagnostics[0].rule,
+            analysis::rules::StaticallyIdentical);
+  EXPECT_EQ(result.tier, analysis::TierHint::Static);
 }
 
 TEST(AnalysisIntegration, FlowAcceptsCleanPairAndKeepsWarnings) {
@@ -445,7 +450,8 @@ TEST(AnalysisIntegration, FlowAcceptsCleanPairAndKeepsWarnings) {
   const ir::QuantumComputation b(1);
   const auto result = ec::EquivalenceCheckingFlow().run(a, b);
   EXPECT_EQ(result.equivalence, ec::Equivalence::Equivalent);
-  EXPECT_EQ(result.diagnostics.size(), 2U); // one QA008 per circuit
+  // one QA008 per circuit, plus the prescreen's QS004 verdict note
+  EXPECT_EQ(result.diagnostics.size(), 3U);
 }
 
 TEST(AnalysisIntegration, FlowResultJsonCarriesDiagnostics) {

@@ -181,6 +181,55 @@ TEST_F(CliTest, LintPairReportsWidthMismatch) {
   const auto lint = runCli("lint " + narrow + " " + wide);
   EXPECT_EQ(lint.exitCode, 4);
   EXPECT_NE(lint.output.find("QP001"), std::string::npos);
+  // pair-level findings are attributed to both files, not just the first
+  EXPECT_NE(lint.output.find(narrow + ", " + wide), std::string::npos);
+
+  const auto json = runCli("lint " + narrow + " " + wide + " --json");
+  EXPECT_NE(json.output.find("\"circuit\":\"pair\""), std::string::npos);
+}
+
+TEST_F(CliTest, ProfileCommandReportsGateSetAndTier) {
+  const std::string ghz = path("ghz.qasm");
+  const std::string qft = path("qft.qasm");
+  ASSERT_EQ(runCli("gen ghz 3 " + ghz).exitCode, 0);
+  ASSERT_EQ(runCli("gen qft 4 " + qft).exitCode, 0);
+
+  const auto single = runCli("profile " + ghz);
+  EXPECT_EQ(single.exitCode, 0) << single.output;
+  EXPECT_NE(single.output.find("gate set:  clifford"), std::string::npos);
+
+  // an identical Clifford pair strips to nothing: tier "static"
+  const auto pair = runCli("profile " + ghz + " " + ghz);
+  EXPECT_EQ(pair.exitCode, 0) << pair.output;
+  EXPECT_NE(pair.output.find("tier:      static"), std::string::npos);
+  EXPECT_NE(pair.output.find("verdict:   identical"), std::string::npos);
+
+  const auto json = runCli("profile " + ghz + " " + qft + " --json");
+  EXPECT_EQ(json.exitCode, 0) << json.output;
+  EXPECT_TRUE(qsimec::util::isValidJson(json.output)) << json.output;
+  EXPECT_NE(json.output.find("\"tier\":"), std::string::npos);
+  EXPECT_NE(json.output.find("\"gate_set\":"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckReportsStabilizerTierForCliffordPair) {
+  const std::string a = path("sg.qasm");
+  const std::string b = path("sb.qasm");
+  {
+    std::ofstream os(a);
+    os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n"
+       << "h q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n";
+  }
+  {
+    // an inserted x;x pair: Clifford-only, equivalent, but the residual
+    // after prefix/suffix stripping is not statically decidable — the
+    // stabilizer tier proves it
+    std::ofstream os(b);
+    os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n"
+       << "h q[0];\ncx q[0],q[1];\nx q[2];\nx q[2];\ncx q[1],q[2];\n";
+  }
+  const auto check = runCli("check " + a + " " + b + " --timeout 30");
+  EXPECT_EQ(check.exitCode, 0) << check.output;
+  EXPECT_NE(check.output.find("tier:        stabilizer"), std::string::npos);
 }
 
 TEST_F(CliTest, CheckOnMalformedFileExitsFour) {
@@ -225,7 +274,10 @@ TEST_F(CliTest, WidthMismatchIsPaddedAutomatically) {
 TEST_F(CliTest, JsonOutputCarriesMetrics) {
   const std::string a = path("g.qasm");
   ASSERT_EQ(runCli("gen ghz 3 " + a).exitCode, 0);
-  const auto check = runCli("check " + a + " " + a + " --json --timeout 30");
+  // --no-prescreen: ghz vs itself is otherwise decided statically, and
+  // this test pins the general flow's metrics rollup
+  const auto check =
+      runCli("check " + a + " " + a + " --json --no-prescreen --timeout 30");
   EXPECT_EQ(check.exitCode, 0);
   EXPECT_TRUE(qsimec::util::isValidJson(check.output)) << check.output;
   EXPECT_NE(check.output.find("\"metrics\""), std::string::npos);
@@ -239,8 +291,8 @@ TEST_F(CliTest, TraceFlagWritesChromeTraceFile) {
   const std::string a = path("g.qasm");
   const std::string trace = path("trace.json");
   ASSERT_EQ(runCli("gen ghz 3 " + a).exitCode, 0);
-  const auto check =
-      runCli("check " + a + " " + a + " --trace " + trace + " --timeout 30");
+  const auto check = runCli("check " + a + " " + a + " --trace " + trace +
+                            " --no-prescreen --timeout 30");
   EXPECT_EQ(check.exitCode, 0) << check.output;
   EXPECT_NE(check.output.find("trace:"), std::string::npos);
 

@@ -420,6 +420,9 @@ TEST(Flow, NonEquivalentDetectedBySimulation) {
   bad.ops().pop_back(); // drop the last CNOT
   ec::FlowConfiguration config;
   config.simulation.seed = 1;
+  // this test pins the general simulation stage; the paper circuits are
+  // Clifford-only and would otherwise route to the stabilizer tier
+  config.prescreen.enabled = false;
   const ec::EquivalenceCheckingFlow flow(config);
   const auto result = flow.run(paperCircuitG(), bad);
   EXPECT_EQ(result.equivalence, Equivalence::NotEquivalent);
@@ -430,6 +433,7 @@ TEST(Flow, NonEquivalentDetectedBySimulation) {
 TEST(Flow, EquivalentProvedByCompleteCheck) {
   ec::FlowConfiguration config;
   config.simulation.seed = 1;
+  config.prescreen.enabled = false; // exercise the general DD path
   const ec::EquivalenceCheckingFlow flow(config);
   const auto result = flow.run(paperCircuitG(), paperCircuitGPrime());
   EXPECT_TRUE(ec::provedEquivalent(result.equivalence));
@@ -458,9 +462,23 @@ TEST(Flow, TimeoutYieldsProbablyEquivalent) {
 TEST(Flow, SkipSimulationRunsCompleteOnly) {
   ec::FlowConfiguration config;
   config.skipSimulation = true;
+  config.prescreen.enabled = false; // exercise the general DD path
   const ec::EquivalenceCheckingFlow flow(config);
   const auto result = flow.run(paperCircuitG(), paperCircuitGPrime());
   EXPECT_TRUE(ec::provedEquivalent(result.equivalence));
+  EXPECT_EQ(result.simulations, 0U);
+}
+
+TEST(Flow, SkipSimulationAlsoSuppressesStabilizerStimuli) {
+  // With the prescreen on, a Clifford-only pair routes to the stabilizer
+  // tier — whose randomized runs also honour skipSimulation; the exact
+  // conjugation check alone decides the pair.
+  ec::FlowConfiguration config;
+  config.skipSimulation = true;
+  const ec::EquivalenceCheckingFlow flow(config);
+  const auto result = flow.run(paperCircuitG(), paperCircuitGPrime());
+  EXPECT_TRUE(ec::provedEquivalent(result.equivalence));
+  EXPECT_EQ(result.tier, analysis::TierHint::Stabilizer);
   EXPECT_EQ(result.simulations, 0U);
 }
 

@@ -161,7 +161,11 @@ TEST(Journal, FlowEmitsStageAndVerdictEvents) {
   obs::Context context;
   context.journal = &journal;
 
-  const ec::EquivalenceCheckingFlow flow;
+  // pin the general flow's journal stream — Clifford-only pairs would
+  // otherwise be routed to the stabilizer tier and emit no sim.stimulus
+  ec::FlowConfiguration config;
+  config.prescreen.enabled = false;
+  const ec::EquivalenceCheckingFlow flow(config);
   const ec::FlowResult result =
       flow.run(paperCircuitG(), paperCircuitBroken(), context);
   ASSERT_EQ(result.equivalence, ec::Equivalence::NotEquivalent);
@@ -194,6 +198,32 @@ TEST(Journal, FlowEmitsStageAndVerdictEvents) {
   EXPECT_TRUE(sawVerdict);
   EXPECT_GT(stimulusLines, 0U);
   EXPECT_TRUE(sawMismatch);
+}
+
+TEST(Journal, FlowEmitsTierEvent) {
+  obs::Journal journal;
+  obs::Context context;
+  context.journal = &journal;
+
+  const ec::EquivalenceCheckingFlow flow;
+  const ec::FlowResult result =
+      flow.run(paperCircuitG(), paperCircuitG(), context);
+  ASSERT_EQ(result.equivalence, ec::Equivalence::Equivalent);
+  ASSERT_EQ(result.tier, analysis::TierHint::Static);
+
+  bool sawTier = false;
+  for (const std::string& line : journal.lines()) {
+    ASSERT_TRUE(util::isValidJson(line)) << line;
+    const util::JsonValue v = util::parseJson(line);
+    if (v.at("event").asString() != "flow.tier") {
+      continue;
+    }
+    sawTier = true;
+    EXPECT_EQ(v.at("tier").asString(), "static");
+    EXPECT_EQ(v.at("gate_set").asString(), "clifford");
+    EXPECT_EQ(v.at("verdict").asString(), "identical");
+  }
+  EXPECT_TRUE(sawTier);
 }
 
 TEST(Journal, PackageGcEmitsEvent) {

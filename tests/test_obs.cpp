@@ -343,8 +343,17 @@ TEST(PackageStats, GarbageCollectionIsTimedAndTraced) {
   EXPECT_TRUE(sawGcSpan);
 }
 
+// The FlowMetrics tests pin the general simulation + DD path: the paper
+// circuits are Clifford-only, so the prescreen (which would route them to
+// the stabilizer tier) is disabled here.
+ec::FlowConfiguration generalFlowConfig() {
+  ec::FlowConfiguration config;
+  config.prescreen.enabled = false;
+  return config;
+}
+
 TEST(FlowMetrics, RollupOnEquivalentPair) {
-  const ec::EquivalenceCheckingFlow flow;
+  const ec::EquivalenceCheckingFlow flow(generalFlowConfig());
   const ec::FlowResult result =
       flow.run(paperCircuitG(), paperCircuitGPrime());
   EXPECT_EQ(result.equivalence, ec::Equivalence::Equivalent);
@@ -362,7 +371,7 @@ TEST(FlowMetrics, RollupOnEquivalentPair) {
 }
 
 TEST(FlowMetrics, EarlyExitCounterexampleStillReportsSimulationCost) {
-  const ec::EquivalenceCheckingFlow flow;
+  const ec::EquivalenceCheckingFlow flow(generalFlowConfig());
   const ec::FlowResult result =
       flow.run(paperCircuitG(), paperCircuitBroken());
   ASSERT_EQ(result.equivalence, ec::Equivalence::NotEquivalent);
@@ -385,7 +394,7 @@ TEST(FlowMetrics, ContextSinksReceiveSpansAndMetrics) {
   obs::MetricsRegistry registry;
   const obs::Context context{&tracer, &registry};
 
-  const ec::EquivalenceCheckingFlow flow;
+  const ec::EquivalenceCheckingFlow flow(generalFlowConfig());
   const ec::FlowResult result =
       flow.run(paperCircuitG(), paperCircuitGPrime(), context);
   EXPECT_EQ(result.equivalence, ec::Equivalence::Equivalent);

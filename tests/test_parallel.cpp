@@ -279,6 +279,9 @@ TEST(Flow, RaceOnEquivalentPairIsWonByCompleteCheck) {
   config.mode = ec::FlowMode::Race;
   config.simulation.seed = 5;
   config.complete.timeoutSeconds = 60.0;
+  // g vs g would be decided statically by the prescreen; this test pins
+  // the race machinery itself
+  config.prescreen.enabled = false;
   const ec::EquivalenceCheckingFlow flow(config);
   const auto result = flow.run(g, g);
   EXPECT_TRUE(provedEquivalent(result.equivalence));
@@ -292,6 +295,7 @@ TEST(Flow, RaceDegeneratesToStagedWhenOneSideIsSkipped) {
   ec::FlowConfiguration config;
   config.mode = ec::FlowMode::Race;
   config.skipComplete = true;
+  config.prescreen.enabled = false; // g vs g is otherwise decided statically
   const ec::EquivalenceCheckingFlow flow(config);
   const auto result = flow.run(g, g);
   EXPECT_EQ(result.mode, ec::FlowMode::Staged);

@@ -398,6 +398,86 @@ TEST_F(BatchTest, WarmCacheRerunDispatchesZeroCheckerWork) {
   }
 }
 
+TEST_F(BatchTest, DuplicateManifestEntriesAreDeduplicated) {
+  // the same (fingerprint, fingerprint, configDigest) triple three times:
+  // only the first occurrence is dispatched; the verdict fans out to the
+  // other two in manifest order
+  const std::string text =
+      "{\"g\": \"" + path("qft_a.qasm") + "\", \"gp\": \"" +
+      path("qft_b.qasm") + "\"}\n"
+      "{\"g\": \"" + path("qft_a.qasm") + "\", \"gp\": \"" +
+      path("qft_b.qasm") + "\"}\n"
+      "{\"g\": \"" + path("adder.real") + "\", \"gp\": \"" +
+      path("inc.real") + "\"}\n"
+      "{\"g\": \"" + path("qft_a.qasm") + "\", \"gp\": \"" +
+      path("qft_b.qasm") + "\"}\n";
+  std::istringstream is(text);
+  ec::FlowConfiguration base;
+  base.complete.timeoutSeconds = 60.0;
+  const svc::BatchManifest m = svc::parseManifest(is, base);
+
+  svc::BatchScheduler scheduler(options(2));
+  const svc::BatchResult result = scheduler.run(m);
+
+  ASSERT_EQ(result.outcomes.size(), 4U);
+  EXPECT_EQ(result.summary.deduped, 2U);
+  EXPECT_FALSE(result.outcomes[0].deduped);
+  EXPECT_TRUE(result.outcomes[1].deduped);
+  EXPECT_FALSE(result.outcomes[2].deduped);
+  EXPECT_TRUE(result.outcomes[3].deduped);
+  // the copied verdict matches the representative's, tier and all
+  for (const std::size_t dup : {std::size_t{1}, std::size_t{3}}) {
+    EXPECT_EQ(result.outcomes[dup].equivalence,
+              result.outcomes[0].equivalence);
+    EXPECT_EQ(result.outcomes[dup].tier, result.outcomes[0].tier);
+    EXPECT_EQ(result.outcomes[dup].gateSet, result.outcomes[0].gateSet);
+  }
+}
+
+TEST_F(BatchTest, DifferentConfigOverridesDefeatDeduplication) {
+  // the same circuit pair under different verdict-relevant overrides must
+  // NOT be coalesced — the configDigest keeps the triples apart
+  const std::string text =
+      "{\"g\": \"" + path("qft_a.qasm") + "\", \"gp\": \"" +
+      path("qft_b.qasm") + "\"}\n"
+      "{\"g\": \"" + path("qft_a.qasm") + "\", \"gp\": \"" +
+      path("qft_b.qasm") + "\", \"sims\": 16}\n";
+  std::istringstream is(text);
+  ec::FlowConfiguration base;
+  base.complete.timeoutSeconds = 60.0;
+  const svc::BatchManifest m = svc::parseManifest(is, base);
+
+  svc::BatchScheduler scheduler(options(2));
+  const svc::BatchResult result = scheduler.run(m);
+  ASSERT_EQ(result.outcomes.size(), 2U);
+  EXPECT_EQ(result.summary.deduped, 0U);
+  EXPECT_FALSE(result.outcomes[1].deduped);
+}
+
+TEST_F(BatchTest, DedupedBatchSerializationIsStableAcrossThreadCounts) {
+  const std::string text =
+      "{\"g\": \"" + path("adder.real") + "\", \"gp\": \"" +
+      path("adder.real") + "\"}\n"
+      "{\"g\": \"" + path("qft_a.qasm") + "\", \"gp\": \"" +
+      path("qft_b.qasm") + "\"}\n"
+      "{\"g\": \"" + path("adder.real") + "\", \"gp\": \"" +
+      path("adder.real") + "\"}\n";
+  ec::FlowConfiguration base;
+  base.complete.timeoutSeconds = 60.0;
+  std::string reference;
+  for (const unsigned threads : {1U, 2U, 8U}) {
+    std::istringstream is(text);
+    const svc::BatchManifest m = svc::parseManifest(is, base);
+    svc::BatchScheduler scheduler(options(threads));
+    const std::string lines = redactedLines(scheduler.run(m));
+    if (reference.empty()) {
+      reference = lines;
+    } else {
+      EXPECT_EQ(lines, reference) << "threads=" << threads;
+    }
+  }
+}
+
 TEST_F(BatchTest, UnreadableFileYieldsInvalidInputAndBatchContinues) {
   ec::FlowConfiguration base;
   std::istringstream is("{\"g\": \"" + path("nope.qasm") + "\", \"gp\": \"" +
