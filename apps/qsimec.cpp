@@ -8,6 +8,9 @@
 //   qsimec info FILE             circuit statistics
 //   qsimec convert IN OUT        convert between .qasm and .real
 //   qsimec bench-diff BASE CUR   compare two qsimec-bench-v1 reports
+//   qsimec report RUN.jsonl      render a run journal as Markdown/HTML
+//   qsimec journal-stats J...    latency percentiles across journals
+//   qsimec metrics-export M.json metrics JSON -> OpenMetrics text
 //
 // Circuit files are read by extension: .qasm (OpenQASM 2.0) or .real
 // (RevLib). `check` implements the DAC'20 flow: r random-stimuli
@@ -35,16 +38,21 @@
 #include "io/qasm.hpp"
 #include "io/real.hpp"
 #include "obs/bench_diff.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/run_report.hpp"
 #include "sim/dd_simulator.hpp"
 #include "svc/batch.hpp"
 #include "svc/verdict_cache.hpp"
 #include "transform/decomposition.hpp"
 #include "util/json.hpp"
+#include "util/json_parse.hpp"
 
 #include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -74,6 +82,10 @@ usage:
       --rewriting           try the syntactic rewriting checker first
       --no-prescreen        skip the static prescreen and tier routing; every
                             pair takes the general simulation + DD path
+      --no-attr             disable the per-gate cost attribution profiler
+                            (attribution never changes verdicts; this only
+                            drops the "attribution" blocks and attr.* journal
+                            events — see docs/profiling.md)
       --localize            on non-equivalence, binary-search the diverging gate
       --json                emit the result as a JSON object (with per-stage
                             metrics and DD profile under "metrics")
@@ -107,7 +119,7 @@ usage:
       --trace FILE          Chrome trace_event file of the batch
       --progress            live pair counter on stderr
       (plus the check options --sims --stimuli --timeout --strategy --seed
-       --race --sim-only --strict-phase --rewriting as the base
+       --race --sim-only --strict-phase --rewriting --no-attr as the base
        configuration every manifest line starts from)
       exit codes mirror check over the whole batch: 1 if any pair is not
       equivalent, else 4 if any input was invalid, else 3 if any pair was
@@ -134,6 +146,31 @@ usage:
       --tolerance F         relative wall-time tolerance (default 0.25)
       --counter-tolerance F relative counter tolerance (default 0 = exact)
       --min-seconds S       times below this never regress (default 0.01)
+  qsimec report RUN.jsonl [options]
+      render a --journal run journal (check or batch) as a report: stage
+      waterfall, tier routing, verdict counts, the hottest gates by cost
+      attribution, batch cache/dedup stats, latency percentiles
+      --trace FILE          also aggregate a --trace Chrome trace file into
+                            a per-span-family table
+      --out FILE            write to FILE instead of stdout; a .html
+                            extension selects the self-contained HTML page,
+                            anything else (and stdout) is Markdown
+      --top N               rows kept in the hotspot/span tables (default 10)
+  qsimec journal-stats RUN.jsonl [MORE.jsonl ...]
+      per-event-family and per-tier latency percentile tables (count, mean,
+      p50/p90/p99) folded across one or more run journals
+  qsimec metrics-export METRICS.json [options]
+      render a metrics JSON payload as OpenMetrics text (# TYPE/# HELP,
+      counter _total, cumulative histogram buckets, terminating # EOF).
+      Accepts a raw {"counters":...} object, a `check --json` result (its
+      "metrics" member), or a qsimec-bench-v1 report (all records merged).
+      The output is validated before it is written; exit 2 if it fails.
+      --prefix NAME         metric name prefix (default qsimec)
+      --out FILE            write to FILE instead of stdout
+      --lint FILE           validate an existing OpenMetrics text file
+                            instead of exporting: print issues, exit 4 if
+                            any (the CI exposition gate; no positional
+                            argument needed)
   qsimec gen FAMILY OUT.{qasm,real} [--seed N]
       families: qft N | qft-alt N | grover K | supremacy R C D |
                 chemistry R C | hwb K | urf K | adder K | inc K | random N G |
@@ -209,8 +246,11 @@ int parseFlowFlags(ArgCursor& args, ec::FlowConfiguration& config) {
   const bool strictPhase = args.consumeFlag("--strict-phase");
   const bool rewriting = args.consumeFlag("--rewriting");
   const bool noPrescreen = args.consumeFlag("--no-prescreen");
+  const bool noAttr = args.consumeFlag("--no-attr");
 
   config.prescreen.enabled = !noPrescreen;
+  config.simulation.attribution.enabled = !noAttr;
+  config.complete.attribution.enabled = !noAttr;
   config.simulation.maxSimulations = std::stoul(simsStr);
   config.simulation.seed = std::stoull(seedStr);
   config.simulation.ignoreGlobalPhase = !strictPhase;
@@ -312,8 +352,9 @@ int runCheck(ArgCursor& args) {
   }
   if (showProgress) {
     config.progress = [](const ec::FlowProgress& p) {
-      std::cerr << "\r[" << p.stage << "] stimuli " << p.simulationsDone
-                << "/" << p.simulationsTotal << "   " << std::flush;
+      std::cerr << "\r[" << p.stage << "] tier=" << p.tier << " stimuli "
+                << p.simulationsDone << "/" << p.simulationsTotal << "   "
+                << std::flush;
       if (p.stage == "done") {
         std::cerr << "\n";
       }
@@ -544,6 +585,150 @@ int runBenchDiff(ArgCursor& args) {
   }
   std::cout << "\nbench-diff: OK (" << result.rows.size()
             << " benchmark(s) within tolerance)\n";
+  return 0;
+}
+
+std::string slurpFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> readLines(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+void writeTextFile(const std::string& path, const std::string& text) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  os << text;
+}
+
+/// `qsimec report`: fold a run journal (and optionally a trace) into a
+/// Markdown or HTML report.
+int runReport(ArgCursor& args) {
+  const std::string tracePath = args.consumeOption("--trace", "");
+  const std::string outPath = args.consumeOption("--out", "");
+  const std::size_t topRows = std::stoul(args.consumeOption("--top", "10"));
+  const std::string journalPath = args.next("run journal (JSONL)");
+
+  obs::RunReport report = obs::parseRunJournal(readLines(journalPath));
+  if (!tracePath.empty()) {
+    obs::attachTraceSummary(report, slurpFile(tracePath));
+  }
+
+  obs::RunReportOptions options;
+  options.topRows = topRows;
+  options.format = outPath.ends_with(".html")
+                       ? obs::RunReportOptions::Format::Html
+                       : obs::RunReportOptions::Format::Markdown;
+  const std::string text = obs::renderRunReport(report, options);
+  if (outPath.empty()) {
+    std::cout << text;
+  } else {
+    writeTextFile(outPath, text);
+    std::cout << "wrote " << outPath << " (" << report.events
+              << " journal event(s)";
+    if (report.malformedLines > 0) {
+      std::cout << ", " << report.malformedLines << " malformed line(s)";
+    }
+    std::cout << ")\n";
+  }
+  return 0;
+}
+
+/// `qsimec journal-stats`: latency percentile tables over journals.
+int runJournalStats(ArgCursor& args) {
+  std::vector<std::string> lines;
+  std::string path = args.next("journal file");
+  while (true) {
+    std::vector<std::string> fileLines = readLines(path);
+    lines.insert(lines.end(), std::make_move_iterator(fileLines.begin()),
+                 std::make_move_iterator(fileLines.end()));
+    if (args.empty()) {
+      break;
+    }
+    path = args.next("journal file");
+  }
+  std::cout << obs::renderJournalStats(obs::computeJournalStats(lines));
+  return 0;
+}
+
+/// `qsimec metrics-export`: metrics JSON -> OpenMetrics exposition text
+/// (or, with --lint, validate an existing exposition file).
+int runMetricsExport(ArgCursor& args) {
+  const std::string lintPath = args.consumeOption("--lint", "");
+  const std::string outPath = args.consumeOption("--out", "");
+  const std::string prefix = args.consumeOption("--prefix", "qsimec");
+
+  if (!lintPath.empty()) {
+    const std::vector<obs::OpenMetricsIssue> issues =
+        obs::validateOpenMetrics(slurpFile(lintPath));
+    for (const obs::OpenMetricsIssue& issue : issues) {
+      std::cerr << lintPath << ":" << issue.line << ": " << issue.message
+                << "\n";
+    }
+    if (!issues.empty()) {
+      std::cerr << lintPath << ": " << issues.size() << " issue(s)\n";
+      return 4;
+    }
+    std::cout << lintPath << ": OK\n";
+    return 0;
+  }
+
+  const std::string sourcePath = args.next("metrics JSON file");
+  const std::string sourceText = slurpFile(sourcePath);
+  obs::MetricsSnapshot snapshot;
+  const util::JsonValue root = util::parseJson(sourceText);
+  const util::JsonValue* schema = root.find("schema");
+  if (schema != nullptr && schema->asString() == "qsimec-bench-v1") {
+    // a bench report: merge every record's metrics into one exposition
+    const obs::BenchReportFile report = obs::parseBenchReport(sourceText);
+    for (const obs::BenchReportRecord& record : report.records) {
+      snapshot.merge(record.metrics);
+    }
+  } else if (const util::JsonValue* metrics = root.find("metrics")) {
+    snapshot = obs::parseMetricsSnapshot(*metrics); // a check --json result
+  } else {
+    snapshot = obs::parseMetricsSnapshot(root); // a raw metrics object
+  }
+
+  obs::OpenMetricsOptions options;
+  options.prefix = prefix;
+  const std::string text = obs::renderOpenMetrics(snapshot, options);
+  // self-check: the renderer and the validator must agree, always
+  const std::vector<obs::OpenMetricsIssue> issues =
+      obs::validateOpenMetrics(text);
+  if (!issues.empty()) {
+    for (const obs::OpenMetricsIssue& issue : issues) {
+      std::cerr << "internal: produced invalid OpenMetrics at line "
+                << issue.line << ": " << issue.message << "\n";
+    }
+    return 2;
+  }
+  if (outPath.empty()) {
+    std::cout << text;
+  } else {
+    writeTextFile(outPath, text);
+    std::cout << "wrote " << outPath << " (" << snapshot.counters.size()
+              << " counter(s), " << snapshot.gauges.size() << " gauge(s), "
+              << snapshot.histograms.size() << " histogram(s))\n";
+  }
   return 0;
 }
 
@@ -926,6 +1111,15 @@ int main(int argc, char** argv) {
     if (command == "bench-diff") {
       return runBenchDiff(args);
     }
+    if (command == "report") {
+      return runReport(args);
+    }
+    if (command == "journal-stats") {
+      return runJournalStats(args);
+    }
+    if (command == "metrics-export") {
+      return runMetricsExport(args);
+    }
     if (command == "--help" || command == "-h" || command == "help") {
       usage(0);
     }
@@ -941,6 +1135,9 @@ int main(int argc, char** argv) {
     std::cerr << "invalid input: " << e.what() << "\n";
     return 4;
   } catch (const io::RealParseError& e) {
+    std::cerr << "invalid input: " << e.what() << "\n";
+    return 4;
+  } catch (const util::JsonParseError& e) {
     std::cerr << "invalid input: " << e.what() << "\n";
     return 4;
   } catch (const std::exception& e) {

@@ -7,6 +7,7 @@
 // the untraced variant should be indistinguishable from the pre-obs
 // package, while the traced one is allowed to pay for its spans.
 
+#include "dd/attribution.hpp"
 #include "ec/simulation_checker.hpp"
 #include "gen/qft.hpp"
 #include "obs/journal.hpp"
@@ -101,6 +102,43 @@ void BM_GateApplyTraced(benchmark::State& state) {
   simulateQft(static_cast<std::size_t>(state.range(0)), &tracer, state);
 }
 BENCHMARK(BM_GateApplyTraced)->Arg(10)->Arg(14);
+
+// Attribution's disabled path is the same null-pointer contract as the
+// tracer's: sim::simulate with attr == nullptr pays one pointer test per
+// gate (≤ 5 ns/gate over the pre-attribution package — compare
+// BM_GateApplyUntraced against a pre-PR checkout, or eyeball its delta to
+// BM_GateApplyAttributed, which pays the full begin/end sampling).
+void BM_GateApplyAttributed(benchmark::State& state) {
+  const ir::QuantumComputation qc =
+      gen::qft(static_cast<std::size_t>(state.range(0)));
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    dd::Package pkg(qc.qubits());
+    dd::AttributionCollector attr(pkg);
+    const auto out = sim::simulate(qc, pkg.makeBasisState(1), pkg, nullptr,
+                                   &attr, dd::AttrSide::Left);
+    benchmark::DoNotOptimize(dd::Package::size(out));
+    samples = attr.take().samples.size();
+  }
+  state.counters["samples"] =
+      benchmark::Counter(static_cast<double>(samples));
+}
+BENCHMARK(BM_GateApplyAttributed)->Arg(10)->Arg(14);
+
+// The enabled per-gate cost in isolation: one counter snapshot + clock read
+// on each side of the gate. This bounds what --no-attr saves.
+void BM_AttributionBeginEnd(benchmark::State& state) {
+  dd::Package pkg(4);
+  dd::AttributionCollector attr(pkg);
+  std::uint32_t gate = 0;
+  for (auto _ : state) {
+    attr.beginGate();
+    attr.endGate(dd::AttrSide::Left, gate++ % 64U);
+    benchmark::DoNotOptimize(&attr);
+  }
+  benchmark::DoNotOptimize(attr.take().gatesApplied);
+}
+BENCHMARK(BM_AttributionBeginEnd);
 
 } // namespace
 

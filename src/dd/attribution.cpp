@@ -1,0 +1,128 @@
+#include "dd/attribution.hpp"
+
+#include "dd/package.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace qsimec::dd {
+
+void AttributionData::mergeFrom(const AttributionData& other) {
+  if (other.empty()) {
+    return;
+  }
+  if (empty()) {
+    nodesLiveStart = other.nodesLiveStart;
+  }
+  gatesApplied += other.gatesApplied;
+  nodesDeltaTotal += other.nodesDeltaTotal;
+  peakNodesLive = std::max(peakNodesLive, other.peakNodesLive);
+  wallNanosTotal += other.wallNanosTotal;
+
+  // merge-join on (side, gateIndex): both inputs are side-major and
+  // index-sorted, so an ordered map rebuild keeps the invariant
+  std::map<std::pair<std::uint8_t, std::uint32_t>, GateCostSample> byKey;
+  const auto fold = [&byKey](const std::vector<GateCostSample>& samples) {
+    for (const GateCostSample& s : samples) {
+      const auto key = std::make_pair(static_cast<std::uint8_t>(s.side),
+                                      s.gateIndex);
+      auto [it, inserted] = byKey.try_emplace(key, s);
+      if (!inserted) {
+        GateCostSample& mine = it->second;
+        mine.applications += s.applications;
+        mine.nodesDelta += s.nodesDelta;
+        mine.uniqueLookups += s.uniqueLookups;
+        mine.uniqueHits += s.uniqueHits;
+        mine.computeLookups += s.computeLookups;
+        mine.computeHits += s.computeHits;
+        mine.wallNanos += s.wallNanos;
+      }
+    }
+  };
+  fold(samples);
+  fold(other.samples);
+  samples.clear();
+  samples.reserve(byKey.size());
+  for (auto& [key, sample] : byKey) {
+    samples.push_back(sample);
+  }
+}
+
+void AttributionCollector::beginGate() noexcept {
+  before_ = pkg_->costCounters();
+  startedAt_ = std::chrono::steady_clock::now();
+  started_ = true;
+  if (!sawFirstGate_) {
+    nodesLiveStart_ = static_cast<std::int64_t>(before_.nodesLive);
+    sawFirstGate_ = true;
+  }
+}
+
+void AttributionCollector::endGate(AttrSide side, std::uint32_t gateIndex) {
+  if (!started_) {
+    return; // endGate without beginGate: ignore rather than misattribute
+  }
+  started_ = false;
+  const auto elapsed = std::chrono::steady_clock::now() - startedAt_;
+  const CostCounters after = pkg_->costCounters();
+
+  std::vector<GateCostSample>& bucket =
+      side == AttrSide::Left ? left_ : right_;
+  if (bucket.size() <= gateIndex) {
+    bucket.resize(static_cast<std::size_t>(gateIndex) + 1);
+  }
+  GateCostSample& sample = bucket[gateIndex];
+  sample.side = side;
+  sample.gateIndex = gateIndex;
+  ++sample.applications;
+  const std::int64_t delta = static_cast<std::int64_t>(after.nodesLive) -
+                             static_cast<std::int64_t>(before_.nodesLive);
+  sample.nodesDelta += delta;
+  sample.uniqueLookups += after.uniqueLookups - before_.uniqueLookups;
+  sample.uniqueHits += after.uniqueHits - before_.uniqueHits;
+  sample.computeLookups += after.computeLookups - before_.computeLookups;
+  sample.computeHits += after.computeHits - before_.computeHits;
+  const auto nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  sample.wallNanos += nanos;
+
+  ++gatesApplied_;
+  nodesDeltaTotal_ += delta;
+  peakNodesLive_ = std::max(peakNodesLive_,
+                            static_cast<std::uint64_t>(after.nodesLive));
+  wallNanosTotal_ += nanos;
+}
+
+AttributionData AttributionCollector::take() {
+  AttributionData data;
+  data.samples.reserve(left_.size() + right_.size());
+  for (const GateCostSample& s : left_) {
+    if (s.applications > 0) {
+      data.samples.push_back(s);
+    }
+  }
+  for (const GateCostSample& s : right_) {
+    if (s.applications > 0) {
+      data.samples.push_back(s);
+    }
+  }
+  data.gatesApplied = gatesApplied_;
+  data.nodesDeltaTotal = nodesDeltaTotal_;
+  data.nodesLiveStart = nodesLiveStart_;
+  data.peakNodesLive = peakNodesLive_;
+  data.wallNanosTotal = wallNanosTotal_;
+
+  left_.clear();
+  right_.clear();
+  gatesApplied_ = 0;
+  nodesDeltaTotal_ = 0;
+  nodesLiveStart_ = 0;
+  peakNodesLive_ = 0;
+  wallNanosTotal_ = 0;
+  started_ = false;
+  sawFirstGate_ = false;
+  return data;
+}
+
+} // namespace qsimec::dd

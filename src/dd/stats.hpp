@@ -16,6 +16,18 @@
 
 namespace qsimec::dd {
 
+/// Raw counter block for cheap before/after deltas around one gate
+/// application — the attribution profiler's sampling primitive
+/// (dd/attribution.hpp). Plain counter reads only, no table scans; taking
+/// two of these around a multiply costs a handful of loads.
+struct CostCounters {
+  std::size_t nodesLive{};
+  std::size_t uniqueLookups{};
+  std::size_t uniqueHits{};
+  std::size_t computeLookups{};
+  std::size_t computeHits{};
+};
+
 /// Lookup/hit counts of one hash table (unique or compute).
 struct TableStats {
   std::size_t lookups{};

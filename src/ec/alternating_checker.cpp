@@ -3,6 +3,7 @@
 #include "sim/dd_simulator.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 namespace qsimec::ec {
@@ -55,6 +56,10 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
   pkg.setJournal(obs.journal);
   pkg.setLiveGauges(obs.live);
 
+  std::optional<dd::AttributionCollector> attr;
+  if (config_.attribution.enabled) {
+    attr.emplace(pkg);
+  }
   try {
     dd::mEdge m = pkg.makeIdent();
     pkg.incRef(m);
@@ -69,6 +74,9 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
     std::size_t j = 0;
     while (i < left.size() || j < right.size()) {
       poll();
+      if (attr) {
+        attr->beginGate();
+      }
       bool takeLeft = false;
       if (i >= left.size()) {
         takeLeft = false;
@@ -88,11 +96,21 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
           const dd::mEdge viaRight =
               pkg.multiply(m, gateInverseDD(right[j], pkg));
           if (dd::Package::size(viaLeft) <= dd::Package::size(viaRight)) {
-            ++i;
             replace(viaLeft);
+            // the discarded candidate's cost is attributed to the gate
+            // that was consumed — the strategy paid for both probes
+            if (attr) {
+              attr->endGate(dd::AttrSide::Left,
+                            static_cast<std::uint32_t>(i));
+            }
+            ++i;
           } else {
-            ++j;
             replace(viaRight);
+            if (attr) {
+              attr->endGate(dd::AttrSide::Right,
+                            static_cast<std::uint32_t>(j));
+            }
+            ++j;
           }
           continue;
         }
@@ -100,9 +118,15 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
       }
       if (takeLeft) {
         replace(pkg.multiply(gateDD(left[i], pkg), m));
+        if (attr) {
+          attr->endGate(dd::AttrSide::Left, static_cast<std::uint32_t>(i));
+        }
         ++i;
       } else {
         replace(pkg.multiply(m, gateInverseDD(right[j], pkg)));
+        if (attr) {
+          attr->endGate(dd::AttrSide::Right, static_cast<std::uint32_t>(j));
+        }
         ++j;
       }
     }
@@ -133,6 +157,11 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
   pkg.setLiveGauges(nullptr);
   result.seconds = watch.seconds();
   result.ddStats = pkg.stats();
+  if (attr && !result.cancelled) {
+    result.attribution = finalizeProfile("alternating", attr->take(),
+                                         config_.attribution.topK);
+    journalAttribution(obs, *result.attribution);
+  }
   return result;
 }
 

@@ -54,6 +54,10 @@ struct AlternatingConfiguration {
   /// the pointee becomes true, the checker abandons the construction at the
   /// next gate boundary or interrupt poll and reports cancelled=true.
   const std::atomic<bool>* cancelFlag{nullptr};
+  /// Per-gate cost attribution (CheckResult::attribution). Never changes
+  /// the verdict; lookahead iterations attribute the cost of probing both
+  /// candidates to the gate that was actually consumed.
+  AttributionConfiguration attribution{};
 };
 
 class AlternatingChecker {

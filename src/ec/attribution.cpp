@@ -1,0 +1,82 @@
+#include "ec/attribution.hpp"
+
+#include <algorithm>
+
+namespace qsimec::ec {
+
+namespace {
+
+/// Hotspot rank: growth first, then identity. Only structural keys — wall
+/// time is scheduling-dependent and the cache counters (lookups/hits) follow
+/// the node address layout, so neither may influence the order if the
+/// profile is to be byte-stable across thread counts.
+bool rankHotter(const dd::GateCostSample& a, const dd::GateCostSample& b) {
+  if (a.nodesDelta != b.nodesDelta) {
+    return a.nodesDelta > b.nodesDelta;
+  }
+  if (a.side != b.side) {
+    return a.side < b.side;
+  }
+  return a.gateIndex < b.gateIndex;
+}
+
+} // namespace
+
+AttributionProfile finalizeProfile(std::string checker,
+                                   const dd::AttributionData& data,
+                                   std::size_t topK) {
+  AttributionProfile profile;
+  profile.checker = std::move(checker);
+  profile.gatesApplied = data.gatesApplied;
+  profile.nodesDeltaTotal = data.nodesDeltaTotal;
+  profile.nodesLiveStart = data.nodesLiveStart;
+  profile.peakNodesLive = data.peakNodesLive;
+  profile.wallNanosTotal = data.wallNanosTotal;
+  for (const dd::GateCostSample& s : data.samples) {
+    if (s.side == dd::AttrSide::Left) {
+      profile.advancesLeft += s.applications;
+      profile.nodesDeltaLeft += s.nodesDelta;
+    } else {
+      profile.advancesRight += s.applications;
+      profile.nodesDeltaRight += s.nodesDelta;
+    }
+  }
+  std::vector<dd::GateCostSample> ranked = data.samples;
+  const std::size_t k = std::min(topK, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                    ranked.end(), rankHotter);
+  ranked.resize(k);
+  profile.hotspots = std::move(ranked);
+  return profile;
+}
+
+void journalAttribution(const obs::Context& obs,
+                        const AttributionProfile& profile) {
+  if (obs.journal == nullptr) {
+    return;
+  }
+  obs.log(obs::JournalLevel::Info, "attr.summary")
+      .str("checker", profile.checker)
+      .num("gates_applied", profile.gatesApplied)
+      .num("nodes_delta_total", static_cast<double>(profile.nodesDeltaTotal))
+      .num("nodes_live_start", static_cast<double>(profile.nodesLiveStart))
+      .num("peak_nodes_live", profile.peakNodesLive)
+      .num("wall_nanos", profile.wallNanosTotal)
+      .num("advances_left", profile.advancesLeft)
+      .num("advances_right", profile.advancesRight);
+  for (const dd::GateCostSample& s : profile.hotspots) {
+    obs.log(obs::JournalLevel::Info, "attr.hotspot")
+        .str("checker", profile.checker)
+        .str("side", toString(s.side))
+        .num("gate", static_cast<std::uint64_t>(s.gateIndex))
+        .num("applications", static_cast<std::uint64_t>(s.applications))
+        .num("nodes_delta", static_cast<double>(s.nodesDelta))
+        .num("unique_lookups", s.uniqueLookups)
+        .num("unique_hits", s.uniqueHits)
+        .num("compute_lookups", s.computeLookups)
+        .num("compute_hits", s.computeHits)
+        .num("wall_nanos", s.wallNanos);
+  }
+}
+
+} // namespace qsimec::ec

@@ -1,0 +1,92 @@
+// Checker-level cost attribution profiles built on dd/attribution.hpp.
+//
+// Each checker that drives a DD package can collect per-gate cost samples
+// and fold them into a deterministic AttributionProfile: the top-K hotspot
+// gates (ranked by caused DD growth, never by wall time), the per-side
+// lag/advance split of the alternating scheme, and — for the simulation
+// portfolio — a per-stimulus rollup over the logical sequential prefix of
+// runs, so the profile is byte-stable across thread counts. Wall
+// nanoseconds and the address-dependent cache counters ride along for
+// reports and journals but are redacted by the byte-identity serialization
+// mode (ec/serialize.cpp).
+
+#pragma once
+
+#include "dd/attribution.hpp"
+#include "obs/context.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsimec::ec {
+
+/// Attribution knobs shared by every checker configuration. Enabled by
+/// default: the per-gate cost is two counter-block reads and two clock
+/// reads; `qsimec check --no-attr` (or enabled=false) reduces it to one
+/// pointer test per gate. Never affects verdicts or counterexamples.
+struct AttributionConfiguration {
+  bool enabled{true};
+  /// Hotspot gates kept in the profile (ranked by nodes-live growth).
+  std::size_t topK{10};
+};
+
+/// Cost rollup of one stimulus run of the simulation portfolio, reported in
+/// logical run order (the same sequential-prefix rule the fidelity
+/// histogram uses, so the list is identical for every thread count).
+struct StimulusCostSample {
+  std::uint64_t runIndex{};
+  std::uint64_t gatesApplied{};
+  std::int64_t nodesDelta{};
+  std::uint64_t computeLookups{};
+  std::uint64_t computeHits{};
+  /// Non-deterministic; redacted by the byte-identity serialization mode.
+  std::uint64_t wallNanos{};
+};
+
+/// The deterministic attribution summary a checker attaches to its
+/// CheckResult when attribution is enabled.
+struct AttributionProfile {
+  /// The checker that produced the profile: "alternating" | "simulation".
+  std::string checker;
+  std::uint64_t gatesApplied{};
+  /// Sum of every per-gate live-node delta; nodesLiveStart +
+  /// nodesDeltaTotal is the live-node count after the last measured gate,
+  /// and partial prefix sums trace the whole trajectory whose maximum is
+  /// peakNodesLive (within GC bookkeeping slack — see docs/profiling.md).
+  std::int64_t nodesDeltaTotal{};
+  std::int64_t nodesLiveStart{};
+  std::uint64_t peakNodesLive{};
+  std::uint64_t wallNanosTotal{};
+  /// Alternating checker: how the strategy split its advances between the
+  /// two sides, and how much DD growth each side caused. Zero for the
+  /// simulation profile (its split lives in the per-gate samples).
+  std::uint64_t advancesLeft{};
+  std::uint64_t advancesRight{};
+  std::int64_t nodesDeltaLeft{};
+  std::int64_t nodesDeltaRight{};
+  /// Top-K gates by caused growth: ranked nodesDelta desc, then
+  /// (side, gateIndex) asc. Only structural keys participate — wall time
+  /// and the cache counters are excluded so selection and order are
+  /// identical for every thread count.
+  std::vector<dd::GateCostSample> hotspots;
+  /// Simulation portfolio only: per-stimulus rollups (logical run order).
+  std::vector<StimulusCostSample> stimuli;
+};
+
+/// Fold finished collection data into a profile: compute the per-side
+/// aggregates and select the top-K hotspots deterministically.
+[[nodiscard]] AttributionProfile finalizeProfile(std::string checker,
+                                                 const dd::AttributionData& data,
+                                                 std::size_t topK);
+
+/// Emit one "attr.summary" event plus one "attr.hotspot" event per hotspot
+/// gate into the journal (no-op without one); names documented in
+/// docs/profiling.md and folded into gate-level frames by
+/// tools/journal2folded.py.
+void journalAttribution(const obs::Context& obs,
+                        const AttributionProfile& profile);
+
+} // namespace qsimec::ec

@@ -49,6 +49,18 @@ void buildMetrics(FlowResult& result, bool simulationRan,
   if (completeRan) {
     dd::appendPackageStats(m, "complete.dd", completeDD);
   }
+  const auto appendAttribution =
+      [&m](const char* prefix, const std::optional<AttributionProfile>& attr) {
+        if (!attr) {
+          return;
+        }
+        const std::string base(prefix);
+        m.counters[base + ".attr.gates_applied"] = attr->gatesApplied;
+        m.counters[base + ".attr.peak_nodes_live"] = attr->peakNodesLive;
+        m.counters[base + ".attr.hotspots"] = attr->hotspots.size();
+      };
+  appendAttribution("simulation", result.simulationAttribution);
+  appendAttribution("complete", result.completeAttribution);
 }
 
 } // namespace
@@ -70,8 +82,9 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
   const auto enterStage = [&](std::string_view stage) {
     obs.log(obs::JournalLevel::Info, "flow.stage").str("stage", stage);
     if (config_.progress) {
-      config_.progress(FlowProgress{
-          stage, simsDone.load(std::memory_order_relaxed), simsTotal});
+      config_.progress(FlowProgress{stage,
+                                    simsDone.load(std::memory_order_relaxed),
+                                    simsTotal, toString(result.tier)});
     }
   };
   // The simulation stage gets a copy of the configuration with a completion
@@ -82,14 +95,15 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
     SimulationConfiguration simConfig = config_.simulation;
     if (config_.progress || simConfig.onRunCompleted) {
       const auto inner = simConfig.onRunCompleted;
-      simConfig.onRunCompleted = [this, &simsDone,
+      simConfig.onRunCompleted = [this, &simsDone, &result,
                                   inner](std::size_t done, std::size_t total) {
         simsDone.store(done, std::memory_order_relaxed);
         if (inner) {
           inner(done, total);
         }
         if (config_.progress) {
-          config_.progress(FlowProgress{"simulation", done, total});
+          config_.progress(
+              FlowProgress{"simulation", done, total, toString(result.tier)});
         }
       };
     }
@@ -329,6 +343,11 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         result.completeSeconds = complete.seconds;
         result.completeTimedOut = complete.timedOut;
         result.completeCancelled = complete.cancelled;
+        // checkers attach attribution only on non-cancelled exits, so the
+        // race loser (whose partial profile depends on when the cancel
+        // landed) contributes nothing here
+        result.simulationAttribution = sim.attribution;
+        result.completeAttribution = complete.attribution;
 
         if (sim.equivalence == Equivalence::NotEquivalent) {
           // A counterexample is a proof — and since the complete check can
@@ -360,6 +379,7 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         result.simulationTimedOut = sim.timedOut;
         result.numThreads = sim.numThreads;
         result.counterexample = sim.counterexample;
+        result.simulationAttribution = sim.attribution;
 
         if (sim.equivalence == Equivalence::NotEquivalent) {
           result.equivalence = Equivalence::NotEquivalent;
@@ -397,6 +417,7 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
       completeDD = complete.ddStats;
       result.completeSeconds = complete.seconds;
       result.completeTimedOut = complete.timedOut;
+      result.completeAttribution = complete.attribution;
 
       if (complete.timedOut) {
         // The paper's third outcome: a timeout after unsuspicious
@@ -424,8 +445,9 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         .num("simulations", static_cast<std::uint64_t>(result.simulations))
         .num("total_seconds", result.totalSeconds());
     if (config_.progress) {
-      config_.progress(FlowProgress{
-          "done", simsDone.load(std::memory_order_relaxed), simsTotal});
+      config_.progress(FlowProgress{"done",
+                                    simsDone.load(std::memory_order_relaxed),
+                                    simsTotal, toString(result.tier)});
     }
   }
 

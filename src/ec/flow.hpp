@@ -89,6 +89,9 @@ struct FlowProgress {
   std::size_t simulationsDone{0};
   /// Configured stimulus runs (0 when the simulation stage is skipped).
   std::size_t simulationsTotal{0};
+  /// The routed tier ("general" until the prescreen has run). Drives the
+  /// `tier=` field of the CLI's --progress line.
+  std::string_view tier{"general"};
 };
 
 /// The static-analysis front of the flow: pair profiling, the prefix/suffix
@@ -180,6 +183,12 @@ struct FlowResult {
   bool simulationCancelled{false};
   bool completeCancelled{false};
   std::optional<Counterexample> counterexample;
+  /// Cost attribution of the simulation portfolio and the complete check
+  /// (CheckResult::attribution passed through). Absent when the stage did
+  /// not run, was cancelled (race losers report timing-dependent partial
+  /// data), or attribution was disabled in the stage configuration.
+  std::optional<AttributionProfile> simulationAttribution;
+  std::optional<AttributionProfile> completeAttribution;
   /// Preflight findings; non-empty error-level entries imply the verdict
   /// Equivalence::InvalidInput.
   std::vector<analysis::Diagnostic> diagnostics;

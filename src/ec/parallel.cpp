@@ -142,6 +142,12 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
   checkerSpan.arg("num_threads", static_cast<std::uint64_t>(threads));
 
   std::vector<RunOutcome> outcomes(r);
+  // per-run attribution slots: each completed run i deposits the cost data
+  // of its own package's gate applications here; the logical sequential
+  // prefix is merged after the workers finish (same rule as the fidelity
+  // histogram below), so the profile is thread-count invariant.
+  std::vector<dd::AttributionData> runAttrs(
+      config.attribution.enabled ? r : 0);
   std::vector<dd::PackageStats> workerStats(threads);
   std::atomic<std::size_t> nextRun{0};
   std::atomic<std::size_t> firstMismatch{NO_MISMATCH};
@@ -153,6 +159,7 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
 
   const auto workerBody = [&](unsigned workerIndex) {
     std::optional<dd::Package> pkg; // created on the first claimed run
+    std::optional<dd::AttributionCollector> attr;
     std::size_t currentRun = 0;
     for (;;) {
       if (timedOut.load(std::memory_order_relaxed)) {
@@ -188,8 +195,14 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
                 throw util::CancelledError();
               }
             });
+        if (config.attribution.enabled) {
+          attr.emplace(*pkg);
+        }
       }
       currentRun = i;
+      if (attr) {
+        (void)attr->take(); // drop residue from a cancelled earlier run
+      }
 
       RunOutcome& outcome = outcomes[i];
       const std::uint64_t stimulusSeed =
@@ -213,19 +226,24 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
 
         dd::vEdge out1;
         dd::vEdge out2;
+        dd::AttributionCollector* collect = attr ? &*attr : nullptr;
         if (config.simulateDifferenceCircuit) {
           // out2 = G'^-1 G |i>, compared against out1 = |i>
           out1 = stimulus;
-          const dd::vEdge mid = sim::simulate(qc1, stimulus, *pkg, &deadline);
+          const dd::vEdge mid = sim::simulate(qc1, stimulus, *pkg, &deadline,
+                                              collect, dd::AttrSide::Left);
           pkg->incRef(mid);
-          out2 = sim::simulate(*inverse2, mid, *pkg, &deadline);
+          out2 = sim::simulate(*inverse2, mid, *pkg, &deadline, collect,
+                               dd::AttrSide::Right);
           pkg->incRef(out2);
           pkg->decRef(mid);
           pkg->incRef(out1);
         } else {
-          out1 = sim::simulate(qc1, stimulus, *pkg, &deadline);
+          out1 = sim::simulate(qc1, stimulus, *pkg, &deadline, collect,
+                               dd::AttrSide::Left);
           pkg->incRef(out1);
-          out2 = sim::simulate(qc2, stimulus, *pkg, &deadline);
+          out2 = sim::simulate(qc2, stimulus, *pkg, &deadline, collect,
+                               dd::AttrSide::Right);
           pkg->incRef(out2);
         }
         pkg->decRef(stimulus);
@@ -249,6 +267,9 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
         outcome.fidelity = fidelity;
         outcome.deviation = deviation;
         outcome.completed = true;
+        if (attr) {
+          runAttrs[i] = attr->take();
+        }
         runSpan.arg("fidelity", fidelity);
         const bool mismatch = deviation > config.fidelityTolerance;
         obs.log(mismatch ? obs::JournalLevel::Warn : obs::JournalLevel::Info,
@@ -346,6 +367,36 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
   }
   for (const dd::PackageStats& stats : workerStats) {
     result.ddStats.mergeFrom(stats);
+  }
+  if (config.attribution.enabled && !result.cancelled) {
+    // merge the same logical prefix the histogram saw; every run executed on
+    // a freshly reset package, so the merged structural counters (minus
+    // wall nanos and the address-dependent cache counters) are a pure
+    // function of (circuits, seed, stimuli, r)
+    dd::AttributionData merged;
+    std::vector<StimulusCostSample> stimuli;
+    for (std::size_t i = 0; i < result.simulations && i < r; ++i) {
+      if (!outcomes[i].completed) {
+        continue;
+      }
+      const dd::AttributionData& run = runAttrs[i];
+      StimulusCostSample sample;
+      sample.runIndex = i;
+      sample.gatesApplied = run.gatesApplied;
+      sample.nodesDelta = run.nodesDeltaTotal;
+      for (const dd::GateCostSample& g : run.samples) {
+        sample.computeLookups += g.computeLookups;
+        sample.computeHits += g.computeHits;
+      }
+      sample.wallNanos = run.wallNanosTotal;
+      stimuli.push_back(sample);
+      merged.mergeFrom(run);
+    }
+    AttributionProfile profile =
+        finalizeProfile("simulation", merged, config.attribution.topK);
+    profile.stimuli = std::move(stimuli);
+    result.attribution = std::move(profile);
+    journalAttribution(obs, *result.attribution);
   }
   result.seconds = watch.seconds();
   return result;

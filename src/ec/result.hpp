@@ -3,6 +3,7 @@
 #pragma once
 
 #include "dd/stats.hpp"
+#include "ec/attribution.hpp"
 
 #include <cstdint>
 #include <optional>
@@ -98,6 +99,10 @@ struct CheckResult {
   /// that build no decision diagrams, e.g. the rewriting checker; merged
   /// across workers for the parallel simulation portfolio).
   dd::PackageStats ddStats;
+  /// Per-gate cost attribution, present when the checker ran with
+  /// AttributionConfiguration::enabled and built decision diagrams.
+  /// Deterministic except for its wall-nanosecond fields (ec/attribution.hpp).
+  std::optional<AttributionProfile> attribution;
 };
 
 } // namespace qsimec::ec

@@ -40,6 +40,63 @@ std::string ddSummaryJson(const dd::PackageStats& stats) {
 
 } // namespace
 
+std::string toJson(const AttributionProfile& profile,
+                   bool redactNondeterministic) {
+  // Redaction drops everything that is not a pure function of the logical
+  // gate sequence: wall time (scheduling) and the unique/compute table
+  // counters, whose hit and eviction patterns follow the node address
+  // layout of the particular package instance.
+  util::JsonWriter json;
+  json.beginObject()
+      .field("checker", profile.checker)
+      .field("gates_applied", profile.gatesApplied)
+      .field("nodes_delta_total", profile.nodesDeltaTotal)
+      .field("nodes_live_start", profile.nodesLiveStart)
+      .field("peak_nodes_live", profile.peakNodesLive)
+      .field("advances_left", profile.advancesLeft)
+      .field("advances_right", profile.advancesRight)
+      .field("nodes_delta_left", profile.nodesDeltaLeft)
+      .field("nodes_delta_right", profile.nodesDeltaRight);
+  if (!redactNondeterministic) {
+    json.field("wall_nanos", profile.wallNanosTotal);
+  }
+  json.beginArray("hotspots");
+  for (const dd::GateCostSample& g : profile.hotspots) {
+    json.beginObject()
+        .field("side", toString(g.side))
+        .field("gate", g.gateIndex)
+        .field("applications", g.applications)
+        .field("nodes_delta", g.nodesDelta);
+    if (!redactNondeterministic) {
+      json.field("unique_lookups", g.uniqueLookups)
+          .field("unique_hits", g.uniqueHits)
+          .field("compute_lookups", g.computeLookups)
+          .field("compute_hits", g.computeHits)
+          .field("wall_nanos", g.wallNanos);
+    }
+    json.endObject();
+  }
+  json.endArray();
+  if (!profile.stimuli.empty()) {
+    json.beginArray("stimuli");
+    for (const StimulusCostSample& s : profile.stimuli) {
+      json.beginObject()
+          .field("run", s.runIndex)
+          .field("gates_applied", s.gatesApplied)
+          .field("nodes_delta", s.nodesDelta);
+      if (!redactNondeterministic) {
+        json.field("compute_lookups", s.computeLookups)
+            .field("compute_hits", s.computeHits)
+            .field("wall_nanos", s.wallNanos);
+      }
+      json.endObject();
+    }
+    json.endArray();
+  }
+  json.endObject();
+  return json.str();
+}
+
 std::string toJson(const std::optional<Counterexample>& cex) {
   if (!cex) {
     return "null";
@@ -93,6 +150,10 @@ std::string toJson(const CheckResult& result, const SerializeOptions& options) {
     json.field("num_threads", result.numThreads);
   }
   json.rawField("counterexample", toJson(result.counterexample));
+  if (result.attribution) {
+    json.rawField("attribution",
+                  toJson(*result.attribution, options.redactProfile));
+  }
   if (!options.redactProfile) {
     json.rawField("dd", ddSummaryJson(result.ddStats));
   }
@@ -134,6 +195,22 @@ std::string toJson(const FlowResult& result, const SerializeOptions& options) {
   }
   json.rawField("counterexample", toJson(result.counterexample))
       .rawField("diagnostics", analysis::toJson(result.diagnostics));
+  // race mode under redaction drops attribution entirely: *whether* the
+  // losing strategy got far enough to attach a profile before its
+  // cancellation landed is timing-dependent, and byte-identity is the whole
+  // point of the redacted mode
+  if (result.mode != FlowMode::Race || !options.redactProfile) {
+    if (result.simulationAttribution) {
+      json.rawField(
+          "simulation_attribution",
+          toJson(*result.simulationAttribution, options.redactProfile));
+    }
+    if (result.completeAttribution) {
+      json.rawField("complete_attribution",
+                    toJson(*result.completeAttribution,
+                           options.redactProfile));
+    }
+  }
   if (!options.redactProfile && result.profile) {
     json.rawField("profile", analysis::toJson(*result.profile));
   }

@@ -34,6 +34,16 @@ struct SerializeOptions {
 [[nodiscard]] std::string toJson(const FlowResult& result,
                                  const SerializeOptions& options = {});
 
+/// The attribution object embedded in check/flow JSON. With
+/// `redactNondeterministic` the wall_nanos fields and the cache counters
+/// (unique/compute lookups and hits — their eviction patterns follow the
+/// node address layout, which differs per package instance) are dropped;
+/// the remainder is byte-identical across thread counts (the profile
+/// itself is built over the logical sequential run prefix). Exposed for
+/// the batch service and the report renderer.
+[[nodiscard]] std::string toJson(const AttributionProfile& profile,
+                                 bool redactNondeterministic);
+
 /// The counterexample object embedded in check/flow JSON ("null" when
 /// absent). Exposed for the batch service, whose cache and result lines
 /// reuse the exact same shape.

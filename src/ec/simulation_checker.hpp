@@ -58,6 +58,11 @@ struct SimulationConfiguration {
   /// worker thread; keep the body cheap. Drives the flow's progress
   /// callback and the CLI's --progress line.
   std::function<void(std::size_t, std::size_t)> onRunCompleted;
+  /// Per-gate and per-stimulus cost attribution (CheckResult::attribution),
+  /// aggregated over the logical sequential prefix of runs so the profile
+  /// is byte-stable across thread counts (minus wall nanoseconds and the
+  /// address-dependent cache counters, which redaction drops).
+  AttributionConfiguration attribution{};
 };
 
 class SimulationChecker {

@@ -8,35 +8,6 @@
 
 namespace qsimec::obs {
 
-namespace {
-
-MetricsSnapshot parseMetrics(const util::JsonValue& v) {
-  MetricsSnapshot snapshot;
-  if (const util::JsonValue* counters = v.find("counters")) {
-    for (const auto& [key, value] : counters->members()) {
-      snapshot.counters[key] = value.asUint();
-    }
-  }
-  if (const util::JsonValue* gauges = v.find("gauges")) {
-    for (const auto& [key, value] : gauges->members()) {
-      snapshot.gauges[key] = value.asNumber();
-    }
-  }
-  if (const util::JsonValue* histograms = v.find("histograms")) {
-    for (const auto& [key, value] : histograms->members()) {
-      HistogramSnapshot h;
-      h.count = value.at("count").asUint();
-      h.sum = value.at("sum").asNumber();
-      h.min = value.at("min").asNumber();
-      h.max = value.at("max").asNumber();
-      snapshot.histograms[key] = h;
-    }
-  }
-  return snapshot;
-}
-
-} // namespace
-
 const BenchReportRecord* BenchReportFile::find(std::string_view name) const {
   for (const BenchReportRecord& record : records) {
     if (record.name == name) {
@@ -69,7 +40,7 @@ BenchReportFile parseBenchReport(std::string_view json) {
     record.gatesG = row.at("gates_g").asUint();
     record.gatesGPrime = row.at("gates_g_prime").asUint();
     record.outcome = row.at("outcome").asString();
-    record.metrics = parseMetrics(row.at("metrics"));
+    record.metrics = parseMetricsSnapshot(row.at("metrics"));
     report.records.push_back(std::move(record));
   }
   return report;

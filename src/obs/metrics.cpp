@@ -1,10 +1,76 @@
 #include "obs/metrics.hpp"
 
 #include "util/json.hpp"
+#include "util/json_parse.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace qsimec::obs {
+
+std::size_t HistogramSnapshot::bucketIndex(double value) noexcept {
+  if (!(value > 0.0)) {
+    return 0; // zero, negative, NaN: everything at or below the first bound
+  }
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp); // value = m * 2^exp
+  // smallest e with 2^e >= value: exp when m in (0.5, 1), exp-1 at exactly 0.5
+  const int e = mantissa == 0.5 ? exp - 1 : exp;
+  const int index = e - kMinExponent;
+  if (index < 0) {
+    return 0;
+  }
+  return std::min(static_cast<std::size_t>(index), kBucketCount - 1);
+}
+
+double HistogramSnapshot::bucketUpperBound(std::size_t index) noexcept {
+  if (index >= kBucketCount - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, static_cast<int>(index) + kMinExponent);
+}
+
+void HistogramSnapshot::observe(double value) noexcept {
+  min = count == 0 ? value : std::min(min, value);
+  max = count == 0 ? value : std::max(max, value);
+  ++count;
+  sum += value;
+  ++buckets[bucketIndex(value)];
+}
+
+void HistogramSnapshot::mergeFrom(const HistogramSnapshot& other) noexcept {
+  if (other.count == 0) {
+    return;
+  }
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double clampedQ = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(clampedQ * static_cast<double>(count)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      return std::clamp(bucketUpperBound(i), min, max);
+    }
+  }
+  // Buckets can undercount the total when snapshots were built by aggregate
+  // initialization (tests, parsed legacy reports): fall back to max.
+  return max;
+}
 
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.counters) {
@@ -16,15 +82,41 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, hist] : other.histograms) {
     auto [it, inserted] = histograms.try_emplace(name, hist);
     if (!inserted) {
-      HistogramSnapshot& mine = it->second;
-      if (hist.count > 0) {
-        mine.min = mine.count == 0 ? hist.min : std::min(mine.min, hist.min);
-        mine.max = mine.count == 0 ? hist.max : std::max(mine.max, hist.max);
-        mine.count += hist.count;
-        mine.sum += hist.sum;
-      }
+      it->second.mergeFrom(hist);
     }
   }
+}
+
+std::string toJson(const HistogramSnapshot& hist) {
+  util::JsonWriter entry;
+  entry.beginObject()
+      .field("count", hist.count)
+      .field("sum", hist.sum)
+      .field("min", hist.min)
+      .field("max", hist.max)
+      .field("mean", hist.mean())
+      .field("p50", hist.percentile(0.50))
+      .field("p90", hist.percentile(0.90))
+      .field("p99", hist.percentile(0.99));
+  std::string buckets = "[";
+  bool first = true;
+  for (std::size_t i = 0; i < HistogramSnapshot::kBucketCount; ++i) {
+    if (hist.buckets[i] == 0) {
+      continue;
+    }
+    if (!first) {
+      buckets += ',';
+    }
+    first = false;
+    buckets += '[';
+    buckets += std::to_string(i);
+    buckets += ',';
+    buckets += std::to_string(hist.buckets[i]);
+    buckets += ']';
+  }
+  buckets += ']';
+  entry.rawField("buckets", buckets).endObject();
+  return entry.str();
 }
 
 std::string toJson(const MetricsSnapshot& snapshot) {
@@ -50,21 +142,50 @@ std::string toJson(const MetricsSnapshot& snapshot) {
   util::JsonWriter histograms;
   histograms.beginObject();
   for (const auto& [name, hist] : snapshot.histograms) {
-    util::JsonWriter entry;
-    entry.beginObject()
-        .field("count", hist.count)
-        .field("sum", hist.sum)
-        .field("min", hist.min)
-        .field("max", hist.max)
-        .field("mean", hist.mean())
-        .endObject();
-    histograms.rawField(name, entry.str());
+    histograms.rawField(name, toJson(hist));
   }
   histograms.endObject();
   json.rawField("histograms", histograms.str());
 
   json.endObject();
   return json.str();
+}
+
+MetricsSnapshot parseMetricsSnapshot(const util::JsonValue& v) {
+  MetricsSnapshot snapshot;
+  if (const util::JsonValue* counters = v.find("counters")) {
+    for (const auto& [key, value] : counters->members()) {
+      snapshot.counters[key] = value.asUint();
+    }
+  }
+  if (const util::JsonValue* gauges = v.find("gauges")) {
+    for (const auto& [key, value] : gauges->members()) {
+      snapshot.gauges[key] = value.asNumber();
+    }
+  }
+  if (const util::JsonValue* histograms = v.find("histograms")) {
+    for (const auto& [key, value] : histograms->members()) {
+      HistogramSnapshot h;
+      h.count = value.at("count").asUint();
+      h.sum = value.at("sum").asNumber();
+      h.min = value.at("min").asNumber();
+      h.max = value.at("max").asNumber();
+      if (const util::JsonValue* buckets = value.find("buckets")) {
+        // sparse [index, count] pairs; absent in pre-bucket reports
+        for (const util::JsonValue& pair : buckets->elements()) {
+          if (pair.elements().size() != 2) {
+            throw util::JsonParseError("histogram bucket entry is not a pair");
+          }
+          const std::uint64_t index = pair.elements()[0].asUint();
+          if (index < HistogramSnapshot::kBucketCount) {
+            h.buckets[index] = pair.elements()[1].asUint();
+          }
+        }
+      }
+      snapshot.histograms[key] = h;
+    }
+  }
+  return snapshot;
 }
 
 void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
@@ -100,11 +221,7 @@ void MetricsRegistry::observe(std::string_view name, double value) {
     it = data_.histograms.emplace(std::string(name), HistogramSnapshot{})
              .first;
   }
-  HistogramSnapshot& hist = it->second;
-  hist.min = hist.count == 0 ? value : std::min(hist.min, value);
-  hist.max = hist.count == 0 ? value : std::max(hist.max, value);
-  ++hist.count;
-  hist.sum += value;
+  it->second.observe(value);
 }
 
 } // namespace qsimec::obs

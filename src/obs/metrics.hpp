@@ -9,25 +9,63 @@
 
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
 
+namespace qsimec::util {
+class JsonValue;
+} // namespace qsimec::util
+
 namespace qsimec::obs {
 
-/// Summary statistics of an observed value stream (no buckets: the consumers
-/// are trend dashboards and bench JSON, not latency percentile queries).
+/// Summary statistics plus an exact-count log2 bucketing of an observed
+/// value stream. Bucket i counts observations v with
+/// bucketUpperBound(i-1) < v <= bucketUpperBound(i), where
+/// bucketUpperBound(i) = 2^(i + kMinExponent); the last bucket absorbs
+/// everything larger (the OpenMetrics "+Inf" bucket). Bucket counts are
+/// exact integers, so snapshots merge losslessly (elementwise addition) and
+/// serialize deterministically; percentile queries are bucket-resolution
+/// estimates clamped to the observed [min, max].
 struct HistogramSnapshot {
+  /// Smallest bucket boundary is 2^kMinExponent (~9.3e-10) — below any
+  /// duration or deviation this codebase observes.
+  static constexpr int kMinExponent = -30;
+  /// 64 buckets span 2^-30 .. 2^33 (~8.6e9); one factor-of-two resolution.
+  static constexpr std::size_t kBucketCount = 64;
+
   std::uint64_t count{};
   double sum{};
   double min{};
   double max{};
+  std::array<std::uint64_t, kBucketCount> buckets{};
 
   [[nodiscard]] double mean() const noexcept {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+
+  /// Bucket index of a value (values <= the smallest boundary land in
+  /// bucket 0, values beyond the largest in the final overflow bucket).
+  [[nodiscard]] static std::size_t bucketIndex(double value) noexcept;
+  /// Inclusive upper bound of bucket `index`; +infinity for the last one.
+  [[nodiscard]] static double bucketUpperBound(std::size_t index) noexcept;
+
+  /// Record one observation (count/sum/min/max and the matching bucket).
+  void observe(double value) noexcept;
+  /// Pool another snapshot in: counts and buckets add, min/max widen.
+  void mergeFrom(const HistogramSnapshot& other) noexcept;
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q*count)-th observation, clamped to [min, max]. 0 when empty.
+  [[nodiscard]] double percentile(double q) const noexcept;
 };
+
+/// Serialize one histogram: {"count":...,"sum":...,"min":...,"max":...,
+/// "mean":...,"p50":...,"p90":...,"p99":...,"buckets":[[i,c],...]} with
+/// only non-empty buckets listed.
+[[nodiscard]] std::string toJson(const HistogramSnapshot& hist);
 
 /// Plain-data snapshot of a registry. Copyable, mergeable, serializable —
 /// this is what rides along in result structs (FlowResult::metrics) and
@@ -47,6 +85,12 @@ struct MetricsSnapshot {
 
 /// Serialize as {"counters":{...},"gauges":{...},"histograms":{...}}.
 [[nodiscard]] std::string toJson(const MetricsSnapshot& snapshot);
+
+/// Parse a toJson(MetricsSnapshot) object back (any of the three sections
+/// may be absent; histogram bucket arrays are optional for pre-bucket
+/// snapshots). Shared by the bench-report reader and `qsimec
+/// metrics-export`.
+[[nodiscard]] MetricsSnapshot parseMetricsSnapshot(const util::JsonValue& v);
 
 class MetricsRegistry {
 public:

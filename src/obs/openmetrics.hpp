@@ -1,0 +1,58 @@
+// OpenMetrics / Prometheus text exposition of a MetricsSnapshot.
+//
+// `renderOpenMetrics` turns the deterministic snapshot maps into the
+// equally deterministic text format scrape endpoints speak: counters become
+// `<name>_total` samples, gauges plain samples, histograms the cumulative
+// `_bucket{le="..."}` series plus `_sum`/`_count`, all preceded by their
+// `# TYPE`/`# HELP` metadata and terminated by `# EOF`. Dotted qsimec names
+// ("complete.dd.gc_runs") are sanitized to legal metric names
+// (qsimec_complete_dd_gc_runs).
+//
+// `validateOpenMetrics` is a promtool-style line validator for the same
+// grammar — it backs the `qsimec metrics-export --lint` path, the unit
+// tests' round-trip assertions, and (re-implemented in Python) the CI lint
+// in tools/openmetrics_lint.py. It checks structure, not semantics beyond
+// histogram-series consistency; an empty issue list means the text parses.
+
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsimec::obs {
+
+struct OpenMetricsOptions {
+  /// Prepended to every metric name as "<prefix>_" (empty: no prefix).
+  std::string prefix{"qsimec"};
+};
+
+/// Map an arbitrary dotted metric name onto the OpenMetrics name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: dots and other illegal characters become
+/// underscores, and a leading digit gains an underscore prefix.
+[[nodiscard]] std::string sanitizeMetricName(std::string_view name);
+
+/// Render the snapshot as OpenMetrics text (including the final "# EOF").
+/// Deterministic: the snapshot's maps are ordered and floating-point values
+/// are printed with round-trip precision.
+[[nodiscard]] std::string renderOpenMetrics(const MetricsSnapshot& snapshot,
+                                            const OpenMetricsOptions& options = {});
+
+/// One validator finding; `line` is 1-based into the checked text.
+struct OpenMetricsIssue {
+  std::size_t line{};
+  std::string message;
+};
+
+/// Line-format validation of an OpenMetrics text payload. Returns every
+/// issue found (empty: valid). Checked: comment/sample grammar, metric-name
+/// syntax, numeric sample values, TYPE-before-sample ordering, counter
+/// `_total` suffixes, histogram bucket monotonicity and the mandatory
+/// `le="+Inf"` bucket matching `_count`, and the terminating `# EOF`.
+[[nodiscard]] std::vector<OpenMetricsIssue>
+validateOpenMetrics(std::string_view text);
+
+} // namespace qsimec::obs

@@ -1,0 +1,561 @@
+#include "obs/run_report.hpp"
+
+#include "util/json_parse.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+namespace qsimec::obs {
+
+namespace {
+
+std::string fmt(double value, int decimals = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string fmtCompact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  return buffer;
+}
+
+const util::JsonValue* findNumber(const util::JsonValue& obj,
+                                  std::string_view key) {
+  const util::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->kind() == util::JsonValue::Kind::Number)
+             ? v
+             : nullptr;
+}
+
+const std::string* findString(const util::JsonValue& obj,
+                              std::string_view key) {
+  const util::JsonValue* v = obj.find(key);
+  return (v != nullptr && v->kind() == util::JsonValue::Kind::String)
+             ? &v->asString()
+             : nullptr;
+}
+
+/// Either-format table/section writer: the report model renders through one
+/// code path into Markdown or a minimal self-contained HTML page.
+class ReportBuilder {
+public:
+  explicit ReportBuilder(bool html) : html_(html) {
+    if (html_) {
+      out_ << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">"
+           << "<title>qsimec run report</title><style>"
+           << "body{font-family:sans-serif;margin:2em;}"
+           << "table{border-collapse:collapse;margin:1em 0;}"
+           << "td,th{border:1px solid #999;padding:0.3em 0.6em;"
+           << "text-align:right;}th{background:#eee;}"
+           << "td:first-child,th:first-child{text-align:left;}"
+           << "</style></head><body>\n";
+    }
+  }
+
+  void title(std::string_view text) {
+    if (html_) {
+      out_ << "<h1>" << escape(text) << "</h1>\n";
+    } else {
+      out_ << "# " << text << "\n\n";
+    }
+  }
+
+  void heading(std::string_view text) {
+    if (html_) {
+      out_ << "<h2>" << escape(text) << "</h2>\n";
+    } else {
+      out_ << "## " << text << "\n\n";
+    }
+  }
+
+  void para(std::string_view text) {
+    if (html_) {
+      out_ << "<p>" << escape(text) << "</p>\n";
+    } else {
+      out_ << text << "\n\n";
+    }
+  }
+
+  void table(const std::vector<std::string>& header,
+             const std::vector<std::vector<std::string>>& rows) {
+    if (html_) {
+      out_ << "<table><tr>";
+      for (const std::string& h : header) {
+        out_ << "<th>" << escape(h) << "</th>";
+      }
+      out_ << "</tr>\n";
+      for (const auto& row : rows) {
+        out_ << "<tr>";
+        for (const std::string& cell : row) {
+          out_ << "<td>" << escape(cell) << "</td>";
+        }
+        out_ << "</tr>\n";
+      }
+      out_ << "</table>\n";
+      return;
+    }
+    const auto line = [this](const std::vector<std::string>& cells) {
+      out_ << '|';
+      for (const std::string& cell : cells) {
+        out_ << ' ' << cell << " |";
+      }
+      out_ << '\n';
+    };
+    line(header);
+    std::vector<std::string> rule(header.size(), "---");
+    line(rule);
+    for (const auto& row : rows) {
+      line(row);
+    }
+    out_ << '\n';
+  }
+
+  [[nodiscard]] std::string finish() {
+    if (html_) {
+      out_ << "</body></html>\n";
+    }
+    return out_.str();
+  }
+
+private:
+  static std::string escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  bool html_;
+  std::ostringstream out_;
+};
+
+std::vector<std::string> histRow(std::string key,
+                                 const HistogramSnapshot& hist,
+                                 double scale = 1.0) {
+  return {std::move(key),
+          std::to_string(hist.count),
+          fmtCompact(hist.mean() * scale),
+          fmtCompact(hist.percentile(0.50) * scale),
+          fmtCompact(hist.percentile(0.90) * scale),
+          fmtCompact(hist.percentile(0.99) * scale)};
+}
+
+} // namespace
+
+RunReport parseRunJournal(const std::vector<std::string>& lines) {
+  RunReport report;
+  std::size_t flowStarts = 0;
+  bool stageOpen = false;
+  std::map<std::tuple<std::string, std::string, std::uint64_t>,
+           RunReport::Hotspot>
+      hotspots;
+  std::map<std::string, std::uint64_t> flowVerdicts;
+  std::map<std::string, std::uint64_t> pairVerdicts;
+
+  for (const std::string& line : lines) {
+    if (line.empty()) {
+      continue;
+    }
+    util::JsonValue event;
+    try {
+      event = util::parseJson(line);
+    } catch (const util::JsonParseError&) {
+      ++report.malformedLines;
+      continue;
+    }
+    if (!event.isObject()) {
+      ++report.malformedLines;
+      continue;
+    }
+    const std::string* name = findString(event, "event");
+    if (name == nullptr) {
+      ++report.malformedLines;
+      continue;
+    }
+    ++report.events;
+    ++report.eventCounts[*name];
+    const util::JsonValue* ts = findNumber(event, "ts_micros");
+    const double micros = ts != nullptr ? ts->asNumber() : 0.0;
+
+    if (*name == "flow.start") {
+      ++flowStarts;
+      if (flowStarts > 1) {
+        report.interleaved = true;
+        report.stages.clear();
+        stageOpen = false;
+      }
+    } else if (*name == "flow.stage") {
+      if (const std::string* stage = findString(event, "stage");
+          stage != nullptr && !report.interleaved) {
+        if (stageOpen) {
+          report.stages.back().endMicros = micros;
+        }
+        report.stages.push_back(RunReport::StageSpan{*stage, micros, micros});
+        stageOpen = true;
+      }
+    } else if (*name == "flow.verdict") {
+      if (!report.interleaved && stageOpen) {
+        report.stages.back().endMicros = micros;
+        stageOpen = false;
+      }
+      if (const std::string* outcome = findString(event, "outcome")) {
+        ++flowVerdicts[*outcome];
+      }
+      if (const std::string* tier = findString(event, "tier")) {
+        ++report.tierCounts[*tier];
+      }
+    } else if (*name == "svc.pair.verdict") {
+      if (const std::string* outcome = findString(event, "outcome")) {
+        ++pairVerdicts[*outcome];
+      }
+      if (const util::JsonValue* seconds = findNumber(event, "seconds")) {
+        report.pairSeconds.observe(seconds->asNumber());
+      }
+    } else if (*name == "sim.stimulus") {
+      if (const util::JsonValue* dev = findNumber(event, "deviation")) {
+        report.stimulusDeviation.observe(dev->asNumber());
+      }
+    } else if (*name == "attr.hotspot") {
+      const std::string* checker = findString(event, "checker");
+      const std::string* side = findString(event, "side");
+      const util::JsonValue* gate = findNumber(event, "gate");
+      if (checker == nullptr || side == nullptr || gate == nullptr) {
+        continue;
+      }
+      RunReport::Hotspot& h =
+          hotspots[std::make_tuple(*checker, *side, gate->asUint())];
+      h.checker = *checker;
+      h.side = *side;
+      h.gate = gate->asUint();
+      if (const util::JsonValue* v = findNumber(event, "applications")) {
+        h.applications += v->asUint();
+      }
+      if (const util::JsonValue* v = findNumber(event, "nodes_delta")) {
+        h.nodesDelta += static_cast<std::int64_t>(v->asNumber());
+      }
+      if (const util::JsonValue* v = findNumber(event, "compute_lookups")) {
+        h.computeLookups += v->asUint();
+      }
+      if (const util::JsonValue* v = findNumber(event, "compute_hits")) {
+        h.computeHits += v->asUint();
+      }
+      if (const util::JsonValue* v = findNumber(event, "wall_nanos")) {
+        h.wallNanos += v->asUint();
+      }
+    } else if (*name == "svc.batch.done") {
+      report.hasBatch = true;
+      if (const util::JsonValue* v = findNumber(event, "pairs")) {
+        report.pairs = v->asUint();
+      }
+      if (const util::JsonValue* v = findNumber(event, "cache_hits")) {
+        report.cacheHits = v->asUint();
+      }
+      if (const util::JsonValue* v = findNumber(event, "cache_stores")) {
+        report.cacheStores = v->asUint();
+      }
+      if (const util::JsonValue* v = findNumber(event, "deduped")) {
+        report.deduped = v->asUint();
+      }
+      if (const util::JsonValue* v = findNumber(event, "seconds")) {
+        report.batchSeconds = v->asNumber();
+      }
+    }
+  }
+
+  // batch journals report per-pair verdicts (they cover cache hits and
+  // deduplicated pairs too); single-flow journals the flow verdict
+  report.verdictCounts =
+      pairVerdicts.empty() ? std::move(flowVerdicts) : std::move(pairVerdicts);
+
+  report.hotspots.reserve(hotspots.size());
+  for (auto& [key, h] : hotspots) {
+    report.hotspots.push_back(std::move(h));
+  }
+  std::sort(report.hotspots.begin(), report.hotspots.end(),
+            [](const RunReport::Hotspot& a, const RunReport::Hotspot& b) {
+              if (a.nodesDelta != b.nodesDelta) {
+                return a.nodesDelta > b.nodesDelta;
+              }
+              if (a.computeLookups != b.computeLookups) {
+                return a.computeLookups > b.computeLookups;
+              }
+              return std::tie(a.checker, a.side, a.gate) <
+                     std::tie(b.checker, b.side, b.gate);
+            });
+  return report;
+}
+
+void attachTraceSummary(RunReport& report, std::string_view traceJson) {
+  const util::JsonValue doc = util::parseJson(traceJson);
+  std::map<std::string, RunReport::SpanAggregate> spans;
+  for (const util::JsonValue& ev : doc.at("traceEvents").elements()) {
+    if (!ev.isObject()) {
+      continue;
+    }
+    const std::string* ph = findString(ev, "ph");
+    const std::string* name = findString(ev, "name");
+    const util::JsonValue* dur = findNumber(ev, "dur");
+    if (ph == nullptr || *ph != "X" || name == nullptr || dur == nullptr) {
+      continue;
+    }
+    RunReport::SpanAggregate& agg = spans[*name];
+    agg.name = *name;
+    ++agg.count;
+    agg.totalMicros += dur->asNumber();
+    agg.maxMicros = std::max(agg.maxMicros, dur->asNumber());
+  }
+  report.traceSpans.clear();
+  report.traceSpans.reserve(spans.size());
+  for (auto& [name, agg] : spans) {
+    report.traceSpans.push_back(std::move(agg));
+  }
+  std::sort(report.traceSpans.begin(), report.traceSpans.end(),
+            [](const RunReport::SpanAggregate& a,
+               const RunReport::SpanAggregate& b) {
+              if (a.totalMicros != b.totalMicros) {
+                return a.totalMicros > b.totalMicros;
+              }
+              return a.name < b.name;
+            });
+}
+
+std::string renderRunReport(const RunReport& report,
+                            const RunReportOptions& options) {
+  ReportBuilder out(options.format == RunReportOptions::Format::Html);
+  out.title("qsimec run report");
+  out.para("journal events: " + std::to_string(report.events) +
+           (report.malformedLines > 0
+                ? " (malformed lines skipped: " +
+                      std::to_string(report.malformedLines) + ")"
+                : ""));
+
+  out.heading("Stage waterfall");
+  if (report.interleaved) {
+    out.para("Multiple flows interleave in this journal; per-stage event "
+             "counts are reported instead of a waterfall.");
+    std::vector<std::vector<std::string>> rows;
+    if (const auto it = report.eventCounts.find("flow.stage");
+        it != report.eventCounts.end()) {
+      rows.push_back({"flow.stage", std::to_string(it->second)});
+    }
+    if (const auto it = report.eventCounts.find("flow.start");
+        it != report.eventCounts.end()) {
+      rows.push_back({"flow.start", std::to_string(it->second)});
+    }
+    out.table({"event", "count"}, rows);
+  } else if (report.stages.empty()) {
+    out.para("No stage events in this journal.");
+  } else {
+    std::vector<std::vector<std::string>> rows;
+    for (const RunReport::StageSpan& s : report.stages) {
+      rows.push_back({s.stage, fmt(s.beginMicros / 1000.0),
+                      fmt((s.endMicros - s.beginMicros) / 1000.0)});
+    }
+    out.table({"stage", "start (ms)", "duration (ms)"}, rows);
+  }
+
+  out.heading("Tier routing");
+  if (report.tierCounts.empty()) {
+    out.para("No tier events in this journal.");
+  } else {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [tier, count] : report.tierCounts) {
+      rows.push_back({tier, std::to_string(count)});
+    }
+    out.table({"tier", "flows"}, rows);
+  }
+
+  out.heading("Verdicts");
+  if (report.verdictCounts.empty()) {
+    out.para("No verdict events in this journal.");
+  } else {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [verdict, count] : report.verdictCounts) {
+      rows.push_back({verdict, std::to_string(count)});
+    }
+    out.table({"verdict", "count"}, rows);
+  }
+
+  out.heading("Hotspot gates");
+  if (report.hotspots.empty()) {
+    out.para("No attribution events in this journal (attribution disabled, "
+             "or no journal-attached checker ran).");
+  } else {
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t i = 0;
+         i < report.hotspots.size() && i < options.topRows; ++i) {
+      const RunReport::Hotspot& h = report.hotspots[i];
+      const double hitRate =
+          h.computeLookups == 0
+              ? 0.0
+              : static_cast<double>(h.computeHits) /
+                    static_cast<double>(h.computeLookups);
+      rows.push_back({h.checker + "/" + h.side,
+                      std::to_string(h.gate),
+                      std::to_string(h.applications),
+                      std::to_string(h.nodesDelta),
+                      std::to_string(h.computeLookups),
+                      fmt(hitRate, 2),
+                      fmt(static_cast<double>(h.wallNanos) / 1e6)});
+    }
+    out.table({"checker/side", "gate", "applications", "nodes Δ",
+               "compute lookups", "hit rate", "wall (ms)"},
+              rows);
+  }
+
+  if (report.hasBatch) {
+    out.heading("Batch cache and deduplication");
+    out.table({"pairs", "cache hits", "cache stores", "deduped",
+               "wall (s)"},
+              {{std::to_string(report.pairs), std::to_string(report.cacheHits),
+                std::to_string(report.cacheStores),
+                std::to_string(report.deduped), fmt(report.batchSeconds)}});
+    if (report.pairSeconds.count > 0) {
+      out.heading("Per-pair latency (seconds)");
+      out.table({"metric", "count", "mean", "p50", "p90", "p99"},
+                {histRow("pair.seconds", report.pairSeconds)});
+    }
+  }
+
+  if (report.stimulusDeviation.count > 0) {
+    out.heading("Stimulus fidelity deviations");
+    out.table({"metric", "count", "mean", "p50", "p90", "p99"},
+              {histRow("deviation", report.stimulusDeviation)});
+  }
+
+  if (!report.traceSpans.empty()) {
+    out.heading("Trace spans");
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t i = 0;
+         i < report.traceSpans.size() && i < options.topRows; ++i) {
+      const RunReport::SpanAggregate& s = report.traceSpans[i];
+      rows.push_back({s.name, std::to_string(s.count),
+                      fmt(s.totalMicros / 1000.0), fmt(s.maxMicros / 1000.0)});
+    }
+    out.table({"span", "count", "total (ms)", "max (ms)"}, rows);
+  }
+
+  return out.finish();
+}
+
+JournalStats computeJournalStats(const std::vector<std::string>& lines) {
+  JournalStats stats;
+  std::map<std::string, HistogramSnapshot> families;
+  std::map<std::string, HistogramSnapshot> tiers;
+
+  for (const std::string& line : lines) {
+    if (line.empty()) {
+      continue;
+    }
+    util::JsonValue event;
+    try {
+      event = util::parseJson(line);
+    } catch (const util::JsonParseError&) {
+      ++stats.malformedLines;
+      continue;
+    }
+    if (!event.isObject()) {
+      ++stats.malformedLines;
+      continue;
+    }
+    const std::string* name = findString(event, "event");
+    if (name == nullptr) {
+      ++stats.malformedLines;
+      continue;
+    }
+    ++stats.events;
+    ++stats.eventCounts[*name];
+
+    double seconds = 0.0;
+    bool hasSeconds = false;
+    if (const util::JsonValue* v = findNumber(event, "seconds")) {
+      seconds = v->asNumber();
+      hasSeconds = true;
+    } else if (const util::JsonValue* v = findNumber(event, "total_seconds")) {
+      seconds = v->asNumber();
+      hasSeconds = true;
+    } else if (const util::JsonValue* v = findNumber(event, "wall_nanos")) {
+      seconds = v->asNumber() / 1e9;
+      hasSeconds = true;
+    }
+    if (hasSeconds) {
+      families[*name].observe(seconds);
+    }
+    if (*name == "flow.verdict" && hasSeconds) {
+      if (const std::string* tier = findString(event, "tier")) {
+        tiers[*tier].observe(seconds);
+      }
+    }
+  }
+
+  for (auto& [key, hist] : families) {
+    stats.families.push_back(JournalStats::Row{key, hist});
+  }
+  for (auto& [key, hist] : tiers) {
+    stats.tiers.push_back(JournalStats::Row{key, hist});
+  }
+  return stats;
+}
+
+std::string renderJournalStats(const JournalStats& stats) {
+  ReportBuilder out(false);
+  out.title("qsimec journal statistics");
+  out.para("journal events: " + std::to_string(stats.events) +
+           (stats.malformedLines > 0
+                ? " (malformed lines skipped: " +
+                      std::to_string(stats.malformedLines) + ")"
+                : ""));
+
+  out.heading("Event counts");
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [name, count] : stats.eventCounts) {
+      rows.push_back({name, std::to_string(count)});
+    }
+    out.table({"event", "count"}, rows);
+  }
+
+  out.heading("Latency by event family (seconds)");
+  if (stats.families.empty()) {
+    out.para("No duration-carrying events in this journal.");
+  } else {
+    std::vector<std::vector<std::string>> rows;
+    for (const JournalStats::Row& row : stats.families) {
+      rows.push_back(histRow(row.key, row.hist));
+    }
+    out.table({"event", "count", "mean", "p50", "p90", "p99"}, rows);
+  }
+
+  out.heading("Latency by tier (seconds)");
+  if (stats.tiers.empty()) {
+    out.para("No flow verdicts in this journal.");
+  } else {
+    std::vector<std::vector<std::string>> rows;
+    for (const JournalStats::Row& row : stats.tiers) {
+      rows.push_back(histRow(row.key, row.hist));
+    }
+    out.table({"tier", "count", "mean", "p50", "p90", "p99"}, rows);
+  }
+
+  return out.finish();
+}
+
+} // namespace qsimec::obs

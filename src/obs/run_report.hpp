@@ -1,0 +1,131 @@
+// Offline report rendering over run journals (and, optionally, traces).
+//
+// `qsimec check --journal RUN.jsonl` / `qsimec batch --journal RUN.jsonl`
+// leave behind a JSONL narrative; this module folds such a file into a
+// RunReport model — stage waterfall, tier-routing and verdict counts, the
+// merged hotspot-gate table from attr.* events, batch cache/dedup stats,
+// per-pair latency percentiles — and renders it as Markdown or a
+// self-contained HTML page (`qsimec report`). `qsimec journal-stats`
+// reuses the same parser to print per-event-family and per-tier latency
+// percentile tables across one or many journals.
+//
+// Parsing is forgiving: unknown events only increment counters, malformed
+// lines are counted rather than fatal (journals may be truncated by
+// crashes — that is precisely when a report is wanted).
+
+#pragma once
+
+#include "obs/metrics.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsimec::obs {
+
+/// Parsed journal model. Exposed (rather than hidden behind the renderers)
+/// so tests can assert on the fold itself.
+struct RunReport {
+  /// One contiguous stage interval of a single-flow journal (micros are
+  /// journal ts_micros values, i.e. relative to the journal epoch).
+  struct StageSpan {
+    std::string stage;
+    double beginMicros{};
+    double endMicros{};
+  };
+  /// One row of the merged hotspot table: attr.hotspot events aggregated by
+  /// (checker, side, gate).
+  struct Hotspot {
+    std::string checker;
+    std::string side;
+    std::uint64_t gate{};
+    std::uint64_t applications{};
+    std::int64_t nodesDelta{};
+    std::uint64_t computeLookups{};
+    std::uint64_t computeHits{};
+    std::uint64_t wallNanos{};
+  };
+  /// One aggregated trace-span family (from an optional Chrome trace file).
+  struct SpanAggregate {
+    std::string name;
+    std::uint64_t count{};
+    double totalMicros{};
+    double maxMicros{};
+  };
+
+  std::size_t events{};
+  std::size_t malformedLines{};
+  std::map<std::string, std::uint64_t> eventCounts;
+
+  /// Stage waterfall — populated only when the journal holds at most one
+  /// flow (concurrent flows interleave stage events; `interleaved` is set
+  /// and the per-stage counts in eventCounts remain the source of truth).
+  std::vector<StageSpan> stages;
+  bool interleaved{false};
+
+  std::map<std::string, std::uint64_t> tierCounts;
+  std::map<std::string, std::uint64_t> verdictCounts;
+  std::vector<Hotspot> hotspots;
+
+  /// Batch rollup (from svc.batch.done), when the journal covers one.
+  bool hasBatch{false};
+  std::uint64_t pairs{};
+  std::uint64_t cacheHits{};
+  std::uint64_t cacheStores{};
+  std::uint64_t deduped{};
+  double batchSeconds{};
+  /// Per-pair wall seconds (svc.pair.verdict "seconds" fields).
+  HistogramSnapshot pairSeconds;
+  /// Per-stimulus |1 - fidelity| deviations (sim.stimulus events).
+  HistogramSnapshot stimulusDeviation;
+
+  /// Aggregated spans of the optional trace file (empty without one).
+  std::vector<SpanAggregate> traceSpans;
+};
+
+struct RunReportOptions {
+  enum class Format { Markdown, Html };
+  Format format{Format::Markdown};
+  /// Rows kept in the hotspot and trace-span tables.
+  std::size_t topRows{10};
+};
+
+/// Fold journal lines (one JSON object each; blank lines skipped, malformed
+/// lines counted) into the report model.
+[[nodiscard]] RunReport parseRunJournal(const std::vector<std::string>& lines);
+
+/// Aggregate a Chrome trace-event JSON payload (Tracer::toChromeTraceJson)
+/// into RunReport::traceSpans. Throws util::JsonParseError on malformed
+/// trace text.
+void attachTraceSummary(RunReport& report, std::string_view traceJson);
+
+/// Render the model (Markdown or a self-contained HTML page).
+[[nodiscard]] std::string renderRunReport(const RunReport& report,
+                                          const RunReportOptions& options = {});
+
+/// Per-event-family and per-tier latency statistics over journal lines.
+struct JournalStats {
+  struct Row {
+    std::string key;
+    HistogramSnapshot hist;
+  };
+  std::size_t events{};
+  std::size_t malformedLines{};
+  std::map<std::string, std::uint64_t> eventCounts;
+  /// Event families carrying a duration field ("seconds", "total_seconds",
+  /// or "wall_nanos", normalized to seconds), keyed by event name.
+  std::vector<Row> families;
+  /// flow.verdict total_seconds grouped by routed tier.
+  std::vector<Row> tiers;
+};
+
+[[nodiscard]] JournalStats
+computeJournalStats(const std::vector<std::string>& lines);
+
+/// Markdown tables with count/mean/p50/p90/p99 per family and per tier.
+[[nodiscard]] std::string renderJournalStats(const JournalStats& stats);
+
+} // namespace qsimec::obs

@@ -133,35 +133,50 @@ dd::mEdge buildPermutationDD(const ir::Permutation& perm, dd::Package& pkg) {
 }
 
 dd::vEdge simulate(const ir::QuantumComputation& qc, const dd::vEdge& input,
-                   dd::Package& pkg, const util::Deadline* deadline) {
+                   dd::Package& pkg, const util::Deadline* deadline,
+                   dd::AttributionCollector* attr, dd::AttrSide attrSide) {
   if (qc.qubits() != pkg.qubits()) {
     throw std::invalid_argument("simulate: package size mismatch");
   }
   dd::vEdge state = input;
   pkg.incRef(state);
 
-  const auto applyGate = [&](const dd::mEdge& gateDD) {
-    const dd::vEdge next = pkg.multiply(gateDD, state);
+  std::uint32_t gateIndex = 0;
+  // The gate DD is built inside the sample window (the argument is a thunk,
+  // not an edge): attribution charges construction, multiply, and the GC it
+  // triggers to the gate, so per-gate node deltas telescope exactly into
+  // the live-node trajectory.
+  const auto applyGate = [&](const auto& makeGateDD) {
+    if (attr != nullptr) {
+      attr->beginGate();
+    }
+    const dd::vEdge next = pkg.multiply(makeGateDD(), state);
     pkg.incRef(next);
     pkg.decRef(state);
     state = next;
     pkg.garbageCollect();
+    if (attr != nullptr) {
+      attr->endGate(attrSide, gateIndex);
+    }
+    ++gateIndex;
   };
 
   if (!qc.initialLayout().isIdentity()) {
-    applyGate(buildPermutationDD(qc.initialLayout(), pkg));
+    applyGate([&] { return buildPermutationDD(qc.initialLayout(), pkg); });
   }
   for (const ir::StandardOperation& op : qc) {
     if (deadline != nullptr) {
       deadline->check();
     }
     for (const ElementaryGate& g : toElementaryGates(op)) {
-      applyGate(pkg.makeGateDD(g.matrix, g.target, g.controls));
+      applyGate([&] { return pkg.makeGateDD(g.matrix, g.target, g.controls); });
     }
   }
   if (!qc.outputPermutation().isIdentity()) {
-    applyGate(
-        pkg.conjugateTranspose(buildPermutationDD(qc.outputPermutation(), pkg)));
+    applyGate([&] {
+      return pkg.conjugateTranspose(
+          buildPermutationDD(qc.outputPermutation(), pkg));
+    });
   }
 
   pkg.decRef(state);

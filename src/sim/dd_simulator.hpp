@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include "dd/attribution.hpp"
 #include "dd/package.hpp"
 #include "ir/quantum_computation.hpp"
 #include "util/deadline.hpp"
@@ -52,10 +53,15 @@ flattenToElementary(const ir::QuantumComputation& qc);
 [[nodiscard]] dd::mEdge buildPermutationDD(const ir::Permutation& perm,
                                            dd::Package& pkg);
 
-/// Simulate the circuit on the given logical input state.
+/// Simulate the circuit on the given logical input state. With a non-null
+/// `attr`, every elementary gate application (layout permutations included)
+/// records one cost sample under `attrSide` with gate indices in flattened
+/// application order; null costs one pointer test per gate.
 [[nodiscard]] dd::vEdge simulate(const ir::QuantumComputation& qc,
                                  const dd::vEdge& input, dd::Package& pkg,
-                                 const util::Deadline* deadline = nullptr);
+                                 const util::Deadline* deadline = nullptr,
+                                 dd::AttributionCollector* attr = nullptr,
+                                 dd::AttrSide attrSide = dd::AttrSide::Left);
 
 /// Simulate the circuit on computational basis state |i>.
 [[nodiscard]] dd::vEdge simulateBasisState(const ir::QuantumComputation& qc,

@@ -78,6 +78,10 @@ void applyOverride(ec::FlowConfiguration& config, const std::string& key,
     config.tryRewriting = value.asBool();
   } else if (key == "race") {
     config.mode = value.asBool() ? ec::FlowMode::Race : ec::FlowMode::Staged;
+  } else if (key == "attr") {
+    // never part of the configDigest — attribution cannot change verdicts
+    config.simulation.attribution.enabled = value.asBool();
+    config.complete.attribution.enabled = value.asBool();
   } else {
     failLine(lineNumber, "unknown key: " + key);
   }
@@ -325,6 +329,19 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
       if (flow.profile) {
         outcome.gateSet = std::string(toString(flow.profile->combined()));
       }
+      const auto rollup = [&outcome](const std::optional<ec::AttributionProfile>&
+                                         attr) {
+        if (!attr) {
+          return;
+        }
+        outcome.attrGatesApplied += attr->gatesApplied;
+        outcome.attrPeakNodesLive =
+            std::max(outcome.attrPeakNodesLive, attr->peakNodesLive);
+        outcome.attrNodesDelta += attr->nodesDeltaTotal;
+        outcome.attrWallNanos += attr->wallNanosTotal;
+      };
+      rollup(flow.simulationAttribution);
+      rollup(flow.completeAttribution);
       outcome.cancelled =
           cancelFlags[job.index].load(std::memory_order_relaxed);
       if (options_.cache != nullptr && !outcome.cancelled &&
@@ -381,6 +398,10 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
       outcome.tier = rep.tier;
       outcome.gateSet = rep.gateSet;
       outcome.error = rep.error;
+      outcome.attrGatesApplied = rep.attrGatesApplied;
+      outcome.attrPeakNodesLive = rep.attrPeakNodesLive;
+      outcome.attrNodesDelta = rep.attrNodesDelta;
+      outcome.attrWallNanos = rep.attrWallNanos;
       obs.log(obs::JournalLevel::Info, "svc.pair.verdict")
           .num("index", static_cast<std::uint64_t>(dup))
           .str("outcome", ec::toString(outcome.equivalence))
@@ -417,6 +438,32 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
     }
   }
   summary.seconds = watch.seconds();
+
+  // rank the DD-heaviest pairs (wall time never participates, so the list
+  // is deterministic for a fixed manifest and machine-independent modulo
+  // timeouts)
+  if (options_.topExpensive > 0) {
+    for (const PairOutcome& outcome : result.outcomes) {
+      if (outcome.attrGatesApplied > 0) {
+        summary.topExpensive.push_back(ExpensivePairRef{
+            outcome.index, outcome.attrPeakNodesLive,
+            outcome.attrGatesApplied});
+      }
+    }
+    std::sort(summary.topExpensive.begin(), summary.topExpensive.end(),
+              [](const ExpensivePairRef& a, const ExpensivePairRef& b) {
+                if (a.peakNodesLive != b.peakNodesLive) {
+                  return a.peakNodesLive > b.peakNodesLive;
+                }
+                if (a.gatesApplied != b.gatesApplied) {
+                  return a.gatesApplied > b.gatesApplied;
+                }
+                return a.index < b.index;
+              });
+    if (summary.topExpensive.size() > options_.topExpensive) {
+      summary.topExpensive.resize(options_.topExpensive);
+    }
+  }
 
   batchSpan.arg("cache_hits", static_cast<std::uint64_t>(summary.cacheHits));
   batchSpan.arg("not_equivalent",
@@ -464,6 +511,12 @@ std::string toJsonLine(const PairOutcome& outcome,
   if (!options.redact) {
     json.field("complete_timed_out", outcome.completeTimedOut)
         .field("seconds", outcome.seconds);
+    if (outcome.attrGatesApplied > 0) {
+      json.field("attr_gates_applied", outcome.attrGatesApplied)
+          .field("attr_peak_nodes_live", outcome.attrPeakNodesLive)
+          .field("attr_nodes_delta", outcome.attrNodesDelta)
+          .field("attr_wall_nanos", outcome.attrWallNanos);
+    }
   }
   json.rawField("counterexample", ec::toJson(outcome.counterexample));
   if (!outcome.error.empty()) {
@@ -492,6 +545,17 @@ std::string toJsonLine(const BatchSummary& summary,
   if (!options.redact) {
     json.field("threads", summary.threads)
         .field("seconds", summary.seconds);
+    if (!summary.topExpensive.empty()) {
+      json.beginArray("top_expensive");
+      for (const ExpensivePairRef& ref : summary.topExpensive) {
+        json.beginObject()
+            .field("index", static_cast<std::uint64_t>(ref.index))
+            .field("peak_nodes_live", ref.peakNodesLive)
+            .field("gates_applied", ref.gatesApplied)
+            .endObject();
+      }
+      json.endArray();
+    }
   }
   json.endObject();
   return json.str();

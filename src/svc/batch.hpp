@@ -96,6 +96,23 @@ struct PairOutcome {
   /// Non-empty when the pair could not be checked at all (unreadable or
   /// unparseable file); equivalence is then InvalidInput.
   std::string error;
+  /// Attribution rollup over the DD stages that ran (zero when attribution
+  /// is disabled, the pair was a cache hit or dedup copy with none, or only
+  /// non-DD tiers ran). Serialized unredacted only — like the timing
+  /// fields, partial profiles of timed-out stages vary between runs.
+  std::uint64_t attrGatesApplied{0};
+  std::uint64_t attrPeakNodesLive{0};
+  std::int64_t attrNodesDelta{0};
+  std::uint64_t attrWallNanos{0};
+};
+
+/// One row of BatchSummary::topExpensive: a pair ranked by how hard it
+/// worked the DD machinery (peak live nodes, then gates applied, then
+/// manifest index — never wall time, so the ranking is deterministic).
+struct ExpensivePairRef {
+  std::size_t index{0};
+  std::uint64_t peakNodesLive{0};
+  std::uint64_t gatesApplied{0};
 };
 
 struct BatchSummary {
@@ -111,6 +128,9 @@ struct BatchSummary {
   std::size_t deduped{0};
   unsigned threads{1};
   double seconds{0.0};
+  /// The most DD-expensive pairs of the batch (BatchOptions::topExpensive
+  /// rows), by attribution rollup. Empty when attribution was disabled.
+  std::vector<ExpensivePairRef> topExpensive;
 };
 
 struct BatchResult {
@@ -124,6 +144,8 @@ struct BatchOptions {
   unsigned threads{0};
   /// Optional shared verdict cache (not owned). Null: every pair is checked.
   VerdictCache* cache{nullptr};
+  /// Rows kept in BatchSummary::topExpensive (0 disables the ranking).
+  std::size_t topExpensive{5};
   /// Invoked after every resolved pair as onPairDone(done, total) — calls
   /// are serialized but may come from any worker thread; keep it cheap.
   std::function<void(std::size_t, std::size_t)> onPairDone;

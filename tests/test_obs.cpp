@@ -122,6 +122,67 @@ TEST(Metrics, SnapshotJsonIsValid) {
   EXPECT_TRUE(util::isValidJson(obs::toJson(obs::MetricsSnapshot{})));
 }
 
+TEST(Metrics, HistogramBucketsAreExactAndMergeable) {
+  obs::HistogramSnapshot h;
+  // bucket boundaries are powers of two: 1.0 sits exactly on a boundary
+  // (inclusive upper bound), 1.5 in the next bucket up
+  h.observe(1.0);
+  h.observe(1.5);
+  h.observe(1.5);
+  EXPECT_EQ(h.buckets[obs::HistogramSnapshot::bucketIndex(1.0)], 1U);
+  EXPECT_EQ(h.buckets[obs::HistogramSnapshot::bucketIndex(1.5)], 2U);
+  EXPECT_LT(obs::HistogramSnapshot::bucketIndex(1.0),
+            obs::HistogramSnapshot::bucketIndex(1.5));
+  EXPECT_DOUBLE_EQ(
+      obs::HistogramSnapshot::bucketUpperBound(
+          obs::HistogramSnapshot::bucketIndex(1.0)),
+      1.0);
+  // zero and negatives land in the first bucket; huge values in the +Inf
+  // overflow bucket
+  EXPECT_EQ(obs::HistogramSnapshot::bucketIndex(0.0), 0U);
+  EXPECT_EQ(obs::HistogramSnapshot::bucketIndex(-3.0), 0U);
+  EXPECT_EQ(obs::HistogramSnapshot::bucketIndex(1e300),
+            obs::HistogramSnapshot::kBucketCount - 1);
+
+  obs::HistogramSnapshot other;
+  other.observe(1.5);
+  h.mergeFrom(other);
+  EXPECT_EQ(h.count, 4U);
+  EXPECT_EQ(h.buckets[obs::HistogramSnapshot::bucketIndex(1.5)], 3U);
+
+  std::uint64_t bucketSum = 0;
+  for (const std::uint64_t b : h.buckets) {
+    bucketSum += b;
+  }
+  EXPECT_EQ(bucketSum, h.count); // merge is lossless
+}
+
+TEST(Metrics, HistogramPercentilesClampToObservedRange) {
+  obs::HistogramSnapshot h;
+  for (int i = 0; i < 90; ++i) {
+    h.observe(0.010); // bucket upper bound ~0.0156
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.observe(10.0);
+  }
+  // p50 falls in the dense low bucket: bucket-resolution answer, clamped
+  // below by min
+  const double p50 = h.percentile(0.50);
+  EXPECT_GE(p50, h.min);
+  EXPECT_LE(p50, 0.016);
+  // p99 reaches the sparse top bucket and clamps to the observed max
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+  EXPECT_GE(h.percentile(0.0), h.min);
+  EXPECT_LE(h.percentile(0.0), 0.016);
+  EXPECT_DOUBLE_EQ(obs::HistogramSnapshot{}.percentile(0.5), 0.0);
+
+  const std::string json = obs::toJson(h);
+  EXPECT_TRUE(util::isValidJson(json)) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[["), std::string::npos);
+}
+
 TEST(JsonLint, AcceptsAndRejects) {
   EXPECT_TRUE(util::isValidJson("{}"));
   EXPECT_TRUE(util::isValidJson(R"({"a":[1,2.5e-3,"x\n",true,null]})"));

@@ -16,8 +16,17 @@ Frames emitted:
     flow;simulation;sim.stimulus    stimulus-run time: deltas between
                                     consecutive sim.stimulus completions,
                                     minus the GC pauses inside them
+    attr;<checker>;<side>:g<N>      per-gate cost attribution (attr.hotspot
+                                    events), weighted by the measured
+                                    per-gate wall nanos
+    attr;<checker>;other            the checker's attributed wall time not
+                                    covered by its top-K hotspot gates
 
-Attribution is approximate by design: the journal records completion
+The attr;* frames form a second root: they re-slice the same wall time as
+the flow;* stages by gate instead of by stage, so the two trees overlap and
+their grand totals do not add up — read them as two views, not as siblings.
+
+Stage attribution is approximate by design: the journal records completion
 events, not begin/end pairs, so a stimulus delta includes whatever else the
 worker did in that window. For single-threaded runs (--threads 1) the
 approximation is exact up to journal-write overhead; for portfolio runs the
@@ -26,6 +35,7 @@ per-stimulus deltas overlap and only the stage totals are meaningful.
 Usage:
     tools/journal2folded.py run.jsonl > run.folded
     tools/journal2folded.py run.jsonl -o run.folded
+    tools/journal2folded.py run.jsonl --format speedscope -o run.speedscope.json
 
 Malformed lines are skipped (the journal may have a half-written tail if
 the run was killed); a journal with no flow.stage events yields no output
@@ -36,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections import defaultdict
 
@@ -125,7 +136,69 @@ def fold(events: list[dict]) -> dict[str, float]:
         children[stage] = 0.0  # consumed; repeated stages start fresh
         folded[f"flow;{stage}"] += self_time
 
+    fold_attribution(events, folded)
     return folded
+
+
+def fold_attribution(events: list[dict], folded: dict[str, float]) -> None:
+    """Second tree: attr.* events re-sliced into per-gate frames."""
+    hotspot_by_checker: dict[str, float] = defaultdict(float)
+    for event in events:
+        if event.get("event") != "attr.hotspot":
+            continue
+        checker = str(event.get("checker", "?"))
+        side = str(event.get("side", "?"))
+        gate = event.get("gate", "?")
+        micros = float(event.get("wall_nanos", 0)) / 1e3
+        if micros > 0:
+            folded[f"attr;{checker};{side}:g{gate}"] += micros
+            hotspot_by_checker[checker] += micros
+    total_by_checker: dict[str, float] = defaultdict(float)
+    for event in events:
+        if event.get("event") != "attr.summary":
+            continue
+        checker = str(event.get("checker", "?"))
+        total_by_checker[checker] += float(event.get("wall_nanos", 0)) / 1e3
+    for checker, total in total_by_checker.items():
+        other = total - hotspot_by_checker.get(checker, 0.0)
+        if other > 0:
+            folded[f"attr;{checker};other"] += other
+
+
+def to_speedscope(folded: dict[str, float], name: str) -> dict:
+    """Folded stacks as a speedscope 'sampled' profile (one sample per
+    stack, weight = integer microseconds)."""
+    frames: list[str] = []
+    frame_index: dict[str, int] = {}
+    samples: list[list[int]] = []
+    weights: list[int] = []
+    for stack in sorted(folded):
+        micros = int(round(folded[stack]))
+        if micros <= 0:
+            continue
+        sample = []
+        for frame in stack.split(";"):
+            if frame not in frame_index:
+                frame_index[frame] = len(frames)
+                frames.append(frame)
+            sample.append(frame_index[frame])
+        samples.append(sample)
+        weights.append(micros)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": [{"name": f} for f in frames]},
+        "profiles": [{
+            "type": "sampled",
+            "name": name,
+            "unit": "microseconds",
+            "startValue": 0,
+            "endValue": sum(weights),
+            "samples": samples,
+            "weights": weights,
+        }],
+        "name": name,
+        "exporter": "qsimec journal2folded",
+    }
 
 
 def main() -> int:
@@ -134,6 +207,10 @@ def main() -> int:
     parser.add_argument("journal", help="journal file written by --journal")
     parser.add_argument("-o", "--output", default=None,
                         help="output file (default: stdout)")
+    parser.add_argument("--format", choices=("folded", "speedscope"),
+                        default="folded",
+                        help="folded stacks (flamegraph.pl) or a speedscope"
+                             " JSON profile (default: folded)")
     args = parser.parse_args()
 
     try:
@@ -151,10 +228,14 @@ def main() -> int:
     out = open(args.output, "w", encoding="utf-8") if args.output \
         else sys.stdout
     try:
-        for stack in sorted(folded):
-            micros = int(round(folded[stack]))
-            if micros > 0:
-                print(f"{stack} {micros}", file=out)
+        if args.format == "speedscope":
+            json.dump(to_speedscope(folded, args.journal), out, indent=1)
+            print(file=out)
+        else:
+            for stack in sorted(folded):
+                micros = int(round(folded[stack]))
+                if micros > 0:
+                    print(f"{stack} {micros}", file=out)
     finally:
         if out is not sys.stdout:
             out.close()
@@ -162,4 +243,9 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # downstream consumer (head, grep -m) closed the pipe early
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

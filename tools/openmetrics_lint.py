@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Promtool-style lint for OpenMetrics text exposition files, vendored so CI
+needs no network access. Standard library only.
+
+Checks (a practical subset of the OpenMetrics 1.0 text format):
+
+  * every sample is preceded by a `# TYPE` line for its family, and the
+    declared type is one of counter/gauge/histogram/summary/untyped/info
+  * metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * counter samples use the `_total` (or `_created`) suffix; gauge samples
+    carry no suffix
+  * histogram `le` bounds strictly increase, bucket counts are cumulative,
+    the `le="+Inf"` bucket is present, and `_count` agrees with it
+  * values parse as decimal floats (or +Inf/-Inf/NaN)
+  * the exposition ends with `# EOF` and nothing follows it
+
+Usage:
+    tools/openmetrics_lint.py FILE [FILE ...]
+
+Exit code 0 when every file is clean, 1 otherwise (issues on stderr).
+This mirrors `qsimec metrics-export --lint`, which runs the same checks
+through src/obs/openmetrics.cpp — CI uses this script so the gate does not
+depend on the binary it is gating.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped", "info"}
+SUFFIXES = ("_total", "_bucket", "_sum", "_count", "_created")
+
+
+def parse_value(text: str) -> float | None:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def lint(lines: list[str]) -> list[tuple[int, str]]:
+    issues: list[tuple[int, str]] = []
+    family_types: dict[str, str] = {}
+    # per histogram family: (last le, last cumulative bucket, inf value)
+    hist_state: dict[str, list] = {}
+    saw_eof = False
+
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if saw_eof:
+            issues.append((lineno, "content after # EOF"))
+            break
+
+        if line.startswith("#"):
+            if line == "# EOF":
+                saw_eof = True
+            elif line.startswith("# TYPE "):
+                parts = line[len("# TYPE "):].split(" ")
+                if len(parts) != 2:
+                    issues.append((lineno, "malformed TYPE line"))
+                elif not NAME_RE.match(parts[0]):
+                    issues.append((lineno, "invalid family name in TYPE"))
+                elif parts[1] not in TYPES:
+                    issues.append((lineno, f"unknown type '{parts[1]}'"))
+                elif parts[0] in family_types:
+                    issues.append((lineno, f"duplicate TYPE for '{parts[0]}'"))
+                else:
+                    family_types[parts[0]] = parts[1]
+            elif not line.startswith("# HELP "):
+                issues.append((lineno, "unknown comment directive"))
+            continue
+
+        match = re.match(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$", line)
+        if not match:
+            issues.append((lineno, "malformed sample line"))
+            continue
+        name, labels, value_text = match.groups()
+        value = parse_value(value_text)
+        if value is None:
+            issues.append((lineno, f"invalid value '{value_text}'"))
+            continue
+
+        family, suffix = name, ""
+        for candidate in SUFFIXES:
+            base = name[: -len(candidate)]
+            if name.endswith(candidate) and base in family_types:
+                family, suffix = base, candidate
+                break
+        mtype = family_types.get(family)
+        if mtype is None:
+            issues.append((lineno, f"sample '{name}' has no TYPE metadata"))
+            continue
+        if mtype == "counter" and suffix not in ("_total", "_created"):
+            issues.append((lineno, "counter sample must use _total"))
+        elif mtype == "gauge" and suffix:
+            issues.append((lineno, "gauge sample must not carry a suffix"))
+        elif mtype == "histogram":
+            state = hist_state.setdefault(family, [-math.inf, 0, None])
+            if suffix == "_bucket":
+                le_match = re.match(r'^\{le="([^"]*)"\}$', labels or "")
+                le = parse_value(le_match.group(1)) if le_match else None
+                if le is None:
+                    issues.append((lineno, "histogram bucket without le"))
+                    continue
+                if le <= state[0]:
+                    issues.append((lineno, "le bounds not increasing"))
+                state[0] = le
+                if value < state[1]:
+                    issues.append((lineno, "bucket counts not cumulative"))
+                state[1] = value
+                if le == math.inf:
+                    state[2] = value
+            elif suffix == "_count":
+                if state[2] is None:
+                    issues.append((lineno, '_count before le="+Inf" bucket'))
+                elif value != state[2]:
+                    issues.append((lineno, "_count disagrees with +Inf"))
+            elif suffix not in ("_sum", "_created"):
+                issues.append((lineno, "unexpected histogram suffix"))
+
+    if not saw_eof:
+        issues.append((len(lines) or 1, "missing terminating # EOF"))
+    for family, state in hist_state.items():
+        if state[2] is None:
+            issues.append(
+                (len(lines) or 1, f"histogram '{family}' missing +Inf bucket"))
+    return issues
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as error:
+            print(f"{path}: cannot read: {error}", file=sys.stderr)
+            failed = True
+            continue
+        issues = lint(lines)
+        for lineno, message in issues:
+            print(f"{path}:{lineno}: {message}", file=sys.stderr)
+        if issues:
+            failed = True
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
