@@ -6,15 +6,19 @@
 //   qsimec profile FILE [FILE2]  gate-set / tier profile without any checking
 //   qsimec sim FILE [options]    simulate a circuit, print top amplitudes
 //   qsimec info FILE             circuit statistics
-//   qsimec convert IN OUT        convert between .qasm and .real
+//   qsimec convert IN OUT        convert between .qasm, .real and .tfc
+//   qsimec gen FAMILY OUT        generate a benchmark circuit / the corpus
+//   qsimec fuzz [options]        differential fuzzing against a dense oracle
 //   qsimec bench-diff BASE CUR   compare two qsimec-bench-v1 reports
 //   qsimec report RUN.jsonl      render a run journal as Markdown/HTML
 //   qsimec journal-stats J...    latency percentiles across journals
 //   qsimec metrics-export M.json metrics JSON -> OpenMetrics text
 //
-// Circuit files are read by extension: .qasm (OpenQASM 2.0) or .real
-// (RevLib). `check` implements the DAC'20 flow: r random-stimuli
-// simulations, then the complete DD-based alternating check.
+// Circuit files are read by extension: .qasm (OpenQASM 2.0), .real
+// (RevLib), or .tfc (Maslov's reversible benchmark format). `check`
+// implements the DAC'20 flow: r random-stimuli simulations, then the
+// complete DD-based alternating check. `fuzz` differentially fuzzes the
+// whole flow against a dense-simulation oracle (see docs/fuzzing.md).
 //
 // Exit codes: 0 equivalent (or no lint errors), 1 not equivalent,
 // 2 usage/internal error, 3 inconclusive, 4 invalid input (lint errors,
@@ -28,8 +32,12 @@
 #include "ec/flow.hpp"
 #include "ec/serialize.hpp"
 #include "ec/stimuli.hpp"
+#include "fuzz/harness.hpp"
 #include "gen/algorithms.hpp"
+#include "gen/ansatz.hpp"
+#include "gen/arithmetic.hpp"
 #include "gen/chemistry.hpp"
+#include "gen/corpus.hpp"
 #include "gen/grover.hpp"
 #include "gen/qft.hpp"
 #include "gen/random_circuits.hpp"
@@ -37,6 +45,7 @@
 #include "gen/supremacy.hpp"
 #include "io/qasm.hpp"
 #include "io/real.hpp"
+#include "io/tfc.hpp"
 #include "obs/bench_diff.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/openmetrics.hpp"
@@ -50,6 +59,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -171,12 +181,39 @@ usage:
                             instead of exporting: print issues, exit 4 if
                             any (the CI exposition gate; no positional
                             argument needed)
-  qsimec gen FAMILY OUT.{qasm,real} [--seed N]
+  qsimec gen FAMILY OUT.{qasm,real,tfc} [--seed N]
       families: qft N | qft-alt N | grover K | supremacy R C D |
                 chemistry R C | hwb K | urf K | adder K | inc K | random N G |
-                bv N | dj N | qpe M | ghz N | w N
-      (decompose first where the output format demands it: .real accepts
+                bv N | dj N | qpe M | ghz N | w N |
+                modmul A N BITS | modadd C N BITS | cuccaro BITS | cmp BITS |
+                hea N LAYERS | excitation N LAYERS | clifford N G
+      (decompose first where the output format demands it: .real/.tfc accept
        only reversible gates, .qasm at most two controls)
+  qsimec gen corpus OUTDIR [--seed N]
+      emit the benchmark corpus: representative equivalent and error-injected
+      pairs across the families in mixed .qasm/.real/.tfc formats, plus a
+      JSONL manifest for `qsimec batch` and a corpus.json metadata sidecar
+  qsimec fuzz [options]
+      differential fuzzing: generated circuit pairs (equivalence-preserving
+      rewrites, injected errors) run through the full flow matrix (prescreen
+      on/off x strategies x 1/4 threads x staged/race), every verdict
+      cross-checked against a dense-simulation oracle; disagreements are
+      shrunk to 1-minimal reproducer JSONL lines (see docs/fuzzing.md).
+      Output is byte-deterministic for a fixed seed.
+      --seed N              generation seed (default 42)
+      --pairs N             circuit pairs to generate (default 100)
+      --min-qubits N        narrowest pair (default 3)
+      --max-qubits N        widest pair (default 6, max 12)
+      --max-gates N         base-circuit gate budget (default 28)
+      --family NAME         general | clifford+t | clifford | reversible
+      --timeout SECONDS     complete-check budget per flow run (default 60)
+      --no-shrink           record disagreements without minimizing them
+      --out DIR             write reproducers to DIR/reproducers.jsonl
+                            instead of stdout
+      --replay FILE.jsonl   re-check recorded reproducers instead of fuzzing
+      --progress            live pair counter on stderr
+      exit codes: 0 all verdicts agree / replay clean, 1 disagreements,
+                  2 usage error
 
 exit codes: 0 equivalent / lint clean / bench-diff pass, 1 not equivalent /
             bench-diff regression, 2 usage or internal error, 3 inconclusive,
@@ -193,8 +230,11 @@ ir::QuantumComputation load(const std::string& path,
   if (path.ends_with(".qasm")) {
     return io::parseQasmFile(path, options);
   }
-  throw std::runtime_error("unrecognized circuit format (want .qasm/.real): " +
-                           path);
+  if (path.size() >= 4 && path.ends_with(".tfc")) {
+    return io::parseTfcFile(path, options);
+  }
+  throw std::runtime_error(
+      "unrecognized circuit format (want .qasm/.real/.tfc): " + path);
 }
 
 struct ArgCursor {
@@ -996,6 +1036,8 @@ void writeByExtension(const ir::QuantumComputation& qc,
     io::writeReal(qc, os);
   } else if (path.ends_with(".qasm")) {
     io::writeQasm(qc, os);
+  } else if (path.ends_with(".tfc")) {
+    io::writeTfc(qc, os);
   } else {
     throw std::runtime_error("unrecognized output format: " + path);
   }
@@ -1047,6 +1089,40 @@ int runGen(ArgCursor& args) {
     qc = gen::ghzState(num("qubit count"));
   } else if (family == "w") {
     qc = gen::wState(num("qubit count"));
+  } else if (family == "modmul") {
+    const std::uint64_t a = num("multiplier a");
+    const std::uint64_t n = num("modulus N");
+    qc = gen::modularMultiplier(a, n, num("bits"));
+  } else if (family == "modadd") {
+    const std::uint64_t c = num("offset c");
+    const std::uint64_t n = num("modulus N");
+    qc = gen::modularOffsetAdder(c, n, num("bits"));
+  } else if (family == "cuccaro") {
+    qc = gen::cuccaroAdder(num("bits"));
+  } else if (family == "cmp") {
+    qc = gen::comparatorCircuit(num("bits"));
+  } else if (family == "hea") {
+    const std::size_t n = num("qubit count");
+    qc = gen::hardwareEfficientAnsatz(n, {.layers = num("layers"),
+                                          .seed = seed});
+  } else if (family == "excitation") {
+    const std::size_t n = num("qubit count");
+    qc = gen::excitationAnsatz(n, {.layers = num("layers"), .seed = seed});
+  } else if (family == "clifford") {
+    const std::size_t n = num("qubit count");
+    qc = gen::randomClifford(n, num("gate count"), seed);
+  } else if (family == "corpus") {
+    const gen::CorpusManifest manifest =
+        gen::emitCorpus({.dir = args.next("output directory"), .seed = seed});
+    for (const gen::CorpusEntry& entry : manifest.entries) {
+      std::cout << (entry.expectEquivalent ? "  eq " : "  ne ")
+                << entry.family << ": " << entry.gPath << " vs "
+                << entry.gPrimePath << " (" << entry.derivation << ")\n";
+    }
+    std::cout << "wrote " << manifest.entries.size() << " pair(s); manifest "
+              << manifest.manifestPath << ", metadata "
+              << manifest.sidecarPath << "\n";
+    return 0;
   } else {
     std::cerr << "unknown family: " << family << "\n";
     return 2;
@@ -1069,6 +1145,115 @@ int runGen(ArgCursor& args) {
   writeByExtension(qc, out);
   std::cout << "wrote " << qc.name() << " (" << qc.qubits() << " qubits, "
             << qc.size() << " gates) to " << out << "\n";
+  return 0;
+}
+
+/// `qsimec fuzz`: differential fuzzing of the whole flow against the dense
+/// oracle. Exit 0 when every verdict agrees, 1 on any disagreement (with
+/// reproducer JSONL lines on stdout / --out), 2 on usage errors.
+int runFuzzCmd(ArgCursor& args) {
+  // replay mode: re-check recorded reproducers instead of generating
+  const std::string replayPath = args.consumeOption("--replay", "");
+  if (!replayPath.empty()) {
+    std::ifstream in(replayPath);
+    if (!in) {
+      std::cerr << "cannot open " << replayPath << "\n";
+      return 2;
+    }
+    std::size_t line = 0;
+    std::size_t failures = 0;
+    std::string text;
+    while (std::getline(in, text)) {
+      ++line;
+      if (text.empty()) {
+        continue;
+      }
+      const fuzz::Reproducer r = fuzz::parseReproducer(text);
+      const fuzz::ReplayResult result = fuzz::replayReproducer(r);
+      std::cout << replayPath << ":" << line << ": ["
+                << fuzz::toString(r.config) << "] flow="
+                << result.flowVerdict << " oracle=" << result.oracleVerdict
+                << (result.disagrees ? "  DISAGREES" : "  ok") << "\n";
+      if (result.disagrees) {
+        ++failures;
+      }
+    }
+    std::cout << (failures == 0 ? "replay clean" : "replay found failures")
+              << " (" << line << " reproducer(s), " << failures
+              << " disagreement(s))\n";
+    return failures == 0 ? 0 : 1;
+  }
+
+  fuzz::FuzzOptions options;
+  options.seed = std::stoull(args.consumeOption("--seed", "42"));
+  options.pairs = std::stoul(args.consumeOption("--pairs", "100"));
+  options.generator.minQubits =
+      std::stoul(args.consumeOption("--min-qubits", "3"));
+  options.generator.maxQubits =
+      std::stoul(args.consumeOption("--max-qubits", "6"));
+  options.generator.maxGates =
+      std::stoul(args.consumeOption("--max-gates", "28"));
+  options.completeTimeoutSeconds =
+      std::stod(args.consumeOption("--timeout", "60"));
+  if (args.consumeFlag("--no-shrink")) {
+    options.shrink = false;
+  }
+  (void)args.consumeFlag("--shrink"); // the default; accepted for symmetry
+  const std::string family = args.consumeOption("--family", "");
+  if (!family.empty()) {
+    if (family == "general") {
+      options.generator.onlyFamily = fuzz::BaseFamily::General;
+    } else if (family == "clifford+t") {
+      options.generator.onlyFamily = fuzz::BaseFamily::CliffordT;
+    } else if (family == "clifford") {
+      options.generator.onlyFamily = fuzz::BaseFamily::Clifford;
+    } else if (family == "reversible") {
+      options.generator.onlyFamily = fuzz::BaseFamily::Reversible;
+    } else {
+      std::cerr << "unknown family: " << family << "\n";
+      return 2;
+    }
+  }
+  const std::string outDir = args.consumeOption("--out", "");
+  if (args.consumeFlag("--progress")) {
+    options.progress = [](std::size_t done, std::size_t total) {
+      std::cerr << "\rfuzz: " << done << "/" << total << std::flush;
+      if (done == total) {
+        std::cerr << "\n";
+      }
+    };
+  }
+  if (!args.empty()) {
+    std::cerr << "unexpected argument: " << args.next("") << "\n";
+    return 2;
+  }
+
+  const fuzz::FuzzReport report = fuzz::runFuzz(options);
+  std::cout << fuzz::summarize(options, report);
+
+  if (!report.disagreements.empty()) {
+    std::ostream* out = &std::cout;
+    std::ofstream file;
+    std::string reproPath;
+    if (!outDir.empty()) {
+      std::filesystem::create_directories(outDir);
+      reproPath = outDir + "/reproducers.jsonl";
+      file.open(reproPath);
+      if (!file) {
+        std::cerr << "cannot open " << reproPath << "\n";
+        return 2;
+      }
+      out = &file;
+    }
+    for (const fuzz::Disagreement& d : report.disagreements) {
+      *out << fuzz::toJsonLine(d.reproducer) << "\n";
+    }
+    if (!reproPath.empty()) {
+      std::cout << "wrote " << report.disagreements.size()
+                << " reproducer(s) to " << reproPath << "\n";
+    }
+    return 1;
+  }
   return 0;
 }
 
@@ -1108,6 +1293,9 @@ int main(int argc, char** argv) {
     if (command == "gen") {
       return runGen(args);
     }
+    if (command == "fuzz") {
+      return runFuzzCmd(args);
+    }
     if (command == "bench-diff") {
       return runBenchDiff(args);
     }
@@ -1135,6 +1323,9 @@ int main(int argc, char** argv) {
     std::cerr << "invalid input: " << e.what() << "\n";
     return 4;
   } catch (const io::RealParseError& e) {
+    std::cerr << "invalid input: " << e.what() << "\n";
+    return 4;
+  } catch (const io::TfcParseError& e) {
     std::cerr << "invalid input: " << e.what() << "\n";
     return 4;
   } catch (const util::JsonParseError& e) {

@@ -9,14 +9,15 @@
 // (growth caused, net of any GC the application triggered), unique/compute
 // table traffic, and wall nanoseconds.
 //
-// Determinism contract: the structural counters (applications, node
-// deltas, peak live nodes) are a pure function of the operation sequence
-// executed on the package since its last resetComputationState().
-// wallNanos depends on scheduling, and the unique/compute table counters
-// depend on the node address layout (the tables hash pointers, so hit and
-// eviction patterns differ per package instance) — the checkers' redacted
-// serialization drops both groups, and the remaining fields are
-// byte-stable across thread counts (see docs/profiling.md).
+// Determinism contract: every counter except wallNanos is a pure function
+// of the operation sequence executed on the package since its last
+// resetComputationState(). The unique/compute tables hash stable serial
+// ids (vNode::id, RealEntry::id), never addresses, so even the cache
+// hit/eviction patterns — and with them transient node creation and GC
+// timing — replay identically across processes and thread counts.
+// wallNanos depends on scheduling; the checkers' redacted serialization
+// drops it, plus (for schema stability with earlier recordings) the
+// unique/compute table counters (see docs/profiling.md).
 //
 // Cost model: the collector is only consulted when attribution is enabled;
 // a disabled checker holds a null collector pointer and pays one pointer

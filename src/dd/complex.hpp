@@ -66,9 +66,8 @@ inline bool Complex::exactlyOne() const noexcept {
 
 struct ComplexHash {
   std::size_t operator()(const Complex& c) const noexcept {
-    const auto h1 = std::hash<const void*>{}(c.r);
-    const auto h2 = std::hash<const void*>{}(c.i);
-    return h1 ^ (h2 * 0x9e3779b97f4a7c15ULL);
+    // serial ids, not addresses — keeps any hashing user deterministic
+    return c.r->id ^ (c.i->id * 0x9e3779b97f4a7c15ULL);
   }
 };
 

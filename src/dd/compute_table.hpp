@@ -1,31 +1,36 @@
 // Lossy, direct-mapped operation caches ("compute tables").
 //
 // Each DD operation (add, multiply, kronecker, ...) memoizes results here.
-// Entries hold raw node/real pointers, so every table must be cleared before
-// the unique tables or the real table collect garbage.
+// Keys identify nodes and weights by their stable serial ids (vNode::id,
+// RealEntry::id) rather than addresses, so slot placement — and with it the
+// collision/eviction pattern, the cache hit sequence, and every structural
+// counter downstream — is a pure function of the operation sequence,
+// independent of ASLR. Ids are never reused while a referent can be live
+// (UniqueTable/RealTable only rewind their counters when empty), so id
+// equality is as exact as pointer equality was. Results still hold raw
+// node/real pointers, so every table must be cleared before the unique
+// tables or the real table collect garbage.
 
 #pragma once
 
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 namespace qsimec::dd {
 
 namespace detail {
-inline std::size_t combineHash(std::size_t seed, const void* p) noexcept {
-  return seed ^ (std::hash<const void*>{}(p) + 0x9e3779b97f4a7c15ULL +
-                 (seed << 6) + (seed >> 2));
+inline std::size_t combineHash(std::size_t seed, std::uint64_t id) noexcept {
+  return seed ^ (id * 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 } // namespace detail
 
-/// Key made of two bare node pointers — used by operations whose top-level
-/// edge weights can be factored out (multiplication, kronecker, inner
-/// product).
+/// Key made of two node ids — used by operations whose top-level edge
+/// weights can be factored out (multiplication, kronecker, inner product).
 struct NodePairKey {
-  const void* a{nullptr};
-  const void* b{nullptr};
+  std::uint64_t a{0};
+  std::uint64_t b{0};
 
   [[nodiscard]] bool operator==(const NodePairKey&) const = default;
   [[nodiscard]] std::size_t hash() const noexcept {
@@ -33,9 +38,9 @@ struct NodePairKey {
   }
 };
 
-/// Key made of a single node pointer (conjugate transpose).
+/// Key made of a single node id (conjugate transpose).
 struct NodeKey {
-  const void* a{nullptr};
+  std::uint64_t a{0};
 
   [[nodiscard]] bool operator==(const NodeKey&) const = default;
   [[nodiscard]] std::size_t hash() const noexcept {
@@ -43,14 +48,15 @@ struct NodeKey {
   }
 };
 
-/// Key made of two full edges (addition, where weights cannot be factored).
+/// Key made of two full edges (addition, where weights cannot be factored):
+/// node ids plus real-entry ids of each weight.
 struct EdgePairKey {
-  const void* ap{nullptr};
-  const void* awr{nullptr};
-  const void* awi{nullptr};
-  const void* bp{nullptr};
-  const void* bwr{nullptr};
-  const void* bwi{nullptr};
+  std::uint64_t ap{0};
+  std::uint64_t awr{0};
+  std::uint64_t awi{0};
+  std::uint64_t bp{0};
+  std::uint64_t bwr{0};
+  std::uint64_t bwi{0};
 
   [[nodiscard]] bool operator==(const EdgePairKey&) const = default;
   [[nodiscard]] std::size_t hash() const noexcept {

@@ -45,6 +45,12 @@ struct vNode {
 
   std::array<Edge<vNode>, NEDGE> e{};
   vNode* next{nullptr}; // unique-table chain / free list
+  /// Stable serial number assigned when the node is canonicalized (terminal:
+  /// 0). All hashing and ordering inside the package goes through these ids,
+  /// never through addresses, so table behaviour — and with it transient
+  /// node creation and GC timing — is a pure function of the operation
+  /// sequence, independent of ASLR and allocator layout.
+  std::uint64_t id{0};
   std::uint32_t ref{0};
   Var v{TERMINAL_VAR};
 
@@ -66,6 +72,7 @@ struct mNode {
 
   std::array<Edge<mNode>, NEDGE> e{};
   mNode* next{nullptr};
+  std::uint64_t id{0}; // stable serial number (see vNode::id)
   std::uint32_t ref{0};
   Var v{TERMINAL_VAR};
 

@@ -194,7 +194,7 @@ ComplexValue Package::innerProduct(const vEdge& x, const vEdge& y) {
       if (a->isTerminal()) {
         return ComplexValue{1, 0};
       }
-      const NodePairKey key{a, b};
+      const NodePairKey key{a->id, b->id};
       if (const ComplexValue* cached = pkg.innerTable_.lookup(key)) {
         return *cached;
       }
@@ -223,7 +223,7 @@ double Package::subtreeNorm2(vNode* p) {
   if (p->isTerminal()) {
     return 1.0;
   }
-  const NodeKey key{p};
+  const NodeKey key{p->id};
   if (const double* cached = normTable_.lookup(key)) {
     return *cached;
   }
@@ -321,8 +321,8 @@ vEdge Package::addImpl(const vEdge& xIn, const vEdge& yIn) {
     }
     return {x.p, w};
   }
-  if (std::less<const void*>{}(y.p, x.p)) {
-    std::swap(x, y); // addition commutes: canonical operand order
+  if (y.p->id < x.p->id) {
+    std::swap(x, y); // addition commutes: canonical (creation-order) operands
   }
 
   // Factor the left weight out of the cache key: x.w (X + (y.w/x.w) Y).
@@ -333,7 +333,7 @@ vEdge Package::addImpl(const vEdge& xIn, const vEdge& yIn) {
   if (ratio.exactlyZero()) {
     return x; // y is negligible relative to x
   }
-  const EdgePairKey key{x.p, nullptr, nullptr, y.p, ratio.r, ratio.i};
+  const EdgePairKey key{x.p->id, 0, 0, y.p->id, ratio.r->id, ratio.i->id};
   if (const vEdge* cached = addVTable_.lookup(key)) {
     if (cached->w.exactlyZero()) {
       return vZero();
@@ -384,7 +384,7 @@ vEdge Package::multiplyImpl(mNode* x, vNode* y) {
   if (x->isTerminal()) {
     return vTerminalOne();
   }
-  const NodePairKey key{x, y};
+  const NodePairKey key{x->id, y->id};
   if (const vEdge* cached = multMVTable_.lookup(key)) {
     return *cached;
   }
@@ -522,7 +522,7 @@ mEdge Package::addImpl(const mEdge& xIn, const mEdge& yIn) {
     }
     return {x.p, w};
   }
-  if (std::less<const void*>{}(y.p, x.p)) {
+  if (y.p->id < x.p->id) {
     std::swap(x, y);
   }
 
@@ -532,7 +532,7 @@ mEdge Package::addImpl(const mEdge& xIn, const mEdge& yIn) {
   if (ratio.exactlyZero()) {
     return x;
   }
-  const EdgePairKey key{x.p, nullptr, nullptr, y.p, ratio.r, ratio.i};
+  const EdgePairKey key{x.p->id, 0, 0, y.p->id, ratio.r->id, ratio.i->id};
   if (const mEdge* cached = addMTable_.lookup(key)) {
     if (cached->w.exactlyZero()) {
       return mZero();
@@ -583,7 +583,7 @@ mEdge Package::multiplyImpl(mNode* x, mNode* y) {
   if (x->isTerminal()) {
     return mTerminalOne();
   }
-  const NodePairKey key{x, y};
+  const NodePairKey key{x->id, y->id};
   if (const mEdge* cached = multMMTable_.lookup(key)) {
     return *cached;
   }
@@ -612,7 +612,7 @@ mEdge Package::kronecker(const mEdge& x, const mEdge& y) {
       if (a->isTerminal()) {
         return {b, pkg.cn_.one()};
       }
-      const NodePairKey key{a, b};
+      const NodePairKey key{a->id, b->id};
       if (const mEdge* cached = pkg.kronTable_.lookup(key)) {
         return *cached;
       }
@@ -655,7 +655,7 @@ mEdge Package::conjugateTranspose(const mEdge& x) {
       if (p->isTerminal()) {
         return {p, pkg.cn_.one()};
       }
-      const NodeKey key{p};
+      const NodeKey key{p->id};
       if (const mEdge* cached = pkg.conjTable_.lookup(key)) {
         return *cached;
       }
@@ -809,6 +809,14 @@ void Package::resetComputationState() {
   vUnique_.resetGcThreshold();
   mUnique_.resetGcThreshold();
   cn_.reals().resetGcThreshold();
+  // With the tables emptied by the forced collection, restart the serial-id
+  // sequences too: runs separated by this barrier then replay identical ids,
+  // identical table collisions, and identical GC points — the foundation of
+  // the cross-thread byte-determinism contract (a run's counters must not
+  // depend on which worker's package executed the runs before it).
+  vUnique_.resetIdsIfEmpty();
+  mUnique_.resetIdsIfEmpty();
+  cn_.reals().resetIdsIfEmpty();
   interruptCounter_ = 0;
 }
 

@@ -30,6 +30,8 @@ RealTable::RealTable() : slots_(NSLOTS, nullptr) {
     e->ref = RealEntry::IMMORTAL;
     insert(e);
   }
+  baselineLiveEntries_ = liveEntries_;
+  baselineNextId_ = nextId_;
 }
 
 void RealTable::insert(RealEntry* e) {
@@ -106,6 +108,7 @@ RealEntry* RealTable::allocate(double val, std::int64_t bucket) {
   e->value = val;
   e->bucket = bucket;
   e->next = nullptr;
+  e->id = nextId_++;
   e->ref = 0;
   return e;
 }

@@ -34,6 +34,10 @@ struct RealEntry {
   double value{0.0};
   RealEntry* next{nullptr}; // slot chain
   std::int64_t bucket{0};   // bucket id (disambiguates chained slots)
+  /// Stable serial number assigned at allocation (see vNode::id): the
+  /// compute-table keys and the unique-table hash identify weights by this,
+  /// never by address.
+  std::uint64_t id{0};
   std::uint32_t ref{0};
 
   static constexpr std::uint32_t IMMORTAL =
@@ -82,6 +86,14 @@ public:
   /// UniqueTable::resetGcThreshold).
   void resetGcThreshold() noexcept { gcThreshold_ = INITIAL_GC_THRESHOLD; }
 
+  /// Restart the serial-id counter, but only when nothing beyond the
+  /// pre-interned constants survives (see UniqueTable::resetIdsIfEmpty).
+  void resetIdsIfEmpty() noexcept {
+    if (liveEntries_ == baselineLiveEntries_) {
+      nextId_ = baselineNextId_;
+    }
+  }
+
 private:
   static constexpr std::size_t NSLOTS = 1ULL << 20;
   static constexpr std::size_t INITIAL_GC_THRESHOLD = 262144;
@@ -114,6 +126,11 @@ private:
   std::size_t lookups_{0};
   std::size_t hits_{0};
   std::size_t gcThreshold_{INITIAL_GC_THRESHOLD};
+  std::uint64_t nextId_{1};
+  // state right after construction (the immortal constants), the floor
+  // resetIdsIfEmpty() may rewind to
+  std::size_t baselineLiveEntries_{0};
+  std::uint64_t baselineNextId_{1};
 };
 
 } // namespace qsimec::dd

@@ -70,6 +70,7 @@ public:
         return n;
       }
     }
+    candidate->id = nextId_++;
     candidate->next = buckets_[key];
     buckets_[key] = candidate;
     if (++liveNodes_ > peakLiveNodes_) {
@@ -128,16 +129,31 @@ public:
   /// collection fires would depend on what ran before.
   void resetGcThreshold() noexcept { gcThreshold_ = INITIAL_GC_THRESHOLD; }
 
+  /// Restart the serial-id counter, but only when no node survives: a live
+  /// node keeps its id, and handing the same id to a second node would break
+  /// the compute-table keys' uniqueness. Called at the between-runs barrier
+  /// (Package::resetComputationState) right after the forced collection, so
+  /// every run replays the exact same id sequence — and with it the same
+  /// table collisions — no matter which package or worker executes it.
+  void resetIdsIfEmpty() noexcept {
+    if (liveNodes_ == 0) {
+      nextId_ = 1;
+    }
+  }
+
 private:
   static constexpr std::size_t CHUNK_SIZE = 4096;
   static constexpr std::size_t INITIAL_GC_THRESHOLD = 262144;
 
+  // Hashes serial ids, not addresses: bucket placement (and therefore probe
+  // counts and insertion order) must not depend on where the allocator put a
+  // node — see vNode::id.
   static std::size_t hash(const NodeT* n) noexcept {
     std::size_t h = static_cast<std::size_t>(n->v) * 0xff51afd7ed558ccdULL;
     for (const auto& edge : n->e) {
-      h ^= std::hash<const void*>{}(edge.p) * 0x9e3779b97f4a7c15ULL;
-      h ^= std::hash<const void*>{}(edge.w.r) * 0xc2b2ae3d27d4eb4fULL;
-      h ^= std::hash<const void*>{}(edge.w.i) * 0x165667b19e3779f9ULL;
+      h ^= (edge.p->id + 1) * 0x9e3779b97f4a7c15ULL;
+      h ^= (edge.w.r->id + 1) * 0xc2b2ae3d27d4eb4fULL;
+      h ^= (edge.w.i->id + 1) * 0x165667b19e3779f9ULL;
       h = (h << 7) | (h >> (sizeof(h) * 8 - 7));
     }
     return h & (NBUCKETS - 1);
@@ -155,6 +171,7 @@ private:
   std::size_t hits_{0};
   std::size_t gcThreshold_{INITIAL_GC_THRESHOLD};
   std::size_t nodeLimit_{0};
+  std::uint64_t nextId_{1}; // 0 is the terminal's id
 };
 
 } // namespace qsimec::dd

@@ -15,7 +15,15 @@ dd::mEdge gateDD(const sim::ElementaryGate& g, dd::Package& pkg) {
 }
 
 dd::mEdge gateInverseDD(const sim::ElementaryGate& g, dd::Package& pkg) {
+#ifdef QSIMEC_SELFTEST_BREAK_ALTERNATING
+  // Deliberately wrong (gate instead of its adjoint): a build flipped with
+  // -DQSIMEC_SELFTEST_BREAK_ALTERNATING=ON exists only to prove the
+  // differential fuzzer catches a broken complete checker end to end
+  // (find -> shrink -> replay). Never enable this in a production build.
+  return pkg.makeGateDD(g.matrix, g.target, g.controls);
+#else
   return pkg.makeGateDD(dd::adjoint(g.matrix), g.target, g.controls);
+#endif
 }
 
 } // namespace

@@ -1,0 +1,249 @@
+#include "fuzz/harness.hpp"
+
+#include "obs/context.hpp"
+
+#include <sstream>
+
+namespace qsimec::fuzz {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+ec::FlowConfiguration buildFlowConfiguration(const FuzzConfig& cell,
+                                             std::uint64_t pairSeed,
+                                             double completeTimeoutSeconds) {
+  ec::FlowConfiguration config;
+  config.simulation.maxSimulations = 8;
+  config.simulation.seed = pairSeed;
+  config.simulation.numThreads = cell.threads;
+  // rotate the stimuli family per pair so all three kinds see fuzz traffic
+  switch (pairSeed % 3) {
+  case 0:
+    config.simulation.stimuli = ec::StimuliKind::ComputationalBasis;
+    break;
+  case 1:
+    config.simulation.stimuli = ec::StimuliKind::RandomProduct;
+    break;
+  default:
+    config.simulation.stimuli = ec::StimuliKind::RandomStabilizer;
+    break;
+  }
+  config.complete.strategy = cell.strategy;
+  config.complete.timeoutSeconds = completeTimeoutSeconds;
+  config.prescreen.enabled = cell.prescreen;
+  config.mode = cell.mode;
+  return config;
+}
+
+struct Verdicts {
+  ec::Equivalence flow;
+  std::optional<ec::Counterexample> counterexample;
+};
+
+/// The disagreement predicate (see harness.hpp header comment).
+bool disagrees(const Verdicts& v, const OracleResult& oracle,
+               const ir::QuantumComputation& g,
+               const ir::QuantumComputation& gPrime) {
+  switch (v.flow) {
+  case ec::Equivalence::Equivalent:
+    return oracle.verdict != OracleVerdict::Equivalent;
+  case ec::Equivalence::EquivalentUpToGlobalPhase:
+    return oracle.verdict == OracleVerdict::NotEquivalent;
+  case ec::Equivalence::NotEquivalent: {
+    if (oracle.verdict != OracleVerdict::NotEquivalent) {
+      return true;
+    }
+    if (v.counterexample) {
+      // the claimed witness must actually distinguish the circuits
+      const double fidelity =
+          counterexampleFidelity(g, gPrime, *v.counterexample);
+      if (fidelity > 1.0 - 1e-6) {
+        return true;
+      }
+    }
+    return false;
+  }
+  case ec::Equivalence::ProbablyEquivalent:
+  case ec::Equivalence::NoInformation:
+    return false;
+  case ec::Equivalence::InvalidInput:
+    return true;
+  }
+  return true;
+}
+
+Verdicts runFlowCell(const ir::QuantumComputation& g,
+                     const ir::QuantumComputation& gPrime,
+                     const FuzzConfig& cell, std::uint64_t pairSeed,
+                     const FuzzOptions& options,
+                     std::string* tier = nullptr) {
+  const ec::FlowConfiguration config = buildFlowConfiguration(
+      cell, pairSeed, options.completeTimeoutSeconds);
+  const obs::Context obs;
+  const ec::FlowResult flow =
+      ec::EquivalenceCheckingFlow(config).run(g, gPrime, obs);
+  Verdicts v{flow.equivalence, flow.counterexample};
+  if (options.tamperVerdict) {
+    v.flow = options.tamperVerdict(v.flow);
+  }
+  if (tier != nullptr) {
+    *tier = std::string(analysis::toString(flow.tier));
+  }
+  return v;
+}
+
+} // namespace
+
+std::vector<FuzzConfig>
+makeConfigMatrix(const std::vector<unsigned>& threadCounts) {
+  std::vector<FuzzConfig> cells;
+  for (const bool prescreen : {true, false}) {
+    for (const ec::Strategy strategy :
+         {ec::Strategy::Naive, ec::Strategy::Proportional,
+          ec::Strategy::Lookahead}) {
+      for (const unsigned threads : threadCounts) {
+        for (const ec::FlowMode mode :
+             {ec::FlowMode::Staged, ec::FlowMode::Race}) {
+          cells.push_back(FuzzConfig{prescreen, strategy, threads, mode});
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+FuzzReport runFuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  const std::vector<FuzzConfig> cells = makeConfigMatrix(options.threadCounts);
+  report.stats.configsPerPair = cells.size();
+  PairGenerator generator(options.seed, options.generator);
+
+  for (std::size_t pairIndex = 0; pairIndex < options.pairs; ++pairIndex) {
+    const GeneratedPair pair = generator.generate(pairIndex);
+    const std::uint64_t pairSeed =
+        splitmix64(options.seed ^ splitmix64(pairIndex));
+    ++report.stats.pairs;
+    ++report.stats.families[std::string(toString(pair.family))];
+
+    const OracleResult oracle =
+        compareCircuits(pair.g, pair.gPrime, options.oracle);
+    ++report.stats.oracleVerdicts[std::string(toString(oracle.verdict))];
+
+    for (const FuzzConfig& cell : cells) {
+      std::string tier;
+      const Verdicts v =
+          runFlowCell(pair.g, pair.gPrime, cell, pairSeed, options, &tier);
+      ++report.stats.flowRuns;
+      ++report.stats.flowVerdicts[std::string(ec::toString(v.flow))];
+      ++report.stats.tiers[tier];
+      if (v.flow == ec::Equivalence::ProbablyEquivalent ||
+          v.flow == ec::Equivalence::NoInformation) {
+        ++report.stats.inconclusive;
+      }
+      if (!disagrees(v, oracle, pair.g, pair.gPrime)) {
+        continue;
+      }
+      ++report.stats.disagreements;
+
+      Disagreement found;
+      found.originalGates = pair.g.size() + pair.gPrime.size();
+      ir::QuantumComputation shrunkG = pair.g;
+      ir::QuantumComputation shrunkGPrime = pair.gPrime;
+      if (options.shrink) {
+        const ShrinkPredicate predicate =
+            [&](const ir::QuantumComputation& candidateG,
+                const ir::QuantumComputation& candidateGPrime) {
+              const Verdicts cv = runFlowCell(candidateG, candidateGPrime,
+                                              cell, pairSeed, options);
+              const OracleResult co = compareCircuits(
+                  candidateG, candidateGPrime, options.oracle);
+              return disagrees(cv, co, candidateG, candidateGPrime);
+            };
+        ShrinkResult shrunk = shrinkPair(pair.g, pair.gPrime, predicate,
+                                         options.shrinkOptions);
+        found.shrinkConverged = shrunk.converged;
+        shrunkG = std::move(shrunk.g);
+        shrunkGPrime = std::move(shrunk.gPrime);
+      }
+      found.shrunkGates = shrunkG.size() + shrunkGPrime.size();
+
+      // record the verdicts of the *shrunk* pair so the reproducer line is
+      // self-consistent
+      const Verdicts shrunkVerdicts =
+          runFlowCell(shrunkG, shrunkGPrime, cell, pairSeed, options);
+      const OracleResult shrunkOracle =
+          compareCircuits(shrunkG, shrunkGPrime, options.oracle);
+
+      Reproducer& r = found.reproducer;
+      r.seed = options.seed;
+      r.pairIndex = pairIndex;
+      r.config = cell;
+      r.intended = std::string(toString(pair.intended));
+      r.flowVerdict = std::string(ec::toString(shrunkVerdicts.flow));
+      r.oracleVerdict = std::string(toString(shrunkOracle.verdict));
+      r.note = pair.derivation;
+      r.g = std::move(shrunkG);
+      r.gPrime = std::move(shrunkGPrime);
+      report.disagreements.push_back(std::move(found));
+      // one reproducer per pair: the remaining cells would mostly re-find
+      // the same defect
+      break;
+    }
+    if (options.progress) {
+      options.progress(pairIndex + 1, options.pairs);
+    }
+  }
+  return report;
+}
+
+ReplayResult replayReproducer(const Reproducer& r,
+                              const FuzzOptions& options) {
+  const std::uint64_t pairSeed =
+      splitmix64(r.seed ^ splitmix64(r.pairIndex));
+  const Verdicts v =
+      runFlowCell(r.g, r.gPrime, r.config, pairSeed, options);
+  const OracleResult oracle = compareCircuits(r.g, r.gPrime, options.oracle);
+  ReplayResult result;
+  result.disagrees = disagrees(v, oracle, r.g, r.gPrime);
+  result.flowVerdict = std::string(ec::toString(v.flow));
+  result.oracleVerdict = std::string(toString(oracle.verdict));
+  return result;
+}
+
+std::string summarize(const FuzzOptions& options, const FuzzReport& report) {
+  std::ostringstream os;
+  os << "qsimec fuzz\n"
+     << "  seed:              " << options.seed << "\n"
+     << "  pairs:             " << report.stats.pairs << "\n"
+     << "  configs per pair:  " << report.stats.configsPerPair << "\n"
+     << "  flow runs:         " << report.stats.flowRuns << "\n"
+     << "  disagreements:     " << report.stats.disagreements << "\n"
+     << "  inconclusive runs: " << report.stats.inconclusive << "\n";
+  const auto table = [&os](const char* title,
+                           const std::map<std::string, std::size_t>& rows) {
+    os << title << "\n";
+    for (const auto& [key, count] : rows) {
+      os << "  " << key << ": " << count << "\n";
+    }
+  };
+  table("families", report.stats.families);
+  table("oracle verdicts", report.stats.oracleVerdicts);
+  table("flow verdicts", report.stats.flowVerdicts);
+  table("tiers", report.stats.tiers);
+  for (const Disagreement& d : report.disagreements) {
+    os << "DISAGREEMENT pair=" << d.reproducer.pairIndex << " ["
+       << toString(d.reproducer.config) << "] flow=" << d.reproducer.flowVerdict
+       << " oracle=" << d.reproducer.oracleVerdict << " gates "
+       << d.originalGates << " -> " << d.shrunkGates
+       << (d.shrinkConverged ? "" : " (shrink budget exhausted)") << "\n";
+  }
+  return os.str();
+}
+
+} // namespace qsimec::fuzz

@@ -1,0 +1,101 @@
+// The differential fuzzing harness: generated pairs x the full flow matrix
+// (prescreen on/off x strategies x thread counts x staged/race), every
+// verdict cross-validated against the dense oracle.
+//
+// Disagreement rules (the soundness contract under test):
+//   * flow Equivalent            -> oracle must say Equivalent (exactly)
+//   * flow EquivalentUpToPhase   -> oracle Equivalent or UpToPhase
+//   * flow NotEquivalent         -> oracle NotEquivalent, and any attached
+//                                   counterexample must reproduce a fidelity
+//                                   measurably below 1 in the dense domain
+//   * flow Probably/NoInformation -> inconclusive by design, never counted
+//                                   as a disagreement (tracked in stats)
+//   * flow InvalidInput          -> always a disagreement (the generator
+//                                   emits only valid pairs)
+//
+// The whole run is a deterministic function of FuzzOptions: reproducer
+// lines and the text summary contain no wall-clock times and no race-winner
+// fields, so output is byte-identical across runs and thread counts.
+
+#pragma once
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/pair_generator.hpp"
+#include "fuzz/reproducer.hpp"
+#include "fuzz/shrink.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qsimec::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed{42};
+  std::size_t pairs{100};
+  GeneratorOptions generator{};
+  OracleOptions oracle{};
+  bool shrink{true};
+  ShrinkOptions shrinkOptions{};
+  /// Complete-check budget per flow run (0: unlimited). Generous enough
+  /// that fuzz-sized pairs never time out in practice; a timeout degrades
+  /// the verdict to ProbablyEquivalent, which is inconclusive, not wrong.
+  double completeTimeoutSeconds{60.0};
+  /// Thread counts in the matrix (the determinism contract under test).
+  std::vector<unsigned> threadCounts{1, 4};
+  /// Fault-injection hook for harness self-tests: post-processes every flow
+  /// verdict before the oracle comparison. Also applied during shrinking
+  /// and replay. Not used in production runs.
+  std::function<ec::Equivalence(ec::Equivalence)> tamperVerdict;
+  /// Progress sink (pairsDone, pairsTotal); called from the fuzz thread.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+struct FuzzStats {
+  std::size_t pairs{0};
+  std::size_t flowRuns{0};
+  std::size_t configsPerPair{0};
+  std::size_t disagreements{0};
+  std::size_t inconclusive{0};
+  std::map<std::string, std::size_t> flowVerdicts;
+  std::map<std::string, std::size_t> oracleVerdicts;
+  std::map<std::string, std::size_t> tiers;
+  std::map<std::string, std::size_t> families;
+};
+
+struct Disagreement {
+  Reproducer reproducer;
+  std::size_t originalGates{0};
+  std::size_t shrunkGates{0};
+  bool shrinkConverged{true};
+};
+
+struct FuzzReport {
+  FuzzStats stats;
+  std::vector<Disagreement> disagreements;
+};
+
+/// The flow-matrix cells for one run (deterministic order).
+[[nodiscard]] std::vector<FuzzConfig>
+makeConfigMatrix(const std::vector<unsigned>& threadCounts);
+
+[[nodiscard]] FuzzReport runFuzz(const FuzzOptions& options);
+
+struct ReplayResult {
+  bool disagrees{false};
+  std::string flowVerdict;
+  std::string oracleVerdict;
+};
+
+/// Re-run a recorded reproducer: same circuits, same flow-matrix cell,
+/// fresh oracle comparison.
+[[nodiscard]] ReplayResult replayReproducer(const Reproducer& r,
+                                            const FuzzOptions& options = {});
+
+/// Deterministic text summary (sorted maps, no timings).
+[[nodiscard]] std::string summarize(const FuzzOptions& options,
+                                    const FuzzReport& report);
+
+} // namespace qsimec::fuzz

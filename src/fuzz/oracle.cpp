@@ -1,0 +1,152 @@
+#include "fuzz/oracle.hpp"
+
+#include "dd/package.hpp"
+#include "ec/stimuli.hpp"
+#include "sim/dense_simulator.hpp"
+#include "transform/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace qsimec::fuzz {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The columns checked in sampled mode: the low basis states (where
+/// structured circuits concentrate their interesting behaviour) plus a
+/// deterministic pseudo-random spread over the full space.
+std::vector<std::uint64_t> sampleColumns(std::size_t nqubits,
+                                         std::size_t count) {
+  const std::uint64_t space = std::uint64_t{1} << nqubits;
+  std::vector<std::uint64_t> columns;
+  const std::size_t low = std::min<std::size_t>(count / 2, 8);
+  for (std::uint64_t c = 0; c < low && c < space; ++c) {
+    columns.push_back(c);
+  }
+  std::uint64_t state = 0x5eedULL ^ (std::uint64_t{nqubits} << 32);
+  while (columns.size() < count) {
+    state = splitmix64(state);
+    const std::uint64_t candidate = state & (space - 1);
+    if (std::find(columns.begin(), columns.end(), candidate) ==
+        columns.end()) {
+      columns.push_back(candidate);
+    }
+  }
+  return columns;
+}
+
+double fidelity(const std::vector<sim::Amplitude>& a,
+                const std::vector<sim::Amplitude>& b) {
+  std::complex<double> overlap{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    overlap += std::conj(a[i]) * b[i];
+  }
+  return std::norm(overlap);
+}
+
+} // namespace
+
+OracleResult compareCircuits(const ir::QuantumComputation& g,
+                             const ir::QuantumComputation& gPrime,
+                             const OracleOptions& options) {
+  const std::size_t n = std::max(g.qubits(), gPrime.qubits());
+  const ir::QuantumComputation gPadded = tf::padQubits(g, n);
+  const ir::QuantumComputation gpPadded = tf::padQubits(gPrime, n);
+
+  OracleResult result;
+  const std::uint64_t space = std::uint64_t{1} << n;
+  std::vector<std::uint64_t> columns;
+  if (n <= options.exhaustiveMaxQubits ||
+      space <= options.sampledColumns) {
+    columns.reserve(space);
+    for (std::uint64_t c = 0; c < space; ++c) {
+      columns.push_back(c);
+    }
+    result.exhaustive = true;
+  } else {
+    columns = sampleColumns(n, options.sampledColumns);
+    result.exhaustive = false;
+  }
+
+  bool phaseKnown = false;
+  std::complex<double> lambda{1.0, 0.0};
+  for (const std::uint64_t column : columns) {
+    const std::vector<sim::Amplitude> u =
+        sim::DenseSimulator::simulate(gPadded, column);
+    const std::vector<sim::Amplitude> uPrime =
+        sim::DenseSimulator::simulate(gpPadded, column);
+    if (!phaseKnown) {
+      // lambda from the dominant amplitude of u' — u' is normalized, so
+      // its largest amplitude has magnitude >= 2^-n/2 and the quotient is
+      // numerically stable.
+      std::size_t anchor = 0;
+      double best = 0.0;
+      for (std::size_t i = 0; i < uPrime.size(); ++i) {
+        if (const double mag = std::norm(uPrime[i]); mag > best) {
+          best = mag;
+          anchor = i;
+        }
+      }
+      lambda = u[anchor] / uPrime[anchor];
+      if (std::abs(std::abs(lambda) - 1.0) > options.tolerance * 16) {
+        result.verdict = OracleVerdict::NotEquivalent;
+        result.witnessColumn = column;
+        result.witnessFidelity = fidelity(u, uPrime);
+        return result;
+      }
+      // snap onto the unit circle so later columns compare against a
+      // genuine phase
+      lambda /= std::abs(lambda);
+      phaseKnown = true;
+    }
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      if (std::abs(u[i] - lambda * uPrime[i]) > options.tolerance) {
+        result.verdict = OracleVerdict::NotEquivalent;
+        result.witnessColumn = column;
+        result.witnessFidelity = fidelity(u, uPrime);
+        return result;
+      }
+    }
+  }
+  result.phase = lambda;
+  result.verdict = std::abs(lambda - std::complex<double>{1.0, 0.0}) <=
+                           options.tolerance * 16
+                       ? OracleVerdict::Equivalent
+                       : OracleVerdict::EquivalentUpToGlobalPhase;
+  return result;
+}
+
+double counterexampleFidelity(const ir::QuantumComputation& g,
+                              const ir::QuantumComputation& gPrime,
+                              const ec::Counterexample& cex) {
+  const std::size_t n = std::max(g.qubits(), gPrime.qubits());
+  const ir::QuantumComputation gPadded = tf::padQubits(g, n);
+  const ir::QuantumComputation gpPadded = tf::padQubits(gPrime, n);
+  if (cex.stimuli == ec::StimuliKind::ComputationalBasis) {
+    const std::uint64_t column = cex.input & ((std::uint64_t{1} << n) - 1);
+    return fidelity(sim::DenseSimulator::simulate(gPadded, column),
+                    sim::DenseSimulator::simulate(gpPadded, column));
+  }
+  // Regenerate the stimulus exactly as the checker did, then hand its dense
+  // amplitudes to the independent simulator.
+  dd::Package pkg(n);
+  const dd::vEdge edge = ec::makeStimulus(pkg, cex.stimuli, cex.input);
+  const std::vector<dd::ComplexValue> amplitudes = pkg.getVector(edge);
+  std::vector<sim::Amplitude> state(amplitudes.size());
+  for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+    state[i] = sim::Amplitude{amplitudes[i].re, amplitudes[i].im};
+  }
+  const std::vector<sim::Amplitude> u =
+      sim::DenseSimulator::simulate(gPadded, state);
+  return fidelity(u, sim::DenseSimulator::simulate(gpPadded, std::move(state)));
+}
+
+} // namespace qsimec::fuzz

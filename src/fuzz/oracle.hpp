@@ -1,0 +1,81 @@
+// Dense-simulator unitary oracle for differential fuzzing.
+//
+// Compares two circuits column by column: for each basis input |c> both
+// output states are computed with sim::DenseSimulator and matched up to one
+// global factor lambda shared across all columns. Streaming two state
+// vectors keeps the working set at O(2^n) instead of the O(4^n) full
+// unitary, so 12-qubit pairs stay cheap even under sanitizers.
+//
+// Soundness: with every column checked (exhaustive mode, the default up to
+// `exhaustiveMaxQubits`), the verdict is exact — Equivalent means U = U',
+// EquivalentUpToGlobalPhase means U = lambda U' with |lambda| = 1, and
+// NotEquivalent comes with a concrete witness column. Above the exhaustive
+// bound a fixed, deterministic subset of columns is checked: NotEquivalent
+// verdicts remain sound proofs (a differing column is a disproof), while
+// equivalence verdicts are evidence on the sampled columns only
+// (`exhaustive` is false in the result).
+
+#pragma once
+
+#include "ec/result.hpp"
+#include "ir/quantum_computation.hpp"
+
+#include <complex>
+#include <cstdint>
+
+namespace qsimec::fuzz {
+
+enum class OracleVerdict {
+  Equivalent,
+  EquivalentUpToGlobalPhase,
+  NotEquivalent,
+};
+
+[[nodiscard]] constexpr std::string_view toString(OracleVerdict v) noexcept {
+  switch (v) {
+  case OracleVerdict::Equivalent:
+    return "equivalent";
+  case OracleVerdict::EquivalentUpToGlobalPhase:
+    return "equivalent up to global phase";
+  case OracleVerdict::NotEquivalent:
+    return "not equivalent";
+  }
+  return "?";
+}
+
+struct OracleOptions {
+  /// Amplitude comparison tolerance.
+  double tolerance{1e-9};
+  /// Check all 2^n columns up to this width; sample beyond it.
+  std::size_t exhaustiveMaxQubits{9};
+  /// Columns checked in sampled mode (deterministic selection).
+  std::size_t sampledColumns{24};
+};
+
+struct OracleResult {
+  OracleVerdict verdict{OracleVerdict::Equivalent};
+  /// lambda with U = lambda * U' (valid unless NotEquivalent).
+  std::complex<double> phase{1.0, 0.0};
+  /// First differing basis column (valid when NotEquivalent).
+  std::uint64_t witnessColumn{0};
+  /// |<u_w|u'_w>|^2 at the witness column (valid when NotEquivalent).
+  double witnessFidelity{1.0};
+  /// Every column was checked (verdicts are exact proofs).
+  bool exhaustive{true};
+};
+
+/// Compare the two circuits as unitaries. Widths may differ; the narrower
+/// circuit is implicitly padded with idle qubits.
+[[nodiscard]] OracleResult compareCircuits(const ir::QuantumComputation& g,
+                                           const ir::QuantumComputation& gPrime,
+                                           const OracleOptions& options = {});
+
+/// Re-simulate a checker counterexample in the dense domain: returns the
+/// fidelity |<u|u'>|^2 of the two output states under the claimed stimulus.
+/// A genuine counterexample yields a fidelity measurably below 1.
+[[nodiscard]] double
+counterexampleFidelity(const ir::QuantumComputation& g,
+                       const ir::QuantumComputation& gPrime,
+                       const ec::Counterexample& cex);
+
+} // namespace qsimec::fuzz

@@ -1,0 +1,267 @@
+#include "fuzz/pair_generator.hpp"
+
+#include "gen/arithmetic.hpp"
+#include "gen/random_circuits.hpp"
+#include "gen/revlib_like.hpp"
+#include "transform/decomposition.hpp"
+#include "transform/error_injector.hpp"
+#include "transform/mapper.hpp"
+#include "transform/optimizer.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace qsimec::fuzz {
+
+namespace {
+
+using ir::Qubit;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Split every rotation/phase angle into two gates at the same site — the
+/// inverse of the optimizer's rotation merging, exactly phase-preserving.
+ir::QuantumComputation foldRotations(const ir::QuantumComputation& qc,
+                                     std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> split(0.1, 0.9);
+  ir::QuantumComputation out(qc.qubits(), qc.name());
+  out.setInitialLayoutUnchecked(qc.initialLayout());
+  out.setOutputPermutationUnchecked(qc.outputPermutation());
+  for (const ir::StandardOperation& op : qc) {
+    const ir::OpType type = op.type();
+    const bool splittable = type == ir::OpType::RX || type == ir::OpType::RY ||
+                            type == ir::OpType::RZ ||
+                            type == ir::OpType::Phase;
+    if (!splittable) {
+      out.ops().push_back(op);
+      continue;
+    }
+    const double theta = op.params()[0];
+    const double first = theta * split(rng);
+    std::vector<Qubit> targets(op.targets().begin(), op.targets().end());
+    std::vector<ir::Control> controls(op.controls().begin(),
+                                      op.controls().end());
+    out.ops().emplace_back(type, targets, controls,
+                           std::array<double, 3>{first, 0.0, 0.0});
+    out.ops().emplace_back(type, std::move(targets), std::move(controls),
+                           std::array<double, 3>{theta - first, 0.0, 0.0});
+  }
+  return out;
+}
+
+/// Insert `count` adjacent gate/inverse pairs at random positions. The
+/// gates are Clifford, so every family is preserved.
+ir::QuantumComputation insertIdentityPairs(const ir::QuantumComputation& qc,
+                                           std::mt19937_64& rng,
+                                           std::size_t count) {
+  ir::QuantumComputation out = qc;
+  std::uniform_int_distribution<int> kindDist(0, 3);
+  for (std::size_t k = 0; k < count; ++k) {
+    std::uniform_int_distribution<std::size_t> posDist(0, out.size());
+    const std::size_t pos = posDist(rng);
+    std::uniform_int_distribution<std::size_t> qubitDist(0, out.qubits() - 1);
+    const auto q = static_cast<Qubit>(qubitDist(rng));
+    ir::StandardOperation op(ir::OpType::H, {q});
+    switch (kindDist(rng)) {
+    case 0:
+      op = ir::StandardOperation(ir::OpType::H, {q});
+      break;
+    case 1:
+      op = ir::StandardOperation(ir::OpType::S, {q});
+      break;
+    case 2:
+      op = ir::StandardOperation(ir::OpType::X, {q});
+      break;
+    default: {
+      auto c = static_cast<Qubit>(qubitDist(rng));
+      while (c == q) {
+        c = static_cast<Qubit>(qubitDist(rng));
+      }
+      op = ir::StandardOperation(ir::OpType::X, {q},
+                                 {ir::Control{c, true}});
+      break;
+    }
+    }
+    const ir::StandardOperation inv = op.inverse();
+    const auto at =
+        out.ops().begin() + static_cast<std::ptrdiff_t>(pos);
+    out.ops().insert(at, {op, inv});
+  }
+  return out;
+}
+
+/// Append Z X Z X on qubit 0: the identity times a global phase of -1.
+ir::QuantumComputation appendPhaseTwist(const ir::QuantumComputation& qc) {
+  ir::QuantumComputation out = qc;
+  out.z(0);
+  out.x(0);
+  out.z(0);
+  out.x(0);
+  return out;
+}
+
+bool hasWideOps(const ir::QuantumComputation& qc) {
+  return std::any_of(qc.begin(), qc.end(),
+                     [](const ir::StandardOperation& op) {
+                       return op.controls().size() + op.targets().size() > 2;
+                     });
+}
+
+} // namespace
+
+PairGenerator::PairGenerator(std::uint64_t seed, GeneratorOptions options)
+    : seed_(seed), options_(options) {
+  if (options_.minQubits < 2 || options_.maxQubits < options_.minQubits ||
+      options_.maxQubits > 12) {
+    throw std::invalid_argument(
+        "PairGenerator supports 2..12 qubits (dense oracle bound)");
+  }
+}
+
+GeneratedPair PairGenerator::generate(std::size_t pairIndex) {
+  std::mt19937_64 rng(splitmix64(seed_ ^ splitmix64(pairIndex)));
+  std::uniform_int_distribution<std::size_t> qubitDist(options_.minQubits,
+                                                       options_.maxQubits);
+  std::uniform_int_distribution<std::size_t> gateDist(
+      4, std::max<std::size_t>(options_.maxGates, 5));
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  GeneratedPair pair;
+
+  // --- family -----------------------------------------------------------
+  if (options_.onlyFamily) {
+    pair.family = *options_.onlyFamily;
+  } else {
+    const double roll = unit(rng);
+    pair.family = roll < 0.40   ? BaseFamily::General
+                  : roll < 0.60 ? BaseFamily::CliffordT
+                  : roll < 0.85 ? BaseFamily::Clifford
+                                : BaseFamily::Reversible;
+  }
+
+  // --- base circuit -----------------------------------------------------
+  const std::size_t nqubits = qubitDist(rng);
+  const std::size_t ngates = gateDist(rng);
+  const std::uint64_t subseed = rng();
+  switch (pair.family) {
+  case BaseFamily::General:
+    pair.g = gen::randomCircuit(nqubits, ngates, subseed);
+    break;
+  case BaseFamily::CliffordT:
+    pair.g = gen::randomCliffordT(nqubits, ngates, subseed);
+    break;
+  case BaseFamily::Clifford:
+    pair.g = gen::randomClifford(nqubits, ngates, subseed);
+    break;
+  case BaseFamily::Reversible: {
+    const std::size_t bits = std::clamp<std::size_t>(nqubits, 2, 4);
+    switch (subseed % 4) {
+    case 0:
+      pair.g = gen::urfCircuit(bits, subseed);
+      break;
+    case 1:
+      pair.g = gen::incrementCircuit(bits);
+      break;
+    case 2:
+      pair.g = gen::modularOffsetAdder(1 + subseed % 5,
+                                       (std::uint64_t{1} << bits) - 1, bits);
+      break;
+    default:
+      pair.g = gen::adderCircuit(bits + (bits % 2)); // adder wants even bits
+      break;
+    }
+    break;
+  }
+  }
+  pair.derivation = std::string(toString(pair.family));
+
+  // --- equivalence-preserving rewrites ----------------------------------
+  ir::QuantumComputation derived = pair.g;
+  const auto note = [&pair](std::string_view step) {
+    pair.derivation += " | ";
+    pair.derivation += step;
+  };
+  std::uniform_int_distribution<int> stepCount(1, 3);
+  const int steps = stepCount(rng);
+  for (int s = 0; s < steps; ++s) {
+    // menu: 0 optimize, 1 identity-insertion, 2 fold/map, 3 decompose/map
+    std::uniform_int_distribution<int> stepDist(0, 3);
+    const int step = stepDist(rng);
+    switch (step) {
+    case 0:
+      derived = tf::optimize(derived);
+      note("optimize");
+      break;
+    case 1: {
+      std::uniform_int_distribution<std::size_t> pairCount(1, 3);
+      derived = insertIdentityPairs(derived, rng, pairCount(rng));
+      note("insert-identities");
+      break;
+    }
+    case 2:
+      if (pair.family == BaseFamily::General) {
+        derived = foldRotations(derived, rng);
+        note("fold-rotations");
+      } else if (!hasWideOps(derived)) {
+        // Clifford/Clifford+T circuits are 2-qubit-local already; mapping
+        // inserts SWAPs and H conjugations, both Clifford.
+        const auto mapped = tf::mapCircuit(
+            derived, tf::CouplingMap::linear(derived.qubits()));
+        derived = mapped.circuit.withMaterializedLayouts();
+        note("map-linear");
+      } else {
+        derived = tf::optimize(derived);
+        note("optimize");
+      }
+      break;
+    default:
+      if (pair.family == BaseFamily::Clifford) {
+        // decomposition would leave the Clifford gate set (T gates,
+        // rotations); keep the tier routing intact instead.
+        std::uniform_int_distribution<std::size_t> pairCount(1, 2);
+        derived = insertIdentityPairs(derived, rng, pairCount(rng));
+        note("insert-identities");
+      } else {
+        derived = tf::decompose(
+            derived,
+            tf::DecompositionOptions{
+                .scheme = tf::DecompositionScheme::Recursion});
+        note("decompose");
+        if (!hasWideOps(derived) && unit(rng) < 0.5) {
+          const auto mapped = tf::mapCircuit(
+              derived, tf::CouplingMap::ring(derived.qubits()));
+          derived = mapped.circuit.withMaterializedLayouts();
+          note("map-ring");
+        }
+      }
+      break;
+    }
+  }
+  if (pair.family == BaseFamily::Clifford && unit(rng) < 0.2) {
+    derived = appendPhaseTwist(derived);
+    note("phase-twist");
+  }
+
+  // --- error injection --------------------------------------------------
+  if (unit(rng) < options_.errorShare) {
+    tf::ErrorInjector injector(rng());
+    tf::InjectionResult injected = injector.injectRandom(derived);
+    derived = std::move(injected.circuit);
+    pair.intended = PairClass::ErrorInjected;
+    note("inject: " + injected.error.description);
+  }
+
+  // --- width alignment --------------------------------------------------
+  const std::size_t width = std::max(pair.g.qubits(), derived.qubits());
+  pair.g = tf::padQubits(pair.g, width);
+  pair.gPrime = tf::padQubits(derived, width);
+  return pair;
+}
+
+} // namespace qsimec::fuzz

@@ -1,0 +1,77 @@
+// Deterministic circuit-pair generation for the differential fuzzer.
+//
+// Every pair is a pure function of (seed, pairIndex): a base circuit drawn
+// from one of four families (general gate set, Clifford+T, Clifford-only,
+// reversible/MCT), a pipeline of equivalence-preserving rewrites from
+// src/transform (optimization, mapping, decomposition, rotation folding,
+// identity insertion, global-phase twist) deriving G', and — for the
+// intended-non-equivalent share — one injected error from
+// transform::ErrorInjector on top.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace qsimec::fuzz {
+
+enum class PairClass { Equivalent, ErrorInjected };
+
+[[nodiscard]] constexpr std::string_view toString(PairClass c) noexcept {
+  return c == PairClass::Equivalent ? "equivalent" : "error-injected";
+}
+
+enum class BaseFamily { General, CliffordT, Clifford, Reversible };
+
+[[nodiscard]] constexpr std::string_view toString(BaseFamily f) noexcept {
+  switch (f) {
+  case BaseFamily::General:
+    return "general";
+  case BaseFamily::CliffordT:
+    return "clifford+t";
+  case BaseFamily::Clifford:
+    return "clifford";
+  case BaseFamily::Reversible:
+    return "reversible";
+  }
+  return "?";
+}
+
+struct GeneratorOptions {
+  std::size_t minQubits{3};
+  std::size_t maxQubits{6};
+  std::size_t maxGates{28};
+  /// Fraction of pairs that receive an injected error (intended
+  /// non-equivalent).
+  double errorShare{0.5};
+  /// Restrict generation to a single family (tier-focused fuzzing).
+  std::optional<BaseFamily> onlyFamily;
+};
+
+struct GeneratedPair {
+  ir::QuantumComputation g;
+  ir::QuantumComputation gPrime;
+  PairClass intended{PairClass::Equivalent};
+  BaseFamily family{BaseFamily::General};
+  /// Human-readable rewrite/injection pipeline, for reproducer notes.
+  std::string derivation;
+};
+
+class PairGenerator {
+public:
+  explicit PairGenerator(std::uint64_t seed, GeneratorOptions options = {});
+
+  /// Deterministic: the same (seed, pairIndex) always yields the same pair,
+  /// independent of call order.
+  [[nodiscard]] GeneratedPair generate(std::size_t pairIndex);
+
+private:
+  std::uint64_t seed_;
+  GeneratorOptions options_;
+};
+
+} // namespace qsimec::fuzz

@@ -1,0 +1,179 @@
+#include "fuzz/reproducer.hpp"
+
+#include "util/json.hpp"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qsimec::fuzz {
+
+namespace {
+
+/// Every OpType, for name -> type resolution (toString is the inverse).
+constexpr std::array kAllOpTypes = {
+    ir::OpType::I,     ir::OpType::H,   ir::OpType::X,    ir::OpType::Y,
+    ir::OpType::Z,     ir::OpType::S,   ir::OpType::Sdg,  ir::OpType::T,
+    ir::OpType::Tdg,   ir::OpType::V,   ir::OpType::Vdg,  ir::OpType::SY,
+    ir::OpType::SYdg,  ir::OpType::RX,  ir::OpType::RY,   ir::OpType::RZ,
+    ir::OpType::Phase, ir::OpType::U2,  ir::OpType::U3,   ir::OpType::SWAP,
+    ir::OpType::GPhase};
+
+ir::OpType opTypeFromString(const std::string& name) {
+  for (const ir::OpType t : kAllOpTypes) {
+    if (name == ir::toString(t)) {
+      return t;
+    }
+  }
+  throw util::JsonParseError("unknown operation type: " + name);
+}
+
+/// Shortest-exact decimal rendering: 17 significant digits round-trip any
+/// IEEE double bit-exactly.
+std::string exactDouble(double value) {
+  std::array<char, 32> buffer{};
+  std::snprintf(buffer.data(), buffer.size(), "%.17g", value);
+  return buffer.data();
+}
+
+ec::Strategy strategyFromString(const std::string& name) {
+  for (const ec::Strategy s :
+       {ec::Strategy::Naive, ec::Strategy::Proportional,
+        ec::Strategy::Lookahead}) {
+    if (name == ec::toString(s)) {
+      return s;
+    }
+  }
+  throw util::JsonParseError("unknown strategy: " + name);
+}
+
+} // namespace
+
+std::string toString(const FuzzConfig& config) {
+  std::string out = "prescreen=";
+  out += config.prescreen ? "on" : "off";
+  out += ",strategy=";
+  out += ec::toString(config.strategy);
+  out += ",threads=" + std::to_string(config.threads);
+  out += ",mode=";
+  out += config.mode == ec::FlowMode::Race ? "race" : "staged";
+  return out;
+}
+
+std::string circuitToJson(const ir::QuantumComputation& qc) {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("n", static_cast<std::uint64_t>(qc.qubits()))
+      .field("name", qc.name())
+      .beginArray("ops");
+  for (const ir::StandardOperation& op : qc) {
+    json.beginObject().field("t", ir::toString(op.type()));
+    json.beginArray("q");
+    for (const ir::Qubit q : op.targets()) {
+      json.value(static_cast<std::uint64_t>(q));
+    }
+    json.endArray();
+    if (!op.controls().empty()) {
+      json.beginArray("c");
+      for (const ir::Control& c : op.controls()) {
+        json.beginObject()
+            .field("q", static_cast<std::uint64_t>(c.qubit))
+            .field("neg", !c.positive)
+            .endObject();
+      }
+      json.endArray();
+    }
+    const std::size_t nparams = ir::numParams(op.type());
+    if (nparams > 0) {
+      json.beginArray("p");
+      for (std::size_t i = 0; i < nparams; ++i) {
+        json.rawValue(exactDouble(op.params()[i]));
+      }
+      json.endArray();
+    }
+    json.endObject();
+  }
+  json.endArray().endObject();
+  return json.str();
+}
+
+ir::QuantumComputation circuitFromJson(const util::JsonValue& value) {
+  const std::size_t n = value.at("n").asUint();
+  ir::QuantumComputation qc(n);
+  if (const util::JsonValue* name = value.find("name")) {
+    qc.setName(name->asString());
+  }
+  for (const util::JsonValue& opValue : value.at("ops").elements()) {
+    const ir::OpType type = opTypeFromString(opValue.at("t").asString());
+    std::vector<ir::Qubit> targets;
+    for (const util::JsonValue& q : opValue.at("q").elements()) {
+      targets.push_back(static_cast<ir::Qubit>(q.asUint()));
+    }
+    std::vector<ir::Control> controls;
+    if (const util::JsonValue* c = opValue.find("c")) {
+      for (const util::JsonValue& control : c->elements()) {
+        controls.push_back(
+            ir::Control{static_cast<ir::Qubit>(control.at("q").asUint()),
+                        !control.at("neg").asBool()});
+      }
+    }
+    std::array<double, 3> params{};
+    if (const util::JsonValue* p = opValue.find("p")) {
+      const auto& elements = p->elements();
+      if (elements.size() > params.size()) {
+        throw util::JsonParseError("too many parameters");
+      }
+      for (std::size_t i = 0; i < elements.size(); ++i) {
+        params[i] = elements[i].asNumber();
+      }
+    }
+    qc.emplace(ir::StandardOperation(type, std::move(targets),
+                                     std::move(controls), params));
+  }
+  return qc;
+}
+
+std::string toJsonLine(const Reproducer& r) {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("schema", "qsimec-fuzz-v1")
+      .field("seed", std::to_string(r.seed)) // string: exact past 2^53
+      .field("pair", static_cast<std::uint64_t>(r.pairIndex))
+      .field("prescreen", r.config.prescreen)
+      .field("strategy", ec::toString(r.config.strategy))
+      .field("threads", r.config.threads)
+      .field("race", r.config.mode == ec::FlowMode::Race)
+      .field("intended", r.intended)
+      .field("flow", r.flowVerdict)
+      .field("oracle", r.oracleVerdict)
+      .field("note", r.note)
+      .rawField("g", circuitToJson(r.g))
+      .rawField("gp", circuitToJson(r.gPrime))
+      .endObject();
+  return json.str();
+}
+
+Reproducer parseReproducer(const std::string& jsonLine) {
+  const util::JsonValue doc = util::parseJson(jsonLine);
+  if (const util::JsonValue* schema = doc.find("schema");
+      schema == nullptr || schema->asString() != "qsimec-fuzz-v1") {
+    throw util::JsonParseError("not a qsimec-fuzz-v1 reproducer");
+  }
+  Reproducer r;
+  r.seed = std::stoull(doc.at("seed").asString());
+  r.pairIndex = doc.at("pair").asUint();
+  r.config.prescreen = doc.at("prescreen").asBool();
+  r.config.strategy = strategyFromString(doc.at("strategy").asString());
+  r.config.threads = static_cast<unsigned>(doc.at("threads").asUint());
+  r.config.mode = doc.at("race").asBool() ? ec::FlowMode::Race
+                                          : ec::FlowMode::Staged;
+  r.intended = doc.at("intended").asString();
+  r.flowVerdict = doc.at("flow").asString();
+  r.oracleVerdict = doc.at("oracle").asString();
+  r.note = doc.at("note").asString();
+  r.g = circuitFromJson(doc.at("g"));
+  r.gPrime = circuitFromJson(doc.at("gp"));
+  return r;
+}
+
+} // namespace qsimec::fuzz

@@ -1,0 +1,57 @@
+// Self-contained JSONL reproducers for fuzzer disagreements
+// (schema "qsimec-fuzz-v1").
+//
+// One line carries everything needed to replay a disagreement on a machine
+// that has never seen the fuzzer run: the generating seed and pair index,
+// the flow configuration that produced the verdict, both verdicts, and the
+// full gate lists of both circuits (doubles serialized with 17 significant
+// digits, so the round-trip is bit-exact). QASM is deliberately not used
+// here: generated circuits may contain global phases, negative controls, or
+// 3+-control gates that OpenQASM 2.0 cannot express.
+
+#pragma once
+
+#include "ec/flow.hpp"
+#include "ir/quantum_computation.hpp"
+#include "util/json_parse.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace qsimec::fuzz {
+
+/// The flow-matrix cell a verdict came from.
+struct FuzzConfig {
+  bool prescreen{true};
+  ec::Strategy strategy{ec::Strategy::Proportional};
+  unsigned threads{1};
+  ec::FlowMode mode{ec::FlowMode::Staged};
+};
+
+[[nodiscard]] std::string toString(const FuzzConfig& config);
+
+struct Reproducer {
+  std::uint64_t seed{0};
+  std::size_t pairIndex{0};
+  FuzzConfig config;
+  /// What the generator intended ("equivalent" / "error-injected").
+  std::string intended;
+  /// The flow verdict observed at record time.
+  std::string flowVerdict;
+  /// The oracle verdict at record time.
+  std::string oracleVerdict;
+  /// Derivation pipeline / free-form context.
+  std::string note;
+  ir::QuantumComputation g;
+  ir::QuantumComputation gPrime;
+};
+
+/// Lossless circuit <-> JSON round-trip (gate list + width + name).
+[[nodiscard]] std::string circuitToJson(const ir::QuantumComputation& qc);
+[[nodiscard]] ir::QuantumComputation
+circuitFromJson(const util::JsonValue& value);
+
+[[nodiscard]] std::string toJsonLine(const Reproducer& r);
+[[nodiscard]] Reproducer parseReproducer(const std::string& jsonLine);
+
+} // namespace qsimec::fuzz

@@ -1,0 +1,55 @@
+#include "fuzz/shrink.hpp"
+
+namespace qsimec::fuzz {
+
+namespace {
+
+ir::QuantumComputation withoutGate(const ir::QuantumComputation& qc,
+                                   std::size_t index) {
+  ir::QuantumComputation out(qc.qubits(), qc.name());
+  out.setInitialLayoutUnchecked(qc.initialLayout());
+  out.setOutputPermutationUnchecked(qc.outputPermutation());
+  for (std::size_t i = 0; i < qc.size(); ++i) {
+    if (i != index) {
+      out.ops().push_back(qc.ops()[i]);
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+ShrinkResult shrinkPair(const ir::QuantumComputation& g,
+                        const ir::QuantumComputation& gPrime,
+                        const ShrinkPredicate& stillFails,
+                        const ShrinkOptions& options) {
+  ShrinkResult result{g, gPrime, 0, 0, true};
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Walk each circuit back to front so surviving indices stay valid
+    // across removals within one sweep.
+    for (const bool first : {true, false}) {
+      ir::QuantumComputation& target = first ? result.g : result.gPrime;
+      const ir::QuantumComputation& other = first ? result.gPrime : result.g;
+      for (std::size_t i = target.size(); i-- > 0;) {
+        if (result.trials >= options.maxTrials) {
+          result.converged = false;
+          return result;
+        }
+        ++result.trials;
+        const ir::QuantumComputation candidate = withoutGate(target, i);
+        const bool fails = first ? stillFails(candidate, other)
+                                 : stillFails(other, candidate);
+        if (fails) {
+          target = candidate;
+          ++result.removedGates;
+          progress = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+} // namespace qsimec::fuzz

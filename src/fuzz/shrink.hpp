@@ -1,0 +1,40 @@
+// Greedy gate-dropping reproducer shrinking: repeatedly try removing one
+// gate from either circuit and keep the removal whenever the caller's
+// predicate says the disagreement still reproduces. Runs to a fixpoint
+// (bounded by `maxTrials`), so the result is 1-minimal: no single remaining
+// gate can be dropped without losing the disagreement.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstddef>
+#include <functional>
+
+namespace qsimec::fuzz {
+
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations (each one replays the flow).
+  std::size_t maxTrials{600};
+};
+
+struct ShrinkResult {
+  ir::QuantumComputation g;
+  ir::QuantumComputation gPrime;
+  std::size_t removedGates{0};
+  std::size_t trials{0};
+  /// False when maxTrials stopped the pass before the fixpoint.
+  bool converged{true};
+};
+
+using ShrinkPredicate = std::function<bool(const ir::QuantumComputation&,
+                                           const ir::QuantumComputation&)>;
+
+/// `stillFails` must return true when the (candidate) pair still exhibits
+/// the disagreement. The input pair itself is assumed to fail.
+[[nodiscard]] ShrinkResult shrinkPair(const ir::QuantumComputation& g,
+                                      const ir::QuantumComputation& gPrime,
+                                      const ShrinkPredicate& stillFails,
+                                      const ShrinkOptions& options = {});
+
+} // namespace qsimec::fuzz

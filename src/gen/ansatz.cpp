@@ -1,0 +1,73 @@
+#include "gen/ansatz.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace qsimec::gen {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+void checkWidth(std::size_t nqubits) {
+  if (nqubits < 2 || nqubits > 64) {
+    throw std::invalid_argument("ansatz families support 2..64 qubits");
+  }
+}
+
+} // namespace
+
+ir::QuantumComputation hardwareEfficientAnsatz(std::size_t nqubits,
+                                               const AnsatzOptions& options) {
+  checkWidth(nqubits);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> angle(0.0, kTwoPi);
+  ir::QuantumComputation qc(nqubits,
+                            "hea" + std::to_string(nqubits) + "_l" +
+                                std::to_string(options.layers));
+  const auto rotationLayer = [&] {
+    for (std::size_t q = 0; q < nqubits; ++q) {
+      qc.ry(angle(rng), static_cast<ir::Qubit>(q));
+      qc.rz(angle(rng), static_cast<ir::Qubit>(q));
+    }
+  };
+  for (std::size_t layer = 0; layer < options.layers; ++layer) {
+    rotationLayer();
+    for (std::size_t q = 0; q + 1 < nqubits; ++q) {
+      qc.cx(static_cast<ir::Qubit>(q), static_cast<ir::Qubit>(q + 1));
+    }
+  }
+  rotationLayer();
+  return qc;
+}
+
+ir::QuantumComputation excitationAnsatz(std::size_t nqubits,
+                                        const AnsatzOptions& options) {
+  checkWidth(nqubits);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> angle(0.0, kTwoPi);
+  ir::QuantumComputation qc(nqubits,
+                            "excit" + std::to_string(nqubits) + "_l" +
+                                std::to_string(options.layers));
+  // Givens rotation on (a, b): CX(a,b) · controlled-RY(theta) · CX(a,b)
+  // mixes |01> and |10> while fixing |00> and |11> — particle-conserving.
+  const auto givens = [&](ir::Qubit a, ir::Qubit b, double theta) {
+    qc.cx(a, b);
+    qc.ry(theta, a, {ir::Control{b, true}});
+    qc.cx(a, b);
+  };
+  // half-filled reference state
+  for (std::size_t q = 0; q < nqubits / 2; ++q) {
+    qc.x(static_cast<ir::Qubit>(q));
+  }
+  for (std::size_t layer = 0; layer < options.layers; ++layer) {
+    const std::size_t start = layer % 2;
+    for (std::size_t q = start; q + 1 < nqubits; q += 2) {
+      givens(static_cast<ir::Qubit>(q), static_cast<ir::Qubit>(q + 1),
+             angle(rng));
+    }
+  }
+  return qc;
+}
+
+} // namespace qsimec::gen

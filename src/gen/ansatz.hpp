@@ -1,0 +1,29 @@
+// Chemistry-style variational ansatz families (VQE workloads): the
+// hardware-efficient RY/RZ + CX-ladder ansatz and a particle-conserving
+// Givens-rotation excitation ansatz. Angles are drawn deterministically
+// from the seed, so every (nqubits, options) pair names one fixed circuit.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+
+namespace qsimec::gen {
+
+struct AnsatzOptions {
+  std::size_t layers{2};
+  std::uint64_t seed{0};
+};
+
+/// Per-layer RY+RZ rotations on every qubit followed by a CX entangler
+/// ladder, closed by a final rotation layer.
+[[nodiscard]] ir::QuantumComputation
+hardwareEfficientAnsatz(std::size_t nqubits, const AnsatzOptions& options = {});
+
+/// Layers of two-qubit Givens-rotation blocks on alternating qubit pairs
+/// (the pair-excitation pattern of chemistry ansaetze).
+[[nodiscard]] ir::QuantumComputation
+excitationAnsatz(std::size_t nqubits, const AnsatzOptions& options = {});
+
+} // namespace qsimec::gen

@@ -1,0 +1,117 @@
+#include "gen/arithmetic.hpp"
+
+#include "synth/transformation_based.hpp"
+#include "synth/truth_table.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace qsimec::gen {
+
+namespace {
+
+void checkModulus(std::uint64_t modulus, std::size_t bits) {
+  if (bits == 0 || bits > 12) {
+    throw std::invalid_argument("modular circuits support 1..12 bits");
+  }
+  const std::uint64_t space = std::uint64_t{1} << bits;
+  if (modulus < 2 || modulus > space) {
+    throw std::invalid_argument("modulus must be in [2, 2^bits]");
+  }
+}
+
+} // namespace
+
+ir::QuantumComputation modularMultiplier(std::uint64_t a,
+                                         std::uint64_t modulus,
+                                         std::size_t bits) {
+  checkModulus(modulus, bits);
+  if (a == 0 || a >= modulus) {
+    throw std::invalid_argument("multiplier must be in [1, modulus)");
+  }
+  if (std::gcd(a, modulus) != 1) {
+    throw std::invalid_argument(
+        "multiplier must be coprime to the modulus (else not a permutation)");
+  }
+  const std::uint64_t space = std::uint64_t{1} << bits;
+  std::vector<std::uint64_t> table(space);
+  for (std::uint64_t x = 0; x < space; ++x) {
+    table[x] = x < modulus ? (a * x) % modulus : x;
+  }
+  return synth::synthesize(synth::TruthTable(std::move(table)),
+                           "modmul_" + std::to_string(a) + "_mod" +
+                               std::to_string(modulus));
+}
+
+ir::QuantumComputation modularOffsetAdder(std::uint64_t c,
+                                          std::uint64_t modulus,
+                                          std::size_t bits) {
+  checkModulus(modulus, bits);
+  const std::uint64_t space = std::uint64_t{1} << bits;
+  std::vector<std::uint64_t> table(space);
+  for (std::uint64_t x = 0; x < space; ++x) {
+    table[x] = x < modulus ? (x + c) % modulus : x;
+  }
+  return synth::synthesize(synth::TruthTable(std::move(table)),
+                           "modadd_" + std::to_string(c % modulus) + "_mod" +
+                               std::to_string(modulus));
+}
+
+ir::QuantumComputation cuccaroAdder(std::size_t bits) {
+  if (bits == 0 || bits > 30) {
+    throw std::invalid_argument("cuccaroAdder supports 1..30 bits");
+  }
+  const std::size_t n = 2 * bits + 2;
+  ir::QuantumComputation qc(n, "cuccaro_add" + std::to_string(bits));
+  const auto A = [bits](std::size_t i) {
+    return static_cast<ir::Qubit>(1 + i);
+  };
+  const auto B = [bits](std::size_t i) {
+    return static_cast<ir::Qubit>(1 + bits + i);
+  };
+  const ir::Qubit cin = 0;
+  const auto cout = static_cast<ir::Qubit>(2 * bits + 1);
+  // MAJ(c, b, a): carry ripples up the a-wires
+  const auto maj = [&qc](ir::Qubit c, ir::Qubit b, ir::Qubit a) {
+    qc.cx(a, b);
+    qc.cx(a, c);
+    qc.ccx(c, b, a);
+  };
+  // UMA(c, b, a): undo the carry, leave the sum on b
+  const auto uma = [&qc](ir::Qubit c, ir::Qubit b, ir::Qubit a) {
+    qc.ccx(c, b, a);
+    qc.cx(a, c);
+    qc.cx(c, b);
+  };
+  maj(cin, B(0), A(0));
+  for (std::size_t i = 1; i < bits; ++i) {
+    maj(A(i - 1), B(i), A(i));
+  }
+  qc.cx(A(bits - 1), cout);
+  for (std::size_t i = bits; i-- > 1;) {
+    uma(A(i - 1), B(i), A(i));
+  }
+  uma(cin, B(0), A(0));
+  return qc;
+}
+
+ir::QuantumComputation comparatorCircuit(std::size_t bits) {
+  if (bits == 0 || bits > 5) {
+    throw std::invalid_argument("comparatorCircuit supports 1..5 bits");
+  }
+  const std::size_t total = 2 * bits + 1;
+  const std::uint64_t space = std::uint64_t{1} << total;
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::vector<std::uint64_t> table(space);
+  for (std::uint64_t x = 0; x < space; ++x) {
+    const std::uint64_t a = x & mask;
+    const std::uint64_t b = (x >> bits) & mask;
+    const std::uint64_t flip = a < b ? (std::uint64_t{1} << (2 * bits)) : 0;
+    table[x] = x ^ flip;
+  }
+  return synth::synthesize(synth::TruthTable(std::move(table)),
+                           "cmp" + std::to_string(bits));
+}
+
+} // namespace qsimec::gen

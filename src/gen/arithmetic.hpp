@@ -1,0 +1,38 @@
+// Shor-style modular arithmetic and adder/comparator families.
+//
+// The modular circuits are synthesized from their defining permutations via
+// transformation-based synthesis (compact MCT circuits, like the RevLib
+// families); the ripple-carry adder is the gate-level Cuccaro construction.
+// Together they cover the arithmetic workloads of Shor-type algorithms:
+// modular add, modular multiply, compare.
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+
+namespace qsimec::gen {
+
+/// x -> a*x mod N for x < N, identity for x >= N (a permutation whenever
+/// gcd(a, N) = 1 — the controlled-U_a building block of Shor's algorithm).
+/// Requires 2 <= N <= 2^bits, 1 <= a < N, gcd(a, N) = 1, bits <= 12.
+[[nodiscard]] ir::QuantumComputation
+modularMultiplier(std::uint64_t a, std::uint64_t modulus, std::size_t bits);
+
+/// x -> (x + c) mod N for x < N, identity for x >= N (the constant adder of
+/// Shor-style modular exponentiation). Requires 2 <= N <= 2^bits, bits <= 12.
+[[nodiscard]] ir::QuantumComputation
+modularOffsetAdder(std::uint64_t c, std::uint64_t modulus, std::size_t bits);
+
+/// Cuccaro ripple-carry adder |cin, a, b, 0> -> |cin, a, a+b, carry>.
+/// Layout: qubit 0 = cin, qubits [1, bits] = a, [bits+1, 2*bits] = b
+/// (sum appears here), qubit 2*bits+1 = carry out. 2*bits+2 qubits total.
+[[nodiscard]] ir::QuantumComputation cuccaroAdder(std::size_t bits);
+
+/// Comparator (a, b, r) -> (a, b, r XOR [a < b]) as a synthesized MCT
+/// circuit over 2*bits+1 qubits (a in the low bits, b above it, r on top).
+/// Requires 1 <= bits <= 5.
+[[nodiscard]] ir::QuantumComputation comparatorCircuit(std::size_t bits);
+
+} // namespace qsimec::gen

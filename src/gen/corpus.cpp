@@ -1,0 +1,240 @@
+#include "gen/corpus.hpp"
+
+#include "gen/ansatz.hpp"
+#include "gen/arithmetic.hpp"
+#include "gen/qft.hpp"
+#include "gen/revlib_like.hpp"
+#include "io/qasm.hpp"
+#include "io/real.hpp"
+#include "io/tfc.hpp"
+#include "transform/decomposition.hpp"
+#include "transform/error_injector.hpp"
+#include "transform/mapper.hpp"
+#include "transform/optimizer.hpp"
+#include "util/json.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace qsimec::gen {
+
+namespace {
+
+enum class Format { Qasm, Real, Tfc };
+
+std::string extension(Format f) {
+  switch (f) {
+  case Format::Qasm:
+    return ".qasm";
+  case Format::Real:
+    return ".real";
+  case Format::Tfc:
+    return ".tfc";
+  }
+  return ".qasm";
+}
+
+void writeCircuit(const ir::QuantumComputation& qc, const std::string& path,
+                  Format format) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot write " + path);
+  }
+  switch (format) {
+  case Format::Qasm:
+    io::writeQasm(qc, os);
+    break;
+  case Format::Real:
+    io::writeReal(qc, os);
+    break;
+  case Format::Tfc:
+    io::writeTfc(qc, os);
+    break;
+  }
+}
+
+/// Strip layouts so the circuit is exportable in any format; mapped
+/// circuits go through withMaterializedLayouts() first, which turns the
+/// output permutation into explicit SWAPs (functionality preserved).
+ir::QuantumComputation exportable(const ir::QuantumComputation& qc) {
+  return qc.withMaterializedLayouts();
+}
+
+} // namespace
+
+CorpusManifest emitCorpus(const CorpusOptions& options) {
+  if (options.dir.empty()) {
+    throw std::invalid_argument("corpus output directory must be set");
+  }
+  namespace fs = std::filesystem;
+  fs::create_directories(options.dir);
+
+  CorpusManifest manifest;
+  const auto emitPair = [&](const std::string& stem,
+                            const ir::QuantumComputation& g, Format gFormat,
+                            const ir::QuantumComputation& gPrime,
+                            Format gpFormat, const std::string& family,
+                            const std::string& derivation,
+                            bool expectEquivalent) {
+    CorpusEntry entry;
+    entry.gPath =
+        (fs::path(options.dir) / (stem + "_g" + extension(gFormat))).string();
+    entry.gPrimePath =
+        (fs::path(options.dir) / (stem + "_gp" + extension(gpFormat)))
+            .string();
+    entry.family = family;
+    entry.derivation = derivation;
+    entry.expectEquivalent = expectEquivalent;
+    writeCircuit(g, entry.gPath, gFormat);
+    writeCircuit(gPrime, entry.gPrimePath, gpFormat);
+    manifest.entries.push_back(std::move(entry));
+  };
+
+  const tf::OptimizerOptions optOptions{};
+  const tf::DecompositionOptions decompOptions{
+      .scheme = tf::DecompositionScheme::Recursion};
+
+  // 1. QFT vs the structurally different half-angle construction.
+  {
+    const auto g = qft(5);
+    const auto gp = qftAlternative(5);
+    emitPair("qft5", g, Format::Qasm, gp, Format::Qasm, "qft",
+             "alternative construction", true);
+  }
+
+  // 2. Compact MCT adder (reversible formats) vs its decomposition (QASM).
+  {
+    const auto g = adderCircuit(6);
+    const auto gp = exportable(tf::decompose(g, decompOptions));
+    emitPair("adder6", g, Format::Real, gp, Format::Qasm, "arithmetic",
+             "recursion decomposition", true);
+  }
+
+  // 3. Shor-style modular multiplier: MCT circuit (.tfc) vs optimized MCT.
+  {
+    const auto g = modularMultiplier(5, 13, 4);
+    const auto gp = tf::optimize(g, optOptions);
+    emitPair("modmul5_13", g, Format::Tfc, gp, Format::Tfc, "arithmetic",
+             "optimizer passes", true);
+  }
+
+  // 4. Modular constant adder (.tfc) vs decomposition (QASM).
+  {
+    const auto g = modularOffsetAdder(3, 11, 4);
+    const auto gp = exportable(tf::decompose(g, decompOptions));
+    emitPair("modadd3_11", g, Format::Tfc, gp, Format::Qasm, "arithmetic",
+             "recursion decomposition", true);
+  }
+
+  // 5. Comparator (.real) vs optimized (.tfc): same circuit, two reversible
+  //    dialects.
+  {
+    const auto g = comparatorCircuit(2);
+    const auto gp = tf::optimize(g, optOptions);
+    emitPair("cmp2", g, Format::Real, gp, Format::Tfc, "arithmetic",
+             "optimizer passes", true);
+  }
+
+  // 6. Cuccaro gate-level adder vs mapped-to-linear-architecture variant.
+  {
+    const auto g = cuccaroAdder(2);
+    const auto mapped = tf::mapCircuit(
+        tf::decompose(g, tf::DecompositionOptions{.expandSwap = true}),
+        tf::CouplingMap::linear(g.qubits()));
+    emitPair("cuccaro2", g, Format::Qasm, exportable(mapped.circuit),
+             Format::Qasm, "arithmetic", "linear-architecture mapping", true);
+  }
+
+  // 7. Hardware-efficient chemistry ansatz vs optimized form.
+  {
+    const auto g = hardwareEfficientAnsatz(6, {.layers = 3,
+                                               .seed = options.seed});
+    const auto gp = tf::optimize(g, optOptions);
+    emitPair("hea6", g, Format::Qasm, gp, Format::Qasm, "chemistry",
+             "optimizer passes", true);
+  }
+
+  // 8. Excitation ansatz (decomposed — OpenQASM 2.0 has no controlled-RY)
+  //    vs mapped variant.
+  {
+    const auto g = tf::decompose(
+        excitationAnsatz(4, {.layers = 2, .seed = options.seed}),
+        tf::DecompositionOptions{});
+    const auto mapped = tf::mapCircuit(g, tf::CouplingMap::ring(g.qubits()));
+    emitPair("excit4", g, Format::Qasm, exportable(mapped.circuit),
+             Format::Qasm, "chemistry", "ring-architecture mapping", true);
+  }
+
+  if (options.includeErrorPairs) {
+    tf::ErrorInjector injector(options.seed);
+    // 9. Error-injected QFT (single-qubit gate defect).
+    {
+      const auto g = qft(5);
+      const auto bad = injector.injectRandom(g);
+      emitPair("qft5_bug", g, Format::Qasm, exportable(bad.circuit),
+               Format::Qasm, "qft", "injected: " + bad.error.description,
+               false);
+    }
+    // 10. Error-injected modular multiplier (reversible-format defect).
+    {
+      const auto g = modularMultiplier(5, 13, 4);
+      const auto bad = injector.inject(g, tf::ErrorKind::RemoveGate);
+      emitPair("modmul5_13_bug", g, Format::Tfc, bad.circuit, Format::Tfc,
+               "arithmetic", "injected: " + bad.error.description, false);
+    }
+    // 11. Error-injected ansatz (angle offset).
+    {
+      const auto g = hardwareEfficientAnsatz(6, {.layers = 3,
+                                                 .seed = options.seed});
+      const auto bad = injector.inject(g, tf::ErrorKind::AngleOffset);
+      emitPair("hea6_bug", g, Format::Qasm, exportable(bad.circuit),
+               Format::Qasm, "chemistry",
+               "injected: " + bad.error.description, false);
+    }
+  }
+
+  manifest.manifestPath =
+      (fs::path(options.dir) / "manifest.jsonl").string();
+  {
+    std::ofstream os(manifest.manifestPath);
+    if (!os) {
+      throw std::runtime_error("cannot write " + manifest.manifestPath);
+    }
+    for (const CorpusEntry& entry : manifest.entries) {
+      util::JsonWriter json;
+      json.beginObject()
+          .field("g", entry.gPath)
+          .field("gp", entry.gPrimePath)
+          .endObject();
+      os << json.str() << "\n";
+    }
+  }
+
+  manifest.sidecarPath = (fs::path(options.dir) / "corpus.json").string();
+  {
+    std::ofstream os(manifest.sidecarPath);
+    if (!os) {
+      throw std::runtime_error("cannot write " + manifest.sidecarPath);
+    }
+    util::JsonWriter json;
+    json.beginObject()
+        .field("schema", "qsimec-corpus-v1")
+        .field("seed", options.seed)
+        .beginArray("pairs");
+    for (const CorpusEntry& entry : manifest.entries) {
+      json.beginObject()
+          .field("g", entry.gPath)
+          .field("gp", entry.gPrimePath)
+          .field("family", entry.family)
+          .field("derivation", entry.derivation)
+          .field("expect_equivalent", entry.expectEquivalent)
+          .endObject();
+    }
+    json.endArray().endObject();
+    os << json.str() << "\n";
+  }
+  return manifest;
+}
+
+} // namespace qsimec::gen

@@ -1,0 +1,45 @@
+// Benchmark corpus emitter: materializes representative (G, G') pairs from
+// the generator families onto disk — mixed .qasm/.real/.tfc formats — plus a
+// JSONL manifest consumable by `qsimec batch` and a `corpus.json` sidecar
+// recording each pair's family and expected verdict (the manifest schema
+// itself carries only paths and config overrides).
+
+#pragma once
+
+#include "ir/quantum_computation.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qsimec::gen {
+
+struct CorpusOptions {
+  /// Output directory; created if missing.
+  std::string dir;
+  std::uint64_t seed{1};
+  /// Also emit error-injected (non-equivalent) variants.
+  bool includeErrorPairs{true};
+};
+
+struct CorpusEntry {
+  std::string gPath;
+  std::string gPrimePath;
+  std::string family;
+  /// How G' was derived from G (optimize, map, decompose, inject...).
+  std::string derivation;
+  bool expectEquivalent{true};
+};
+
+struct CorpusManifest {
+  std::vector<CorpusEntry> entries;
+  /// Path of the emitted JSONL manifest (feed to `qsimec batch`).
+  std::string manifestPath;
+  /// Path of the emitted metadata sidecar.
+  std::string sidecarPath;
+};
+
+/// Emit the corpus; deterministic for a fixed (dir, seed).
+CorpusManifest emitCorpus(const CorpusOptions& options);
+
+} // namespace qsimec::gen

@@ -146,4 +146,49 @@ ir::QuantumComputation randomCliffordT(std::size_t nqubits, std::size_t ngates,
   return qc;
 }
 
+ir::QuantumComputation randomClifford(std::size_t nqubits, std::size_t ngates,
+                                      std::uint64_t seed) {
+  if (nqubits < 2) {
+    throw std::invalid_argument("randomClifford: need at least 2 qubits");
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> qubitDist(0, nqubits - 1);
+  std::uniform_int_distribution<int> kindDist(0, 8);
+
+  ir::QuantumComputation qc(nqubits, "clifford");
+  for (std::size_t g = 0; g < ngates; ++g) {
+    const auto q = static_cast<Qubit>(qubitDist(rng));
+    switch (kindDist(rng)) {
+    case 0:
+      qc.h(q);
+      break;
+    case 1:
+      qc.s(q);
+      break;
+    case 2:
+      qc.sdg(q);
+      break;
+    case 3:
+      qc.x(q);
+      break;
+    case 4:
+      qc.y(q);
+      break;
+    case 5:
+      qc.z(q);
+      break;
+    case 6:
+      qc.cx(pickDistinct(rng, nqubits, {q}), q);
+      break;
+    case 7:
+      qc.cz(pickDistinct(rng, nqubits, {q}), q);
+      break;
+    default:
+      qc.swap(q, pickDistinct(rng, nqubits, {q}));
+      break;
+    }
+  }
+  return qc;
+}
+
 } // namespace qsimec::gen

@@ -26,4 +26,9 @@ randomCircuit(std::size_t nqubits, std::size_t ngates, std::uint64_t seed,
 [[nodiscard]] ir::QuantumComputation
 randomCliffordT(std::size_t nqubits, std::size_t ngates, std::uint64_t seed);
 
+/// A random Clifford-only circuit over {H, S, Sdg, X, Y, Z, CX, CZ, SWAP} —
+/// pairs built from it route to the stabilizer tier.
+[[nodiscard]] ir::QuantumComputation
+randomClifford(std::size_t nqubits, std::size_t ngates, std::uint64_t seed);
+
 } // namespace qsimec::gen

@@ -4,6 +4,7 @@
 #include "ec/serialize.hpp"
 #include "io/qasm.hpp"
 #include "io/real.hpp"
+#include "io/tfc.hpp"
 #include "transform/decomposition.hpp"
 #include "util/deadline.hpp"
 #include "util/json.hpp"
@@ -98,8 +99,11 @@ ir::QuantumComputation loadCircuit(const std::string& path) {
   if (path.ends_with(".qasm")) {
     return io::parseQasmFile(path, options);
   }
-  throw std::runtime_error("unrecognized circuit format (want .qasm/.real): " +
-                           path);
+  if (path.ends_with(".tfc")) {
+    return io::parseTfcFile(path, options);
+  }
+  throw std::runtime_error(
+      "unrecognized circuit format (want .qasm/.real/.tfc): " + path);
 }
 
 /// One dispatched (cache-missed) pair: the parsed circuits live here until
@@ -284,7 +288,7 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
       }
       representatives.emplace(key, jobs.size());
       jobs.push_back(Job{i, std::move(g), std::move(gPrime), key,
-                         &spec.config});
+                         &spec.config, {}});
     } catch (const std::exception& e) {
       outcome.equivalence = ec::Equivalence::InvalidInput;
       outcome.error = e.what();

@@ -18,9 +18,41 @@ bool isRotationLike(OpType t) {
          t == OpType::Phase || t == OpType::U2 || t == OpType::U3;
 }
 
+bool nearMultipleOf(double x, double period) {
+  const double r = std::fmod(std::abs(x), period);
+  return r < 1e-9 || period - r < 1e-9;
+}
+
+/// True when the gate acts as the identity up to a global phase, so its
+/// removal would NOT change the circuit's unitary in any way the checkers
+/// (which ignore global phase by default) could detect. Controlled
+/// rotations with a near-identity base are treated conservatively as
+/// identity, too — over-marking only shrinks the candidate set, while
+/// under-marking would let RemoveGate produce an equivalent "error" pair.
+bool isEffectivelyIdentity(const StandardOperation& op) {
+  constexpr double twoPi = 2 * std::numbers::pi;
+  const auto& p = op.params();
+  switch (op.type()) {
+  case OpType::I:
+  case OpType::GPhase:
+    return true;
+  case OpType::RX:
+  case OpType::RY:
+  case OpType::RZ:
+    // RZ(2pi) = -I: invisible up to global phase.
+    return nearMultipleOf(p[0], twoPi);
+  case OpType::Phase:
+    return nearMultipleOf(p[0], twoPi);
+  case OpType::U3:
+    return nearMultipleOf(p[0], twoPi) && nearMultipleOf(p[1] + p[2], twoPi);
+  default:
+    return false;
+  }
+}
+
 bool isRemovable(const StandardOperation& op) {
-  // removing these is invisible to (phase-insensitive) checking
-  return op.type() != OpType::I && op.type() != OpType::GPhase;
+  // removing an (effectively) identity gate is invisible to checking
+  return !isEffectivelyIdentity(op);
 }
 
 bool isPlainCX(const StandardOperation& op) {

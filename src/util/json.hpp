@@ -73,6 +73,26 @@ public:
     return *this;
   }
 
+  /// Bare array element.
+  template <class Int>
+    requires std::is_integral_v<Int>
+  JsonWriter& value(Int v) {
+    separator();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    separator();
+    writeString(v);
+    return *this;
+  }
+  /// Bare raw array element (caller guarantees valid JSON).
+  JsonWriter& rawValue(std::string_view json) {
+    separator();
+    out_ << json;
+    return *this;
+  }
+
   [[nodiscard]] std::string str() const { return out_.str(); }
 
 private:

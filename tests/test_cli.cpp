@@ -503,3 +503,80 @@ TEST_F(CliTest, BatchWarmCacheRerunAnswersFromCache) {
   };
   EXPECT_EQ(verdicts(cold.output), verdicts(warm.output));
 }
+
+// --- .tfc support ---------------------------------------------------------
+
+TEST_F(CliTest, TfcLintProfileAndCheckPipeline) {
+  const std::string tfc = path("mct.tfc");
+  {
+    std::ofstream os(tfc);
+    os << ".v a,b,c\n.i a,b,c\nBEGIN\nt1 a\nt2 a,b\nt3 a,b,c\nEND\n";
+  }
+  const auto lint = runCli("lint " + tfc);
+  EXPECT_EQ(lint.exitCode, 0) << lint.output;
+  EXPECT_NE(lint.output.find("0 error(s)"), std::string::npos);
+
+  const auto profile = runCli("profile " + tfc);
+  EXPECT_EQ(profile.exitCode, 0) << profile.output;
+  EXPECT_NE(profile.output.find("gate set:"), std::string::npos);
+
+  // convert .tfc -> .real -> back, then check the round-trip is equivalent
+  const std::string real = path("mct.real");
+  ASSERT_EQ(runCli("convert " + tfc + " " + real).exitCode, 0);
+  const auto check = runCli("check " + tfc + " " + real + " --timeout 30");
+  EXPECT_EQ(check.exitCode, 0) << check.output;
+}
+
+TEST_F(CliTest, TfcParseErrorsExitFour) {
+  const std::string truncated = path("truncated.tfc");
+  {
+    std::ofstream os(truncated);
+    os << ".v a,b\nBEGIN\nt2 a,b\n"; // no END
+  }
+  const auto lint = runCli("lint " + truncated);
+  EXPECT_EQ(lint.exitCode, 4) << lint.output;
+  EXPECT_NE(lint.output.find("invalid input"), std::string::npos);
+  EXPECT_EQ(runCli("profile " + truncated).exitCode, 4);
+
+  const std::string overlap = path("overlap.tfc");
+  {
+    std::ofstream os(overlap);
+    os << ".v a,b\nBEGIN\nt2 a,a\nEND\n"; // control == target
+  }
+  // lint admits the malformed gate and reports a structured error
+  const auto overlapLint = runCli("lint " + overlap);
+  EXPECT_EQ(overlapLint.exitCode, 4) << overlapLint.output;
+}
+
+// --- corpus + fuzz --------------------------------------------------------
+
+TEST_F(CliTest, GenCorpusEmitsBatchableManifest) {
+  const std::string dir = path("corpus");
+  const auto gen = runCli("gen corpus " + dir + " --seed 1");
+  ASSERT_EQ(gen.exitCode, 0) << gen.output;
+  ASSERT_TRUE(fs::exists(dir + "/manifest.jsonl"));
+  ASSERT_TRUE(fs::exists(dir + "/corpus.json"));
+
+  // the corpus deliberately contains error-injected pairs, so batch exits 1
+  const auto batch =
+      runCli("batch " + dir + "/manifest.jsonl --timeout 60 --threads 1");
+  EXPECT_EQ(batch.exitCode, 1) << batch.output;
+  EXPECT_NE(batch.output.find("not equivalent"), std::string::npos);
+}
+
+TEST_F(CliTest, FuzzSmokeIsDeterministicAndClean) {
+  const std::string cmd = "fuzz --seed 11 --pairs 2 --max-qubits 4";
+  const auto first = runCli(cmd);
+  EXPECT_EQ(first.exitCode, 0) << first.output;
+  EXPECT_NE(first.output.find("disagreements:     0"), std::string::npos);
+  const auto second = runCli(cmd);
+  EXPECT_EQ(second.output, first.output); // byte-identical rerun
+}
+
+TEST_F(CliTest, FuzzReplaysCommittedRegressionCorpus) {
+  const std::string corpus =
+      std::string(QSIMEC_TESTDATA_DIR) + "/fuzz/corpus.jsonl";
+  const auto replay = runCli("fuzz --replay " + corpus);
+  EXPECT_EQ(replay.exitCode, 0) << replay.output;
+  EXPECT_NE(replay.output.find("replay clean"), std::string::npos);
+}

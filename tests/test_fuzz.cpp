@@ -1,0 +1,269 @@
+// Tests of the differential fuzzing harness (src/fuzz): determinism of the
+// whole pipeline, the find -> shrink -> replay loop (driven by the
+// tamperVerdict fault-injection hook, so a healthy build can exercise it),
+// reproducer round-trips, the committed regression corpus, the
+// ErrorInjector soundness property, and stabilizer-tier cross-validation
+// including the phase-probe width boundary.
+
+#include "ec/flow.hpp"
+#include "fuzz/harness.hpp"
+#include "gen/algorithms.hpp"
+#include "gen/random_circuits.hpp"
+#include "obs/context.hpp"
+#include "transform/error_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numbers>
+#include <string>
+#include <vector>
+
+using namespace qsimec;
+
+namespace {
+
+fuzz::FuzzOptions smallRun(std::size_t pairs) {
+  fuzz::FuzzOptions options;
+  options.seed = 7;
+  options.pairs = pairs;
+  options.generator.maxQubits = 4;
+  options.generator.maxGates = 12;
+  options.threadCounts = {1, 2};
+  return options;
+}
+
+} // namespace
+
+TEST(FuzzHarness, ConfigMatrixCoversAllDimensions) {
+  const auto cells = fuzz::makeConfigMatrix({1, 4});
+  EXPECT_EQ(cells.size(), 24U); // 2 prescreen x 3 strategies x 2 threads x 2 modes
+  std::size_t race = 0;
+  std::size_t prescreenOff = 0;
+  for (const auto& cell : cells) {
+    race += cell.mode == ec::FlowMode::Race ? 1 : 0;
+    prescreenOff += cell.prescreen ? 0 : 1;
+  }
+  EXPECT_EQ(race, 12U);
+  EXPECT_EQ(prescreenOff, 12U);
+}
+
+TEST(FuzzHarness, RunIsDeterministicAndCleanOnHealthyTree) {
+  const auto options = smallRun(3);
+  const fuzz::FuzzReport a = fuzz::runFuzz(options);
+  const fuzz::FuzzReport b = fuzz::runFuzz(options);
+  EXPECT_EQ(a.stats.disagreements, 0U);
+  EXPECT_EQ(fuzz::summarize(options, a), fuzz::summarize(options, b));
+  EXPECT_EQ(a.stats.flowRuns, a.stats.pairs * a.stats.configsPerPair);
+}
+
+TEST(FuzzHarness, PairGenerationIsIndependentOfCallOrder) {
+  fuzz::PairGenerator forward(7, {});
+  fuzz::PairGenerator backward(7, {});
+  const auto f2 = forward.generate(2);
+  const auto b0 = backward.generate(0); // disturb the sequence
+  (void)b0;
+  const auto again = backward.generate(2);
+  EXPECT_EQ(fuzz::circuitToJson(f2.g), fuzz::circuitToJson(again.g));
+  EXPECT_EQ(fuzz::circuitToJson(f2.gPrime), fuzz::circuitToJson(again.gPrime));
+  EXPECT_EQ(f2.derivation, again.derivation);
+}
+
+TEST(FuzzHarness, TamperedVerdictIsFoundShrunkAndReplaysBothWays) {
+  // fault injection: report every Equivalent verdict as NotEquivalent, which
+  // must disagree with the oracle on genuinely equivalent pairs
+  fuzz::FuzzOptions options = smallRun(4);
+  options.tamperVerdict = [](ec::Equivalence e) {
+    return e == ec::Equivalence::Equivalent ? ec::Equivalence::NotEquivalent
+                                            : e;
+  };
+  const fuzz::FuzzReport report = fuzz::runFuzz(options);
+  ASSERT_GT(report.stats.disagreements, 0U);
+
+  const fuzz::Disagreement& d = report.disagreements.front();
+  EXPECT_LE(d.shrunkGates, d.originalGates); // shrinking never grows the pair
+
+  // the reproducer line round-trips losslessly
+  const std::string line = fuzz::toJsonLine(d.reproducer);
+  const fuzz::Reproducer parsed = fuzz::parseReproducer(line);
+  EXPECT_EQ(fuzz::toJsonLine(parsed), line);
+
+  // replayed under the same fault it still fails; on the healthy build the
+  // verdicts agree again
+  fuzz::FuzzOptions tampered;
+  tampered.tamperVerdict = options.tamperVerdict;
+  EXPECT_TRUE(fuzz::replayReproducer(parsed, tampered).disagrees);
+  EXPECT_FALSE(fuzz::replayReproducer(parsed).disagrees);
+}
+
+TEST(FuzzHarness, RegressionCorpusReplaysClean) {
+  // every committed reproducer must agree on the current tree, and the
+  // recorded verdicts must not drift (a drift means checker semantics
+  // changed — inspect before re-recording)
+  const std::filesystem::path dir =
+      std::filesystem::path(QSIMEC_TESTDATA_DIR) / "fuzz";
+  ASSERT_TRUE(std::filesystem::exists(dir));
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".jsonl") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+      ++lineNo;
+      if (line.empty()) {
+        continue;
+      }
+      const fuzz::Reproducer r = fuzz::parseReproducer(line);
+      const fuzz::ReplayResult result = fuzz::replayReproducer(r);
+      EXPECT_FALSE(result.disagrees)
+          << entry.path() << ":" << lineNo << " [" << toString(r.config)
+          << "] flow=" << result.flowVerdict
+          << " oracle=" << result.oracleVerdict;
+      EXPECT_EQ(result.flowVerdict, r.flowVerdict)
+          << entry.path() << ":" << lineNo;
+      EXPECT_EQ(result.oracleVerdict, r.oracleVerdict)
+          << entry.path() << ":" << lineNo;
+      ++replayed;
+    }
+  }
+  EXPECT_GT(replayed, 0U);
+}
+
+// --- ErrorInjector soundness ----------------------------------------------
+// Every injected error class must provably change the unitary: the dense
+// oracle has to call the pair NotEquivalent (not merely different by a
+// global phase). The near-identity gates in the base circuits (RZ(2pi) =
+// -I, Phase(2pi) = I) are the trap: removing one of those would be
+// invisible, so the injector must never pick them.
+
+namespace {
+
+ir::QuantumComputation injectorBaseCircuit(std::size_t variant) {
+  switch (variant % 3) {
+  case 0: {
+    ir::QuantumComputation qc(4, "trap");
+    qc.h(0);
+    qc.rz(2 * std::numbers::pi, 1); // = -I: not a removal candidate
+    qc.cx(0, 1);
+    qc.phase(2 * std::numbers::pi, 2); // = I: not a removal candidate
+    qc.cx(1, 2);
+    qc.t(3);
+    qc.rz(0.0, 3); // = I: not a removal candidate
+    qc.cx(2, 3);
+    return qc;
+  }
+  case 1:
+    return gen::randomCliffordT(5, 16, 11 + variant);
+  default:
+    return gen::randomCircuit(4, 14, 23 + variant);
+  }
+}
+
+} // namespace
+
+class ErrorInjectorProperty : public ::testing::TestWithParam<tf::ErrorKind> {
+};
+
+TEST_P(ErrorInjectorProperty, EveryInjectionChangesTheUnitary) {
+  for (std::size_t variant = 0; variant < 6; ++variant) {
+    const ir::QuantumComputation base = injectorBaseCircuit(variant);
+    tf::ErrorInjector injector(100 + variant);
+    const tf::InjectionResult injected = injector.inject(base, GetParam());
+    const fuzz::OracleResult oracle =
+        fuzz::compareCircuits(base, injected.circuit, {});
+    EXPECT_EQ(oracle.verdict, fuzz::OracleVerdict::NotEquivalent)
+        << "variant " << variant << ": " << injected.error.description;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ErrorInjectorProperty,
+                         ::testing::Values(tf::ErrorKind::RemoveGate,
+                                           tf::ErrorKind::InsertGate,
+                                           tf::ErrorKind::WrongTargetCX,
+                                           tf::ErrorKind::FlipControlTargetCX,
+                                           tf::ErrorKind::AngleOffset,
+                                           tf::ErrorKind::ReplaceGate));
+
+// --- stabilizer tier under fuzzing ----------------------------------------
+
+TEST(FuzzStabilizer, CliffordOnlyPairsRouteToStabilizerTierAndAgree) {
+  fuzz::FuzzOptions options = smallRun(4);
+  options.generator.onlyFamily = fuzz::BaseFamily::Clifford;
+  const fuzz::FuzzReport report = fuzz::runFuzz(options);
+  EXPECT_EQ(report.stats.disagreements, 0U);
+  EXPECT_EQ(report.stats.families.at("clifford"), 4U);
+  // prescreen-on cells of Clifford pairs must have hit the stabilizer tier
+  EXPECT_GT(report.stats.tiers.count("stabilizer"), 0U);
+}
+
+namespace {
+
+/// GHZ-like Clifford pair differing by ZXZX on qubit 0 (a global -1).
+std::pair<ir::QuantumComputation, ir::QuantumComputation>
+phaseTwistPair(std::size_t n) {
+  ir::QuantumComputation g = gen::ghzState(n);
+  ir::QuantumComputation gPrime = g;
+  gPrime.z(0);
+  gPrime.x(0);
+  gPrime.z(0);
+  gPrime.x(0);
+  return {std::move(g), std::move(gPrime)};
+}
+
+ec::Equivalence flowVerdict(const ir::QuantumComputation& g,
+                            const ir::QuantumComputation& gPrime) {
+  ec::FlowConfiguration config;
+  config.simulation.maxSimulations = 4;
+  const obs::Context obs;
+  return ec::EquivalenceCheckingFlow(config).run(g, gPrime, obs).equivalence;
+}
+
+} // namespace
+
+TEST(FuzzStabilizer, PhaseProbeBoundaryAtElevenTwelveThirteenQubits) {
+  for (const std::size_t n : {11U, 12U}) {
+    const auto [g, gPrime] = phaseTwistPair(n);
+    // within the probe width the -1 phase is resolved exactly
+    EXPECT_EQ(flowVerdict(g, gPrime),
+              ec::Equivalence::EquivalentUpToGlobalPhase)
+        << n << " qubits";
+    const fuzz::OracleResult oracle = fuzz::compareCircuits(g, gPrime, {});
+    EXPECT_EQ(oracle.verdict,
+              fuzz::OracleVerdict::EquivalentUpToGlobalPhase)
+        << n << " qubits";
+    EXPECT_NEAR(oracle.phase.real(), -1.0, 1e-9);
+  }
+  {
+    // beyond phaseProbeMaxQubits = 12 the tier keeps the coarse verdict
+    // even for a pair with exactly equal unitaries. The HH pair sits
+    // mid-circuit so the static prescreen cannot cancel everything and the
+    // stabilizer tier actually runs.
+    const ir::QuantumComputation g = gen::ghzState(13);
+    ir::QuantumComputation gPrime(13, "ghz13_hh");
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      gPrime.emplace(g.at(i));
+      if (i == 2) {
+        gPrime.h(5);
+        gPrime.h(5);
+      }
+    }
+    EXPECT_EQ(flowVerdict(g, gPrime),
+              ec::Equivalence::EquivalentUpToGlobalPhase);
+    // ... and the sampled oracle still resolves the phase exactly
+    const fuzz::OracleResult oracle = fuzz::compareCircuits(g, gPrime, {});
+    EXPECT_FALSE(oracle.exhaustive);
+    EXPECT_EQ(oracle.verdict, fuzz::OracleVerdict::Equivalent);
+  }
+  {
+    const auto [g, gPrime] = phaseTwistPair(13);
+    EXPECT_EQ(flowVerdict(g, gPrime),
+              ec::Equivalence::EquivalentUpToGlobalPhase);
+    const fuzz::OracleResult oracle = fuzz::compareCircuits(g, gPrime, {});
+    EXPECT_EQ(oracle.verdict,
+              fuzz::OracleVerdict::EquivalentUpToGlobalPhase);
+  }
+}

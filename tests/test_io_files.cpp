@@ -6,6 +6,7 @@
 #include "ec/construction_checker.hpp"
 #include "io/qasm.hpp"
 #include "io/real.hpp"
+#include "io/tfc.hpp"
 #include "sim/dd_simulator.hpp"
 
 #include <gtest/gtest.h>
@@ -58,10 +59,45 @@ TEST(GoldenFiles, PeresReal) {
             ec::Equivalence::Equivalent);
 }
 
+TEST(GoldenFiles, Toffoli3Tfc) {
+  const auto qc = io::parseTfcFile(dataPath("tfc/toffoli3.tfc"));
+  EXPECT_EQ(qc.qubits(), 3U);
+  EXPECT_EQ(qc.size(), 3U);
+  // first .v variable = most-significant qubit, matching .real
+  EXPECT_EQ(qc.at(0).target(), 2U);          // t1 a
+  EXPECT_EQ(qc.at(2).target(), 0U);          // t3 a,b,c targets c
+  EXPECT_EQ(qc.at(2).controls().size(), 2U); // ... controlled on a,b
+}
+
+TEST(GoldenFiles, NegativeControlsAndVGatesTfc) {
+  const auto qc = io::parseTfcFile(dataPath("tfc/negctl.tfc"));
+  EXPECT_EQ(qc.qubits(), 4U);
+  EXPECT_EQ(qc.size(), 4U);
+  EXPECT_FALSE(qc.at(0).controls().front().positive); // t2 a',b
+  EXPECT_EQ(qc.at(1).type(), ir::OpType::SWAP);       // f3 a,b,c
+  // the v / v+ pair cancels: circuit equals its two-gate prefix
+  ir::QuantumComputation prefix(4);
+  prefix.emplace(qc.at(0));
+  prefix.emplace(qc.at(1));
+  const ec::ConstructionChecker checker;
+  EXPECT_EQ(checker.run(qc, prefix).equivalence, ec::Equivalence::Equivalent);
+}
+
+TEST(GoldenFiles, TfcRoundTrip) {
+  const auto qc = io::parseTfcFile(dataPath("tfc/negctl.tfc"));
+  const auto back = io::parseTfcString(io::toTfcString(qc), "roundtrip");
+  EXPECT_EQ(back.qubits(), qc.qubits());
+  EXPECT_EQ(back.size(), qc.size());
+  const ec::ConstructionChecker checker;
+  EXPECT_EQ(checker.run(qc, back).equivalence, ec::Equivalence::Equivalent);
+}
+
 TEST(GoldenFiles, MissingFileThrows) {
   EXPECT_THROW((void)io::parseQasmFile(dataPath("nope.qasm")),
                std::runtime_error);
   EXPECT_THROW((void)io::parseRealFile(dataPath("nope.real")),
+               std::runtime_error);
+  EXPECT_THROW((void)io::parseTfcFile(dataPath("nope.tfc")),
                std::runtime_error);
 }
 
@@ -92,6 +128,37 @@ TEST(MalformedFiles, RealOverlapRejectedByDefaultParse) {
   const auto qc =
       io::parseRealFile(dataPath("bad_overlap.real"), {.validate = false});
   EXPECT_EQ(qc.size(), 1U);
+}
+
+TEST(MalformedFiles, TfcTruncatedBody) {
+  try {
+    (void)io::parseTfcFile(dataPath("tfc/bad_truncated.tfc"));
+    FAIL() << "expected TfcParseError";
+  } catch (const io::TfcParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("END"), std::string::npos);
+  }
+}
+
+TEST(MalformedFiles, TfcUndeclaredWire) {
+  try {
+    (void)io::parseTfcFile(dataPath("tfc/bad_undeclared.tfc"));
+    FAIL() << "expected TfcParseError";
+  } catch (const io::TfcParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("undeclared"), std::string::npos);
+  }
+}
+
+TEST(MalformedFiles, TfcBadConstant) {
+  EXPECT_THROW((void)io::parseTfcFile(dataPath("tfc/bad_constants.tfc")),
+               io::TfcParseError);
+}
+
+TEST(MalformedFiles, TfcOverlapRejectedByDefaultParse) {
+  EXPECT_THROW((void)io::parseTfcFile(dataPath("tfc/bad_overlap.tfc")),
+               io::TfcParseError);
+  const auto qc =
+      io::parseTfcFile(dataPath("tfc/bad_overlap.tfc"), {.validate = false});
+  EXPECT_EQ(qc.size(), 1U); // the malformed t2 a,a, admitted for linting
 }
 
 // --- robustness ----------------------------------------------------------
@@ -137,3 +204,31 @@ INSTANTIATE_TEST_SUITE_P(
         ".numvars 2\n.variables a b\n.begin\nt2 a -b\n.end\n", // neg target
         ".numvars 2\n.variables a b\n.begin\nt1 a\n",          // no .end
         ".numvars 2\n.variables a a\n.begin\n.end\n"));
+
+class TfcFuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TfcFuzzTest, MalformedInputRaisesParseError) {
+  EXPECT_THROW((void)io::parseTfcString(GetParam()), io::TfcParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TfcFuzzTest,
+    ::testing::Values(
+        "", "garbage\n", "BEGIN\nEND\n",               // body before .v
+        ".v\nBEGIN\nEND\n",                            // empty .v
+        ".v a,a\nBEGIN\nEND\n",                        // duplicate variable
+        ".v a,b\n.v c\nBEGIN\nEND\n",                  // duplicate .v
+        ".v a,b\n.i a,c\nBEGIN\nEND\n",                // undeclared input
+        ".v a,b\n.o z\nBEGIN\nEND\n",                  // undeclared output
+        ".v a,b\n.c 0,1,0\nBEGIN\nEND\n",              // too many constants
+        ".v a,b\n.i a\n.c 0,1\nBEGIN\nEND\n",          // constants > non-inputs
+        ".v a,b\n.c x\nBEGIN\nEND\n",                  // non-binary constant
+        ".v a,b\nBEGIN\nt2 a,b\n",                     // missing END
+        ".v a,b\nBEGIN\nt2 a\nEND\n",                  // arity mismatch
+        ".v a,b\nBEGIN\nt2 a,z\nEND\n",                // unknown operand
+        ".v a,b\nBEGIN\nt2 a,b'\nEND\n",               // negated target
+        ".v a,b\nBEGIN\nt2 a,,b\nEND\n",               // empty operand
+        ".v a,b\nBEGIN\ng2 a,b\nEND\n",                // unknown gate kind
+        ".v a,b\nBEGIN\ntx a,b\nEND\n",                // non-numeric arity
+        ".v a,b,c\nBEGIN\nf1 a\nEND\n",                // fredkin needs 2 targets
+        ".v a,b\nBEGIN\nf2 a,a\nEND\n"));              // swap on one wire
