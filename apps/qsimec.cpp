@@ -13,6 +13,7 @@
 //   qsimec report RUN.jsonl      render a run journal as Markdown/HTML
 //   qsimec journal-stats J...    latency percentiles across journals
 //   qsimec metrics-export M.json metrics JSON -> OpenMetrics text
+//   qsimec postmortem D.jsonl    render a flight-recorder postmortem dump
 //
 // Circuit files are read by extension: .qasm (OpenQASM 2.0), .real
 // (RevLib), or .tfc (Maslov's reversible benchmark format). `check`
@@ -48,7 +49,9 @@
 #include "io/tfc.hpp"
 #include "obs/bench_diff.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/openmetrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/run_report.hpp"
 #include "sim/dd_simulator.hpp"
 #include "svc/batch.hpp"
@@ -62,6 +65,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -111,6 +115,18 @@ usage:
                             also appear as Perfetto counter tracks
       --progress            live progress line on stderr
       --seed N              stimuli seed (default 42)
+      --flight-recorder[=N] always-on bounded in-process flight recorder
+                            (N events per thread ring, default 2048); its
+                            health counters flight.events /
+                            flight.events_dropped join the --json metrics
+      --postmortem DIR      implies --flight-recorder; write a
+                            qsimec-postmortem-v1 dump of the final recorder
+                            state to DIR/postmortem-check.jsonl (reason
+                            complete/timeout/cancelled) and arm an
+                            async-signal-safe SIGSEGV/SIGABRT dump to
+                            DIR/postmortem-signal.jsonl
+      --postmortem-redact   restrict dumps to the deterministic subset
+                            (byte-identical across thread counts)
   qsimec batch MANIFEST.jsonl [options]
       check every circuit pair of a JSONL manifest (one {"g": A, "gp": B}
       object per line, with optional per-pair overrides — see
@@ -128,6 +144,18 @@ usage:
                             verdicts, cache hits)
       --trace FILE          Chrome trace_event file of the batch
       --progress            live pair counter on stderr
+      --stall-timeout S     watchdog: a dispatched pair whose worker
+                            heartbeat stays quiet for S seconds is resolved
+                            as NoInformation (stalled) and the batch goes on
+                            — catches wedges the cancel-flag poll cannot
+      --pair-deadline S     watchdog: hard wall-time ceiling per dispatched
+                            pair, same stall resolution
+      --flight-recorder[=N] in-process flight recorder (implied by the two
+                            watchdog flags and by --postmortem)
+      --postmortem DIR      per-stall dumps DIR/postmortem-pair-<i>.jsonl, a
+                            final DIR/postmortem-batch.jsonl, and the armed
+                            fatal-signal dump DIR/postmortem-signal.jsonl
+      --postmortem-redact   restrict dumps to the deterministic subset
       (plus the check options --sims --stimuli --timeout --strategy --seed
        --race --sim-only --strict-phase --rewriting --no-attr as the base
        configuration every manifest line starts from)
@@ -212,8 +240,20 @@ usage:
                             instead of stdout
       --replay FILE.jsonl   re-check recorded reproducers instead of fuzzing
       --progress            live pair counter on stderr
+      --flight-recorder[=N] in-process flight recorder: pair/cell marks name
+                            the work in flight when a campaign crashes
+      --postmortem DIR      implies --flight-recorder; final dump to
+                            DIR/postmortem-fuzz.jsonl plus the armed
+                            fatal-signal dump DIR/postmortem-signal.jsonl
       exit codes: 0 all verdicts agree / replay clean, 1 disagreements,
                   2 usage error
+  qsimec postmortem DUMP.jsonl [--json|--md]
+      render a qsimec-postmortem-v1 flight-recorder dump (--postmortem and
+      stall/signal dumps): header, active pairs, stall attribution, hotspot
+      at death, per-thread state, merged event timeline. Markdown by
+      default, --json for the machine form; exit 2 if the dump is
+      unparseable (truncated signal dumps that still carry the header
+      render with a truncation warning instead)
 
 exit codes: 0 equivalent / lint clean / bench-diff pass, 1 not equivalent /
             bench-diff regression, 2 usage or internal error, 3 inconclusive,
@@ -269,6 +309,18 @@ struct ArgCursor {
     args.erase(it, it + 2);
     return value;
   }
+  /// Glued-value form "--flag=VALUE"; returns "" when absent.
+  [[nodiscard]] std::string consumePrefixOption(const std::string& prefix) {
+    for (auto it = args.begin() + static_cast<std::ptrdiff_t>(pos);
+         it != args.end(); ++it) {
+      if (it->starts_with(prefix)) {
+        std::string value = it->substr(prefix.size());
+        args.erase(it);
+        return value;
+      }
+    }
+    return {};
+  }
 };
 
 /// Flow-configuration flags shared by `check` and `batch` (everything except
@@ -323,6 +375,93 @@ int parseFlowFlags(ArgCursor& args, ec::FlowConfiguration& config) {
   return 0;
 }
 
+/// Flight-recorder flags shared by `check`, `batch` and `fuzz`:
+/// --flight-recorder[=N] turns the recorder on (N events per thread ring),
+/// --postmortem DIR implies it and selects where dumps land,
+/// --postmortem-redact restricts dumps to the thread-count-stable subset
+/// (see docs/flight-recorder.md).
+struct FlightFlags {
+  bool enabled{false};
+  std::size_t eventsPerThread{2048};
+  std::string dir;
+  bool redact{false};
+};
+
+FlightFlags parseFlightFlags(ArgCursor& args) {
+  FlightFlags flags;
+  flags.enabled = args.consumeFlag("--flight-recorder");
+  const std::string sized = args.consumePrefixOption("--flight-recorder=");
+  if (!sized.empty()) {
+    flags.enabled = true;
+    flags.eventsPerThread = std::stoul(sized);
+  }
+  flags.dir = args.consumeOption("--postmortem", "");
+  flags.redact = args.consumeFlag("--postmortem-redact");
+  if (!flags.dir.empty()) {
+    flags.enabled = true;
+    std::filesystem::create_directories(flags.dir);
+  }
+  return flags;
+}
+
+/// Owns the optional flight recorder of one CLI run. When a dump directory
+/// is set, the fatal-signal dump path (SIGSEGV/SIGABRT ->
+/// DIR/postmortem-signal.jsonl) is armed for the scope's lifetime, so a
+/// crash anywhere inside the run still leaves a postmortem behind.
+struct FlightScope {
+  FlightFlags flags;
+  std::optional<obs::FlightRecorder> recorder;
+
+  explicit FlightScope(const FlightFlags& f) : flags(f) {
+    if (flags.enabled) {
+      obs::FlightRecorder::Options options;
+      options.eventsPerThread = flags.eventsPerThread;
+      recorder.emplace(options);
+      if (!flags.dir.empty()) {
+        obs::armSignalDump(&*recorder, flags.dir);
+      }
+    }
+  }
+  ~FlightScope() {
+    if (recorder && !flags.dir.empty()) {
+      obs::disarmSignalDump();
+    }
+  }
+  FlightScope(const FlightScope&) = delete;
+  FlightScope& operator=(const FlightScope&) = delete;
+
+  [[nodiscard]] obs::FlightRecorder* get() noexcept {
+    return recorder ? &*recorder : nullptr;
+  }
+
+  /// End-of-run dump into DIR/`name` (no-op without a dump directory).
+  /// Returns the path written, empty when no dump was taken.
+  std::string dump(const std::string& name, const std::string& reason,
+                   const std::string& label,
+                   const obs::MetricsSnapshot* metrics) {
+    if (!recorder || flags.dir.empty()) {
+      return {};
+    }
+    obs::PostmortemOptions options;
+    options.reason = reason;
+    options.label = label;
+    options.redact = flags.redact;
+    options.metrics = metrics;
+    const std::string path = flags.dir + "/" + name;
+    obs::writePostmortemFile(path, *recorder, options);
+    return path;
+  }
+
+  /// Merge the recorder's own health counters into a metrics snapshot so
+  /// they ride along into --json output and the OpenMetrics exporter.
+  void mergeCounters(obs::MetricsSnapshot& metrics) const {
+    if (recorder) {
+      metrics.counters["flight.events"] += recorder->eventsRecorded();
+      metrics.counters["flight.events_dropped"] += recorder->eventsDropped();
+    }
+  }
+};
+
 /// Batch verdicts folded into one process exit code, mirroring `check`:
 /// a disproof outranks bad input outranks "ran out of budget".
 int batchExitCode(const svc::BatchSummary& summary) {
@@ -347,6 +486,7 @@ int runCheck(ArgCursor& args) {
   const std::string tracePath = args.consumeOption("--trace", "");
   const std::string journalPath = args.consumeOption("--journal", "");
   const std::string samplePath = args.consumeOption("--sample", "");
+  const FlightFlags flightFlags = parseFlightFlags(args);
 
   ec::FlowConfiguration config;
   if (const int rc = parseFlowFlags(args, config); rc != 0) {
@@ -390,6 +530,14 @@ int runCheck(ArgCursor& args) {
     }
     sampler.start();
   }
+  FlightScope flight(flightFlags);
+  std::size_t flightNote = obs::FlightRecorder::kMaxPairNotes;
+  std::string pairFingerprint;
+  if (flight.get() != nullptr) {
+    obsContext.flight = flight.get();
+    pairFingerprint = svc::fingerprint(a).hex();
+    flightNote = flight.get()->notePair("check", pairFingerprint);
+  }
   if (showProgress) {
     config.progress = [](const ec::FlowProgress& p) {
       std::cerr << "\r[" << p.stage << "] tier=" << p.tier << " stimuli "
@@ -402,7 +550,22 @@ int runCheck(ArgCursor& args) {
   }
 
   const ec::EquivalenceCheckingFlow flow(config);
-  const auto result = flow.run(a, b, obsContext);
+  auto result = flow.run(a, b, obsContext);
+
+  // flight-recorder health rides along into --json metrics (and from there
+  // into `metrics-export`), plus the end-of-run postmortem when requested
+  flight.mergeCounters(result.metrics);
+  std::string dumpPath;
+  if (flight.get() != nullptr) {
+    const std::string reason = result.completeTimedOut ? "timeout"
+                               : result.simulationCancelled ||
+                                       result.completeCancelled
+                                   ? "cancelled"
+                                   : "complete";
+    dumpPath = flight.dump("postmortem-check.jsonl", reason, pairFingerprint,
+                           &result.metrics);
+    flight.get()->clearPair(flightNote);
+  }
 
   sampler.stop(); // before the trace export so counter events are complete
   if (!samplePath.empty()) {
@@ -449,6 +612,10 @@ int runCheck(ArgCursor& args) {
       std::cout << "samples:     " << samplePath << " ("
                 << sampler.sampleCount() << " samples over "
                 << sampler.series().size() << " probes)\n";
+    }
+    if (!dumpPath.empty()) {
+      std::cout << "postmortem:  " << dumpPath
+                << " (qsimec postmortem renders it)\n";
     }
     if (printMetrics) {
       std::cout << "metrics:     " << obs::toJson(result.metrics) << "\n";
@@ -499,6 +666,15 @@ int runBatch(ArgCursor& args) {
   const bool showProgress = args.consumeFlag("--progress");
   const std::string tracePath = args.consumeOption("--trace", "");
   const std::string journalPath = args.consumeOption("--journal", "");
+  const double stallTimeout =
+      std::stod(args.consumeOption("--stall-timeout", "0"));
+  const double pairDeadline =
+      std::stod(args.consumeOption("--pair-deadline", "0"));
+  FlightFlags flightFlags = parseFlightFlags(args);
+  // stall containment needs a recorder for heartbeats even without the flag
+  if (stallTimeout > 0.0 || pairDeadline > 0.0) {
+    flightFlags.enabled = true;
+  }
 
   ec::FlowConfiguration base;
   if (const int rc = parseFlowFlags(args, base); rc != 0) {
@@ -539,9 +715,17 @@ int runBatch(ArgCursor& args) {
     cache.persistTo(&cacheStream);
   }
 
+  FlightScope flight(flightFlags);
+  if (flight.get() != nullptr) {
+    obsContext.flight = flight.get();
+  }
+
   svc::BatchOptions options;
   options.threads = static_cast<unsigned>(std::stoul(threadsStr));
   options.cache = cachePath.empty() ? nullptr : &cache;
+  options.stallQuietSeconds = stallTimeout;
+  options.pairDeadlineSeconds = pairDeadline;
+  options.postmortemDir = flightFlags.dir;
   if (showProgress) {
     options.onPairDone = [](std::size_t done, std::size_t total) {
       std::cerr << "\rpairs " << done << "/" << total << "   " << std::flush;
@@ -554,6 +738,13 @@ int runBatch(ArgCursor& args) {
   svc::BatchScheduler scheduler(std::move(options));
   const svc::BatchResult result = scheduler.run(manifest, obsContext);
   cache.persistTo(nullptr);
+
+  std::string dumpPath;
+  if (flight.get() != nullptr) {
+    dumpPath = flight.dump("postmortem-batch.jsonl",
+                           result.summary.stalled > 0 ? "stall" : "complete",
+                           manifestPath, nullptr);
+  }
 
   if (!tracePath.empty()) {
     tracer.writeChromeTrace(tracePath);
@@ -572,6 +763,12 @@ int runBatch(ArgCursor& args) {
                 << ec::toString(outcome.equivalence);
       if (outcome.cacheHit) {
         std::cout << " (cached)";
+      } else if (outcome.stalled) {
+        std::cout << " (stalled";
+        if (!outcome.dumpRef.empty()) {
+          std::cout << ", dump " << outcome.dumpRef;
+        }
+        std::cout << ")";
       } else if (outcome.cancelled) {
         std::cout << " (cancelled)";
       } else if (!outcome.error.empty()) {
@@ -587,10 +784,17 @@ int runBatch(ArgCursor& args) {
     std::cout << "pairs: " << s.pairs << "  equivalent: " << s.equivalent
               << "  not-equivalent: " << s.notEquivalent
               << "  inconclusive: " << s.inconclusive
-              << "  invalid: " << s.invalid << "\n"
+              << "  invalid: " << s.invalid;
+    if (s.stalled > 0) {
+      std::cout << "  stalled: " << s.stalled;
+    }
+    std::cout << "\n"
               << "cache: " << s.cacheHits << " hit(s), " << s.cacheStores
               << " store(s)  threads: " << s.threads << "  " << s.seconds
               << "s\n";
+    if (!dumpPath.empty()) {
+      std::cout << "postmortem: " << dumpPath << "\n";
+    }
   }
   return batchExitCode(result.summary);
 }
@@ -1215,6 +1419,9 @@ int runFuzzCmd(ArgCursor& args) {
     }
   }
   const std::string outDir = args.consumeOption("--out", "");
+  const FlightFlags flightFlags = parseFlightFlags(args);
+  FlightScope flight(flightFlags);
+  options.flight = flight.get();
   if (args.consumeFlag("--progress")) {
     options.progress = [](std::size_t done, std::size_t total) {
       std::cerr << "\rfuzz: " << done << "/" << total << std::flush;
@@ -1230,6 +1437,11 @@ int runFuzzCmd(ArgCursor& args) {
 
   const fuzz::FuzzReport report = fuzz::runFuzz(options);
   std::cout << fuzz::summarize(options, report);
+  if (const std::string dumpPath =
+          flight.dump("postmortem-fuzz.jsonl", "complete", "fuzz", nullptr);
+      !dumpPath.empty()) {
+    std::cout << "postmortem: " << dumpPath << "\n";
+  }
 
   if (!report.disagreements.empty()) {
     std::ostream* out = &std::cout;
@@ -1253,6 +1465,30 @@ int runFuzzCmd(ArgCursor& args) {
                 << " reproducer(s) to " << reproPath << "\n";
     }
     return 1;
+  }
+  return 0;
+}
+
+/// `qsimec postmortem`: render a flight-recorder dump (qsimec-postmortem-v1
+/// JSONL) as a human-readable report. Markdown by default, --json for the
+/// machine form. Exit 2 when the dump does not parse.
+int runPostmortem(ArgCursor& args) {
+  const bool jsonOutput = args.consumeFlag("--json");
+  (void)args.consumeFlag("--md"); // the default; accepted for symmetry
+  const std::string path = args.next("postmortem dump (JSONL)");
+  if (!args.empty()) {
+    std::cerr << "unexpected argument: " << args.next("") << "\n";
+    return 2;
+  }
+  const obs::PostmortemReport report = obs::parsePostmortemFile(path);
+  if (!report.valid) {
+    std::cerr << path << ": " << report.error << "\n";
+    return 2;
+  }
+  if (jsonOutput) {
+    std::cout << obs::renderPostmortemJson(report) << "\n";
+  } else {
+    std::cout << obs::renderPostmortemMarkdown(report);
   }
   return 0;
 }
@@ -1301,6 +1537,9 @@ int main(int argc, char** argv) {
     }
     if (command == "report") {
       return runReport(args);
+    }
+    if (command == "postmortem") {
+      return runPostmortem(args);
     }
     if (command == "journal-stats") {
       return runJournalStats(args);

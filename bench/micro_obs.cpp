@@ -10,6 +10,7 @@
 #include "dd/attribution.hpp"
 #include "ec/simulation_checker.hpp"
 #include "gen/qft.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/journal.hpp"
 #include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
@@ -139,6 +140,61 @@ void BM_AttributionBeginEnd(benchmark::State& state) {
   benchmark::DoNotOptimize(attr.take().gatesApplied);
 }
 BENCHMARK(BM_AttributionBeginEnd);
+
+
+// --- flight recorder ---------------------------------------------------------
+//
+// Budget (docs/flight-recorder.md): a recorded event costs <= 20 ns — one
+// TLS lookup, a clock read, a bounded name copy and a release store into
+// the per-thread ring. Disabled (null recorder through the Context::log /
+// flightRecordSpan paths) must stay a single pointer test, like every
+// other sink.
+
+void BM_NullFlightRecord(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::flightRecordSpan(nullptr, false, "noop");
+    obs::flightRecordSpan(nullptr, true, "noop");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+}
+BENCHMARK(BM_NullFlightRecord);
+
+void BM_FlightRecordEvent(benchmark::State& state) {
+  obs::FlightRecorder recorder;
+  for (auto _ : state) {
+    recorder.record(obs::FlightEventKind::Journal, "bench.event", 1, 2);
+    benchmark::DoNotOptimize(&recorder);
+  }
+  // the reported ns/iteration IS the per-event cost (budget: <= 20 ns)
+  state.counters["dropped"] =
+      benchmark::Counter(static_cast<double>(recorder.eventsDropped()));
+}
+BENCHMARK(BM_FlightRecordEvent);
+
+// The per-interrupt-poll heartbeat the DD package pays when a recorder is
+// attached: a timestamp store plus (every 64th call) one ring event.
+void BM_FlightPollBeat(benchmark::State& state) {
+  obs::FlightRecorder recorder;
+  std::int64_t live = 0;
+  for (auto _ : state) {
+    recorder.pollBeat(live++, 500000);
+    benchmark::DoNotOptimize(&recorder);
+  }
+}
+BENCHMARK(BM_FlightPollBeat);
+
+// The alternating checker's attribution-window update, twice per gate pair:
+// two relaxed stores.
+void BM_FlightNoteGate(benchmark::State& state) {
+  obs::FlightRecorder recorder;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    recorder.noteGate(i, i + 1);
+    ++i;
+    benchmark::DoNotOptimize(&recorder);
+  }
+}
+BENCHMARK(BM_FlightNoteGate);
 
 } // namespace
 

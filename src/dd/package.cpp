@@ -1,5 +1,6 @@
 #include "dd/package.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "util/deadline.hpp"
 
 #include <algorithm>
@@ -762,6 +763,11 @@ void Package::garbageCollect(bool force) {
   if (liveGauges_ != nullptr) {
     publishLiveGauges(); // node drops are most visible right after a GC
   }
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightEventKind::Gc, "dd.gc",
+                    static_cast<std::int64_t>(vCollected + mCollected),
+                    static_cast<std::int64_t>(pause * 1e6));
+  }
 }
 
 void Package::publishLiveGauges() noexcept {
@@ -791,6 +797,18 @@ void Package::publishLiveGauges() noexcept {
             computeLookups,
         std::memory_order_relaxed);
   }
+}
+
+void Package::flightPoll() noexcept {
+  const auto live =
+      static_cast<std::int64_t>(vUnique_.liveNodes() + mUnique_.liveNodes());
+  const auto allocated =
+      static_cast<std::int64_t>(vUnique_.allocated() + mUnique_.allocated());
+  // fill as parts-per-million: the flight recorder's DD state cells are
+  // integers so the async-signal-safe dump path never formats doubles
+  const std::int64_t fillPpm =
+      allocated > 0 ? live * 1000000 / allocated : -1;
+  flight_->pollBeat(live, fillPpm);
 }
 
 void Package::resetComputationState() {

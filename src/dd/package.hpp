@@ -29,6 +29,10 @@
 #include <random>
 #include <vector>
 
+namespace qsimec::obs {
+class FlightRecorder; // obs/flight_recorder.hpp (kept out of the hot path)
+}
+
 namespace qsimec::dd {
 
 /// A (possibly negative) control of a quantum operation.
@@ -207,6 +211,15 @@ public:
   /// poll.
   void setLiveGauges(obs::LiveGauges* live) noexcept { liveGauges_ = live; }
 
+  /// Attach (or detach, with nullptr) the flight recorder: the owning
+  /// thread then heartbeats it from the interrupt-poll cadence (with the
+  /// last-known live-node count and unique-table fill) and records GC
+  /// events into its ring, so the stall watchdog and postmortem dumps see
+  /// DD progress. Owner thread only; null costs one pointer test per poll.
+  void setFlightRecorder(obs::FlightRecorder* flight) noexcept {
+    flight_ = flight;
+  }
+
   /// Profile snapshot: node-pool occupancy and peaks, per-operation apply
   /// counts, table hit rates, and GC pause totals. Cheap — counters are
   /// maintained unconditionally.
@@ -297,8 +310,10 @@ private:
   obs::Tracer* tracer_{nullptr};
   obs::Journal* journal_{nullptr};
   obs::LiveGauges* liveGauges_{nullptr};
+  obs::FlightRecorder* flight_{nullptr};
 
   void publishLiveGauges() noexcept;
+  void flightPoll() noexcept; // non-inline: keeps flight_recorder.hpp out
 
   std::function<void()> interruptHook_;
   std::size_t interruptCounter_{0};
@@ -319,6 +334,9 @@ private:
     }
     if (liveGauges_ != nullptr) {
       publishLiveGauges();
+    }
+    if (flight_ != nullptr) {
+      flightPoll();
     }
     if (interruptHook_) {
       interruptHook_();

@@ -46,7 +46,8 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
 
   CheckResult result;
   const util::Stopwatch watch;
-  obs::ScopedSpan checkerSpan(obs.tracer, "checker.alternating", "checker");
+  obs::ScopedSpan checkerSpan(obs.tracer, "checker.alternating", "checker",
+                              obs.flight);
   checkerSpan.arg("strategy", toString(config_.strategy));
   checkerSpan.arg("gates_left", static_cast<std::uint64_t>(left.size()));
   checkerSpan.arg("gates_right", static_cast<std::uint64_t>(right.size()));
@@ -63,6 +64,7 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
   pkg.setTracer(obs.tracer);
   pkg.setJournal(obs.journal);
   pkg.setLiveGauges(obs.live);
+  pkg.setFlightRecorder(obs.flight);
 
   std::optional<dd::AttributionCollector> attr;
   if (config_.attribution.enabled) {
@@ -82,6 +84,13 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
     std::size_t j = 0;
     while (i < left.size() || j < right.size()) {
       poll();
+      if (obs.flight != nullptr) {
+        // the in-flight gate indices: a postmortem taken mid-multiply
+        // reports exactly the gates the attribution window was pricing
+        obs.flight->noteGate(
+            i < left.size() ? static_cast<std::int64_t>(i) : -1,
+            j < right.size() ? static_cast<std::int64_t>(j) : -1);
+      }
       if (attr) {
         attr->beginGate();
       }
@@ -160,9 +169,15 @@ CheckResult AlternatingChecker::run(const ir::QuantumComputation& qc1,
     result.cancelled = true;
     checkerSpan.arg("cancelled", std::uint64_t{1});
   }
+  if (obs.flight != nullptr && !result.timedOut && !result.cancelled) {
+    // both sides retired; on the failure paths the last in-flight indices
+    // stay published so a late postmortem still shows the gate at death
+    obs.flight->noteGate(-1, -1);
+  }
   pkg.setTracer(nullptr);
   pkg.setJournal(nullptr);
   pkg.setLiveGauges(nullptr);
+  pkg.setFlightRecorder(nullptr);
   result.seconds = watch.seconds();
   result.ddStats = pkg.stats();
   if (attr && !result.cancelled) {

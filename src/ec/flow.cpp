@@ -80,6 +80,9 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
   // between stages — atomic so neither side races.
   std::atomic<std::size_t> simsDone{0};
   const auto enterStage = [&](std::string_view stage) {
+    // a Mark (not a plain ring event): stage entries happen on the flow
+    // thread in program order, so redacted postmortems stay deterministic
+    obs.flightMark(stage);
     obs.log(obs::JournalLevel::Info, "flow.stage").str("stage", stage);
     if (config_.progress) {
       config_.progress(FlowProgress{stage,
@@ -111,7 +114,7 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
   };
 
   {
-    obs::ScopedSpan flowSpan(obs.tracer, "flow", "flow");
+    obs::ScopedSpan flowSpan(obs.tracer, "flow", "flow", obs.flight);
     flowSpan.arg("qubits", static_cast<std::uint64_t>(qc1.qubits()));
     flowSpan.arg("gates_g", static_cast<std::uint64_t>(qc1.size()));
     flowSpan.arg("gates_g_prime", static_cast<std::uint64_t>(qc2.size()));
@@ -130,7 +133,8 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
         // check; the static analysis preflight is cheaper still: reject
         // malformed pairs in O(gates) before any simulator sees them.
         enterStage("preflight");
-        obs::ScopedSpan span(obs.tracer, "stage.preflight", "stage");
+        obs::ScopedSpan span(obs.tracer, "stage.preflight", "stage",
+                             obs.flight);
         const util::Stopwatch watch;
         const analysis::CircuitAnalyzer analyzer({.lint = false});
         analysis::AnalysisReport report = analyzer.analyzePair(qc1, qc2);
@@ -294,6 +298,9 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
           // portfolio on this one; the scope's closing brace joins
           std::jthread completeThread([&] {
             try {
+              if (obs.flight != nullptr) {
+                obs.flight->labelThread("race.complete");
+              }
               AlternatingConfiguration raceConfig = completeConfig;
               raceConfig.cancelFlag = &cancelComplete;
               complete = AlternatingChecker(raceConfig)
@@ -431,6 +438,8 @@ FlowResult EquivalenceCheckingFlow::run(const ir::QuantumComputation& qc1,
       }
     }();
 
+    obs.flightMark("flow.verdict",
+                   static_cast<std::int64_t>(result.equivalence));
     flowSpan.arg("outcome", toString(result.equivalence));
     flowSpan.arg("tier", std::string(toString(result.tier)));
     flowSpan.arg("mode", toString(result.mode));

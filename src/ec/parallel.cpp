@@ -28,12 +28,13 @@ unsigned resolveThreadCount(unsigned requested, std::size_t runs) noexcept {
   return std::max(threads, 1U);
 }
 
-WorkerPool::WorkerPool(unsigned threads) {
+WorkerPool::WorkerPool(unsigned threads, obs::FlightRecorder* flight)
+    : flight_(flight) {
   const unsigned count = std::max(threads, 1U);
   workers_.reserve(count);
   for (unsigned t = 0; t < count; ++t) {
     workers_.emplace_back(
-        [this](const std::stop_token& stop) { workerLoop(stop); });
+        [this, t](const std::stop_token& stop) { workerLoop(stop, t); });
   }
 }
 
@@ -58,7 +59,10 @@ void WorkerPool::wait() {
   idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
 }
 
-void WorkerPool::workerLoop(const std::stop_token& stop) {
+void WorkerPool::workerLoop(const std::stop_token& stop, unsigned index) {
+  if (flight_ != nullptr) {
+    flight_->labelThread("pool.worker." + std::to_string(index));
+  }
   for (;;) {
     std::function<void()> task;
     {
@@ -70,6 +74,9 @@ void WorkerPool::workerLoop(const std::stop_token& stop) {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++busy_;
+    }
+    if (flight_ != nullptr) {
+      flight_->beat(); // picking up a task is liveness
     }
     task();
     {
@@ -136,7 +143,8 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
   CheckResult result;
   result.numThreads = threads;
   const util::Stopwatch watch;
-  obs::ScopedSpan checkerSpan(obs.tracer, "checker.simulation", "checker");
+  obs::ScopedSpan checkerSpan(obs.tracer, "checker.simulation", "checker",
+                              obs.flight);
   checkerSpan.arg("max_simulations", static_cast<std::uint64_t>(r));
   checkerSpan.arg("stimuli", toString(config.stimuli));
   checkerSpan.arg("num_threads", static_cast<std::uint64_t>(threads));
@@ -184,6 +192,7 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
         pkg->setTracer(obs.tracer);
         pkg->setJournal(obs.journal);
         pkg->setLiveGauges(obs.live);
+        pkg->setFlightRecorder(obs.flight);
         pkg->setInterruptHook(
             [&deadline, externalCancel, &firstMismatch, &currentRun] {
               deadline.check();
@@ -211,7 +220,7 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
               : perRunStimulusSeed(config.seed, i);
       outcome.stimulusSeed = stimulusSeed;
 
-      obs::ScopedSpan runSpan(obs.tracer, "sim.stimulus", "sim");
+      obs::ScopedSpan runSpan(obs.tracer, "sim.stimulus", "sim", obs.flight);
       runSpan.arg("index", static_cast<std::uint64_t>(i));
       runSpan.arg("seed", stimulusSeed);
       try {
@@ -317,6 +326,7 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
       pkg->setTracer(nullptr);
       pkg->setJournal(nullptr);
       pkg->setLiveGauges(nullptr);
+      pkg->setFlightRecorder(nullptr);
       workerStats[workerIndex] = pkg->stats();
     }
   };
@@ -324,7 +334,7 @@ CheckResult runStimuliPortfolio(const SimulationConfiguration& config,
   if (threads == 1) {
     workerBody(0);
   } else {
-    WorkerPool pool(threads);
+    WorkerPool pool(threads, obs.flight);
     for (unsigned t = 0; t < threads; ++t) {
       pool.submit([&workerBody, t] { workerBody(t); });
     }

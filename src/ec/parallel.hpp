@@ -60,7 +60,11 @@ namespace qsimec::ec {
 /// dropped, so call wait() first if they matter.
 class WorkerPool {
 public:
-  explicit WorkerPool(unsigned threads);
+  explicit WorkerPool(unsigned threads) : WorkerPool(threads, nullptr) {}
+  /// With a flight recorder, every worker labels its ring slot
+  /// ("pool.worker.N") on startup and heartbeats as it picks up tasks, so
+  /// postmortems can tell an idle worker from a wedged one.
+  WorkerPool(unsigned threads, obs::FlightRecorder* flight);
   ~WorkerPool();
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
@@ -73,8 +77,9 @@ public:
   void wait();
 
 private:
-  void workerLoop(const std::stop_token& stop);
+  void workerLoop(const std::stop_token& stop, unsigned index);
 
+  obs::FlightRecorder* flight_;
   std::mutex mutex_;
   std::condition_variable_any taskReady_;
   std::condition_variable idle_;

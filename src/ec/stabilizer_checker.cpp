@@ -67,7 +67,7 @@ CheckResult StabilizerChecker::run(const ir::QuantumComputation& qc1,
                                    const ir::QuantumComputation& qc2,
                                    const obs::Context& obs) const {
   const auto start = std::chrono::steady_clock::now();
-  obs::ScopedSpan span(obs.tracer, "tier.stabilizer", "ec");
+  obs::ScopedSpan span(obs.tracer, "tier.stabilizer", "ec", obs.flight);
 
   const bool trivial1 = qc1.initialLayout().isIdentity() &&
                         qc1.outputPermutation().isIdentity();
@@ -99,13 +99,20 @@ CheckResult StabilizerChecker::run(const ir::QuantumComputation& qc1,
   std::exception_ptr exactError;
   std::jthread exactThread([&] {
     try {
+      if (obs.flight != nullptr) {
+        obs.flight->labelThread("stabilizer.exact");
+      }
       sim::StabilizerSimulator tableau(n);
+      std::size_t opCount = 0;
       for (const ir::QuantumComputation* qc : {&g, &gpInverse}) {
         for (const ir::StandardOperation& op : *qc) {
           if (cancelExact.load(std::memory_order_relaxed) ||
               externallyCancelled()) {
             exactAborted = true;
             return;
+          }
+          if (obs.flight != nullptr && (++opCount & 0x3FFU) == 0) {
+            obs.flight->beat(); // tableaus have no DD interrupt poll
           }
           tableau.apply(op);
         }

@@ -85,7 +85,8 @@ Verdicts runFlowCell(const ir::QuantumComputation& g,
                      std::string* tier = nullptr) {
   const ec::FlowConfiguration config = buildFlowConfiguration(
       cell, pairSeed, options.completeTimeoutSeconds);
-  const obs::Context obs;
+  obs::Context obs;
+  obs.flight = options.flight;
   const ec::FlowResult flow =
       ec::EquivalenceCheckingFlow(config).run(g, gPrime, obs);
   Verdicts v{flow.equivalence, flow.counterexample};
@@ -128,6 +129,13 @@ FuzzReport runFuzz(const FuzzOptions& options) {
     const GeneratedPair pair = generator.generate(pairIndex);
     const std::uint64_t pairSeed =
         splitmix64(options.seed ^ splitmix64(pairIndex));
+    std::size_t flightNote = obs::FlightRecorder::kMaxPairNotes;
+    if (options.flight != nullptr) {
+      flightNote = options.flight->notePair(
+          "fuzz pair " + std::to_string(pairIndex), "");
+      options.flight->record(obs::FlightEventKind::Mark, "fuzz.pair",
+                             static_cast<std::int64_t>(pairIndex));
+    }
     ++report.stats.pairs;
     ++report.stats.families[std::string(toString(pair.family))];
 
@@ -136,6 +144,11 @@ FuzzReport runFuzz(const FuzzOptions& options) {
     ++report.stats.oracleVerdicts[std::string(toString(oracle.verdict))];
 
     for (const FuzzConfig& cell : cells) {
+      if (options.flight != nullptr) {
+        options.flight->record(obs::FlightEventKind::Mark, "fuzz.cell",
+                               static_cast<std::int64_t>(&cell - cells.data()),
+                               static_cast<std::int64_t>(pairIndex));
+      }
       std::string tier;
       const Verdicts v =
           runFlowCell(pair.g, pair.gPrime, cell, pairSeed, options, &tier);
@@ -194,6 +207,9 @@ FuzzReport runFuzz(const FuzzOptions& options) {
       // one reproducer per pair: the remaining cells would mostly re-find
       // the same defect
       break;
+    }
+    if (options.flight != nullptr) {
+      options.flight->clearPair(flightNote);
     }
     if (options.progress) {
       options.progress(pairIndex + 1, options.pairs);

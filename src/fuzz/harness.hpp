@@ -30,6 +30,10 @@
 #include <string>
 #include <vector>
 
+namespace qsimec::obs {
+class FlightRecorder;
+} // namespace qsimec::obs
+
 namespace qsimec::fuzz {
 
 struct FuzzOptions {
@@ -51,6 +55,11 @@ struct FuzzOptions {
   std::function<ec::Equivalence(ec::Equivalence)> tamperVerdict;
   /// Progress sink (pairsDone, pairsTotal); called from the fuzz thread.
   std::function<void(std::size_t, std::size_t)> progress;
+  /// Optional flight recorder (not owned): every flow cell runs with it
+  /// attached, and the harness marks pair/cell boundaries, so a crash or
+  /// stall mid-campaign leaves a postmortem trail naming the pair index
+  /// and matrix cell that was in flight.
+  obs::FlightRecorder* flight{nullptr};
 };
 
 struct FuzzStats {

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include "obs/flight_recorder.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -25,10 +26,14 @@ struct Context {
   /// from the hot side, so publishers throttle themselves (the DD package
   /// uses its interrupt-poll cadence, the portfolio one store per run).
   LiveGauges* live{nullptr};
+  /// The always-on black box (obs/flight_recorder.hpp): span begin/end,
+  /// journal-event names, gauge samples, and flow marks land in per-thread
+  /// rings that postmortem dumps read on the failure paths.
+  FlightRecorder* flight{nullptr};
 
   [[nodiscard]] bool active() const noexcept {
     return tracer != nullptr || metrics != nullptr || journal != nullptr ||
-           live != nullptr;
+           live != nullptr || flight != nullptr;
   }
 
   void count(std::string_view name, std::uint64_t delta = 1) const {
@@ -47,10 +52,25 @@ struct Context {
     }
   }
   /// Journal-line builder; no-op (no clock read, no allocation) when no
-  /// journal is attached.
+  /// journal is attached. The event name is mirrored into the flight
+  /// recorder so postmortems see journal activity even when the journal
+  /// itself sinks to a file that died with the process.
   [[nodiscard]] JournalEvent log(JournalLevel level,
                                  std::string_view event) const {
+    if (flight != nullptr) {
+      flight->record(FlightEventKind::Journal, event,
+                     static_cast<std::int64_t>(level));
+    }
     return JournalEvent(journal, level, event);
+  }
+  /// Deterministic flow milestone (stage entry, verdict): recorded only by
+  /// the flow's calling thread, so the Mark stream is identical across
+  /// worker counts — the redacted-dump determinism contract rests on it.
+  void flightMark(std::string_view name, std::int64_t a = 0,
+                  std::int64_t b = 0) const noexcept {
+    if (flight != nullptr) {
+      flight->record(FlightEventKind::Mark, name, a, b);
+    }
   }
 };
 

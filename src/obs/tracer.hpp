@@ -22,6 +22,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -33,6 +34,14 @@
 #include <vector>
 
 namespace qsimec::obs {
+
+class FlightRecorder;
+/// Defined in flight_recorder.cpp; a null recorder is a no-op. ScopedSpan
+/// feeds span begin/end into the flight recorder through this seam because
+/// this header cannot include flight_recorder.hpp (the recorder's sampler
+/// integration includes tracer.hpp).
+void flightRecordSpan(FlightRecorder* recorder, bool end,
+                      std::string_view name) noexcept;
 
 /// One key/value annotation of a span. `value` is pre-rendered; `quoted`
 /// says whether export must wrap it in JSON quotes (strings) or emit it raw
@@ -132,19 +141,31 @@ private:
 };
 
 /// RAII span: opens on construction, closes on destruction. A null `tracer`
-/// makes every member a no-op.
+/// makes every member a no-op. An optional FlightRecorder receives matching
+/// span_begin/span_end ring events (the name is copied into a fixed buffer
+/// so the end event survives the caller's string).
 class ScopedSpan {
 public:
   ScopedSpan(Tracer* tracer, std::string_view name,
-             std::string_view category = "flow")
-      : tracer_(tracer) {
+             std::string_view category = "flow",
+             FlightRecorder* flight = nullptr)
+      : tracer_(tracer), flight_(flight) {
     if (tracer_ != nullptr) {
       index_ = tracer_->beginSpan(name, category);
+    }
+    if (flight_ != nullptr) {
+      const std::size_t n = std::min(name.size(), sizeof(name_) - 1);
+      name.copy(name_, n);
+      name_[n] = '\0';
+      flightRecordSpan(flight_, false, {name_, n});
     }
   }
   ~ScopedSpan() {
     if (tracer_ != nullptr) {
       tracer_->endSpan(index_);
+    }
+    if (flight_ != nullptr) {
+      flightRecordSpan(flight_, true, name_);
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -168,7 +189,9 @@ public:
 
 private:
   Tracer* tracer_;
+  FlightRecorder* flight_;
   std::size_t index_{0};
+  char name_[24]{};
 };
 
 } // namespace qsimec::obs

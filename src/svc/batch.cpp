@@ -5,15 +5,20 @@
 #include "io/qasm.hpp"
 #include "io/real.hpp"
 #include "io/tfc.hpp"
+#include "obs/postmortem.hpp"
 #include "transform/decomposition.hpp"
 #include "util/deadline.hpp"
 #include "util/json.hpp"
 #include "util/json_parse.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
 
 namespace qsimec::svc {
@@ -194,8 +199,23 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
   result.summary.pairs = total;
   result.summary.threads = threads;
 
+  // Stall containment wants a heartbeat source even when the caller did not
+  // attach a flight recorder; a private one then lives for this run only.
+  std::optional<obs::FlightRecorder> ownFlight;
+  const bool wantWatchdog =
+      options_.stallQuietSeconds > 0 || options_.pairDeadlineSeconds > 0;
+  if (obs.flight == nullptr && wantWatchdog) {
+    ownFlight.emplace();
+  }
+  obs::FlightRecorder* flight =
+      obs.flight != nullptr ? obs.flight : (ownFlight ? &*ownFlight : nullptr);
+  std::optional<obs::Watchdog> watchdog;
+  if (wantWatchdog && flight != nullptr) {
+    watchdog.emplace(*flight);
+  }
+
   const util::Stopwatch watch;
-  obs::ScopedSpan batchSpan(obs.tracer, "svc.batch", "svc");
+  obs::ScopedSpan batchSpan(obs.tracer, "svc.batch", "svc", flight);
   batchSpan.arg("pairs", static_cast<std::uint64_t>(total));
   batchSpan.arg("threads", static_cast<std::uint64_t>(threads));
   obs.log(obs::JournalLevel::Info, "svc.batch.start")
@@ -301,74 +321,173 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
   }
 
   std::atomic<std::size_t> cacheStores{0};
+  std::atomic<std::size_t> stalledPairs{0};
+  // Per-pair resolution claims: a dispatched pair is committed exactly once,
+  // by whoever wins the exchange — the worker with its real verdict, or the
+  // watchdog declaring a stall. The loser's write is discarded, so a late
+  // result from a formerly-wedged worker cannot race the batch summary.
+  std::vector<std::atomic<bool>> resolved(total);
+
+  const auto onStall = [&](std::size_t index,
+                           const obs::Watchdog::StallInfo& info) {
+    if (resolved[index].exchange(true, std::memory_order_acq_rel)) {
+      return; // the worker committed in the same instant; not a stall
+    }
+    PairOutcome& outcome = result.outcomes[index];
+    outcome.equivalence = ec::Equivalence::NoInformation;
+    outcome.stalled = true;
+    stalledPairs.fetch_add(1, std::memory_order_relaxed);
+    if (!options_.postmortemDir.empty() && flight != nullptr) {
+      const std::string path = options_.postmortemDir + "/postmortem-pair-" +
+                               std::to_string(index) + ".jsonl";
+      obs::PostmortemOptions dumpOptions;
+      dumpOptions.reason = "stall";
+      dumpOptions.label = "pair " + std::to_string(index);
+      try {
+        obs::writePostmortemFile(path, *flight, dumpOptions);
+        outcome.dumpRef = path;
+      } catch (const std::exception&) {
+        // a failed dump must not take the batch down with the pair
+      }
+    }
+    obs.log(obs::JournalLevel::Error, "svc.pair.stalled")
+        .num("index", static_cast<std::uint64_t>(index))
+        .str("reason", info.reason)
+        .num("heartbeat_age_micros", info.heartbeatAgeMicros)
+        .num("run_micros", info.runMicros)
+        .str("dump", outcome.dumpRef);
+    // unwedge the worker if it is still polling; if it is not, the claim
+    // above already freed the batch from waiting on its result
+    cancelFlags[index].store(true, std::memory_order_relaxed);
+    reportDone();
+  };
+
   const auto runJob = [&](Job& job) {
-    PairOutcome& outcome = result.outcomes[job.index];
-    if (cancelFlags[job.index].load(std::memory_order_relaxed)) {
-      outcome.cancelled = true;
-      reportDone();
+    const std::size_t index = job.index;
+    PairOutcome local;
+    local.index = index;
+    local.gPath = manifest.pairs[index].gPath;
+    local.gPrimePath = manifest.pairs[index].gPrimePath;
+    const auto commit = [&](PairOutcome&& value) {
+      if (!resolved[index].exchange(true, std::memory_order_acq_rel)) {
+        result.outcomes[index] = std::move(value);
+        reportDone();
+        return true;
+      }
+      return false; // the watchdog already resolved this pair as stalled
+    };
+    if (cancelFlags[index].load(std::memory_order_relaxed)) {
+      local.cancelled = true;
+      commit(std::move(local));
       return;
     }
-    obs::ScopedSpan pairSpan(obs.tracer, "svc.pair", "svc");
-    pairSpan.arg("index", static_cast<std::uint64_t>(job.index));
+    std::size_t noteId = obs::FlightRecorder::kMaxPairNotes;
+    std::uint64_t watchId = 0;
+    if (flight != nullptr) {
+      noteId = flight->notePair("pair " + std::to_string(index),
+                                job.key.g.hex());
+      if (watchdog) {
+        if (const std::atomic<std::uint64_t>* beat = flight->heartbeatSlot()) {
+          watchId = watchdog->watch(
+              "pair " + std::to_string(index), beat,
+              options_.stallQuietSeconds, options_.pairDeadlineSeconds,
+              [&onStall, index](const obs::Watchdog::StallInfo& info) {
+                onStall(index, info);
+              });
+        }
+      }
+    }
+    const auto release = [&] {
+      if (watchId != 0) {
+        watchdog->unwatch(watchId);
+      }
+      if (flight != nullptr) {
+        flight->clearPair(noteId);
+      }
+    };
+    if (watchdog) {
+      // self-test hook: wedge this worker without heartbeats until the
+      // watchdog cancels the pair, proving detection and batch survival
+      // end to end. Only honored while a watchdog is armed, so a stray
+      // environment variable cannot hang a production batch.
+      if (const char* stallEnv = std::getenv("QSIMEC_SELFTEST_STALL_WORKER");
+          stallEnv != nullptr &&
+          index == static_cast<std::size_t>(std::strtoul(stallEnv, nullptr,
+                                                         10))) {
+        while (!cancelFlags[index].load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        release();
+        return; // the watchdog resolved the pair; nothing to commit
+      }
+    }
+    obs::ScopedSpan pairSpan(obs.tracer, "svc.pair", "svc", flight);
+    pairSpan.arg("index", static_cast<std::uint64_t>(index));
     pairSpan.arg("cache_hit", std::uint64_t{0});
     ec::FlowConfiguration config = *job.config;
-    config.simulation.cancelFlag = &cancelFlags[job.index];
-    config.complete.cancelFlag = &cancelFlags[job.index];
-    // Workers share the thread-safe sinks (tracer, journal) but never the
-    // metrics registry or live gauges — the registry is single-threaded and
-    // the gauge block expects one publisher.
+    config.simulation.cancelFlag = &cancelFlags[index];
+    config.complete.cancelFlag = &cancelFlags[index];
+    // Workers share the thread-safe sinks (tracer, journal, flight) but
+    // never the metrics registry or live gauges — the registry is
+    // single-threaded and the gauge block expects one publisher.
     obs::Context workerObs;
     workerObs.tracer = obs.tracer;
     workerObs.journal = obs.journal;
+    workerObs.flight = flight;
     try {
       const ec::FlowResult flow =
           ec::EquivalenceCheckingFlow(config).run(job.g, job.gPrime,
                                                   workerObs);
-      outcome.equivalence = flow.equivalence;
-      outcome.counterexample = flow.counterexample;
-      outcome.completeTimedOut = flow.completeTimedOut;
-      outcome.simulations = flow.simulations;
-      outcome.seconds = flow.totalSeconds();
-      outcome.tier = std::string(analysis::toString(flow.tier));
+      local.equivalence = flow.equivalence;
+      local.counterexample = flow.counterexample;
+      local.completeTimedOut = flow.completeTimedOut;
+      local.simulations = flow.simulations;
+      local.seconds = flow.totalSeconds();
+      local.tier = std::string(analysis::toString(flow.tier));
       if (flow.profile) {
-        outcome.gateSet = std::string(toString(flow.profile->combined()));
+        local.gateSet = std::string(toString(flow.profile->combined()));
       }
-      const auto rollup = [&outcome](const std::optional<ec::AttributionProfile>&
-                                         attr) {
+      const auto rollup = [&local](const std::optional<ec::AttributionProfile>&
+                                       attr) {
         if (!attr) {
           return;
         }
-        outcome.attrGatesApplied += attr->gatesApplied;
-        outcome.attrPeakNodesLive =
-            std::max(outcome.attrPeakNodesLive, attr->peakNodesLive);
-        outcome.attrNodesDelta += attr->nodesDeltaTotal;
-        outcome.attrWallNanos += attr->wallNanosTotal;
+        local.attrGatesApplied += attr->gatesApplied;
+        local.attrPeakNodesLive =
+            std::max(local.attrPeakNodesLive, attr->peakNodesLive);
+        local.attrNodesDelta += attr->nodesDeltaTotal;
+        local.attrWallNanos += attr->wallNanosTotal;
       };
       rollup(flow.simulationAttribution);
       rollup(flow.completeAttribution);
-      outcome.cancelled =
-          cancelFlags[job.index].load(std::memory_order_relaxed);
-      if (options_.cache != nullptr && !outcome.cancelled &&
-          isCacheable(outcome.equivalence)) {
+      local.cancelled = cancelFlags[index].load(std::memory_order_relaxed);
+      if (options_.cache != nullptr && !local.cancelled &&
+          isCacheable(local.equivalence)) {
         options_.cache->store(job.key,
-                              CachedVerdict{outcome.equivalence,
-                                            outcome.counterexample});
+                              CachedVerdict{local.equivalence,
+                                            local.counterexample});
         cacheStores.fetch_add(1, std::memory_order_relaxed);
       }
     } catch (const std::exception& e) {
-      outcome.equivalence = ec::Equivalence::NoInformation;
-      outcome.error = e.what();
+      local.equivalence = ec::Equivalence::NoInformation;
+      local.error = e.what();
     }
-    obs.log(outcome.equivalence == ec::Equivalence::NotEquivalent
-                ? obs::JournalLevel::Warn
-                : obs::JournalLevel::Info,
-            "svc.pair.verdict")
-        .num("index", static_cast<std::uint64_t>(job.index))
-        .str("outcome", ec::toString(outcome.equivalence))
-        .num("simulations", static_cast<std::uint64_t>(outcome.simulations))
-        .num("seconds", outcome.seconds)
-        .flag("cancelled", outcome.cancelled);
-    reportDone();
+    release();
+    const ec::Equivalence verdict = local.equivalence;
+    const std::size_t simulations = local.simulations;
+    const double seconds = local.seconds;
+    const bool wasCancelled = local.cancelled;
+    if (commit(std::move(local))) {
+      obs.log(verdict == ec::Equivalence::NotEquivalent
+                  ? obs::JournalLevel::Warn
+                  : obs::JournalLevel::Info,
+              "svc.pair.verdict")
+          .num("index", static_cast<std::uint64_t>(index))
+          .str("outcome", ec::toString(verdict))
+          .num("simulations", static_cast<std::uint64_t>(simulations))
+          .num("seconds", seconds)
+          .flag("cancelled", wasCancelled);
+    }
   };
 
   if (!jobs.empty()) {
@@ -379,13 +498,17 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
         runJob(job);
       }
     } else {
-      ec::WorkerPool pool(poolThreads);
+      ec::WorkerPool pool(poolThreads, flight);
       for (Job& job : jobs) {
         pool.submit([&runJob, &job] { runJob(job); });
       }
       pool.wait();
     }
   }
+  // Join the watchdog thread before touching the outcomes: a stall callback
+  // dispatched just before its unwatch may still be running, and it writes
+  // result slots and counters this thread is about to read.
+  watchdog.reset();
 
   // Fan the representative verdicts out to their deduplicated entries, in
   // manifest order (the jobs vector is manifest-ordered and so is each
@@ -399,6 +522,8 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
       outcome.completeTimedOut = rep.completeTimedOut;
       outcome.simulations = rep.simulations;
       outcome.cancelled = rep.cancelled;
+      outcome.stalled = rep.stalled;
+      outcome.dumpRef = rep.dumpRef;
       outcome.tier = rep.tier;
       outcome.gateSet = rep.gateSet;
       outcome.error = rep.error;
@@ -423,6 +548,7 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
   summary.cacheHits = cacheHits;
   summary.cacheStores = cacheStores.load(std::memory_order_relaxed);
   summary.deduped = dedupedPairs;
+  summary.stalled = stalledPairs.load(std::memory_order_relaxed);
   for (const PairOutcome& outcome : result.outcomes) {
     switch (outcome.equivalence) {
     case ec::Equivalence::Equivalent:
@@ -482,6 +608,7 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
       .num("cache_hits", static_cast<std::uint64_t>(summary.cacheHits))
       .num("cache_stores", static_cast<std::uint64_t>(summary.cacheStores))
       .num("deduped", static_cast<std::uint64_t>(summary.deduped))
+      .num("stalled", static_cast<std::uint64_t>(summary.stalled))
       .num("seconds", summary.seconds);
   // Published from the scheduler thread only, after the pool has drained.
   obs.count("svc.pairs", summary.pairs);
@@ -489,7 +616,25 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
   obs.count("svc.cache.miss", total - summary.cacheHits);
   obs.count("svc.cache.store", summary.cacheStores);
   obs.count("svc.pairs.deduped", summary.deduped);
+  obs.count("svc.pairs.stalled", summary.stalled);
   obs.gauge("svc.batch.seconds", summary.seconds);
+  // Recorder/watchdog health: how many events the black box kept vs. shed,
+  // and how stale every worker slot's heartbeat is at batch end.
+  if (flight != nullptr) {
+    obs.count("flight.events", flight->eventsRecorded());
+    obs.count("flight.events_dropped", flight->eventsDropped());
+    const std::uint64_t now = flight->nowMicros();
+    for (std::size_t i = 0; i < flight->slotCount(); ++i) {
+      const obs::FlightRecorder::ThreadRing& ring = flight->slot(i);
+      if (!ring.everUsed.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      const std::uint64_t beat =
+          ring.lastBeatMicros.load(std::memory_order_relaxed);
+      obs.gauge("watchdog.heartbeat_age_micros.t" + std::to_string(i),
+                static_cast<double>(now > beat ? now - beat : 0));
+    }
+  }
   return result;
 }
 
@@ -506,6 +651,13 @@ std::string toJsonLine(const PairOutcome& outcome,
       .field("deduped", outcome.deduped)
       .field("cancelled", outcome.cancelled)
       .field("simulations", static_cast<std::uint64_t>(outcome.simulations));
+  if (!options.redact) {
+    // stalls are timing-dependent, like timeouts: unredacted only
+    json.field("stalled", outcome.stalled);
+    if (!outcome.dumpRef.empty()) {
+      json.field("dump_ref", outcome.dumpRef);
+    }
+  }
   if (!outcome.tier.empty()) {
     json.field("tier", outcome.tier);
   }
@@ -547,7 +699,8 @@ std::string toJsonLine(const BatchSummary& summary,
              static_cast<std::uint64_t>(summary.cacheStores))
       .field("deduped", static_cast<std::uint64_t>(summary.deduped));
   if (!options.redact) {
-    json.field("threads", summary.threads)
+    json.field("stalled", static_cast<std::uint64_t>(summary.stalled))
+        .field("threads", summary.threads)
         .field("seconds", summary.seconds);
     if (!summary.topExpensive.empty()) {
       json.beginArray("top_expensive");

@@ -86,6 +86,13 @@ struct PairOutcome {
   bool deduped{false};
   /// Pair was cancelled (BatchScheduler::cancel) before or while running.
   bool cancelled{false};
+  /// The stall watchdog declared this pair wedged (its worker heartbeat
+  /// went quiet past BatchOptions::stallQuietSeconds, or the hard
+  /// pairDeadlineSeconds passed) and resolved it as NoInformation so the
+  /// rest of the batch could finish. `dumpRef` names the postmortem dump
+  /// written at declaration time, when BatchOptions::postmortemDir is set.
+  bool stalled{false};
+  std::string dumpRef;
   bool completeTimedOut{false};
   std::size_t simulations{0};
   double seconds{0.0};
@@ -126,6 +133,8 @@ struct BatchSummary {
   /// Manifest entries resolved by copying an identical earlier entry's
   /// verdict (see PairOutcome::deduped).
   std::size_t deduped{0};
+  /// Pairs the stall watchdog had to resolve (folded into inconclusive).
+  std::size_t stalled{0};
   unsigned threads{1};
   double seconds{0.0};
   /// The most DD-expensive pairs of the batch (BatchOptions::topExpensive
@@ -149,6 +158,19 @@ struct BatchOptions {
   /// Invoked after every resolved pair as onPairDone(done, total) — calls
   /// are serialized but may come from any worker thread; keep it cheap.
   std::function<void(std::size_t, std::size_t)> onPairDone;
+  /// Watchdog-backed stall containment for dispatched pairs. The per-pair
+  /// timeout alone depends on the checker polling its cancel flag; these
+  /// two do not — a worker whose flight-recorder heartbeat stays quiet for
+  /// `stallQuietSeconds` (or that runs past `pairDeadlineSeconds` of wall
+  /// time) has its pair resolved as NoInformation + stalled by the
+  /// watchdog thread, its cancel flag set, and the batch carries on. 0
+  /// disables each trigger. When both are 0 no watchdog thread is started.
+  double stallQuietSeconds{0.0};
+  double pairDeadlineSeconds{0.0};
+  /// Directory for stall postmortem dumps (empty = no dumps). Each stalled
+  /// pair writes postmortem-pair-<index>.jsonl and records the path in
+  /// PairOutcome::dumpRef.
+  std::string postmortemDir;
 };
 
 class BatchScheduler {
