@@ -2,6 +2,10 @@
 //
 //   qsimec check A B [options]   equivalence-check two circuit files
 //   qsimec batch MANIFEST        check a JSONL manifest of circuit pairs
+//   qsimec serve [options]       long-lived checking daemon (socket + spool)
+//   qsimec submit MANIFEST       send a manifest to a running daemon
+//   qsimec status                query a running daemon (status / metrics)
+//   qsimec shutdown              ask a running daemon to drain and exit
 //   qsimec lint FILE [FILE2]     static analysis: report diagnostics
 //   qsimec profile FILE [FILE2]  gate-set / tier profile without any checking
 //   qsimec sim FILE [options]    simulate a circuit, print top amplitudes
@@ -23,11 +27,13 @@
 //
 // Exit codes: 0 equivalent (or no lint errors), 1 not equivalent,
 // 2 usage/internal error, 3 inconclusive, 4 invalid input (lint errors,
-// malformed circuit files).
+// malformed circuit files), 5 daemon refused or unreachable.
 
 #include "analysis/analyzer.hpp"
 #include "analysis/prescreen.hpp"
 #include "analysis/profile.hpp"
+#include "daemon/client.hpp"
+#include "daemon/server.hpp"
 #include "dd/export.hpp"
 #include "ec/error_localization.hpp"
 #include "ec/flow.hpp"
@@ -61,6 +67,8 @@
 #include "util/json_parse.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -162,6 +170,59 @@ usage:
       exit codes mirror check over the whole batch: 1 if any pair is not
       equivalent, else 4 if any input was invalid, else 3 if any pair was
       inconclusive, else 0
+  qsimec serve --socket PATH [options]
+      long-lived checking daemon (see docs/daemon.md): one resident worker
+      pool and one warm verdict cache amortized across every submitted
+      manifest; JSONL requests over a unix-domain socket and/or a watched
+      spool directory; graceful drain on SIGTERM / SIGINT / `qsimec
+      shutdown` (finish admitted requests, flush the cache, exit 0)
+      --socket PATH         unix-domain socket to listen on (required)
+      --spool DIR           also watch DIR/in/*.jsonl for manifests;
+                            results to DIR/out/, processed files to
+                            DIR/done/, unparseable ones to DIR/failed/
+      --threads N           resident worker-pool size (default 0 = one per
+                            hardware thread)
+      --cache FILE          persistent verdict cache, loaded on start and
+                            appended on every new proof — warmth survives
+                            restarts
+      --cache-capacity N    in-memory cache entries (default 4096); beyond
+                            it the cheapest-to-reprove entries are evicted
+                            first
+      --max-queue N         admission control: reject submits beyond N
+                            queued requests with an `overload` error line
+                            (default 64)
+      --aging S             a queued request gains one priority level per S
+                            seconds waited, so low priority never starves
+                            (default 10; 0 disables)
+      --stall-timeout S     per-pair stall watchdog quiet window (default
+                            30; the daemon must outlive any wedged pair)
+      --pair-deadline S     hard wall-time ceiling per dispatched pair
+      --postmortem DIR      write stall postmortem dumps under DIR
+      --journal FILE        server-lifetime JSONL journal
+      (plus the check options --sims --stimuli --timeout --strategy --seed
+       --race --sim-only --strict-phase --rewriting --no-attr as the base
+       configuration every manifest line starts from)
+  qsimec submit MANIFEST.jsonl --socket PATH [options]
+      send a batch manifest to a running daemon and print the result lines
+      (pairs in manifest order, then the summary)
+      --socket PATH         daemon socket (required)
+      --client NAME         client label for the daemon's per-client
+                            counters (default cli)
+      --priority N          0 (most urgent) .. 3 (default 2); FIFO within a
+                            level
+      --redact              request the redacted verdict-only result form —
+                            byte-identical between cold and warm runs
+      --no-wait             return after the admission answer, abandoning
+                            the results (fire-and-forget)
+      --timeout S           per-read transport timeout (default 0 = none)
+      exit codes mirror batch, plus 5 when the daemon rejected the request
+      (overload / draining / unparseable manifest) or is unreachable
+  qsimec status --socket PATH [--json | --metrics]
+      one-line summary of a running daemon (queue depth, requests, cache);
+      --json prints the raw qsimec-daemon-status-v1 document, --metrics the
+      OpenMetrics exposition of the live registry
+  qsimec shutdown --socket PATH
+      ask the daemon to drain and exit; returns once acknowledged
   qsimec lint FILE [FILE2] [options]
       static circuit analysis (no simulation): structured diagnostics with
       rule IDs (see docs/static-analysis.md); with two files, pair-level
@@ -257,7 +318,7 @@ usage:
 
 exit codes: 0 equivalent / lint clean / bench-diff pass, 1 not equivalent /
             bench-diff regression, 2 usage or internal error, 3 inconclusive,
-            4 invalid input
+            4 invalid input, 5 daemon refused or unreachable
 )";
   std::exit(code);
 }
@@ -797,6 +858,172 @@ int runBatch(ArgCursor& args) {
     }
   }
   return batchExitCode(result.summary);
+}
+
+/// SIGTERM/SIGINT land here while `qsimec serve` runs; the daemon's
+/// acceptor polls the flag and converts it into a graceful drain. A store
+/// to a std::atomic<bool> is the whole handler — the only thing that is
+/// async-signal-safe to do.
+std::atomic<bool> gStopRequested{false};
+
+extern "C" void handleStopSignal(int) {
+  gStopRequested.store(true, std::memory_order_relaxed);
+}
+
+int runServe(ArgCursor& args) {
+  daemon::DaemonOptions options;
+  options.socketPath = args.consumeOption("--socket", "");
+  options.spoolDir = args.consumeOption("--spool", "");
+  options.threads = static_cast<unsigned>(
+      std::stoul(args.consumeOption("--threads", "0")));
+  options.cachePath = args.consumeOption("--cache", "");
+  options.cacheCapacity =
+      std::stoul(args.consumeOption("--cache-capacity", "4096"));
+  options.maxQueueDepth = std::stoul(args.consumeOption("--max-queue", "64"));
+  options.agingSeconds = std::stod(args.consumeOption("--aging", "10"));
+  options.stallQuietSeconds =
+      std::stod(args.consumeOption("--stall-timeout", "30"));
+  options.pairDeadlineSeconds =
+      std::stod(args.consumeOption("--pair-deadline", "0"));
+  options.postmortemDir = args.consumeOption("--postmortem", "");
+  options.journalPath = args.consumeOption("--journal", "");
+  if (const int rc = parseFlowFlags(args, options.base); rc != 0) {
+    return rc;
+  }
+  // pairs are the daemon's unit of parallelism, exactly as in batch
+  options.base.simulation.numThreads = 1;
+  if (options.socketPath.empty()) {
+    std::cerr << "serve requires --socket PATH\n";
+    return 2;
+  }
+
+  options.stopFlag = &gStopRequested;
+  std::signal(SIGTERM, handleStopSignal);
+  std::signal(SIGINT, handleStopSignal);
+
+  daemon::Daemon daemon(std::move(options));
+  daemon.start();
+  std::cerr << "qsimec daemon listening\n";
+  daemon.run(); // returns after a graceful drain
+  std::cerr << "qsimec daemon drained, " << daemon.completedRequests()
+            << " request(s) served\n";
+  return 0;
+}
+
+int runSubmit(ArgCursor& args) {
+  const std::string socketPath = args.consumeOption("--socket", "");
+  daemon::SubmitOptions options;
+  options.client = args.consumeOption("--client", "cli");
+  options.priority =
+      static_cast<int>(std::stol(args.consumeOption("--priority", "2")));
+  options.redact = args.consumeFlag("--redact");
+  options.wait = !args.consumeFlag("--no-wait");
+  options.timeoutSeconds = std::stod(args.consumeOption("--timeout", "0"));
+  const std::string manifestPath = args.next("manifest file");
+  if (socketPath.empty()) {
+    std::cerr << "submit requires --socket PATH\n";
+    return 2;
+  }
+
+  std::ifstream in(manifestPath);
+  if (!in) {
+    std::cerr << "cannot open manifest file: " << manifestPath << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  daemon::SubmitResult result;
+  try {
+    result = daemon::submitManifestText(socketPath, text.str(), options);
+  } catch (const std::exception& e) {
+    std::cerr << "submit failed: " << e.what() << "\n";
+    return 5;
+  }
+  if (!result.accepted) {
+    std::cerr << "rejected: " << result.error
+              << (result.message.empty() ? "" : " (" + result.message + ")")
+              << "\n";
+    return 5;
+  }
+  for (const std::string& line : result.lines) {
+    std::cout << line << "\n";
+  }
+  return daemon::submitExitCode(result);
+}
+
+int runStatus(ArgCursor& args) {
+  const std::string socketPath = args.consumeOption("--socket", "");
+  const bool rawJson = args.consumeFlag("--json");
+  const bool metrics = args.consumeFlag("--metrics");
+  if (socketPath.empty()) {
+    std::cerr << "status requires --socket PATH\n";
+    return 2;
+  }
+  try {
+    if (metrics) {
+      std::cout << daemon::fetchMetrics(socketPath);
+      return 0;
+    }
+    const std::string status = daemon::fetchStatus(socketPath);
+    if (rawJson) {
+      std::cout << status;
+      if (status.empty() || status.back() != '\n') {
+        std::cout << "\n";
+      }
+      return 0;
+    }
+    const util::JsonValue doc = util::parseJson(status);
+    const util::JsonValue& queue = doc.at("queue");
+    const util::JsonValue& requests = doc.at("requests");
+    const util::JsonValue& pairs = doc.at("pairs");
+    const util::JsonValue& cache = doc.at("cache");
+    std::cout << "state: " << doc.at("state").asString() << "  uptime: "
+              << doc.at("uptime_seconds").asNumber() << "s\n"
+              << "queue: " << queue.at("depth").asUint() << " waiting"
+              << (queue.at("active").asBool()
+                      ? " (+1 active, " + queue.at("active_client").asString() +
+                            ")"
+                      : "")
+              << (queue.at("paused").asBool() ? " [paused]" : "") << "\n"
+              << "requests: " << requests.at("accepted").asUint()
+              << " accepted, " << requests.at("completed").asUint()
+              << " completed, " << requests.at("failed").asUint()
+              << " failed, " << doc.at("admission").at("rejected").asUint()
+              << " rejected\n"
+              << "pairs: " << pairs.at("total").asUint() << " total, "
+              << pairs.at("cache_hits").asUint() << " cache hit(s), "
+              << pairs.at("dispatched").asUint() << " dispatched, "
+              << pairs.at("stalled").asUint() << " stalled\n"
+              << "cache: " << cache.at("size").asUint() << "/"
+              << cache.at("capacity").asUint() << " entries, "
+              << cache.at("hits").asUint() << " hit(s), "
+              << cache.at("evictions").asUint() << " eviction(s) ("
+              << cache.at("evicted_seconds").asNumber()
+              << "s of proof evicted)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "status failed: " << e.what() << "\n";
+    return 5;
+  }
+}
+
+int runShutdown(ArgCursor& args) {
+  const std::string socketPath = args.consumeOption("--socket", "");
+  if (socketPath.empty()) {
+    std::cerr << "shutdown requires --socket PATH\n";
+    return 2;
+  }
+  try {
+    if (!daemon::sendShutdown(socketPath)) {
+      std::cerr << "daemon did not acknowledge the shutdown\n";
+      return 5;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "shutdown failed: " << e.what() << "\n";
+    return 5;
+  }
+  return 0;
 }
 
 /// `qsimec bench-diff`: the CI regression gate over two bench reports.
@@ -1510,6 +1737,18 @@ int main(int argc, char** argv) {
     }
     if (command == "batch") {
       return runBatch(args);
+    }
+    if (command == "serve") {
+      return runServe(args);
+    }
+    if (command == "submit") {
+      return runSubmit(args);
+    }
+    if (command == "status") {
+      return runStatus(args);
+    }
+    if (command == "shutdown") {
+      return runShutdown(args);
     }
     if (command == "lint") {
       return runLint(args);

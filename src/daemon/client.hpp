@@ -1,0 +1,67 @@
+// The thin client side of the daemon protocol: one function per op,
+// blocking, transport errors as exceptions. `qsimec submit`, `qsimec
+// status`, and `qsimec shutdown` are shells around these; tests drive them
+// in-process against a Daemon in the same address space.
+
+#pragma once
+
+#include "daemon/protocol.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qsimec::daemon {
+
+struct SubmitOptions {
+  std::string client{"cli"};
+  int priority{kDefaultPriority};
+  /// Request redacted, provenance-free (verdict-only) result lines — the
+  /// byte-deterministic form.
+  bool redact{false};
+  /// Wait for the results (default). false: send the manifest, read only
+  /// the admission line, and return — fire-and-forget for pipelines that
+  /// collect verdicts from the cache or a spool later.
+  bool wait{true};
+  /// Bound on waiting for any single read to make progress; 0 = forever.
+  /// Checking time is unbounded in general, so the default trusts the
+  /// server's own stall containment to keep responses finite.
+  double timeoutSeconds{0.0};
+};
+
+struct SubmitResult {
+  /// Admission verdict. false: `error`/`message` carry the rejection
+  /// ("overload", "draining", "manifest", "bad-request") and `lines` is
+  /// empty — an explicit answer, never a hang.
+  bool accepted{false};
+  std::string error;
+  std::string message;
+  /// The qsimec-batch-v1 result lines (pairs in manifest order, then the
+  /// summary), exactly as the daemon sent them. Empty when !wait.
+  std::vector<std::string> lines;
+};
+
+/// Submit a manifest (JSONL text) to a running daemon. Throws
+/// std::runtime_error on transport failure (no daemon, timeout).
+[[nodiscard]] SubmitResult submitManifestText(const std::string& socketPath,
+                                              const std::string& manifestText,
+                                              const SubmitOptions& options = {});
+
+/// Fetch the status document (one JSON object, docs/daemon.md schema).
+[[nodiscard]] std::string fetchStatus(const std::string& socketPath,
+                                      double timeoutSeconds = 30.0);
+
+/// Fetch the OpenMetrics exposition of the live registry.
+[[nodiscard]] std::string fetchMetrics(const std::string& socketPath,
+                                       double timeoutSeconds = 30.0);
+
+/// Ask the daemon to drain and exit; true if it acknowledged.
+bool sendShutdown(const std::string& socketPath,
+                  double timeoutSeconds = 30.0);
+
+/// Fold a submit response into the batch exit-code convention by parsing
+/// its summary line: 1 if any pair not equivalent, else 4 if any invalid,
+/// else 3 if any inconclusive, else 0. Rejections and missing summaries
+/// map to 5 ("daemon refused or unreachable").
+[[nodiscard]] int submitExitCode(const SubmitResult& result);
+
+} // namespace qsimec::daemon

@@ -1,0 +1,122 @@
+// Wire protocol of the qsimec daemon (`qsimec serve`), plus the small
+// unix-domain socket toolkit the server and client share.
+//
+// Everything on the wire is line-oriented JSON, the same dialect every
+// other qsimec surface speaks. A connection carries exactly one request:
+//
+//   client -> server   one `qsimec-daemon-v1` header line naming the op
+//                      ("submit", "status", "metrics", "ping", "shutdown"),
+//                      then — for submit — the manifest body as ordinary
+//                      qsimec batch JSONL lines, then a write-side shutdown
+//                      (half-close) marking end of request;
+//   server -> client   for submit: one constant `accepted` line the moment
+//                      admission control admits the request (or one `error`
+//                      line and a close if it does not), then, once the
+//                      engine has processed the request, the same
+//                      `qsimec-batch-v1` result lines `qsimec batch` emits;
+//                      for status: one JSON status object; for metrics: an
+//                      OpenMetrics text exposition; then a close.
+//
+// The accepted line is deliberately constant (no request id, no queue
+// position): a submit response is therefore a pure function of the manifest
+// and the cache state, which is what makes the daemon's warm-resubmission
+// byte-identity guarantee (docs/daemon.md) testable with `cmp`.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace qsimec::daemon {
+
+inline constexpr std::string_view kProtocolSchema = "qsimec-daemon-v1";
+
+/// Priority levels 0..kPriorities-1; 0 is the most urgent. FIFO within a
+/// level; waiting requests age one level per DaemonOptions::agingSeconds so
+/// a stream of urgent work cannot starve the background level.
+inline constexpr int kPriorities = 4;
+inline constexpr int kDefaultPriority = 2;
+
+enum class RequestOp { Submit, Status, Metrics, Ping, Shutdown };
+
+[[nodiscard]] std::string_view toString(RequestOp op) noexcept;
+
+/// The header line of one connection.
+struct RequestHeader {
+  RequestOp op{RequestOp::Ping};
+  /// Client identity for the per-client counters and the status endpoint;
+  /// free-form, truncated to 64 characters, defaults to "anonymous".
+  std::string client{"anonymous"};
+  int priority{kDefaultPriority};
+  /// Redacted + provenance-free (verdict-only) result serialization: the
+  /// form in which a warm resubmission is byte-identical to the cold run.
+  bool redact{false};
+};
+
+/// Parse a header line; throws std::runtime_error with a client-presentable
+/// message on malformed JSON, a wrong schema, or an unknown op.
+[[nodiscard]] RequestHeader parseRequestHeader(std::string_view line);
+
+/// Serialize a header for the client side (no trailing newline).
+[[nodiscard]] std::string toJsonLine(const RequestHeader& header);
+
+/// The constant admission line ({"schema":...,"accepted":true}).
+[[nodiscard]] std::string acceptedLine();
+
+/// One error line, e.g. errorLine("overload", "queue full (depth 64)").
+/// `code` is machine-matchable, `message` human-readable.
+[[nodiscard]] std::string errorLine(std::string_view code,
+                                    std::string_view message);
+
+// ---------------------------------------------------------------------------
+// Unix-domain socket helpers. Thin, throwing wrappers over the POSIX calls;
+// every failure carries errno text. Writes use MSG_NOSIGNAL — a client that
+// hung up is a caught exception, never a SIGPIPE.
+
+/// RAII file descriptor; move-only.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+private:
+  int fd_{-1};
+};
+
+/// Bind + listen on `path`. A stale socket file (left by a crashed server
+/// nobody is accepting on) is detected by probing with connect() and
+/// replaced; a *live* server on the path is an error — two daemons must not
+/// fight over one socket.
+[[nodiscard]] Socket listenUnix(const std::string& path);
+
+/// Connect to a listening daemon; throws if none is there.
+[[nodiscard]] Socket connectUnix(const std::string& path);
+
+/// Half-close: no more writes from this side, the peer's read sees EOF.
+void shutdownWrite(const Socket& socket);
+
+/// Write the whole buffer; throws on any error including a gone peer.
+void writeAll(const Socket& socket, std::string_view data);
+
+/// Read until the peer half-closes. `timeoutSeconds` bounds each poll for
+/// more data (0 = wait forever); exceeding it throws — a wedged peer must
+/// not wedge the reader.
+[[nodiscard]] std::string readAll(const Socket& socket,
+                                  double timeoutSeconds = 0.0);
+
+/// Read up to and including the first newline (the rest of the stream stays
+/// unread). Same timeout semantics as readAll.
+[[nodiscard]] std::string readLine(const Socket& socket,
+                                   double timeoutSeconds = 0.0);
+
+} // namespace qsimec::daemon

@@ -1,0 +1,719 @@
+#include "daemon/server.hpp"
+
+#include "obs/openmetrics.hpp"
+#include "util/deadline.hpp"
+#include "util/json.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qsimec::daemon {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+namespace {
+
+std::string okLine() {
+  util::JsonWriter json;
+  json.beginObject()
+      .field("schema", kProtocolSchema)
+      .field("ok", true)
+      .endObject();
+  return json.str();
+}
+
+/// Best-effort write of one response line; a client that hung up between
+/// sending its request and reading the reply is not an error.
+void tryWriteLine(const Socket& socket, const std::string& line) {
+  if (!socket.valid()) {
+    return;
+  }
+  try {
+    writeAll(socket, line + "\n");
+  } catch (const std::exception&) {
+  }
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), cache_(options_.cacheCapacity) {
+  if (options_.socketPath.empty()) {
+    throw std::runtime_error("daemon requires a socket path");
+  }
+  if (!options_.cachePath.empty()) {
+    cache_.loadFile(options_.cachePath);
+    cacheStream_.open(options_.cachePath, std::ios::app);
+    if (!cacheStream_) {
+      throw std::runtime_error("cannot open cache file for append: " +
+                               options_.cachePath);
+    }
+    cache_.persistTo(&cacheStream_);
+  }
+  if (!options_.journalPath.empty()) {
+    journalStream_.open(options_.journalPath, std::ios::app);
+    if (!journalStream_) {
+      throw std::runtime_error("cannot open journal file: " +
+                               options_.journalPath);
+    }
+    journal_.streamTo(&journalStream_);
+  }
+}
+
+Daemon::~Daemon() {
+  requestShutdown();
+  for (std::thread* t : {&acceptThread_, &engineThread_, &spoolThread_}) {
+    if (t->joinable()) {
+      t->join();
+    }
+  }
+  cache_.persistTo(nullptr);
+}
+
+void Daemon::start() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) {
+      return;
+    }
+    started_ = true;
+  }
+  const unsigned threads =
+      options_.threads != 0 ? options_.threads : ec::defaultThreadCount();
+  pool_.emplace(threads, &flight_);
+  listenSocket_ = listenUnix(options_.socketPath);
+  if (!options_.spoolDir.empty()) {
+    for (const char* sub : {"in", "work", "out", "done", "failed"}) {
+      fs::create_directories(fs::path(options_.spoolDir) / sub);
+    }
+  }
+  if (!options_.postmortemDir.empty()) {
+    fs::create_directories(options_.postmortemDir);
+  }
+  startedAt_ = std::chrono::steady_clock::now();
+  journal_.event(obs::JournalLevel::Info, "daemon.start")
+      .str("socket", options_.socketPath)
+      .str("spool", options_.spoolDir)
+      .num("threads", static_cast<std::uint64_t>(threads))
+      .num("cache_entries", static_cast<std::uint64_t>(cache_.size()));
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+  engineThread_ = std::thread([this] { engineLoop(); });
+  if (!options_.spoolDir.empty()) {
+    spoolThread_ = std::thread([this] { spoolLoop(); });
+  }
+}
+
+void Daemon::run() {
+  start();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return engineDone_; });
+  }
+  for (std::thread* t : {&acceptThread_, &spoolThread_, &engineThread_}) {
+    if (t->joinable()) {
+      t->join();
+    }
+  }
+  // All admitted work is answered; make the warmth durable and let go of
+  // the append stream before it is destroyed.
+  cache_.persistTo(nullptr);
+  if (cacheStream_.is_open()) {
+    cacheStream_.flush();
+  }
+  journal_.event(obs::JournalLevel::Info, "daemon.stop")
+      .num("completed", completedRequests())
+      .num("rejected", rejectedRequests())
+      .num("cache_entries", static_cast<std::uint64_t>(cache_.size()));
+}
+
+void Daemon::requestShutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      return;
+    }
+    draining_ = true;
+    enginePaused_ = false; // a drain overrides a pause
+  }
+  cv_.notify_all();
+  journal_.event(obs::JournalLevel::Info, "daemon.drain")
+      .str("socket", options_.socketPath);
+}
+
+void Daemon::pauseEngine() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enginePaused_ = true;
+}
+
+void Daemon::resumeEngine() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    enginePaused_ = false;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t Daemon::completedRequests() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completedCount_;
+}
+
+std::uint64_t Daemon::rejectedRequests() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejectedCount_;
+}
+
+std::string Daemon::statusJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return statusJsonLocked();
+}
+
+// --------------------------------------------------------------------------
+// acceptor
+
+void Daemon::acceptLoop() {
+  while (true) {
+    if (options_.stopFlag != nullptr &&
+        options_.stopFlag->load(std::memory_order_relaxed)) {
+      requestShutdown();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (draining_) {
+        break;
+      }
+    }
+    pollfd pfd{listenSocket_.fd(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100); // re-check stop flags 10x/second
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (rc == 0) {
+      continue;
+    }
+    Socket connection(::accept4(listenSocket_.fd(), nullptr, nullptr,
+                                SOCK_CLOEXEC));
+    if (!connection.valid()) {
+      continue;
+    }
+    handleConnection(std::move(connection));
+  }
+  // Stop advertising: close and remove the socket file so new clients get
+  // a crisp connection error instead of an unanswered connect.
+  listenSocket_.close();
+  ::unlink(options_.socketPath.c_str());
+}
+
+void Daemon::handleConnection(Socket connection) {
+  std::string request;
+  try {
+    request = readAll(connection, options_.clientIoTimeoutSeconds);
+  } catch (const std::exception&) {
+    return; // wedged or vanished client; admission was never reached
+  }
+  const std::size_t newline = request.find('\n');
+  const std::string headerLine =
+      newline == std::string::npos ? request : request.substr(0, newline);
+  RequestHeader header;
+  try {
+    header = parseRequestHeader(headerLine);
+  } catch (const std::exception& e) {
+    tryWriteLine(connection, errorLine("bad-request", e.what()));
+    return;
+  }
+  switch (header.op) {
+  case RequestOp::Ping:
+    tryWriteLine(connection, okLine());
+    return;
+  case RequestOp::Status: {
+    std::string status;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      status = statusJsonLocked();
+    }
+    tryWriteLine(connection, status);
+    return;
+  }
+  case RequestOp::Metrics: {
+    std::string text;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      text = metricsTextLocked();
+    }
+    try {
+      writeAll(connection, text);
+    } catch (const std::exception&) {
+    }
+    return;
+  }
+  case RequestOp::Shutdown:
+    tryWriteLine(connection, okLine());
+    connection.close();
+    requestShutdown();
+    return;
+  case RequestOp::Submit:
+    break;
+  }
+  PendingRequest pending;
+  pending.header = header;
+  pending.manifestText =
+      newline == std::string::npos ? std::string() : request.substr(newline + 1);
+  pending.connection = std::move(connection);
+  // on rejection tryEnqueue writes the error line on the connection itself
+  (void)tryEnqueue(std::move(pending), nullptr);
+}
+
+bool Daemon::tryEnqueue(PendingRequest&& request, std::string* error) {
+  const bool fromSpool = !request.spoolName.empty();
+  std::string rejection;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      rejection = errorLine("draining", "server is draining; resubmit later");
+    } else if (queue_.size() >= options_.maxQueueDepth) {
+      rejection = errorLine(
+          "overload", "queue full (depth " + std::to_string(queue_.size()) +
+                          ", max " + std::to_string(options_.maxQueueDepth) +
+                          ")");
+    }
+    if (rejection.empty()) {
+      request.id = nextRequestId_++;
+      request.enqueuedAt = std::chrono::steady_clock::now();
+      ++acceptedCount_;
+      metrics_.add("daemon.requests.accepted");
+      const std::uint64_t id = request.id;
+      const std::string client = request.header.client;
+      const int priority = request.header.priority;
+      // The admission line goes out *before* the request becomes visible to
+      // the engine: the engine is the only writer afterwards, so the
+      // response stream is always ack-then-results, and a --no-wait client
+      // gets its answer without waiting for the queue. The line is a few
+      // dozen bytes into an empty socket buffer — it cannot block.
+      tryWriteLine(request.connection, acceptedLine());
+      queue_.push_back(std::move(request));
+      cv_.notify_all();
+      journal_.event(obs::JournalLevel::Info, "daemon.request.accepted")
+          .num("id", id)
+          .str("client", client)
+          .num("priority", static_cast<std::uint64_t>(priority))
+          .str("source", fromSpool ? "spool" : "socket")
+          .num("queued", static_cast<std::uint64_t>(queue_.size()));
+      return true;
+    }
+    ++rejectedCount_;
+    ++clients_[request.header.client].rejected;
+    metrics_.add("daemon.requests.rejected");
+  }
+  journal_.event(obs::JournalLevel::Warn, "daemon.request.rejected")
+      .str("client", request.header.client)
+      .str("line", rejection);
+  if (request.connection.valid()) {
+    tryWriteLine(request.connection, rejection);
+  }
+  if (error != nullptr) {
+    *error = rejection;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// engine
+
+std::deque<Daemon::PendingRequest>::iterator Daemon::pickNextLocked() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto effective = [&](const PendingRequest& r) {
+    int priority = r.header.priority;
+    if (options_.agingSeconds > 0) {
+      const double waited =
+          std::chrono::duration<double>(now - r.enqueuedAt).count();
+      priority -= static_cast<int>(waited / options_.agingSeconds);
+    }
+    return std::max(0, priority);
+  };
+  auto best = queue_.begin();
+  int bestPriority = effective(*best);
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    const int p = effective(*it);
+    // FIFO within a level: the queue is in admission order, so only a
+    // strictly more urgent request may overtake
+    if (p < bestPriority) {
+      best = it;
+      bestPriority = p;
+    }
+  }
+  return best;
+}
+
+void Daemon::engineLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (queue_.empty() || (enginePaused_ && !draining_)) {
+      if (draining_ && queue_.empty()) {
+        break;
+      }
+      cv_.wait_for(lock, 250ms); // re-evaluates aging and the drain flag
+      continue;
+    }
+    const auto it = pickNextLocked();
+    PendingRequest request = std::move(*it);
+    queue_.erase(it);
+    activeRequest_ = true;
+    activeClient_ = request.header.client;
+    lock.unlock();
+    processRequest(request);
+    lock.lock();
+    activeRequest_ = false;
+    activeClient_.clear();
+    cv_.notify_all();
+  }
+  engineDone_ = true;
+  lock.unlock();
+  cv_.notify_all();
+}
+
+void Daemon::processRequest(PendingRequest& request) {
+  const util::Stopwatch watch;
+  journal_.event(obs::JournalLevel::Info, "daemon.request.start")
+      .num("id", request.id)
+      .str("client", request.header.client);
+  svc::BatchManifest manifest;
+  try {
+    std::istringstream is(request.manifestText);
+    manifest = svc::parseManifest(is, options_.base);
+  } catch (const std::exception& e) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++completedCount_;
+      ++failedCount_;
+      metrics_.add("daemon.requests.failed");
+    }
+    if (request.connection.valid()) {
+      tryWriteLine(request.connection, errorLine("manifest", e.what()));
+      request.connection.close();
+    } else {
+      respondSpool(request, {}, /*failed=*/true, e.what());
+    }
+    return;
+  }
+
+  svc::BatchOptions batchOptions;
+  batchOptions.pool = &*pool_;
+  batchOptions.cache = &cache_;
+  batchOptions.stallQuietSeconds = options_.stallQuietSeconds;
+  batchOptions.pairDeadlineSeconds = options_.pairDeadlineSeconds;
+  batchOptions.postmortemDir = options_.postmortemDir;
+  // The scheduler publishes metrics from its own thread post-drain; give it
+  // a private registry and fold that into the server-lifetime one under the
+  // daemon lock (MetricsRegistry itself is not thread-safe).
+  obs::MetricsRegistry requestMetrics;
+  obs::Context obs;
+  obs.metrics = &requestMetrics;
+  obs.journal = &journal_;
+  obs.flight = &flight_;
+  svc::BatchScheduler scheduler(batchOptions);
+  svc::BatchResult result = scheduler.run(manifest, obs);
+
+  const svc::BatchSerializeOptions serialize{request.header.redact,
+                                             request.header.redact};
+  std::vector<std::string> lines;
+  lines.reserve(result.outcomes.size() + 1);
+  for (const svc::PairOutcome& outcome : result.outcomes) {
+    lines.push_back(toJsonLine(outcome, serialize));
+  }
+  lines.push_back(toJsonLine(result.summary, serialize));
+
+  // Bookkeeping happens *before* the response is released: a client that
+  // fires `qsimec status` the moment its submit returns must already see
+  // this request in the counters.
+  const double seconds = watch.seconds();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++completedCount_;
+    metrics_.merge(requestMetrics.snapshot());
+    metrics_.add("daemon.requests.completed");
+    pairsTotal_ += result.summary.pairs;
+    cacheHitsTotal_ += result.summary.cacheHits;
+    dispatchedTotal_ += result.summary.dispatched;
+    stalledTotal_ += result.summary.stalled;
+    ClientStats& stats = clients_[request.header.client];
+    ++stats.requests;
+    stats.pairs += result.summary.pairs;
+    stats.cacheHits += result.summary.cacheHits;
+    stats.dispatched += result.summary.dispatched;
+    RequestRecord record;
+    record.id = request.id;
+    record.client = request.header.client;
+    record.priority = request.header.priority;
+    record.source = request.spoolName.empty() ? "socket" : "spool";
+    record.pairs = result.summary.pairs;
+    record.notEquivalent = result.summary.notEquivalent;
+    record.cacheHits = result.summary.cacheHits;
+    record.dispatched = result.summary.dispatched;
+    record.seconds = seconds;
+    recent_.push_front(std::move(record));
+    while (recent_.size() > 16) {
+      recent_.pop_back();
+    }
+  }
+
+  if (request.connection.valid()) {
+    std::string payload; // the admission line went out at enqueue time
+    for (const std::string& line : lines) {
+      payload += line;
+      payload += '\n';
+    }
+    try {
+      writeAll(request.connection, payload);
+    } catch (const std::exception&) {
+      // the client stopped waiting; the work (and the cache warmth) remains
+    }
+    request.connection.close();
+  } else {
+    respondSpool(request, lines, /*failed=*/false, "");
+  }
+
+  journal_.event(obs::JournalLevel::Info, "daemon.request.done")
+      .num("id", request.id)
+      .str("client", request.header.client)
+      .num("pairs", static_cast<std::uint64_t>(result.summary.pairs))
+      .num("cache_hits",
+           static_cast<std::uint64_t>(result.summary.cacheHits))
+      .num("dispatched",
+           static_cast<std::uint64_t>(result.summary.dispatched))
+      .num("seconds", seconds);
+}
+
+// --------------------------------------------------------------------------
+// spool
+
+void Daemon::spoolLoop() {
+  const fs::path in = fs::path(options_.spoolDir) / "in";
+  const fs::path work = fs::path(options_.spoolDir) / "work";
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock,
+                   std::chrono::duration<double>(
+                       std::max(options_.spoolPollSeconds, 0.05)),
+                   [this] { return draining_; });
+      if (draining_) {
+        return;
+      }
+    }
+    std::vector<fs::path> files;
+    std::error_code ec;
+    for (const fs::directory_entry& entry : fs::directory_iterator(in, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".jsonl") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end()); // deterministic intake order
+    for (const fs::path& file : files) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_ || queue_.size() >= options_.maxQueueDepth) {
+          break; // a full queue leaves files in place: natural backpressure
+        }
+      }
+      std::ifstream is(file);
+      if (!is) {
+        continue;
+      }
+      std::ostringstream text;
+      text << is.rdbuf();
+      is.close();
+      PendingRequest request;
+      request.header.op = RequestOp::Submit;
+      request.header.client = "spool";
+      request.header.priority = kDefaultPriority;
+      request.manifestText = text.str();
+      request.spoolName = file.filename().string();
+      // claim the file before enqueueing: once the request is visible to
+      // the engine it may finish (and move work/ -> done/) at any moment
+      fs::rename(file, work / file.filename(), ec);
+      if (ec) {
+        continue;
+      }
+      if (!tryEnqueue(std::move(request), nullptr)) {
+        // raced to full between the check and the enqueue: unclaim so the
+        // file is retried on a later sweep
+        fs::rename(work / file.filename(), file, ec);
+        break;
+      }
+    }
+  }
+}
+
+void Daemon::respondSpool(const PendingRequest& request,
+                          const std::vector<std::string>& lines, bool failed,
+                          const std::string& errorText) {
+  const fs::path spool(options_.spoolDir);
+  const fs::path workFile = spool / "work" / request.spoolName;
+  const fs::path stem = fs::path(request.spoolName).stem();
+  std::error_code ec;
+  if (failed) {
+    std::ofstream err(spool / "failed" / (stem.string() + ".error.txt"));
+    err << errorText << '\n';
+    fs::rename(workFile, spool / "failed" / request.spoolName, ec);
+    return;
+  }
+  std::ofstream out(spool / "out" / (stem.string() + ".results.jsonl"));
+  for (const std::string& line : lines) {
+    out << line << '\n';
+  }
+  out.close();
+  fs::rename(workFile, spool / "done" / request.spoolName, ec);
+}
+
+// --------------------------------------------------------------------------
+// status / metrics
+
+std::string Daemon::statusJsonLocked() const {
+  const double uptime = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - startedAt_)
+                            .count();
+  util::JsonWriter json;
+  json.beginObject()
+      .field("schema", "qsimec-daemon-status-v1")
+      .field("state", draining_ ? "draining" : "running")
+      .field("uptime_seconds", uptime);
+
+  util::JsonWriter queue;
+  queue.beginObject()
+      .field("depth", static_cast<std::uint64_t>(queue_.size()))
+      .field("active", activeRequest_)
+      .field("active_client", activeClient_)
+      .field("paused", enginePaused_);
+  queue.beginArray("by_priority");
+  for (int p = 0; p < kPriorities; ++p) {
+    std::uint64_t depth = 0;
+    for (const PendingRequest& r : queue_) {
+      if (r.header.priority == p) {
+        ++depth;
+      }
+    }
+    queue.value(depth);
+  }
+  queue.endArray().endObject();
+  json.rawField("queue", queue.str());
+
+  util::JsonWriter admission;
+  admission.beginObject()
+      .field("max_depth", static_cast<std::uint64_t>(options_.maxQueueDepth))
+      .field("rejected", rejectedCount_)
+      .endObject();
+  json.rawField("admission", admission.str());
+
+  util::JsonWriter requests;
+  requests.beginObject()
+      .field("accepted", acceptedCount_)
+      .field("completed", completedCount_)
+      .field("failed", failedCount_)
+      .endObject();
+  json.rawField("requests", requests.str());
+
+  util::JsonWriter pairs;
+  pairs.beginObject()
+      .field("total", pairsTotal_)
+      .field("cache_hits", cacheHitsTotal_)
+      .field("dispatched", dispatchedTotal_)
+      .field("stalled", stalledTotal_)
+      .endObject();
+  json.rawField("pairs", pairs.str());
+
+  util::JsonWriter cacheJson;
+  cacheJson.beginObject()
+      .field("size", static_cast<std::uint64_t>(cache_.size()))
+      .field("capacity", static_cast<std::uint64_t>(cache_.capacity()))
+      .field("hits", cache_.hits())
+      .field("misses", cache_.misses())
+      .field("stores", cache_.stores())
+      .field("evictions", cache_.evictions())
+      .field("evicted_seconds", cache_.evictedSeconds())
+      .endObject();
+  json.rawField("cache", cacheJson.str());
+
+  util::JsonWriter clientsJson;
+  clientsJson.beginObject();
+  for (const auto& [name, stats] : clients_) {
+    util::JsonWriter one;
+    one.beginObject()
+        .field("requests", stats.requests)
+        .field("pairs", stats.pairs)
+        .field("cache_hits", stats.cacheHits)
+        .field("dispatched", stats.dispatched)
+        .field("rejected", stats.rejected)
+        .endObject();
+    clientsJson.rawField(name, one.str());
+  }
+  clientsJson.endObject();
+  json.rawField("clients", clientsJson.str());
+
+  // watchdog view: how stale each ever-used worker heartbeat slot is; a
+  // healthy idle pool reads large ages only while nothing is dispatched
+  json.beginArray("heartbeat_age_micros");
+  const std::uint64_t now = flight_.nowMicros();
+  for (std::size_t i = 0; i < flight_.slotCount(); ++i) {
+    const obs::FlightRecorder::ThreadRing& ring = flight_.slot(i);
+    if (!ring.everUsed.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    const std::uint64_t beat =
+        ring.lastBeatMicros.load(std::memory_order_relaxed);
+    json.value(now > beat ? now - beat : 0);
+  }
+  json.endArray();
+
+  json.beginArray("recent");
+  for (const RequestRecord& record : recent_) {
+    util::JsonWriter one;
+    one.beginObject()
+        .field("id", record.id)
+        .field("client", record.client)
+        .field("priority", static_cast<std::int64_t>(record.priority))
+        .field("source", record.source)
+        .field("pairs", static_cast<std::uint64_t>(record.pairs))
+        .field("not_equivalent",
+               static_cast<std::uint64_t>(record.notEquivalent))
+        .field("cache_hits", static_cast<std::uint64_t>(record.cacheHits))
+        .field("dispatched", static_cast<std::uint64_t>(record.dispatched))
+        .field("seconds", record.seconds)
+        .endObject();
+    json.rawValue(one.str());
+  }
+  json.endArray();
+
+  json.endObject();
+  return json.str();
+}
+
+std::string Daemon::metricsTextLocked() const {
+  // scrape-time gauges ride on a copy so the const view stays honest
+  obs::MetricsSnapshot snapshot = metrics_.snapshot();
+  snapshot.gauges["daemon.queue.depth"] =
+      static_cast<double>(queue_.size());
+  snapshot.gauges["daemon.uptime_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    startedAt_)
+          .count();
+  snapshot.gauges["svc.cache.size"] = static_cast<double>(cache_.size());
+  snapshot.gauges["svc.cache.evicted_seconds"] = cache_.evictedSeconds();
+  return obs::renderOpenMetrics(snapshot);
+}
+
+} // namespace qsimec::daemon

@@ -192,7 +192,10 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
                                 const obs::Context& obs) {
   const std::size_t total = manifest.pairs.size();
   const unsigned threads =
-      ec::resolveThreadCount(options_.threads, std::max<std::size_t>(total, 1));
+      options_.pool != nullptr
+          ? options_.pool->threads()
+          : ec::resolveThreadCount(options_.threads,
+                                   std::max<std::size_t>(total, 1));
 
   BatchResult result;
   result.outcomes.resize(total);
@@ -463,9 +466,12 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
       local.cancelled = cancelFlags[index].load(std::memory_order_relaxed);
       if (options_.cache != nullptr && !local.cancelled &&
           isCacheable(local.equivalence)) {
+        // the proof's wall-seconds ride along as its eviction cost —
+        // cheapest-to-reprove entries leave a full cache first
         options_.cache->store(job.key,
                               CachedVerdict{local.equivalence,
-                                            local.counterexample});
+                                            local.counterexample,
+                                            local.seconds});
         cacheStores.fetch_add(1, std::memory_order_relaxed);
       }
     } catch (const std::exception& e) {
@@ -491,18 +497,27 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
   };
 
   if (!jobs.empty()) {
-    const unsigned poolThreads = static_cast<unsigned>(
-        std::min<std::size_t>(threads, jobs.size()));
-    if (poolThreads <= 1) {
+    if (options_.pool != nullptr) {
+      // resident pool: the workers (and their flight-recorder slots) belong
+      // to the caller and outlive this run — wait() is the drain barrier
       for (Job& job : jobs) {
-        runJob(job);
+        options_.pool->submit([&runJob, &job] { runJob(job); });
       }
+      options_.pool->wait();
     } else {
-      ec::WorkerPool pool(poolThreads, flight);
-      for (Job& job : jobs) {
-        pool.submit([&runJob, &job] { runJob(job); });
+      const unsigned poolThreads = static_cast<unsigned>(
+          std::min<std::size_t>(threads, jobs.size()));
+      if (poolThreads <= 1) {
+        for (Job& job : jobs) {
+          runJob(job);
+        }
+      } else {
+        ec::WorkerPool pool(poolThreads, flight);
+        for (Job& job : jobs) {
+          pool.submit([&runJob, &job] { runJob(job); });
+        }
+        pool.wait();
       }
-      pool.wait();
     }
   }
   // Join the watchdog thread before touching the outcomes: a stall callback
@@ -549,6 +564,7 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
   summary.cacheStores = cacheStores.load(std::memory_order_relaxed);
   summary.deduped = dedupedPairs;
   summary.stalled = stalledPairs.load(std::memory_order_relaxed);
+  summary.dispatched = jobs.size();
   for (const PairOutcome& outcome : result.outcomes) {
     switch (outcome.equivalence) {
     case ec::Equivalence::Equivalent:
@@ -617,7 +633,15 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
   obs.count("svc.cache.store", summary.cacheStores);
   obs.count("svc.pairs.deduped", summary.deduped);
   obs.count("svc.pairs.stalled", summary.stalled);
+  obs.count("svc.pairs.dispatched", summary.dispatched);
   obs.gauge("svc.batch.seconds", summary.seconds);
+  if (options_.cache != nullptr) {
+    // cumulative over the cache's lifetime (not this run): the re-proving
+    // debt incurred by cost-aware eviction, and the current fill level
+    obs.gauge("svc.cache.evicted_seconds", options_.cache->evictedSeconds());
+    obs.gauge("svc.cache.size",
+              static_cast<double>(options_.cache->size()));
+  }
   // Recorder/watchdog health: how many events the black box kept vs. shed,
   // and how stale every worker slot's heartbeat is at batch end.
   if (flight != nullptr) {
@@ -641,6 +665,22 @@ BatchResult BatchScheduler::run(const BatchManifest& manifest,
 std::string toJsonLine(const PairOutcome& outcome,
                        const BatchSerializeOptions& options) {
   util::JsonWriter json;
+  if (options.verdictOnly) {
+    // provenance-free: a cache-served pair and a freshly-checked pair with
+    // the same verdict serialize to the same bytes
+    json.beginObject()
+        .field("schema", "qsimec-batch-v1")
+        .field("index", static_cast<std::uint64_t>(outcome.index))
+        .field("g", outcome.gPath)
+        .field("gp", outcome.gPrimePath)
+        .field("equivalence", ec::toString(outcome.equivalence))
+        .rawField("counterexample", ec::toJson(outcome.counterexample));
+    if (!outcome.error.empty()) {
+      json.field("error", outcome.error);
+    }
+    json.endObject();
+    return json.str();
+  }
   json.beginObject()
       .field("schema", "qsimec-batch-v1")
       .field("index", static_cast<std::uint64_t>(outcome.index))
@@ -685,6 +725,20 @@ std::string toJsonLine(const PairOutcome& outcome,
 std::string toJsonLine(const BatchSummary& summary,
                        const BatchSerializeOptions& options) {
   util::JsonWriter json;
+  if (options.verdictOnly) {
+    json.beginObject()
+        .field("schema", "qsimec-batch-v1")
+        .field("summary", true)
+        .field("pairs", static_cast<std::uint64_t>(summary.pairs))
+        .field("equivalent", static_cast<std::uint64_t>(summary.equivalent))
+        .field("not_equivalent",
+               static_cast<std::uint64_t>(summary.notEquivalent))
+        .field("inconclusive",
+               static_cast<std::uint64_t>(summary.inconclusive))
+        .field("invalid", static_cast<std::uint64_t>(summary.invalid))
+        .endObject();
+    return json.str();
+  }
   json.beginObject()
       .field("schema", "qsimec-batch-v1")
       .field("summary", true)
@@ -700,6 +754,7 @@ std::string toJsonLine(const BatchSummary& summary,
       .field("deduped", static_cast<std::uint64_t>(summary.deduped));
   if (!options.redact) {
     json.field("stalled", static_cast<std::uint64_t>(summary.stalled))
+        .field("dispatched", static_cast<std::uint64_t>(summary.dispatched))
         .field("threads", summary.threads)
         .field("seconds", summary.seconds);
     if (!summary.topExpensive.empty()) {

@@ -46,6 +46,10 @@
 #include <string>
 #include <vector>
 
+namespace qsimec::ec {
+class WorkerPool;
+} // namespace qsimec::ec
+
 namespace qsimec::svc {
 
 /// One manifest line: the two circuit files plus the (base + overrides)
@@ -135,6 +139,11 @@ struct BatchSummary {
   std::size_t deduped{0};
   /// Pairs the stall watchdog had to resolve (folded into inconclusive).
   std::size_t stalled{0};
+  /// Pairs that actually reached a worker: pairs minus cache hits, dedup
+  /// copies, cancellations-before-start, and parse failures. A fully warm
+  /// cache makes this 0 — the daemon's warm-resubmission guarantee is
+  /// asserted against this number.
+  std::size_t dispatched{0};
   unsigned threads{1};
   double seconds{0.0};
   /// The most DD-expensive pairs of the batch (BatchOptions::topExpensive
@@ -149,8 +158,16 @@ struct BatchResult {
 
 struct BatchOptions {
   /// Worker threads for dispatched pairs; 0 = one per hardware thread,
-  /// capped at the number of pairs.
+  /// capped at the number of pairs. Ignored when `pool` is set.
   unsigned threads{0};
+  /// Optional *resident* worker pool (not owned). Null: the scheduler spins
+  /// up a pool per run() — right for one-shot CLI batches. The daemon
+  /// instead keeps one pool alive across requests and passes it here, so
+  /// worker threads (and their flight-recorder slots) are created once per
+  /// server lifetime, not once per request. The caller must not submit
+  /// other work to the pool while run() is in flight — run() uses
+  /// WorkerPool::wait() as its drain barrier.
+  ec::WorkerPool* pool{nullptr};
   /// Optional shared verdict cache (not owned). Null: every pair is checked.
   VerdictCache* cache{nullptr};
   /// Rows kept in BatchSummary::topExpensive (0 disables the ranking).
@@ -200,9 +217,14 @@ private:
 /// pair plus one summary line. Redaction drops what legitimately varies
 /// between runs (wall-clock seconds, thread count, timeout flags); the rest
 /// is bit-identical for a fixed manifest + cache state at every thread
-/// count, which tests/test_svc.cpp compares byte-for-byte.
+/// count, which tests/test_svc.cpp compares byte-for-byte. verdictOnly
+/// additionally drops provenance (cache_hit, deduped, simulations, tier…):
+/// what remains — index, paths, verdict, counterexample — is identical
+/// whether a pair was checked or answered from cache, which is the form the
+/// daemon's warm-resubmission byte-identity guarantee is stated in.
 struct BatchSerializeOptions {
   bool redact{false};
+  bool verdictOnly{false};
 };
 
 [[nodiscard]] std::string toJsonLine(const PairOutcome& outcome,

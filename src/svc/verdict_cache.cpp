@@ -4,6 +4,7 @@
 #include "util/json.hpp"
 #include "util/json_parse.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <string>
 
@@ -18,6 +19,10 @@ std::optional<CachedVerdict> VerdictCache::lookup(const PairKey& key) {
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second); // refresh recency
+  // refresh the cost index too: reinsertion lands at the back of its cost
+  // bucket, so among equal costs the victim is the least recently used
+  eraseCostLocked(it->second->second.proofSeconds, key);
+  costIndex_.emplace(it->second->second.proofSeconds, key);
   return it->second->second;
 }
 
@@ -30,21 +35,40 @@ void VerdictCache::store(const PairKey& key, const CachedVerdict& verdict) {
   ++stores_;
 }
 
+void VerdictCache::eraseCostLocked(double seconds, const PairKey& key) {
+  const auto [lo, hi] = costIndex_.equal_range(seconds);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == key) {
+      costIndex_.erase(it);
+      return;
+    }
+  }
+}
+
 void VerdictCache::insertLocked(const PairKey& key,
                                 const CachedVerdict& verdict, bool persist) {
   const auto it = index_.find(key);
   if (it != index_.end()) {
+    eraseCostLocked(it->second->second.proofSeconds, key);
     it->second->second = verdict;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
     if (lru_.size() >= capacity_) {
-      index_.erase(lru_.back().first);
-      lru_.pop_back();
+      // cheapest-to-reprove goes first; among equal costs the bucket is
+      // kept in LRU order (lookup refreshes), so the victim is the least
+      // recently used of the cheapest — deterministic either way
+      const auto victim = costIndex_.begin();
+      const auto victimEntry = index_.find(victim->second);
+      evictedSeconds_ += victim->first;
+      lru_.erase(victimEntry->second);
+      index_.erase(victimEntry);
+      costIndex_.erase(victim);
       ++evictions_;
     }
     lru_.emplace_front(key, verdict);
     index_.emplace(key, lru_.begin());
   }
+  costIndex_.emplace(verdict.proofSeconds, key);
   if (persist && persistStream_ != nullptr) {
     *persistStream_ << toJsonLine(key, verdict) << '\n' << std::flush;
   }
@@ -59,7 +83,8 @@ std::size_t VerdictCache::load(std::istream& is) {
     }
     try {
       const util::JsonValue doc = util::parseJson(line);
-      if (doc.at("schema").asString() != "qsimec-cache-v1") {
+      const std::string& schema = doc.at("schema").asString();
+      if (schema != "qsimec-cache-v2" && schema != "qsimec-cache-v1") {
         throw util::JsonParseError("wrong schema");
       }
       const auto g = parseFingerprint(doc.at("g").asString());
@@ -71,6 +96,12 @@ std::size_t VerdictCache::load(std::istream& is) {
       }
       CachedVerdict entry;
       entry.equivalence = *verdict;
+      // v1 lines carry no cost: load them as 0 seconds — "cost unknown"
+      // reads as cheapest-to-reprove, the conservative choice
+      if (const util::JsonValue* seconds = doc.find("seconds");
+          seconds != nullptr && !seconds->isNull()) {
+        entry.proofSeconds = std::max(0.0, seconds->asNumber());
+      }
       const util::JsonValue& cex = doc.at("counterexample");
       if (!cex.isNull()) {
         const auto stimuli =
@@ -114,11 +145,12 @@ std::string VerdictCache::toJsonLine(const PairKey& key,
   // parser (parseFingerprint) reads all three identity fields back
   util::JsonWriter json;
   json.beginObject()
-      .field("schema", "qsimec-cache-v1")
+      .field("schema", "qsimec-cache-v2")
       .field("g", key.g.hex())
       .field("gp", key.gPrime.hex())
       .field("config", Fingerprint{0, key.configDigest}.hex())
       .field("verdict", ec::toString(verdict.equivalence))
+      .field("seconds", verdict.proofSeconds)
       .rawField("counterexample", ec::toJson(verdict.counterexample))
       .endObject();
   return json.str();
@@ -143,6 +175,10 @@ std::uint64_t VerdictCache::stores() const {
 std::uint64_t VerdictCache::evictions() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return evictions_;
+}
+double VerdictCache::evictedSeconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictedSeconds_;
 }
 std::uint64_t VerdictCache::corruptLines() const {
   const std::lock_guard<std::mutex> lock(mutex_);

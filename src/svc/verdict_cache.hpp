@@ -13,11 +13,25 @@
 // cached: it describes the files as parsed, and files change.
 // docs/service.md carries the full safety argument.
 //
-// Persistence is a JSONL append log (`qsimec-cache-v1`): load replays the
-// file into the in-memory LRU (later lines win, corrupt lines are skipped
-// and counted — a half-written tail from a killed run must not poison the
-// store), and every store() appends one line to the attached stream. Every
-// line is a self-contained JSON object parseable by util::parseJson.
+// Eviction is cost-aware rather than pure LRU: every entry carries the
+// wall-seconds its proof originally cost, and when the cache is full the
+// *cheapest-to-reprove* entry goes first (LRU among equal costs, so the
+// policy is deterministic and degrades to plain LRU when no costs are
+// known — e.g. a cache loaded from v1 lines). Losing a 0.01 s proof costs
+// one re-check;
+// losing a 300 s proof costs five minutes — under a long-lived daemon the
+// expensive proofs are exactly the ones worth pinning. The cumulative cost
+// thrown away is exposed as evictedSeconds() and published as the
+// `svc.cache.evicted_seconds` metric.
+//
+// Persistence is a JSONL append log (`qsimec-cache-v2`, adding a "seconds"
+// field to v1): load replays the file into the in-memory store (later lines
+// win, corrupt lines are skipped and counted — a half-written tail from a
+// killed run must not poison the store), and every store() appends one line
+// to the attached stream. Every line is a self-contained JSON object
+// parseable by util::parseJson. `qsimec-cache-v1` lines (no "seconds")
+// still load — their cost is 0, i.e. first in line for eviction, which is
+// the conservative reading of "cost unknown".
 
 #pragma once
 
@@ -28,6 +42,7 @@
 #include <cstdint>
 #include <istream>
 #include <list>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -58,11 +73,13 @@ struct PairKeyHash {
   }
 };
 
-/// A cached proof: the verdict plus the counterexample stimulus that proved
-/// non-equivalence (absent for equivalence proofs).
+/// A cached proof: the verdict, the counterexample stimulus that proved
+/// non-equivalence (absent for equivalence proofs), and the wall-seconds
+/// the proof originally cost — the currency of the eviction policy.
 struct CachedVerdict {
   ec::Equivalence equivalence{ec::Equivalence::NoInformation};
   std::optional<ec::Counterexample> counterexample;
+  double proofSeconds{0.0};
 };
 
 /// True for the verdicts that are proofs (and therefore cacheable): both
@@ -87,9 +104,9 @@ public:
   /// and the entry is new or changed.
   void store(const PairKey& key, const CachedVerdict& verdict);
 
-  /// Replay a qsimec-cache-v1 JSONL stream into the cache (no persistence
-  /// echo). Returns the number of entries loaded; malformed or
-  /// wrong-schema lines are skipped and counted in corruptLines().
+  /// Replay a qsimec-cache-v2 (or legacy v1) JSONL stream into the cache
+  /// (no persistence echo). Returns the number of entries loaded; malformed
+  /// or wrong-schema lines are skipped and counted in corruptLines().
   std::size_t load(std::istream& is);
 
   /// load() from the file at `path`; a missing file is an empty cache (0).
@@ -99,7 +116,7 @@ public:
   /// The stream is never owned; detach with nullptr before it dies.
   void persistTo(std::ostream* os);
 
-  /// One qsimec-cache-v1 line (no trailing newline).
+  /// One qsimec-cache-v2 line (no trailing newline).
   [[nodiscard]] static std::string toJsonLine(const PairKey& key,
                                               const CachedVerdict& verdict);
 
@@ -109,6 +126,9 @@ public:
   [[nodiscard]] std::uint64_t misses() const;
   [[nodiscard]] std::uint64_t stores() const;
   [[nodiscard]] std::uint64_t evictions() const;
+  /// Cumulative proof wall-seconds discarded by eviction — the re-proving
+  /// debt this cache has incurred by being too small.
+  [[nodiscard]] double evictedSeconds() const;
   [[nodiscard]] std::uint64_t corruptLines() const;
 
 private:
@@ -116,16 +136,22 @@ private:
 
   void insertLocked(const PairKey& key, const CachedVerdict& verdict,
                     bool persist);
+  void eraseCostLocked(double seconds, const PairKey& key);
 
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::list<Entry> lru_; // front = most recently used
   std::unordered_map<PairKey, std::list<Entry>::iterator, PairKeyHash> index_;
+  // proofSeconds -> key; begin() is the cheapest-to-reprove entry and the
+  // eviction victim. Each cost bucket is kept in LRU order (lookup moves
+  // the touched key to the bucket's back), so ties break deterministically.
+  std::multimap<double, PairKey> costIndex_;
   std::ostream* persistStream_{nullptr};
   std::uint64_t hits_{0};
   std::uint64_t misses_{0};
   std::uint64_t stores_{0};
   std::uint64_t evictions_{0};
+  double evictedSeconds_{0.0};
   std::uint64_t corruptLines_{0};
 };
 

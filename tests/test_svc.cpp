@@ -213,6 +213,80 @@ TEST(VerdictCache, ConfigDigestMismatchMisses) {
   EXPECT_EQ(cache.misses(), 1U);
 }
 
+TEST(VerdictCache, CheapestProofIsEvictedFirst) {
+  // recency would evict the 300 s proof (stored first = coldest); the
+  // cost-aware policy keeps it and drops the 0.01 s one instead
+  svc::VerdictCache cache(2);
+  cache.store(keyFor(1, 1), {ec::Equivalence::Equivalent, std::nullopt, 300.0});
+  cache.store(keyFor(2, 2), {ec::Equivalence::Equivalent, std::nullopt, 0.01});
+  cache.store(keyFor(3, 3), {ec::Equivalence::Equivalent, std::nullopt, 5.0});
+
+  EXPECT_EQ(cache.evictions(), 1U);
+  EXPECT_DOUBLE_EQ(cache.evictedSeconds(), 0.01);
+  EXPECT_TRUE(cache.lookup(keyFor(1, 1)).has_value());
+  EXPECT_FALSE(cache.lookup(keyFor(2, 2)).has_value());
+  EXPECT_TRUE(cache.lookup(keyFor(3, 3)).has_value());
+
+  // the next eviction takes the cheapest resident (the 5 s proof) to make
+  // room for the newcomer, and the counter accumulates
+  cache.store(keyFor(4, 4), {ec::Equivalence::Equivalent, std::nullopt, 1.0});
+  EXPECT_EQ(cache.evictions(), 2U);
+  EXPECT_DOUBLE_EQ(cache.evictedSeconds(), 0.01 + 5.0);
+  EXPECT_TRUE(cache.lookup(keyFor(1, 1)).has_value());
+  EXPECT_FALSE(cache.lookup(keyFor(3, 3)).has_value());
+  EXPECT_TRUE(cache.lookup(keyFor(4, 4)).has_value());
+}
+
+TEST(VerdictCache, EqualCostsFallBackToLru) {
+  // all costs unknown (0): the policy must degrade to exactly the old LRU
+  // behaviour, lookup refresh included
+  svc::VerdictCache cache(2);
+  const svc::CachedVerdict eq{ec::Equivalence::Equivalent, std::nullopt};
+  cache.store(keyFor(1, 1), eq);
+  cache.store(keyFor(2, 2), eq);
+  EXPECT_TRUE(cache.lookup(keyFor(1, 1)).has_value());
+  cache.store(keyFor(3, 3), eq); // evicts 2, not the freshly-touched 1
+  EXPECT_TRUE(cache.lookup(keyFor(1, 1)).has_value());
+  EXPECT_FALSE(cache.lookup(keyFor(2, 2)).has_value());
+}
+
+TEST(VerdictCache, ProofSecondsSurviveAVersionedRoundTrip) {
+  std::ostringstream log;
+  svc::VerdictCache cache;
+  cache.persistTo(&log);
+  cache.store(keyFor(1, 2, 7),
+              {ec::Equivalence::Equivalent, std::nullopt, 12.5});
+  cache.persistTo(nullptr);
+  EXPECT_NE(log.str().find("\"schema\":\"qsimec-cache-v2\""),
+            std::string::npos);
+  EXPECT_NE(log.str().find("\"seconds\":12.5"), std::string::npos);
+
+  svc::VerdictCache reloaded(2);
+  std::istringstream replay(log.str());
+  EXPECT_EQ(reloaded.load(replay), 1U);
+  // the reloaded cost still protects the entry from a cheap newcomer
+  reloaded.store(keyFor(3, 3), {ec::Equivalence::Equivalent, std::nullopt});
+  reloaded.store(keyFor(4, 4), {ec::Equivalence::Equivalent, std::nullopt});
+  EXPECT_TRUE(reloaded.lookup(keyFor(1, 2, 7)).has_value());
+}
+
+TEST(VerdictCache, V1LinesLoadWithZeroCost) {
+  // a pre-cost cache file: same fields minus "seconds", v1 schema tag
+  const std::string v1 =
+      "{\"schema\":\"qsimec-cache-v1\""
+      ",\"g\":\"00000000000000090000000000000009\""
+      ",\"gp\":\"00000000000000090000000000000009\""
+      ",\"config\":\"00000000000000000000000000000001\""
+      ",\"verdict\":\"equivalent\",\"counterexample\":null}";
+  svc::VerdictCache cache;
+  std::istringstream replay(v1 + "\n");
+  EXPECT_EQ(cache.load(replay), 1U);
+  EXPECT_EQ(cache.corruptLines(), 0U);
+  const auto entry = cache.lookup(keyFor(9, 9));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->proofSeconds, 0.0); // cost unknown = cheapest
+}
+
 // ------------------------------------------------------------ BatchScheduler
 
 class BatchTest : public ::testing::Test {
